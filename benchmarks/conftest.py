@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper's §VI and prints
+the corresponding rows/series (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see them inline).  Set ``QUHE_FULL=1`` to run the experiments at the
+paper's full sample counts instead of the quick defaults.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import paper_config
+from repro.core.stage1 import Stage1Solver
+from repro.experiments import DEFAULT_SEED
+
+
+def full_run() -> bool:
+    """True when QUHE_FULL=1 requests paper-scale sample counts."""
+    return os.environ.get("QUHE_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def paper_cfg():
+    """The §VI-A configuration with the paper-default (seed-0) channel."""
+    return paper_config(seed=0)
+
+
+@pytest.fixture(scope="session")
+def typical_cfg():
+    """A representative channel realization used by the system benchmarks."""
+    return paper_config(seed=DEFAULT_SEED)
+
+
+@pytest.fixture(scope="session")
+def stage1_solution(paper_cfg):
+    return Stage1Solver(paper_cfg).solve()

@@ -1,0 +1,38 @@
+"""Extension benchmark: QuHE adaptation under block fading.
+
+Not a paper figure — quantifies the value of re-running QuHE as channels
+fade (the dynamic-MEC setting the paper's introduction motivates), printing
+per-epoch adaptive-vs-static objectives.
+"""
+
+from repro.experiments.dynamic import run_dynamic_study
+from repro.utils.tables import format_table
+
+
+def test_dynamic_adaptation(typical_cfg, capsys):
+    study = run_dynamic_study(typical_cfg, num_epochs=4, seed=3)
+    rows = [
+        [e.epoch, f"{e.adaptive_objective:.4f}", f"{e.static_objective:.4f}",
+         f"{e.adaptation_gain:.4f}"]
+        for e in study.epochs
+    ]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["epoch", "adaptive", "static", "gain"],
+            rows,
+            title="Dynamic adaptation under block fading",
+        ))
+        print(f"mean adaptation gain: {study.mean_adaptation_gain:.4f}")
+    assert all(e.adaptation_gain >= -1e-6 for e in study.epochs)
+
+
+def test_benchmark_one_adaptation_epoch(benchmark, typical_cfg):
+    result = benchmark.pedantic(
+        run_dynamic_study,
+        args=(typical_cfg,),
+        kwargs={"num_epochs": 2, "seed": 5},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.epochs) == 2

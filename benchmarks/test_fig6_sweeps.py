@@ -1,0 +1,72 @@
+"""Fig. 6(a-d): objective vs resource budgets for all four methods (§VI-G).
+
+Prints each panel's series over the paper's parameter grids and benchmarks
+one full sweep.  Defaults to 3 points per panel; QUHE_FULL=1 uses the
+paper's 5-point grids.
+"""
+
+import numpy as np
+
+from repro.experiments.fig6_sweeps import PAPER_SWEEPS, sweep
+from repro.core.stage1 import Stage1Solver
+
+from conftest import full_run
+
+PANELS = {
+    "bandwidth": "Fig. 6(a): B_total",
+    "power": "Fig. 6(b): p_max",
+    "client_cpu": "Fig. 6(c): f_c^max",
+    "server_cpu": "Fig. 6(d): f_total",
+}
+
+
+def _grid(parameter):
+    grid = PAPER_SWEEPS[parameter]
+    return grid if full_run() else grid[::2]
+
+
+def test_fig6_all_panels(typical_cfg, capsys):
+    s1 = Stage1Solver(typical_cfg).solve()
+    for parameter, title in PANELS.items():
+        series = sweep(parameter, typical_cfg, values=_grid(parameter), stage1_result=s1)
+        with capsys.disabled():
+            print()
+            print(title)
+            print(series.render())
+        # The paper's headline: QuHE leads at every operating point.
+        assert set(series.best_method_per_point()) == {"QuHE"}, (
+            f"QuHE not dominant in panel {parameter}"
+        )
+
+
+def test_fig6a_bandwidth_shape(typical_cfg):
+    """Fig. 6(a): B_total gains are notable for QuHE/OCCR, marginal for AA/OLAA."""
+    series = sweep("bandwidth", typical_cfg, values=_grid("bandwidth"))
+    quhe = series.objectives["QuHE"]
+    aa = series.objectives["AA"]
+    quhe_gain, aa_gain = quhe[-1] - quhe[0], aa[-1] - aa[0]
+    assert quhe_gain > 0
+    # Relative to where each method sits, the extra bandwidth moves QuHE far
+    # more than AA (the paper's "marginal effect on AA and OLAA").
+    assert quhe_gain / abs(quhe[0]) > aa_gain / abs(aa[0])
+
+
+def test_fig6d_server_cpu_shape(typical_cfg):
+    """Fig. 6(d): AA/OLAA struggle as f_total grows; OCCR/QuHE stay stable."""
+    series = sweep("server_cpu", typical_cfg, values=_grid("server_cpu"))
+    aa = series.objectives["AA"]
+    quhe = series.objectives["QuHE"]
+    assert aa[-1] < aa[0]
+    assert abs(quhe[-1] - quhe[0]) < abs(aa[-1] - aa[0])
+
+
+def test_benchmark_one_sweep(benchmark, typical_cfg):
+    s1 = Stage1Solver(typical_cfg).solve()
+    series = benchmark.pedantic(
+        sweep,
+        args=("bandwidth", typical_cfg),
+        kwargs={"values": [0.5e7, 1.5e7], "stage1_result": s1},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(series.best_method_per_point()) == {"QuHE"}

@@ -1,0 +1,62 @@
+"""Exact private aggregation with BFV transciphering.
+
+A second domain scenario: a fleet of metering clients reports integer
+counters (e.g. request counts) that the edge server must *sum* without
+seeing any individual value — the smart-grid use case of the paper's
+reference [13], here with exact arithmetic:
+
+1. Each client masks its counters mod t with the QKD-keyed arithmetic stream
+   cipher and BFV-encrypts its short key (once).
+2. The server transciphers each client's block — bit-exactly — and
+   homomorphically adds the encrypted reports.
+3. The aggregator decrypts only the sum.
+
+Run:  python examples/private_aggregation.py
+"""
+
+import numpy as np
+
+from repro.crypto.bfv import BFVContext
+from repro.crypto.exact_transcipher import (
+    ExactTranscipherEngine,
+    derive_integer_key,
+)
+
+NUM_CLIENTS = 4
+NUM_COUNTERS = 16
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    context = BFVContext(ring_degree=32, plaintext_modulus=65537, seed=7)
+    engine = ExactTranscipherEngine(context, key_length=4)
+    print(f"BFV: n={context.n}, t={context.t} (counters are exact mod t)")
+
+    reports = []
+    encrypted_sum = None
+    expected = np.zeros(NUM_COUNTERS, dtype=int)
+    for client in range(NUM_CLIENTS):
+        counters = rng.integers(0, 1000, size=NUM_COUNTERS)
+        expected += counters
+        # In deployment the key bytes come from the client's QKD pool
+        # (see examples/secure_inference.py); here we draw them directly.
+        key_bytes = rng.bytes(4 * engine.key_length)
+        key = derive_integer_key(key_bytes, engine.key_length, context.t)
+        block = engine.client_encrypt_block(key, list(counters), nonce_index=client)
+        enc_key = engine.client_encrypt_key(key)
+        # Server side: transcipher, then accumulate.
+        enc_report = engine.server_transcipher(block, enc_key)
+        encrypted_sum = (
+            enc_report if encrypted_sum is None else context.add(encrypted_sum, enc_report)
+        )
+        reports.append(counters)
+        print(f"client {client}: counters {counters[:5]}... masked as "
+              f"{block.masked[:3]}...")
+
+    decrypted = context.decrypt(encrypted_sum, length=NUM_COUNTERS)
+    print("\naggregate (decrypted):", decrypted[:8], "...")
+    print("aggregate (expected) :", list(expected[:8]), "...")
+    assert decrypted == [int(v) % context.t for v in expected], "aggregation mismatch"
+    print("\nExact match — the server summed the reports without seeing any of them.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Resource sweeps and method comparison (paper Fig. 5(d) and Fig. 6).
+
+Compares AA, OLAA, OCCR and QuHE across bandwidth / power / CPU budgets and
+prints the per-panel winner — the paper's headline claim is that QuHE leads
+at every operating point.
+
+Run:  python examples/resource_sweep.py
+"""
+
+from repro import paper_config
+from repro.experiments import DEFAULT_SEED, run_method_comparison, sweep
+
+def main() -> None:
+    config = paper_config(seed=DEFAULT_SEED)
+
+    print("=== Fig. 5(d): method comparison (alpha_msl ablation at 0.1) ===")
+    comparison = run_method_comparison(config)
+    print(comparison.render())
+    print()
+
+    for parameter in ("bandwidth", "power", "client_cpu", "server_cpu"):
+        series = sweep(parameter, config)
+        print(series.render())
+        winners = set(series.best_method_per_point())
+        print(f"winner at every point: {winners}")
+        print()
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""End-to-end secure edge inference with real cryptography (paper §III-A).
+
+Walks one client through the complete QuHE data path:
+
+1. The key centre runs entanglement-based QKD over the SURFnet network
+   (Werner pairs → BBM92 sifting → error correction → privacy amplification)
+   and pools symmetric key bytes.
+2. The client masks its feature vector with the arithmetic stream cipher
+   keyed by QKD material and HE-encrypts the short key (transciphering
+   setup).
+3. The payload crosses the FDMA wireless uplink (delay/energy accounted
+   with the paper's channel model).
+4. The edge server *transciphers* — homomorphically removes the mask — and
+   evaluates a linear model on the CKKS ciphertext without decrypting.
+5. The client decrypts the encrypted prediction and we compare it against
+   plaintext inference.
+
+Run:  python examples/secure_inference.py
+"""
+
+import numpy as np
+
+from repro import SecureEdgePipeline, Stage1Solver, paper_config
+from repro.utils.units import NOISE_PSD_W_PER_HZ
+
+def main() -> None:
+    config = paper_config(seed=2)
+
+    # Resource allocation decides the QKD rates the pipeline runs at.
+    stage1 = Stage1Solver(config).solve()
+    print("Stage-1 entanglement rates:", np.round(stage1.phi, 3), "pairs/s")
+
+    pipeline = SecureEdgePipeline(ckks_ring_degree=64, seed=7)
+    print("Running QKD until every client pool holds 64 key bytes ...")
+    pipeline.distribute_keys(stage1.phi, stage1.w, duration_s=400.0, min_bytes=64)
+    print("Key pools (bytes):", pipeline.key_center.pool_summary())
+
+    sessions = pipeline.key_center.session_history
+    print(
+        f"QKD sessions: {len(sessions)}, mean QBER "
+        f"{np.nanmean([s.estimated_qber for s in sessions]):.3f}, "
+        f"aborted: {sum(s.aborted for s in sessions)}"
+    )
+    print()
+
+    # A toy sentiment model: y = w.x + b per feature slot.
+    rng = np.random.default_rng(11)
+    features = rng.normal(0.0, 1.0, size=16)
+    weights = rng.normal(0.0, 0.5, size=16)
+    bias = 0.25
+
+    report = pipeline.run_client(
+        client_index=0,
+        features=features,
+        model_weights=weights,
+        model_bias=bias,
+        bandwidth_hz=config.server.total_bandwidth_hz / config.num_clients,
+        power_w=float(config.max_power[0]),
+        channel_gain=float(config.channel_gains[0]),
+        noise_psd=NOISE_PSD_W_PER_HZ,
+    )
+
+    print("Uplink:")
+    print(f"  payload        : {report.uplink_bits:.3g} bits")
+    print(f"  delay          : {report.uplink_delay_s:.4f} s")
+    print(f"  energy         : {report.uplink_energy_j:.4g} J")
+    print()
+    print("Encrypted inference:")
+    print("  prediction     :", np.round(report.prediction[:5], 4), "...")
+    print("  plaintext ref. :", np.round(report.plaintext_reference[:5], 4), "...")
+    print(f"  max |error|    : {report.max_abs_error:.3e}  (CKKS approximation noise)")
+    assert report.max_abs_error < 1e-2, "encrypted inference diverged from plaintext"
+    print("\nEncrypted result matches plaintext inference — the server never saw the data.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` also works on
+offline environments whose setuptools predates PEP 660 editable wheels
+(pip falls back to ``setup.py develop`` with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Computation cost models and device abstractions (paper §III-C/E).
+
+* :mod:`repro.compute.cost_models` — the CPU-cycle curves of Eq. 29-31
+  (``f_eval``, ``f_msl``, ``f_cmp``) and curve containers.
+* :mod:`repro.compute.energy` — delay/energy formulas for client encryption
+  (Eq. 7-8) and server computation (Eq. 13-14).
+* :mod:`repro.compute.devices` — client node and edge server dataclasses.
+"""
+
+from repro.compute.cost_models import (
+    CostModel,
+    paper_cost_model,
+    f_cmp_paper,
+    f_eval_paper,
+)
+from repro.compute.energy import (
+    computation_delay,
+    computation_energy,
+    encryption_delay,
+    encryption_energy,
+)
+from repro.compute.devices import ClientNode, EdgeServer
+
+__all__ = [
+    "ClientNode",
+    "CostModel",
+    "EdgeServer",
+    "computation_delay",
+    "computation_energy",
+    "encryption_delay",
+    "encryption_energy",
+    "f_cmp_paper",
+    "f_eval_paper",
+    "paper_cost_model",
+]

@@ -1,0 +1,88 @@
+"""CPU-cycle cost curves for CKKS workloads (paper Eq. 29-31).
+
+The paper measures the CKKS mechanism of [15] (encrypted NLP prediction) and
+fits, as functions of the polynomial degree λ:
+
+* ``f_eval(λ) = 0.012 (λ + 64500)²`` — transciphering cycles per sample,
+* ``f_cmp(λ)  = 8917959.4 λ − 51292440000`` — encrypted-computation cycles
+  per sample,
+* ``f_msl(λ)  = 0.002 λ + 1.4789`` — minimum security level in bits
+  (implemented in :mod:`repro.crypto.security`).
+
+``f_cmp`` is negative below λ ≈ 5751 — the fit is only meaningful on the
+paper's λ-set {2^15, 2^16, 2^17}; :class:`CostModel` validates its domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.crypto.security import paper_msl
+
+#: The paper's discrete λ choices (constraint 17d / §VI-A).
+PAPER_LAMBDA_SET: Tuple[int, ...] = (2**15, 2**16, 2**17)
+
+
+def f_eval_paper(polynomial_degree):
+    """Transciphering/evaluation cycles per sample (Eq. 29)."""
+    lam = np.asarray(polynomial_degree, dtype=float)
+    value = 0.012 * (lam + 64500.0) ** 2
+    if np.isscalar(polynomial_degree):
+        return float(value)
+    return value
+
+
+def f_cmp_paper(polynomial_degree):
+    """Encrypted-computation cycles per sample (Eq. 31)."""
+    lam = np.asarray(polynomial_degree, dtype=float)
+    value = 8917959.4 * lam - 51292440000.0
+    if np.isscalar(polynomial_degree):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Bundle of the three λ-dependent curves with domain validation.
+
+    The default instance is the paper's fitted model; custom deployments can
+    supply their own curves (e.g. re-fitted on different hardware).
+    """
+
+    eval_cycles: Callable[[float], float] = f_eval_paper
+    cmp_cycles: Callable[[float], float] = f_cmp_paper
+    msl_bits: Callable[[float], float] = paper_msl
+    lambda_set: Tuple[int, ...] = PAPER_LAMBDA_SET
+
+    def __post_init__(self) -> None:
+        if not self.lambda_set:
+            raise ValueError("lambda_set must not be empty")
+        if list(self.lambda_set) != sorted(self.lambda_set):
+            raise ValueError("lambda_set must be sorted ascending (paper 17d)")
+        for lam in self.lambda_set:
+            if self.cmp_cycles(lam) <= 0 or self.eval_cycles(lam) <= 0:
+                raise ValueError(
+                    f"cost curves must be positive on the λ-set; failed at λ={lam}"
+                )
+
+    def server_cycles_per_sample(self, polynomial_degree: float) -> float:
+        """Total server cycles per sample: computation + transciphering."""
+        return float(
+            self.cmp_cycles(polynomial_degree) + self.eval_cycles(polynomial_degree)
+        )
+
+    def validate_lambda(self, polynomial_degree: int) -> int:
+        """Check λ is one of the admissible discrete choices (17d)."""
+        if polynomial_degree not in self.lambda_set:
+            raise ValueError(
+                f"λ={polynomial_degree} not in the admissible set {self.lambda_set}"
+            )
+        return int(polynomial_degree)
+
+
+def paper_cost_model() -> CostModel:
+    """The cost model used in all paper experiments."""
+    return CostModel()

@@ -1,0 +1,60 @@
+"""Device abstractions: client nodes and the edge server (paper §III).
+
+These bundle the per-node constants of Table II so that experiment code can
+pass one object instead of seven parallel arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ClientNode:
+    """One client node (the destination of QKD route ``index + 1``).
+
+    Attributes mirror Table II / §VI-A: encryption cycle count ``f_se``,
+    maximum CPU ``f_max`` (Hz), switched capacitance ``κ_c``, maximum
+    transmit power (W), privacy weight ``ς``, uplink payload ``d_tr`` (bits),
+    token count ``d_cmp`` and tokens-per-sample ``ϱ``.
+    """
+
+    index: int
+    encryption_cycles: float = 1e6
+    max_frequency_hz: float = 3e9
+    switched_capacitance: float = 1e-28
+    max_power_w: float = 0.2
+    privacy_weight: float = 0.1
+    upload_bits: float = 3e9
+    num_tokens: float = 160.0
+    tokens_per_sample: float = 10.0
+    min_entanglement_rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("client index must be non-negative")
+        check_positive("encryption_cycles", self.encryption_cycles)
+        check_positive("max_frequency_hz", self.max_frequency_hz)
+        check_positive("switched_capacitance", self.switched_capacitance)
+        check_positive("max_power_w", self.max_power_w)
+        check_positive("privacy_weight", self.privacy_weight)
+        check_positive("upload_bits", self.upload_bits)
+        check_positive("num_tokens", self.num_tokens)
+        check_positive("tokens_per_sample", self.tokens_per_sample)
+        check_positive("min_entanglement_rate", self.min_entanglement_rate)
+
+
+@dataclass(frozen=True)
+class EdgeServer:
+    """The edge server: total CPU, total bandwidth, switched capacitance."""
+
+    total_frequency_hz: float = 20e9
+    total_bandwidth_hz: float = 10e6
+    switched_capacitance: float = 1e-28
+
+    def __post_init__(self) -> None:
+        check_positive("total_frequency_hz", self.total_frequency_hz)
+        check_positive("total_bandwidth_hz", self.total_bandwidth_hz)
+        check_positive("switched_capacitance", self.switched_capacitance)

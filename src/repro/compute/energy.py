@@ -1,0 +1,94 @@
+"""Delay and energy formulas for computation phases (paper Eq. 7-8, 13-14).
+
+All functions accept scalars or aligned numpy arrays and return the same
+shape.  Frequencies are in Hz (cycles/s), energies in joules, delays in
+seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_float(x):
+    return np.asarray(x, dtype=float)
+
+
+def encryption_delay(encryption_cycles, client_frequency):
+    """Client-side symmetric-encryption delay ``T_enc = f_se / f_c`` (Eq. 7)."""
+    cycles = _as_float(encryption_cycles)
+    freq = _as_float(client_frequency)
+    if np.any(cycles < 0):
+        raise ValueError("cycle counts must be non-negative")
+    if np.any(freq <= 0):
+        raise ValueError("client frequency must be positive")
+    value = cycles / freq
+    if np.isscalar(encryption_cycles) and np.isscalar(client_frequency):
+        return float(value)
+    return value
+
+
+def encryption_energy(switched_capacitance, encryption_cycles, client_frequency):
+    """Client encryption energy ``E_enc = κ_c f_se f_c²`` (Eq. 8)."""
+    kappa = _as_float(switched_capacitance)
+    cycles = _as_float(encryption_cycles)
+    freq = _as_float(client_frequency)
+    if np.any(kappa <= 0):
+        raise ValueError("switched capacitance must be positive")
+    if np.any(cycles < 0):
+        raise ValueError("cycle counts must be non-negative")
+    if np.any(freq <= 0):
+        raise ValueError("client frequency must be positive")
+    value = kappa * cycles * freq**2
+    if all(np.isscalar(x) for x in (switched_capacitance, encryption_cycles, client_frequency)):
+        return float(value)
+    return value
+
+
+def computation_delay(cycles_per_sample, num_tokens, tokens_per_sample, server_frequency):
+    """Server computation delay (Eq. 13).
+
+    ``T_cmp = (f_cmp(λ)+f_eval(λ)) · d_cmp / (ϱ · f_s)`` — ``cycles_per_sample``
+    is the already-summed ``f_cmp + f_eval``.
+    """
+    cycles = _as_float(cycles_per_sample)
+    tokens = _as_float(num_tokens)
+    per_sample = _as_float(tokens_per_sample)
+    freq = _as_float(server_frequency)
+    if np.any(cycles <= 0):
+        raise ValueError("cycles per sample must be positive")
+    if np.any(tokens < 0):
+        raise ValueError("token count must be non-negative")
+    if np.any(per_sample <= 0):
+        raise ValueError("tokens per sample must be positive")
+    if np.any(freq <= 0):
+        raise ValueError("server frequency must be positive")
+    value = cycles * tokens / (per_sample * freq)
+    if all(np.isscalar(x) for x in (cycles_per_sample, num_tokens, tokens_per_sample, server_frequency)):
+        return float(value)
+    return value
+
+
+def computation_energy(
+    switched_capacitance, cycles_per_sample, num_tokens, tokens_per_sample, server_frequency
+):
+    """Server computation energy (Eq. 14).
+
+    ``E_cmp = κ_s (f_cmp(λ)+f_eval(λ)) d_cmp f_s² / ϱ``.
+    """
+    kappa = _as_float(switched_capacitance)
+    cycles = _as_float(cycles_per_sample)
+    tokens = _as_float(num_tokens)
+    per_sample = _as_float(tokens_per_sample)
+    freq = _as_float(server_frequency)
+    if np.any(kappa <= 0):
+        raise ValueError("switched capacitance must be positive")
+    if np.any(cycles <= 0):
+        raise ValueError("cycles per sample must be positive")
+    if np.any(freq <= 0):
+        raise ValueError("server frequency must be positive")
+    value = kappa * cycles * tokens * freq**2 / per_sample
+    scalars = (switched_capacitance, cycles_per_sample, num_tokens, tokens_per_sample, server_frequency)
+    if all(np.isscalar(x) for x in scalars):
+        return float(value)
+    return value

@@ -1,0 +1,90 @@
+"""System-level baselines AA / OLAA / OCCR (paper §VI-B).
+
+All three share the Stage-1 optimal (φ, w) — the paper's Fig. 5(d) compares
+"assuming the optimal U_qkd is obtained in Stage 1":
+
+* **AA (average allocation)** — λ_n = 2^15, p_n = p_max, b_n = B_total/N,
+  f_c = f_max, f_s = f_total/N.
+* **OLAA (optimize λ only, average allocation)** — Stage 2 on top of the
+  AA communication/computation assignment.
+* **OCCR (optimize computation & communication resources only)** — Stage 3
+  on top of λ_n = 2^15.
+
+Each returns the same ``(Allocation, Metrics)`` bundle as QuHE so the
+comparison harness treats all methods uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.problem import QuHEProblem
+from repro.core.solution import Allocation, Metrics
+from repro.core.stage1 import Stage1Result, Stage1Solver
+from repro.core.stage2 import BranchAndBoundSolver
+from repro.core.stage3 import Stage3Solver
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A baseline's allocation plus its Problem-P1 metrics."""
+
+    name: str
+    allocation: Allocation
+    metrics: Metrics
+
+    @property
+    def objective(self) -> float:
+        return self.metrics.objective
+
+
+def _stage1(config: SystemConfig, stage1_result: Optional[Stage1Result]) -> Stage1Result:
+    return stage1_result or Stage1Solver(config).solve()
+
+
+def _aa_allocation(config: SystemConfig, s1: Stage1Result) -> Allocation:
+    n = config.num_clients
+    return Allocation(
+        phi=s1.phi,
+        w=s1.w,
+        lam=np.full(n, config.cost_model.lambda_set[0], dtype=float),
+        p=config.max_power.copy(),
+        b=np.full(n, config.server.total_bandwidth_hz / n),
+        f_c=config.client_max_frequency.copy(),
+        f_s=np.full(n, config.server.total_frequency_hz / n),
+    )
+
+
+def average_allocation(
+    config: SystemConfig, *, stage1_result: Optional[Stage1Result] = None
+) -> BaselineResult:
+    """The AA baseline: everything fixed at its average/max value."""
+    s1 = _stage1(config, stage1_result)
+    alloc = _aa_allocation(config, s1)
+    return BaselineResult("AA", alloc, QuHEProblem(config).metrics(alloc))
+
+
+def olaa_baseline(
+    config: SystemConfig, *, stage1_result: Optional[Stage1Result] = None
+) -> BaselineResult:
+    """OLAA: optimise λ (Stage 2) over the average allocation."""
+    s1 = _stage1(config, stage1_result)
+    alloc = _aa_allocation(config, s1)
+    s2 = BranchAndBoundSolver(config).solve(alloc)
+    alloc = alloc.with_updates(lam=s2.lam, T=s2.T)
+    return BaselineResult("OLAA", alloc, QuHEProblem(config).metrics(alloc))
+
+
+def occr_baseline(
+    config: SystemConfig, *, stage1_result: Optional[Stage1Result] = None
+) -> BaselineResult:
+    """OCCR: optimise communication/computation resources (Stage 3), λ = 2^15."""
+    s1 = _stage1(config, stage1_result)
+    alloc = _aa_allocation(config, s1)
+    s3 = Stage3Solver(config).solve(alloc)
+    alloc = alloc.with_updates(p=s3.p, b=s3.b, f_c=s3.f_c, f_s=s3.f_s, T=s3.T)
+    return BaselineResult("OCCR", alloc, QuHEProblem(config).metrics(alloc))

@@ -1,0 +1,182 @@
+"""System configuration (paper §VI-A parameter setting).
+
+:class:`SystemConfig` bundles every constant of Problem P1: the QKD network,
+client devices, server capacities, cost curves, channel gains and objective
+weights.  :func:`paper_config` reproduces the paper's exact setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.compute.cost_models import CostModel, paper_cost_model
+from repro.compute.devices import ClientNode, EdgeServer
+from repro.quantum.topology import QKDNetwork, surfnet_network
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.units import NOISE_PSD_W_PER_HZ
+from repro.wireless.channel import ChannelModel
+
+#: Privacy-importance weights ς of the six paper clients (§VI-A).
+PAPER_PRIVACY_WEIGHTS: Tuple[float, ...] = (0.1, 0.1, 0.1, 0.2, 0.2, 0.3)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All constants of Problem P1 (everything except the decision variables)."""
+
+    network: QKDNetwork
+    clients: Tuple[ClientNode, ...]
+    server: EdgeServer
+    cost_model: CostModel
+    channel_gains: np.ndarray
+    #: Objective weights (α_qkd, α_msl, α_t, α_e) of Eq. 17.
+    alpha_qkd: float = 1.0
+    alpha_msl: float = 1e-2
+    alpha_t: float = 1e-4
+    alpha_e: float = 1e-4
+    noise_psd: float = NOISE_PSD_W_PER_HZ
+    #: Solution accuracy tolerance ε (§VI-A).
+    tolerance: float = 1e-4
+
+    def __post_init__(self) -> None:
+        n = self.network.num_routes
+        if len(self.clients) != n:
+            raise ValueError(
+                f"{len(self.clients)} clients but the network has {n} routes"
+            )
+        gains = np.asarray(self.channel_gains, dtype=float)
+        if gains.shape != (n,):
+            raise ValueError(f"channel_gains must have shape ({n},), got {gains.shape}")
+        if np.any(gains <= 0):
+            raise ValueError("channel gains must be positive")
+        for weight in (self.alpha_qkd, self.alpha_msl, self.alpha_t, self.alpha_e):
+            if weight < 0:
+                raise ValueError("objective weights must be non-negative")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        object.__setattr__(self, "channel_gains", gains)
+
+    # -- convenience array views (used by all solvers) -------------------------
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def num_links(self) -> int:
+        return self.network.num_links
+
+    @property
+    def min_rates(self) -> np.ndarray:
+        """φ_min per route (constraint 17a)."""
+        return np.array([c.min_entanglement_rate for c in self.clients])
+
+    @property
+    def encryption_cycles(self) -> np.ndarray:
+        """f_se per client."""
+        return np.array([c.encryption_cycles for c in self.clients])
+
+    @property
+    def client_max_frequency(self) -> np.ndarray:
+        """f_max per client (constraint 17g)."""
+        return np.array([c.max_frequency_hz for c in self.clients])
+
+    @property
+    def client_capacitance(self) -> np.ndarray:
+        """κ_c per client."""
+        return np.array([c.switched_capacitance for c in self.clients])
+
+    @property
+    def max_power(self) -> np.ndarray:
+        """p_max per client (constraint 17e)."""
+        return np.array([c.max_power_w for c in self.clients])
+
+    @property
+    def privacy_weights(self) -> np.ndarray:
+        """ς per client (Eq. 9)."""
+        return np.array([c.privacy_weight for c in self.clients])
+
+    @property
+    def upload_bits(self) -> np.ndarray:
+        """d_tr per client."""
+        return np.array([c.upload_bits for c in self.clients])
+
+    @property
+    def num_tokens(self) -> np.ndarray:
+        """d_cmp per client."""
+        return np.array([c.num_tokens for c in self.clients])
+
+    @property
+    def tokens_per_sample(self) -> np.ndarray:
+        """ϱ per client."""
+        return np.array([c.tokens_per_sample for c in self.clients])
+
+    def server_cycle_demand(self, lambdas: np.ndarray) -> np.ndarray:
+        """Total server cycles per client: ``(f_cmp+f_eval)(λ_n)·d_cmp/ϱ``."""
+        lam = np.asarray(lambdas, dtype=float)
+        per_sample = np.array(
+            [self.cost_model.server_cycles_per_sample(v) for v in lam]
+        )
+        return per_sample * self.num_tokens / self.tokens_per_sample
+
+    # -- modified copies (used by the Fig. 6 sweeps) ----------------------------
+
+    def with_total_bandwidth(self, total_bandwidth_hz: float) -> "SystemConfig":
+        """Copy with a different B_total."""
+        return replace(
+            self, server=replace(self.server, total_bandwidth_hz=total_bandwidth_hz)
+        )
+
+    def with_total_server_frequency(self, total_frequency_hz: float) -> "SystemConfig":
+        """Copy with a different f_total."""
+        return replace(
+            self, server=replace(self.server, total_frequency_hz=total_frequency_hz)
+        )
+
+    def with_max_power(self, max_power_w: float) -> "SystemConfig":
+        """Copy with every client's p_max replaced."""
+        clients = tuple(replace(c, max_power_w=max_power_w) for c in self.clients)
+        return replace(self, clients=clients)
+
+    def with_client_max_frequency(self, max_frequency_hz: float) -> "SystemConfig":
+        """Copy with every client's f_max replaced."""
+        clients = tuple(
+            replace(c, max_frequency_hz=max_frequency_hz) for c in self.clients
+        )
+        return replace(self, clients=clients)
+
+
+def paper_config(
+    *,
+    seed: SeedLike = 0,
+    network: Optional[QKDNetwork] = None,
+    use_rayleigh: bool = True,
+) -> SystemConfig:
+    """The paper's §VI-A configuration with a seeded channel realization.
+
+    Distances are uniform in a 1000 m cell, large-scale fading is
+    ``128.1 + 37.6 log10(d_km)``, small-scale fading is Rayleigh, clients use
+    the Table II constants, and the six privacy weights are
+    ``(0.1, 0.1, 0.1, 0.2, 0.2, 0.3)``.
+    """
+    rng = as_generator(seed)
+    net = network or surfnet_network()
+    n = net.num_routes
+    weights = PAPER_PRIVACY_WEIGHTS if n == len(PAPER_PRIVACY_WEIGHTS) else tuple(
+        [0.1] * n
+    )
+    clients = tuple(
+        ClientNode(index=i, privacy_weight=weights[i]) for i in range(n)
+    )
+    channel = ChannelModel(use_rayleigh=use_rayleigh)
+    realization = channel.sample(n, rng)
+    return SystemConfig(
+        network=net,
+        clients=clients,
+        server=EdgeServer(),
+        cost_model=paper_cost_model(),
+        channel_gains=realization.gains,
+    )

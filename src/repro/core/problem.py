@@ -1,0 +1,199 @@
+"""Problem P1 (paper Eq. 17): objective, metrics, constraint checking.
+
+The objective is ``α_qkd U_qkd + α_msl U_msl − α_t T − α_e E_total`` with the
+utilities of Eq. 6/9 and the cost terms of Eq. 7-16, subject to constraints
+(17a)-(17i).  :class:`QuHEProblem` evaluates all of it for a given
+:class:`~repro.core.solution.Allocation` and reports violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.compute.energy import (
+    computation_delay,
+    computation_energy,
+    encryption_delay,
+    encryption_energy,
+)
+from repro.core.config import SystemConfig
+from repro.core.solution import Allocation, Metrics
+from repro.crypto.security import weighted_minimum_security
+from repro.quantum.utility import qkd_utility, route_werner_parameters
+from repro.wireless.rate import transmission_delay, transmission_energy, uplink_rate
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """One constraint-violation record."""
+
+    constraint: str
+    description: str
+    violation: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.constraint}) {self.description}: violated by {self.violation:.3g}"
+
+
+class QuHEProblem:
+    """Evaluator for Problem P1 over a fixed :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    # -- metric computation ------------------------------------------------------
+
+    def uplink_rates(self, alloc: Allocation) -> np.ndarray:
+        """Per-client Shannon rates r_n (Eq. 10) in bit/s."""
+        return np.asarray(
+            uplink_rate(
+                alloc.b,
+                alloc.p,
+                self.config.channel_gains,
+                noise_psd=self.config.noise_psd,
+            ),
+            dtype=float,
+        )
+
+    def metrics(self, alloc: Allocation) -> Metrics:
+        """All §III metrics and the Eq. 17 objective for one allocation."""
+        cfg = self.config
+        varpi = route_werner_parameters(alloc.w, cfg.network.incidence)
+        u_qkd = qkd_utility(alloc.phi, varpi)
+        u_msl = weighted_minimum_security(alloc.lam, cfg.privacy_weights)
+
+        enc_d = np.asarray(
+            encryption_delay(cfg.encryption_cycles, alloc.f_c), dtype=float
+        )
+        enc_e = np.asarray(
+            encryption_energy(cfg.client_capacitance, cfg.encryption_cycles, alloc.f_c),
+            dtype=float,
+        )
+        tr_d = np.asarray(
+            transmission_delay(
+                cfg.upload_bits, alloc.b, alloc.p, cfg.channel_gains,
+                noise_psd=cfg.noise_psd,
+            ),
+            dtype=float,
+        )
+        tr_e = np.asarray(
+            transmission_energy(
+                cfg.upload_bits, alloc.b, alloc.p, cfg.channel_gains,
+                noise_psd=cfg.noise_psd,
+            ),
+            dtype=float,
+        )
+        cycles_per_sample = np.array(
+            [cfg.cost_model.server_cycles_per_sample(v) for v in alloc.lam]
+        )
+        cmp_d = np.asarray(
+            computation_delay(
+                cycles_per_sample, cfg.num_tokens, cfg.tokens_per_sample, alloc.f_s
+            ),
+            dtype=float,
+        )
+        cmp_e = np.asarray(
+            computation_energy(
+                cfg.server.switched_capacitance,
+                cycles_per_sample,
+                cfg.num_tokens,
+                cfg.tokens_per_sample,
+                alloc.f_s,
+            ),
+            dtype=float,
+        )
+        per_node_delay = enc_d + tr_d + cmp_d
+        total_delay = float(np.max(per_node_delay))
+        effective_t = total_delay if alloc.T is None else max(alloc.T, total_delay)
+        total_energy = float(np.sum(enc_e + tr_e + cmp_e))
+        objective = (
+            cfg.alpha_qkd * u_qkd
+            + cfg.alpha_msl * u_msl
+            - cfg.alpha_t * effective_t
+            - cfg.alpha_e * total_energy
+        )
+        return Metrics(
+            u_qkd=u_qkd,
+            u_msl=u_msl,
+            enc_delay=enc_d,
+            tr_delay=tr_d,
+            cmp_delay=cmp_d,
+            enc_energy=enc_e,
+            tr_energy=tr_e,
+            cmp_energy=cmp_e,
+            total_delay=total_delay,
+            total_energy=total_energy,
+            objective=float(objective),
+        )
+
+    def objective(self, alloc: Allocation) -> float:
+        """The Eq. 17 objective value."""
+        return self.metrics(alloc).objective
+
+    # -- feasibility -------------------------------------------------------------
+
+    def check_constraints(self, alloc: Allocation, *, tol: float = 1e-6) -> List[ConstraintReport]:
+        """Return the list of violated constraints (empty = feasible)."""
+        cfg = self.config
+        reports: List[ConstraintReport] = []
+
+        def record(constraint: str, description: str, violation: float) -> None:
+            if violation > tol:
+                reports.append(ConstraintReport(constraint, description, float(violation)))
+
+        # (17a) φ_n >= φ_min.
+        gap = cfg.min_rates - alloc.phi
+        for n in np.nonzero(gap > tol)[0]:
+            record("17a", f"route {n + 1} rate below φ_min", gap[n])
+        # (17b) w in (0, 1].
+        for l in range(cfg.num_links):
+            record("17b", f"link {l + 1} Werner parameter above 1", alloc.w[l] - 1.0)
+            record("17b", f"link {l + 1} Werner parameter not positive", -alloc.w[l] + tol)
+        # (17c) Σ a_ln φ_n <= β_l (1 - w_l).
+        load = cfg.network.incidence @ alloc.phi
+        capacity = cfg.network.betas * (1.0 - alloc.w)
+        excess = load - capacity
+        for l in np.nonzero(excess > tol)[0]:
+            record("17c", f"link {l + 1} entanglement capacity exceeded", excess[l])
+        # (17d) λ in the admissible set.
+        for n, lam in enumerate(alloc.lam):
+            if int(round(lam)) not in cfg.cost_model.lambda_set:
+                record("17d", f"client {n + 1} λ={lam} outside the set", 1.0)
+        # (17e) p <= p_max.
+        over_p = alloc.p - cfg.max_power
+        for n in np.nonzero(over_p > tol)[0]:
+            record("17e", f"client {n + 1} power above p_max", over_p[n])
+        # (17f) Σ b <= B_total.
+        record(
+            "17f",
+            "total bandwidth exceeded",
+            float(np.sum(alloc.b)) - cfg.server.total_bandwidth_hz,
+        )
+        # (17g) f_c <= f_max.
+        over_fc = alloc.f_c - cfg.client_max_frequency
+        for n in np.nonzero(over_fc > tol)[0]:
+            record("17g", f"client {n + 1} CPU above f_max", over_fc[n])
+        # (17h) Σ f_s <= f_total.
+        record(
+            "17h",
+            "total server CPU exceeded",
+            float(np.sum(alloc.f_s)) - cfg.server.total_frequency_hz,
+        )
+        # (17i) per-node delay <= T (only when an explicit T is carried).
+        if alloc.T is not None:
+            delays = self.metrics(alloc).per_node_delay
+            over_t = delays - alloc.T
+            for n in np.nonzero(over_t > tol * max(1.0, alloc.T))[0]:
+                record("17i", f"client {n + 1} delay above T", over_t[n])
+        # Positivity of the continuous variables.
+        for name, arr in (("p", alloc.p), ("b", alloc.b), ("f_c", alloc.f_c), ("f_s", alloc.f_s), ("phi", alloc.phi)):
+            for n in np.nonzero(arr <= 0)[0]:
+                record("domain", f"{name}[{n}] must be positive", tol + float(-arr[n]))
+        return reports
+
+    def is_feasible(self, alloc: Allocation, *, tol: float = 1e-6) -> bool:
+        """True iff no constraint of Eq. 17 is violated."""
+        return not self.check_constraints(alloc, tol=tol)

@@ -1,0 +1,108 @@
+"""Decision-variable and metric containers for Problem P1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One assignment of all decision variables of Problem P1 (Eq. 17).
+
+    Attributes
+    ----------
+    phi:
+        Entanglement rates φ per route (pairs/s), shape (N,).
+    w:
+        Werner parameters per link, shape (L,).
+    lam:
+        CKKS polynomial degrees λ per client, shape (N,), integer-valued.
+    p:
+        Transmit powers (W), shape (N,).
+    b:
+        Bandwidths (Hz), shape (N,).
+    f_c:
+        Client CPU frequencies (Hz), shape (N,).
+    f_s:
+        Server CPU shares (Hz), shape (N,).
+    T:
+        Auxiliary delay bound (s); ``None`` means "derive from the delays".
+    """
+
+    phi: np.ndarray
+    w: np.ndarray
+    lam: np.ndarray
+    p: np.ndarray
+    b: np.ndarray
+    f_c: np.ndarray
+    f_s: np.ndarray
+    T: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "phi": np.asarray(self.phi, dtype=float),
+            "w": np.asarray(self.w, dtype=float),
+            "lam": np.asarray(self.lam, dtype=float),
+            "p": np.asarray(self.p, dtype=float),
+            "b": np.asarray(self.b, dtype=float),
+            "f_c": np.asarray(self.f_c, dtype=float),
+            "f_s": np.asarray(self.f_s, dtype=float),
+        }
+        n = len(arrays["phi"])
+        for name in ("lam", "p", "b", "f_c", "f_s"):
+            if len(arrays[name]) != n:
+                raise ValueError(
+                    f"{name} has length {len(arrays[name])}, expected {n} (like phi)"
+                )
+        for name, arr in arrays.items():
+            if arr.ndim != 1:
+                raise ValueError(f"{name} must be one-dimensional")
+            object.__setattr__(self, name, arr)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.phi)
+
+    def with_updates(self, **changes) -> "Allocation":
+        """Functional update (used between QuHE stages)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Every performance metric of §III for one allocation."""
+
+    u_qkd: float
+    u_msl: float
+    enc_delay: np.ndarray
+    tr_delay: np.ndarray
+    cmp_delay: np.ndarray
+    enc_energy: np.ndarray
+    tr_energy: np.ndarray
+    cmp_energy: np.ndarray
+    total_delay: float
+    total_energy: float
+    objective: float
+
+    @property
+    def per_node_delay(self) -> np.ndarray:
+        """T_enc + T_tr + T_cmp per client (the LHS of constraint 17i)."""
+        return self.enc_delay + self.tr_delay + self.cmp_delay
+
+    @property
+    def per_node_energy(self) -> np.ndarray:
+        """E_enc + E_tr + E_cmp per client."""
+        return self.enc_energy + self.tr_energy + self.cmp_energy
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by the comparison experiments (Fig. 5d)."""
+        return {
+            "objective": self.objective,
+            "u_qkd": self.u_qkd,
+            "u_msl": self.u_msl,
+            "total_delay_s": self.total_delay,
+            "total_energy_j": self.total_energy,
+        }

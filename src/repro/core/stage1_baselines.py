@@ -1,0 +1,258 @@
+"""Stage-1 baselines (paper §VI-B): gradient descent, simulated annealing,
+random selection.
+
+All three optimise the same Problem P2/P3 objective as
+:class:`~repro.core.stage1.Stage1Solver` and return the same
+:class:`~repro.core.stage1.Stage1Result`, so Table V/VI and Fig. 5(b)/(c)
+compare like for like.
+
+* **Gradient descent** — fixed learning rate 0.01 (as in the paper) on the
+  ϕ-space objective with projection back into the feasible region.  Reaches
+  the same optimum as the convex solver but needs many more iterations.
+* **Simulated annealing** — our replacement for Matlab's ``simulannealbnd``
+  (DESIGN.md §3): Gaussian proposals in ϕ-space, Metropolis acceptance,
+  geometric cooling.
+* **Random selection** — samples 10⁴ feasible points uniformly and keeps the
+  best (paper §VI-B), fast but clearly suboptimal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.stage1 import Stage1Result, Stage1Solver, _DOMAIN_MARGIN
+from repro.quantum.utility import optimal_link_werner, stage1_objective_and_gradient
+from repro.quantum.werner import F_SKF_ZERO_CROSSING, secret_key_fraction
+from repro.utils.rng import SeedLike, as_generator
+
+
+class _Stage1BaselineBase:
+    """Shared plumbing: domain checks and objective evaluation in ϕ-space."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self._incidence = config.network.incidence
+        self._betas = config.network.betas
+        self._reference = Stage1Solver(config)
+
+    def _value(self, x: np.ndarray) -> float:
+        value, _ = stage1_objective_and_gradient(x, self._incidence, self._betas)
+        return value
+
+    def _value_and_grad(self, x: np.ndarray):
+        return stage1_objective_and_gradient(x, self._incidence, self._betas)
+
+    def _feasible(self, x: np.ndarray) -> bool:
+        phi = np.exp(x)
+        if np.any(phi < self.config.min_rates * (1 - 1e-12)):
+            return False
+        load = self._incidence @ phi
+        slack = 1.0 - load / self._betas
+        if np.any(slack <= _DOMAIN_MARGIN):
+            return False
+        varpi = np.exp(self._incidence.T @ np.log(slack))
+        return bool(np.all(varpi > F_SKF_ZERO_CROSSING + _DOMAIN_MARGIN))
+
+    def _result(
+        self,
+        x: np.ndarray,
+        value: float,
+        iterations: int,
+        runtime: float,
+        history: List[float],
+        converged: bool,
+    ) -> Stage1Result:
+        phi = np.exp(x)
+        w = optimal_link_werner(phi, self._incidence, self._betas)
+        return Stage1Result(
+            phi=phi,
+            w=w,
+            value=float(value),
+            iterations=iterations,
+            runtime_s=runtime,
+            history=history,
+            converged=converged,
+        )
+
+
+class GradientDescentStage1(_Stage1BaselineBase):
+    """Projected gradient descent with the paper's learning rate 0.01."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        learning_rate: float = 0.01,
+        max_iterations: int = 20000,
+        gradient_tolerance: float = 1e-6,
+    ) -> None:
+        super().__init__(config)
+        if learning_rate <= 0:
+            raise ValueError("learning rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.max_iterations = int(max_iterations)
+        self.gradient_tolerance = float(gradient_tolerance)
+
+    def _project(self, x: np.ndarray, x_prev: np.ndarray) -> np.ndarray:
+        """Backtrack toward the previous (feasible) iterate until feasible."""
+        candidate = np.maximum(x, np.log(self.config.min_rates))
+        for _ in range(60):
+            if self._feasible(candidate):
+                return candidate
+            candidate = 0.5 * (candidate + x_prev)
+        return x_prev
+
+    def solve(self, initial_phi: Optional[np.ndarray] = None) -> Stage1Result:
+        x = np.log(
+            self._reference.feasible_start() if initial_phi is None else np.asarray(initial_phi, dtype=float)
+        )
+        history: List[float] = []
+        start = time.perf_counter()
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            value, grad = self._value_and_grad(x)
+            history.append(float(value))
+            if not np.isfinite(value):
+                x = np.log(self._reference.feasible_start())
+                continue
+            if np.linalg.norm(grad) < self.gradient_tolerance:
+                converged = True
+                break
+            x = self._project(x - self.learning_rate * grad, x)
+        runtime = time.perf_counter() - start
+        value = self._value(x)
+        history.append(float(value))
+        return self._result(x, value, iterations, runtime, history, converged)
+
+
+class SimulatedAnnealingStage1(_Stage1BaselineBase):
+    """Metropolis simulated annealing in ϕ-space (simulannealbnd stand-in)."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        initial_temperature: float = 1.0,
+        cooling: float = 0.995,
+        step_scale: float = 0.08,
+        max_iterations: int = 4000,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__(config)
+        if not 0 < cooling < 1:
+            raise ValueError("cooling factor must be in (0, 1)")
+        self.initial_temperature = float(initial_temperature)
+        self.cooling = float(cooling)
+        self.step_scale = float(step_scale)
+        self.max_iterations = int(max_iterations)
+        self._rng = as_generator(seed)
+
+    def solve(self, initial_phi: Optional[np.ndarray] = None) -> Stage1Result:
+        rng = self._rng
+        x = np.log(
+            self._reference.feasible_start() if initial_phi is None else np.asarray(initial_phi, dtype=float)
+        )
+        value = self._value(x)
+        best_x, best_value = x.copy(), value
+        temperature = self.initial_temperature
+        history: List[float] = [float(value)]
+        start = time.perf_counter()
+        for _ in range(self.max_iterations):
+            proposal = x + rng.normal(0.0, self.step_scale, size=x.shape)
+            proposal = np.maximum(proposal, np.log(self.config.min_rates))
+            if not self._feasible(proposal):
+                temperature *= self.cooling
+                continue
+            candidate_value = self._value(proposal)
+            delta = candidate_value - value
+            if delta <= 0 or rng.random() < np.exp(-delta / max(temperature, 1e-12)):
+                x, value = proposal, candidate_value
+                if value < best_value:
+                    best_x, best_value = x.copy(), value
+            history.append(float(best_value))
+            temperature *= self.cooling
+        runtime = time.perf_counter() - start
+        return self._result(
+            best_x, best_value, self.max_iterations, runtime, history, True
+        )
+
+
+class RandomSearchStage1(_Stage1BaselineBase):
+    """Uniform random sampling of the feasible box, keep the best point."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        num_samples: int = 10_000,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__(config)
+        if num_samples < 1:
+            raise ValueError("need at least one sample")
+        self.num_samples = int(num_samples)
+        self._rng = as_generator(seed)
+
+    def _sampling_box(self) -> np.ndarray:
+        """Upper φ bound per route such that draws are plausibly feasible.
+
+        The binding constraint is fidelity (19b): with ``h`` hops, each link
+        needs ``w_l ≥ 0.779944^{1/h}``, i.e. link load at most
+        ``β_l (1 − 0.779944^{1/h})``.  Splitting each link's budget across the
+        routes sharing it gives a per-route cap; a 1.5× slack keeps the box
+        from being overly conservative (infeasible draws are rejected anyway).
+        """
+        a, beta = self._incidence, self._betas
+        route_hops = a.sum(axis=0)  # hops per route
+        link_loads = np.maximum(a.sum(axis=1), 1.0)  # routes per link
+        caps = np.full(a.shape[1], np.inf)
+        for l in range(a.shape[0]):
+            routes_on_link = np.nonzero(a[l] > 0)[0]
+            if not len(routes_on_link):
+                continue
+            worst_hops = float(np.max(route_hops[routes_on_link]))
+            budget = beta[l] * (1.0 - F_SKF_ZERO_CROSSING ** (1.0 / worst_hops))
+            per_route = 1.5 * budget / link_loads[l]
+            caps[routes_on_link] = np.minimum(caps[routes_on_link], per_route)
+        return caps
+
+    def solve(self, initial_phi: Optional[np.ndarray] = None) -> Stage1Result:
+        rng = self._rng
+        low = self.config.min_rates
+        high = np.maximum(self._sampling_box(), low * 1.001)
+        a, beta = self._incidence, self._betas
+        start = time.perf_counter()
+        # Vectorised sampling + feasibility + objective over all draws.
+        samples = rng.uniform(low, high, size=(self.num_samples, len(low)))
+        slack = 1.0 - (samples @ a.T) / beta  # (S, L)
+        domain_ok = np.all(slack > _DOMAIN_MARGIN, axis=1)
+        log_slack = np.where(slack > 0, np.log(np.maximum(slack, 1e-300)), -np.inf)
+        varpi = np.exp(log_slack @ a)  # (S, N)
+        fidelity_ok = np.all(varpi > F_SKF_ZERO_CROSSING + _DOMAIN_MARGIN, axis=1)
+        feasible = domain_ok & fidelity_ok
+        history: List[float] = []
+        best_x: Optional[np.ndarray] = None
+        best_value = float("inf")
+        if np.any(feasible):
+            phi_ok = samples[feasible]
+            varpi_ok = varpi[feasible]
+            fractions = secret_key_fraction(varpi_ok)
+            values = -np.sum(np.log(fractions), axis=1) - np.sum(np.log(phi_ok), axis=1)
+            history = list(np.minimum.accumulate(values))
+            best = int(np.argmin(values))
+            best_value = float(values[best])
+            best_x = np.log(phi_ok[best])
+        runtime = time.perf_counter() - start
+        if best_x is None:
+            fallback = self._reference.feasible_start()
+            best_x = np.log(fallback)
+            best_value = self._value(best_x)
+            history.append(float(best_value))
+        return self._result(
+            best_x, best_value, self.num_samples, runtime, history, True
+        )

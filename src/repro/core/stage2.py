@@ -1,0 +1,198 @@
+"""Stage 2 of QuHE (Alg. 2): the discrete CKKS degrees λ and the delay bound T.
+
+With φ, w, p, b, f_c, f_s fixed, the objective decomposes per client except
+for the delay bound ``T = max_n delay_n`` (Eq. 21/23):
+
+    F_s2(λ) = const + Σ_n benefit_n(λ_n) − α_t · max_n delay_n(λ_n)
+
+where ``benefit_n(v) = α_msl ς_n f_msl(v) − α_e E_cmp_n(v)`` and
+``delay_n(v) = T_enc_n + T_tr_n + T_cmp_n(v)``.  Two solvers:
+
+* :class:`ExhaustiveSolver` — enumerate all M^N assignments (ground truth).
+* :class:`BranchAndBoundSolver` — best-first branch & bound as in Alg. 2,
+  with an admissible bound built from per-node maxima; returns the same
+  argmax while exploring far fewer nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.solution import Allocation
+
+
+@dataclass(frozen=True)
+class Stage2Result:
+    """Outcome of Stage 2: optimal λ, the induced T (Eq. 23), diagnostics."""
+
+    lam: np.ndarray
+    T: float
+    value: float
+    nodes_explored: int
+    runtime_s: float
+    history: List[float] = field(default_factory=list)
+
+
+class _Stage2Objective:
+    """Precomputed per-node benefit/delay tables for all λ choices."""
+
+    def __init__(self, config: SystemConfig, alloc: Allocation) -> None:
+        from repro.core.problem import QuHEProblem  # local to avoid cycle
+
+        self.config = config
+        self.choices: Tuple[int, ...] = tuple(config.cost_model.lambda_set)
+        problem = QuHEProblem(config)
+        n = config.num_clients
+        m = len(self.choices)
+        rates = problem.uplink_rates(alloc)
+        base_delay = (
+            config.encryption_cycles / alloc.f_c + config.upload_bits / rates
+        )
+        # Constant objective parts: QKD utility and the λ-independent energies.
+        base_metrics = problem.metrics(alloc)
+        self.constant = (
+            config.alpha_qkd * base_metrics.u_qkd
+            - config.alpha_e
+            * float(np.sum(base_metrics.enc_energy + base_metrics.tr_energy))
+        )
+        self.benefit = np.zeros((n, m))
+        self.delay = np.zeros((n, m))
+        kappa_s = config.server.switched_capacitance
+        for j, lam in enumerate(self.choices):
+            cycles = config.server_cycle_demand(np.full(n, lam))
+            e_cmp = kappa_s * cycles * alloc.f_s**2
+            msl = np.array([config.cost_model.msl_bits(lam)] * n)
+            self.benefit[:, j] = (
+                config.alpha_msl * config.privacy_weights * msl
+                - config.alpha_e * e_cmp
+            )
+            self.delay[:, j] = base_delay + cycles / alloc.f_s
+        # Per-node extremes, used by the bound.
+        self.best_benefit = self.benefit.max(axis=1)
+        self.min_delay = self.delay.min(axis=1)
+
+    def value(self, assignment: Sequence[int]) -> float:
+        """F_s2 for a complete assignment (indices into ``choices``)."""
+        idx = np.asarray(assignment, dtype=int)
+        n = np.arange(len(idx))
+        total = self.constant + float(np.sum(self.benefit[n, idx]))
+        return total - self.config.alpha_t * float(np.max(self.delay[n, idx]))
+
+    def upper_bound(self, partial: Sequence[int]) -> float:
+        """Admissible bound for a prefix assignment (Alg. 2 step 6).
+
+        Assigned nodes contribute their actual benefit/delay; unassigned
+        nodes contribute their best possible benefit and least possible
+        delay — never below the true optimum of the subtree.
+        """
+        k = len(partial)
+        n_total = self.benefit.shape[0]
+        idx = np.asarray(partial, dtype=int)
+        assigned_benefit = float(np.sum(self.benefit[np.arange(k), idx])) if k else 0.0
+        rest_benefit = float(np.sum(self.best_benefit[k:]))
+        assigned_delay = float(np.max(self.delay[np.arange(k), idx])) if k else 0.0
+        rest_delay = float(np.max(self.min_delay[k:])) if k < n_total else 0.0
+        worst_delay = max(assigned_delay, rest_delay)
+        return (
+            self.constant
+            + assigned_benefit
+            + rest_benefit
+            - self.config.alpha_t * worst_delay
+        )
+
+    def induced_T(self, assignment: Sequence[int]) -> float:
+        """The Eq. 23 delay bound: max per-node delay at the chosen λ."""
+        idx = np.asarray(assignment, dtype=int)
+        return float(np.max(self.delay[np.arange(len(idx)), idx]))
+
+
+class ExhaustiveSolver:
+    """Ground-truth Stage-2 solver: enumerate every λ assignment."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def solve(self, alloc: Allocation) -> Stage2Result:
+        objective = _Stage2Objective(self.config, alloc)
+        n = self.config.num_clients
+        m = len(objective.choices)
+        best_value = -np.inf
+        best_assignment: Optional[Tuple[int, ...]] = None
+        history: List[float] = []
+        explored = 0
+        start = time.perf_counter()
+        for assignment in itertools.product(range(m), repeat=n):
+            explored += 1
+            value = objective.value(assignment)
+            if value > best_value:
+                best_value = value
+                best_assignment = assignment
+            history.append(best_value)
+        runtime = time.perf_counter() - start
+        lam = np.array([objective.choices[j] for j in best_assignment], dtype=float)
+        return Stage2Result(
+            lam=lam,
+            T=objective.induced_T(best_assignment),
+            value=float(best_value),
+            nodes_explored=explored,
+            runtime_s=runtime,
+            history=history,
+        )
+
+
+class BranchAndBoundSolver:
+    """Best-first branch & bound over λ (paper Alg. 2)."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+
+    def solve(self, alloc: Allocation) -> Stage2Result:
+        objective = _Stage2Objective(self.config, alloc)
+        n = self.config.num_clients
+        m = len(objective.choices)
+        best_value = -np.inf
+        best_assignment: Optional[Tuple[int, ...]] = None
+        history: List[float] = []
+        explored = 0
+        counter = itertools.count()  # tie-breaker for the heap
+        root_bound = objective.upper_bound(())
+        queue: List[Tuple[float, int, Tuple[int, ...]]] = [(-root_bound, next(counter), ())]
+        start = time.perf_counter()
+        while queue:
+            neg_bound, _, partial = heapq.heappop(queue)
+            explored += 1
+            if -neg_bound <= best_value:
+                continue  # prune: bound cannot beat the incumbent
+            if len(partial) == n:
+                value = objective.value(partial)
+                if value > best_value:
+                    best_value = value
+                    best_assignment = partial
+                history.append(best_value if np.isfinite(best_value) else -np.inf)
+                continue
+            for j in range(m):
+                child = partial + (j,)
+                bound = objective.upper_bound(child)
+                if bound > best_value:
+                    heapq.heappush(queue, (-bound, next(counter), child))
+            if np.isfinite(best_value):
+                history.append(best_value)
+        runtime = time.perf_counter() - start
+        if best_assignment is None:
+            raise RuntimeError("branch and bound terminated without a solution")
+        lam = np.array([objective.choices[j] for j in best_assignment], dtype=float)
+        return Stage2Result(
+            lam=lam,
+            T=objective.induced_T(best_assignment),
+            value=float(best_value),
+            nodes_explored=explored,
+            runtime_s=runtime,
+            history=[h for h in history if np.isfinite(h)],
+        )

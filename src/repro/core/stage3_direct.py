@@ -1,0 +1,117 @@
+"""Stage-3 ablation: direct solve without the quadratic transform.
+
+The paper's Alg. 3 convexifies the transmission-energy term ``p·d/r`` with
+the fractional-programming transform of Eq. 25-26.  Because that term is
+*pseudoconvex* in ``(p, b)`` (paper §V-E, citing Shen & Yu [29]), a direct
+NLP solve of Problem P5 also reaches a stationary — hence globally optimal —
+point.  This solver performs that direct solve and exists to validate the
+transform empirically: DESIGN.md §7 lists "Stage 3 with vs without the
+quadratic transform" as an ablation, and
+``tests/core/test_stage3_direct.py`` checks both land on the same objective.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.solution import Allocation
+from repro.core.stage3 import Stage3Result, Stage3Solver, _B_SCALE, _F_SCALE, _T_SCALE
+
+
+class Stage3DirectSolver(Stage3Solver):
+    """Solve Problem P5 directly (no z-transform) with SLSQP.
+
+    Shares all cost/constraint machinery with :class:`Stage3Solver`; only the
+    objective differs — the true ``p·d/r`` term is used verbatim.
+    """
+
+    def solve(self, alloc: Allocation) -> Stage3Result:
+        cfg = self.config
+        n = cfg.num_clients
+        cycles = cfg.server_cycle_demand(alloc.lam)
+        d_tr = cfg.upload_bits
+        p0 = np.clip(alloc.p, 1e-4 * cfg.max_power, cfg.max_power)
+        b0 = np.clip(alloc.b, 1e3, None)
+        if np.sum(b0) > cfg.server.total_bandwidth_hz:
+            b0 = b0 * cfg.server.total_bandwidth_hz / np.sum(b0)
+        f_c0 = np.clip(alloc.f_c, 1e6, cfg.client_max_frequency)
+        f_s0 = np.clip(alloc.f_s, 1e6, None)
+        if np.sum(f_s0) > cfg.server.total_frequency_hz:
+            f_s0 = f_s0 * cfg.server.total_frequency_hz / np.sum(f_s0)
+
+        def split(x: np.ndarray):
+            return (
+                x[:n],
+                x[n : 2 * n] * _B_SCALE,
+                x[2 * n : 3 * n] * _F_SCALE,
+                x[3 * n : 4 * n] * _F_SCALE,
+                x[4 * n] * _T_SCALE,
+            )
+
+        def objective(x: np.ndarray) -> float:
+            p, b, f_c, f_s, t = split(x)
+            e_enc, e_cmp, e_tr = self._energy_terms(p, b, f_c, f_s, cycles)
+            return float(cfg.alpha_e * np.sum(e_enc + e_cmp + e_tr) + cfg.alpha_t * t)
+
+        def delay_constraint(x: np.ndarray) -> np.ndarray:
+            p, b, f_c, f_s, t = split(x)
+            return (t - self._delays(p, b, f_c, f_s, cycles)) / _T_SCALE
+
+        bounds = (
+            [(1e-4 * cfg.max_power[i], cfg.max_power[i]) for i in range(n)]
+            + [(1e-3, cfg.server.total_bandwidth_hz / _B_SCALE)] * n
+            + [(1e-3, cfg.client_max_frequency[i] / _F_SCALE) for i in range(n)]
+            + [(1e-3, cfg.server.total_frequency_hz / _F_SCALE)] * n
+            + [(0.0, None)]
+        )
+        constraints = [
+            {"type": "ineq", "fun": delay_constraint},
+            {
+                "type": "ineq",
+                "fun": lambda x: cfg.server.total_bandwidth_hz / _B_SCALE
+                - float(np.sum(x[n : 2 * n])),
+            },
+            {
+                "type": "ineq",
+                "fun": lambda x: cfg.server.total_frequency_hz / _F_SCALE
+                - float(np.sum(x[3 * n : 4 * n])),
+            },
+        ]
+        t0 = float(np.max(self._delays(p0, b0, f_c0, f_s0, cycles)))
+        x0 = np.concatenate(
+            [p0, b0 / _B_SCALE, f_c0 / _F_SCALE, f_s0 / _F_SCALE, [t0 / _T_SCALE]]
+        )
+        start = time.perf_counter()
+        history: List[float] = []
+        result = optimize.minimize(
+            objective,
+            x0,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            callback=lambda x: history.append(-objective(x)),
+            options={"maxiter": self.max_inner_iterations, "ftol": cfg.tolerance * 1e-3},
+        )
+        runtime = time.perf_counter() - start
+        p, b, f_c, f_s, _ = split(result.x)
+        t_final = float(np.max(self._delays(p, b, f_c, f_s, cycles)))
+        value = -objective(result.x)
+        if not history or history[-1] != value:
+            history.append(value)
+        return Stage3Result(
+            p=p,
+            b=b,
+            f_c=f_c,
+            f_s=f_s,
+            T=t_final,
+            value=value,
+            outer_iterations=int(result.nit),
+            runtime_s=runtime,
+            history=history,
+            transform_gap=[0.0],  # no surrogate: the objective is exact
+            converged=bool(result.success),
+        )

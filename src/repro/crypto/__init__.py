@@ -1,0 +1,69 @@
+"""Cryptographic substrate: stream cipher, CKKS HE, security estimation, transciphering.
+
+Implements the encryption side of the QuHE system (paper §III-A-2/4 and §III-C):
+
+* :mod:`repro.crypto.chacha20` — the ChaCha20 stream cipher (RFC 8439) used
+  for client-side symmetric encryption with QKD-distributed keys.
+* :mod:`repro.crypto.poly` — negacyclic polynomial arithmetic in
+  ``Z_q[X]/(X^n + 1)``, the ring underlying CKKS.
+* :mod:`repro.crypto.encoding` — CKKS canonical-embedding encoder/decoder.
+* :mod:`repro.crypto.ckks` — CKKS keygen / encrypt / decrypt / add / multiply
+  / relinearise / rescale.
+* :mod:`repro.crypto.lwe_estimator` — core-SVP cost models for the uSVP,
+  dual/BDD and hybrid-dual attacks; the minimum security level is the min
+  across attacks (paper §III-C-3).
+* :mod:`repro.crypto.security` — the fitted minimum-security-level curve
+  ``f_msl`` (paper Eq. 30) and the fitting utility that produces such curves.
+* :mod:`repro.crypto.transcipher` — server-side transciphering: turning a
+  symmetric ciphertext into an HE ciphertext of the plaintext without
+  decrypting (paper §III-A-4).
+"""
+
+from repro.crypto.chacha20 import ChaCha20, chacha20_decrypt, chacha20_encrypt
+from repro.crypto.poly1305 import poly1305_mac, poly1305_verify
+from repro.crypto.aead import AuthenticatedChannel, AuthenticationError, open_, seal
+from repro.crypto.poly import PolyRing
+from repro.crypto.encoding import CKKSEncoder
+from repro.crypto.ckks import CKKSContext, CKKSCiphertext, CKKSKeyPair
+from repro.crypto.lwe_estimator import (
+    AttackEstimate,
+    LWEParameters,
+    estimate_security,
+    minimum_security_level,
+)
+from repro.crypto.security import (
+    fit_msl_curve,
+    paper_msl,
+    security_curve_table,
+)
+from repro.crypto.transcipher import TranscipherEngine
+from repro.crypto.bfv import BFVCiphertext, BFVContext
+from repro.crypto.exact_transcipher import ExactTranscipherEngine
+
+__all__ = [
+    "AttackEstimate",
+    "AuthenticatedChannel",
+    "AuthenticationError",
+    "BFVCiphertext",
+    "BFVContext",
+    "ExactTranscipherEngine",
+    "CKKSCiphertext",
+    "CKKSContext",
+    "CKKSEncoder",
+    "CKKSKeyPair",
+    "ChaCha20",
+    "LWEParameters",
+    "PolyRing",
+    "TranscipherEngine",
+    "chacha20_decrypt",
+    "chacha20_encrypt",
+    "estimate_security",
+    "fit_msl_curve",
+    "minimum_security_level",
+    "open_",
+    "paper_msl",
+    "poly1305_mac",
+    "poly1305_verify",
+    "seal",
+    "security_curve_table",
+]

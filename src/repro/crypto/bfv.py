@@ -1,0 +1,228 @@
+"""BFV (Brakerski/Fan-Vercauteren) homomorphic encryption over exact integers.
+
+CKKS (paper [15]) computes approximately over reals; the transciphering
+framework the paper builds on ([17], and the lattice implementations of
+reference [12]) also targets *exact* schemes, where stream-cipher evaluation
+is bit-precise.  This module provides that second scheme on top of the same
+:class:`~repro.crypto.poly.PolyRing` substrate:
+
+* plaintexts are polynomials over ``Z_t`` (vectors of integers mod ``t``),
+* encryption scales by ``Δ = floor(q/t)``: ``ct = (Δ·m + small noise)``,
+* addition is exact; multiplication uses the scale-invariant
+  ``round(t/q · c1·c2)`` BFV tensor followed by relinearisation.
+
+Supports keygen, encrypt/decrypt, add/sub/negate, plaintext add/multiply and
+one ciphertext multiplication level — enough for the exact-transciphering
+experiments and as a reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.crypto.poly import PolyRing
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class BFVCiphertext:
+    """A BFV ciphertext ``(c0, c1)`` over ``R_q``."""
+
+    c0: List[int]
+    c1: List[int]
+
+
+class BFVContext:
+    """Parameter set, keys and homomorphic operations for BFV."""
+
+    def __init__(
+        self,
+        *,
+        ring_degree: int = 64,
+        plaintext_modulus: int = 257,
+        ciphertext_modulus_bits: int = 120,
+        error_sigma: float = 3.2,
+        seed: SeedLike = None,
+    ) -> None:
+        if plaintext_modulus < 2:
+            raise ValueError("plaintext modulus must be >= 2")
+        if ciphertext_modulus_bits < plaintext_modulus.bit_length() + 20:
+            raise ValueError(
+                "ciphertext modulus too small for the plaintext modulus"
+            )
+        self.n = ring_degree
+        self.t = int(plaintext_modulus)
+        self.q = (1 << ciphertext_modulus_bits) + 1
+        self.delta = self.q // self.t
+        self.error_sigma = float(error_sigma)
+        self._rng = as_generator(seed)
+        self.ring = PolyRing(ring_degree, self.q)
+        self.plain_ring = PolyRing(ring_degree, self.t)
+        # Secret / public keys.
+        self._s = self.ring.random_ternary(self._rng)
+        a = self.ring.random_uniform(self._rng)
+        e = self.ring.random_gaussian(self._rng, sigma=self.error_sigma)
+        b = self.ring.add(self.ring.neg(self.ring.mul(a, self._s)), e)
+        self._pk = (b, a)
+        # Relinearisation key under a raised modulus P·q.
+        self.aux_modulus = 1 << (self.q.bit_length() + 8)
+        big = PolyRing(ring_degree, self.aux_modulus * self.q)
+        s_big = big.from_coefficients(self.ring.centered(self._s))
+        a_prime = big.random_uniform(self._rng)
+        e_prime = big.random_gaussian(self._rng, sigma=self.error_sigma)
+        rk0 = big.add(
+            big.add(big.neg(big.mul(a_prime, s_big)), e_prime),
+            big.scalar_mul(big.mul(s_big, s_big), self.aux_modulus),
+        )
+        self._rk = (rk0, a_prime)
+
+    # -- encode / decode ---------------------------------------------------------
+
+    def encode(self, values: Sequence[int]) -> List[int]:
+        """Pack integers mod t into plaintext polynomial coefficients."""
+        if len(values) > self.n:
+            raise ValueError(f"at most {self.n} values per plaintext")
+        coeffs = [int(v) % self.t for v in values]
+        return coeffs + [0] * (self.n - len(coeffs))
+
+    def decode(self, plaintext: Sequence[int], length: int | None = None) -> List[int]:
+        """Unpack plaintext coefficients back to integers mod t."""
+        out = [int(v) % self.t for v in plaintext]
+        return out[: self.n if length is None else length]
+
+    # -- encryption ----------------------------------------------------------------
+
+    def encrypt(self, values: Sequence[int]) -> BFVCiphertext:
+        """Encrypt integers mod t."""
+        m = self.encode(values)
+        scaled = [self.delta * c for c in m]
+        b, a = self._pk
+        u = self.ring.random_ternary(self._rng)
+        e0 = self.ring.random_gaussian(self._rng, sigma=self.error_sigma)
+        e1 = self.ring.random_gaussian(self._rng, sigma=self.error_sigma)
+        c0 = self.ring.add(
+            self.ring.add(self.ring.mul(b, u), e0),
+            self.ring.from_coefficients(scaled),
+        )
+        c1 = self.ring.add(self.ring.mul(a, u), e1)
+        return BFVCiphertext(c0=c0, c1=c1)
+
+    def decrypt(self, ct: BFVCiphertext, length: int | None = None) -> List[int]:
+        """Decrypt to integers mod t: ``round(t/q · (c0 + c1·s)) mod t``."""
+        raw = self.ring.add(ct.c0, self.ring.mul(ct.c1, self._s))
+        centred = self.ring.centered(raw)
+        out = []
+        for c in centred:
+            # round(t * c / q) with exact integer arithmetic.
+            scaled = c * self.t
+            quotient, remainder = divmod(abs(scaled), self.q)
+            if 2 * remainder >= self.q:
+                quotient += 1
+            value = quotient if scaled >= 0 else -quotient
+            out.append(value % self.t)
+        return out[: self.n if length is None else length]
+
+    # -- homomorphic operations ------------------------------------------------------
+
+    def add(self, x: BFVCiphertext, y: BFVCiphertext) -> BFVCiphertext:
+        """Exact slot-wise addition mod t."""
+        return BFVCiphertext(
+            c0=self.ring.add(x.c0, y.c0), c1=self.ring.add(x.c1, y.c1)
+        )
+
+    def sub(self, x: BFVCiphertext, y: BFVCiphertext) -> BFVCiphertext:
+        """Exact slot-wise subtraction mod t."""
+        return BFVCiphertext(
+            c0=self.ring.sub(x.c0, y.c0), c1=self.ring.sub(x.c1, y.c1)
+        )
+
+    def negate(self, x: BFVCiphertext) -> BFVCiphertext:
+        """Exact negation mod t."""
+        return BFVCiphertext(c0=self.ring.neg(x.c0), c1=self.ring.neg(x.c1))
+
+    def add_plain(self, x: BFVCiphertext, values: Sequence[int]) -> BFVCiphertext:
+        """Add unencrypted integers mod t."""
+        scaled = [self.delta * c for c in self.encode(values)]
+        return BFVCiphertext(
+            c0=self.ring.add(x.c0, self.ring.from_coefficients(scaled)),
+            c1=list(x.c1),
+        )
+
+    def multiply_plain_scalar(self, x: BFVCiphertext, scalar: int) -> BFVCiphertext:
+        """Multiply every slot by one integer mod t (no relinearisation needed)."""
+        s = int(scalar) % self.t
+        return BFVCiphertext(
+            c0=self.ring.scalar_mul(x.c0, s), c1=self.ring.scalar_mul(x.c1, s)
+        )
+
+    def multiply_plain(self, x: BFVCiphertext, values: Sequence[int]) -> BFVCiphertext:
+        """Multiply by an unencrypted plaintext polynomial (mod t).
+
+        The message transforms as negacyclic convolution with the plaintext
+        polynomial; for a *constant-message* ciphertext this realises the
+        per-coefficient scaling ``m · p_i`` used by exact transciphering.
+        No relinearisation or rescaling is needed (the plaintext carries no Δ).
+        """
+        p = self.ring.from_coefficients(
+            [int(v) % self.t for v in self.encode(values)]
+        )
+        return BFVCiphertext(
+            c0=self.ring.mul(x.c0, p), c1=self.ring.mul(x.c1, p)
+        )
+
+    def multiply(self, x: BFVCiphertext, y: BFVCiphertext) -> BFVCiphertext:
+        """One exact ciphertext-ciphertext multiplication.
+
+        Note: BFV packs values into polynomial *coefficients* here, so the
+        ciphertext product corresponds to *negacyclic convolution* of the
+        packed vectors, not slot-wise products — the test suite checks
+        against exactly that semantics.  (Slot-wise semantics would need a
+        CRT/NTT packing, out of scope.)
+        """
+        # Scale-invariant tensor: round(t/q · ci·cj) on the centred lift.
+        lifted_x0, lifted_x1 = self.ring.centered(x.c0), self.ring.centered(x.c1)
+        lifted_y0, lifted_y1 = self.ring.centered(y.c0), self.ring.centered(y.c1)
+        wide = PolyRing(self.n, self.q * self.q * 4)
+
+        def lift(v):
+            return [c % wide.q for c in v]
+
+        d0 = wide.mul(lift(lifted_x0), lift(lifted_y0))
+        d1 = wide.add(
+            wide.mul(lift(lifted_x0), lift(lifted_y1)),
+            wide.mul(lift(lifted_x1), lift(lifted_y0)),
+        )
+        d2 = wide.mul(lift(lifted_x1), lift(lifted_y1))
+
+        def rescale(poly):
+            out = []
+            for c in wide.centered(poly):
+                scaled = c * self.t
+                quotient, remainder = divmod(abs(scaled), self.q)
+                if 2 * remainder >= self.q:
+                    quotient += 1
+                out.append((quotient if scaled >= 0 else -quotient) % self.q)
+            return out
+
+        d0, d1, d2 = rescale(d0), rescale(d1), rescale(d2)
+        # Relinearise d2 with the raised-modulus key.
+        big = PolyRing(self.n, self.aux_modulus * self.q)
+        rk0, rk1 = self._rk
+        d2_big = [c % big.q for c in self.ring.centered(d2)]
+        t0 = big.mul(d2_big, [c % big.q for c in big.centered(rk0)])
+        t1 = big.mul(d2_big, [c % big.q for c in big.centered(rk1)])
+        c0 = self.ring.add(d0, big.rescale(t0, self.aux_modulus, self.q))
+        c1 = self.ring.add(d1, big.rescale(t1, self.aux_modulus, self.q))
+        return BFVCiphertext(c0=c0, c1=c1)
+
+    def noise_budget_bits(self, ct: BFVCiphertext, reference: Sequence[int]) -> float:
+        """Remaining noise budget: log2(Δ / (2·|noise|∞)) given the true plaintext."""
+        raw = self.ring.add(ct.c0, self.ring.mul(ct.c1, self._s))
+        m = self.encode(reference)
+        expected = self.ring.from_coefficients([self.delta * c for c in m])
+        noise = self.ring.sub(raw, expected)
+        magnitude = max(1, self.ring.infinity_norm(noise))
+        return float(np.log2(self.delta / (2.0 * magnitude)))

@@ -1,0 +1,118 @@
+"""ChaCha20 stream cipher, RFC 8439, in pure Python.
+
+The paper's client nodes symmetrically encrypt their plaintext with a stream
+cipher keyed by QKD material ("e.g., stream ciphers like ChaCha20", §III-A-2,
+Eq. 1).  This is a from-scratch implementation validated against the RFC 8439
+test vectors in ``tests/crypto/test_chacha20.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+_MASK32 = 0xFFFFFFFF
+
+#: ASCII "expa" "nd 3" "2-by" "te k" — the RFC 8439 constants.
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+KEY_BYTES = 32
+NONCE_BYTES = 12
+BLOCK_BYTES = 64
+
+
+def _rotl32(value: int, count: int) -> int:
+    """Rotate a 32-bit word left by ``count`` bits."""
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: list, a: int, b: int, c: int, d: int) -> None:
+    """The ChaCha quarter round on state indices a, b, c, d (in place)."""
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """The ChaCha20 block function: 64 bytes of keystream for one counter."""
+    if len(key) != KEY_BYTES:
+        raise ValueError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+    if len(nonce) != NONCE_BYTES:
+        raise ValueError(f"nonce must be {NONCE_BYTES} bytes, got {len(nonce)}")
+    if not 0 <= counter <= _MASK32:
+        raise ValueError("counter must fit in 32 bits")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter)
+    state += list(struct.unpack("<3L", nonce))
+    working = state.copy()
+    for _ in range(10):  # 20 rounds = 10 double rounds
+        # Column rounds.
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        # Diagonal rounds.
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    output = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16L", *output)
+
+
+class ChaCha20:
+    """Stateful ChaCha20 keystream generator / cipher.
+
+    >>> cipher = ChaCha20(key=bytes(32), nonce=bytes(12))
+    >>> ct = cipher.encrypt(b"attack at dawn")
+    >>> ChaCha20(key=bytes(32), nonce=bytes(12)).decrypt(ct)
+    b'attack at dawn'
+    """
+
+    def __init__(self, key: bytes, nonce: bytes, *, initial_counter: int = 0) -> None:
+        if len(key) != KEY_BYTES:
+            raise ValueError(f"key must be {KEY_BYTES} bytes, got {len(key)}")
+        if len(nonce) != NONCE_BYTES:
+            raise ValueError(f"nonce must be {NONCE_BYTES} bytes, got {len(nonce)}")
+        self._key = key
+        self._nonce = nonce
+        self._counter = initial_counter
+
+    def keystream_blocks(self, count: int) -> Iterator[bytes]:
+        """Yield ``count`` consecutive 64-byte keystream blocks."""
+        for _ in range(count):
+            yield chacha20_block(self._key, self._counter, self._nonce)
+            self._counter += 1
+
+    def keystream(self, num_bytes: int) -> bytes:
+        """Return the next ``num_bytes`` of keystream."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        blocks_needed = (num_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES
+        stream = b"".join(self.keystream_blocks(blocks_needed))
+        return stream[:num_bytes]
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """XOR the plaintext with keystream (encryption == decryption)."""
+        stream = self.keystream(len(plaintext))
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    # XOR is an involution; decrypt is encrypt with the same stream position.
+    decrypt = encrypt
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, *, counter: int = 1) -> bytes:
+    """One-shot encryption as in RFC 8439 §2.4 (counter starts at 1)."""
+    return ChaCha20(key, nonce, initial_counter=counter).encrypt(plaintext)
+
+
+def chacha20_decrypt(key: bytes, nonce: bytes, ciphertext: bytes, *, counter: int = 1) -> bytes:
+    """One-shot decryption (same keystream XOR)."""
+    return ChaCha20(key, nonce, initial_counter=counter).encrypt(ciphertext)

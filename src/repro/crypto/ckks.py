@@ -1,0 +1,309 @@
+"""A from-scratch CKKS implementation (paper [15] substrate, §III-A-2/4).
+
+Implements the leveled CKKS scheme over ``R_Q = Z_Q[X]/(X^n+1)``:
+
+* key generation (ternary secret, RLWE public key, relinearisation key),
+* encryption / decryption,
+* homomorphic addition, plaintext addition,
+* homomorphic multiplication with relinearisation and rescaling,
+* plaintext multiplication with rescaling.
+
+The modulus chain is ``Q_ℓ = q0 · Δ^ℓ`` for levels ``ℓ = 0..depth``; a
+rescale divides by the scale ``Δ`` and drops one level, exactly as in the
+original CKKS paper.  Arithmetic is exact big-integer maths via
+:class:`repro.crypto.poly.PolyRing`, so the only approximation error is the
+one inherent to CKKS (encoding rounding + RLWE noise).
+
+This is an educational but *real* implementation — every homomorphic result
+in the tests is checked against plaintext arithmetic.  Production parameter
+sizes (``λ = 2^15..2^17``) are represented in the resource-allocation layer
+by the paper's CPU-cycle cost curves (Eq. 29, 31); see DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.encoding import CKKSEncoder
+from repro.crypto.poly import PolyRing
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CKKSKeyPair:
+    """Public material plus the secret key.
+
+    ``public_key`` is the RLWE pair ``(b, a)`` with ``b = -a·s + e`` modulo
+    the top-level modulus; ``relin_key`` is the evaluation key for degree-2
+    ciphertexts under the raised modulus ``P·Q_L``.
+    """
+
+    secret: List[int]
+    public_key: tuple
+    relin_key: tuple
+    aux_modulus: int
+
+
+@dataclass
+class CKKSCiphertext:
+    """A CKKS ciphertext ``(c0, c1)`` at a given level and scale."""
+
+    c0: List[int]
+    c1: List[int]
+    level: int
+    scale: float
+
+    def __len__(self) -> int:
+        return len(self.c0)
+
+
+class CKKSContext:
+    """Parameter set + key material + homomorphic operations."""
+
+    def __init__(
+        self,
+        *,
+        ring_degree: int = 64,
+        scale_bits: int = 22,
+        base_modulus_bits: int = 30,
+        depth: int = 2,
+        error_sigma: float = 3.2,
+        seed: SeedLike = None,
+    ) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if scale_bits < 4:
+            raise ValueError("scale_bits must be at least 4")
+        if base_modulus_bits <= scale_bits:
+            raise ValueError(
+                "base_modulus_bits must exceed scale_bits so the last level "
+                "can still hold a scaled message"
+            )
+        self.n = ring_degree
+        self.scale = float(1 << scale_bits)
+        self.depth = depth
+        self.error_sigma = float(error_sigma)
+        self._rng = as_generator(seed)
+        delta = 1 << scale_bits
+        q0 = 1 << base_modulus_bits
+        #: moduli[ℓ] = Q_ℓ = q0 · Δ^ℓ
+        self.moduli: List[int] = [q0 * delta**level for level in range(depth + 1)]
+        self._rings = [PolyRing(ring_degree, q) for q in self.moduli]
+        self.encoder = CKKSEncoder(ring_degree, self.scale)
+        # Raising modulus for relinearisation; P >= Q_L keeps the rounding
+        # noise at O(1) coefficients.
+        self.aux_modulus = 1 << (self.moduli[-1].bit_length() + 8)
+        self.keys = self._generate_keys()
+
+    # -- key generation ---------------------------------------------------------
+
+    def _generate_keys(self) -> CKKSKeyPair:
+        top = self._rings[-1]
+        s = top.random_ternary(self._rng)
+        a = top.random_uniform(self._rng)
+        e = top.random_gaussian(self._rng, sigma=self.error_sigma)
+        b = top.add(top.neg(top.mul(a, s)), e)
+        # Relinearisation key in R_{P·Q_L}: (-a'·s + e' + P·s², a').
+        p = self.aux_modulus
+        big = PolyRing(self.n, p * self.moduli[-1])
+        s_big = big.from_coefficients(top.centered(s))
+        a_prime = big.random_uniform(self._rng)
+        e_prime = big.random_gaussian(self._rng, sigma=self.error_sigma)
+        s_squared = big.mul(s_big, s_big)
+        rk0 = big.add(
+            big.add(big.neg(big.mul(a_prime, s_big)), e_prime),
+            big.scalar_mul(s_squared, p),
+        )
+        return CKKSKeyPair(
+            secret=s,
+            public_key=(b, a),
+            relin_key=(rk0, a_prime),
+            aux_modulus=p,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def ring(self, level: int) -> PolyRing:
+        """The ring at a chain level."""
+        if not 0 <= level <= self.depth:
+            raise ValueError(f"level must be in [0, {self.depth}], got {level}")
+        return self._rings[level]
+
+    @property
+    def num_slots(self) -> int:
+        return self.n // 2
+
+    def _public_key_at(self, level: int) -> tuple:
+        """Public key reduced to the level's modulus (chain moduli divide Q_L)."""
+        top = self._rings[-1]
+        ring = self._rings[level]
+        b, a = self.keys.public_key
+        return (
+            [c % ring.q for c in top.centered(b)],
+            [c % ring.q for c in top.centered(a)],
+        )
+
+    # -- encryption / decryption --------------------------------------------------
+
+    def encrypt_coefficients(self, plaintext: Sequence[int], *, level: Optional[int] = None) -> CKKSCiphertext:
+        """Encrypt an already-encoded integer polynomial."""
+        lvl = self.depth if level is None else level
+        ring = self.ring(lvl)
+        m = ring.from_coefficients(plaintext)
+        b, a = self._public_key_at(lvl)
+        v = ring.random_ternary(self._rng)
+        e0 = ring.random_gaussian(self._rng, sigma=self.error_sigma)
+        e1 = ring.random_gaussian(self._rng, sigma=self.error_sigma)
+        c0 = ring.add(ring.add(ring.mul(b, v), e0), m)
+        c1 = ring.add(ring.mul(a, v), e1)
+        return CKKSCiphertext(c0=c0, c1=c1, level=lvl, scale=self.scale)
+
+    def encrypt(self, values: Sequence[complex], *, level: Optional[int] = None) -> CKKSCiphertext:
+        """Encode then encrypt a complex/real vector (≤ ``num_slots`` long)."""
+        return self.encrypt_coefficients(self.encoder.encode(values), level=level)
+
+    def decrypt_coefficients(self, ct: CKKSCiphertext) -> List[int]:
+        """Raw decryption: centred coefficients of ``c0 + c1·s``."""
+        ring = self.ring(ct.level)
+        s = [c % ring.q for c in self._rings[-1].centered(self.keys.secret)]
+        return ring.centered(ring.add(ct.c0, ring.mul(ct.c1, s)))
+
+    def decrypt(self, ct: CKKSCiphertext) -> np.ndarray:
+        """Decrypt and decode back to a complex vector."""
+        return self.encoder.decode(self.decrypt_coefficients(ct), scale=ct.scale)
+
+    # -- homomorphic operations ------------------------------------------------------
+
+    def _check_compatible(self, x: CKKSCiphertext, y: CKKSCiphertext) -> None:
+        if x.level != y.level:
+            raise ValueError(f"level mismatch: {x.level} vs {y.level}")
+        if not np.isclose(x.scale, y.scale, rtol=1e-12):
+            raise ValueError(f"scale mismatch: {x.scale} vs {y.scale}")
+
+    def add(self, x: CKKSCiphertext, y: CKKSCiphertext) -> CKKSCiphertext:
+        """Slot-wise homomorphic addition."""
+        self._check_compatible(x, y)
+        ring = self.ring(x.level)
+        return CKKSCiphertext(
+            c0=ring.add(x.c0, y.c0),
+            c1=ring.add(x.c1, y.c1),
+            level=x.level,
+            scale=x.scale,
+        )
+
+    def sub(self, x: CKKSCiphertext, y: CKKSCiphertext) -> CKKSCiphertext:
+        """Slot-wise homomorphic subtraction."""
+        self._check_compatible(x, y)
+        ring = self.ring(x.level)
+        return CKKSCiphertext(
+            c0=ring.sub(x.c0, y.c0),
+            c1=ring.sub(x.c1, y.c1),
+            level=x.level,
+            scale=x.scale,
+        )
+
+    def negate(self, x: CKKSCiphertext) -> CKKSCiphertext:
+        """Slot-wise homomorphic negation."""
+        ring = self.ring(x.level)
+        return CKKSCiphertext(
+            c0=ring.neg(x.c0), c1=ring.neg(x.c1), level=x.level, scale=x.scale
+        )
+
+    def add_plain(self, x: CKKSCiphertext, values: Sequence[complex]) -> CKKSCiphertext:
+        """Add an unencrypted vector (encoded at the ciphertext's scale)."""
+        encoder = CKKSEncoder(self.n, x.scale)
+        ring = self.ring(x.level)
+        m = ring.from_coefficients(encoder.encode(values))
+        return CKKSCiphertext(
+            c0=ring.add(x.c0, m), c1=list(x.c1), level=x.level, scale=x.scale
+        )
+
+    def multiply_plain(self, x: CKKSCiphertext, values: Sequence[complex]) -> CKKSCiphertext:
+        """Multiply by an unencrypted vector; rescales, consuming one level."""
+        if x.level < 1:
+            raise ValueError("no level left to rescale after a multiplication")
+        ring = self.ring(x.level)
+        m = ring.from_coefficients(self.encoder.encode(values))
+        product = CKKSCiphertext(
+            c0=ring.mul(x.c0, m),
+            c1=ring.mul(x.c1, m),
+            level=x.level,
+            scale=x.scale * self.scale,
+        )
+        return self.rescale(product)
+
+    def multiply(self, x: CKKSCiphertext, y: CKKSCiphertext) -> CKKSCiphertext:
+        """Homomorphic multiplication: tensor, relinearise, rescale."""
+        self._check_compatible(x, y)
+        if x.level < 1:
+            raise ValueError("no level left to rescale after a multiplication")
+        ring = self.ring(x.level)
+        d0 = ring.mul(x.c0, y.c0)
+        d1 = ring.add(ring.mul(x.c0, y.c1), ring.mul(x.c1, y.c0))
+        d2 = ring.mul(x.c1, y.c1)
+        c0, c1 = self._relinearise(d0, d1, d2, x.level)
+        product = CKKSCiphertext(c0=c0, c1=c1, level=x.level, scale=x.scale * y.scale)
+        return self.rescale(product)
+
+    def square(self, x: CKKSCiphertext) -> CKKSCiphertext:
+        """Homomorphic squaring (one multiplication)."""
+        return self.multiply(x, x)
+
+    def _relinearise(
+        self, d0: List[int], d1: List[int], d2: List[int], level: int
+    ) -> tuple:
+        """Fold the degree-2 component using the raised-modulus relin key."""
+        ring = self.ring(level)
+        p = self.keys.aux_modulus
+        big = PolyRing(self.n, p * ring.q)
+        rk0, rk1 = self.keys.relin_key
+        big_top = PolyRing(self.n, p * self.moduli[-1])
+        rk0_lifted = [c % big.q for c in big_top.centered(rk0)]
+        rk1_lifted = [c % big.q for c in big_top.centered(rk1)]
+        d2_lifted = [c % big.q for c in ring.centered(d2)]
+        t0 = big.mul(d2_lifted, rk0_lifted)
+        t1 = big.mul(d2_lifted, rk1_lifted)
+        # Divide by P and round back down to the level's modulus.
+        c0 = ring.add(d0, big.rescale(t0, p, ring.q))
+        c1 = ring.add(d1, big.rescale(t1, p, ring.q))
+        return c0, c1
+
+    def rescale(self, x: CKKSCiphertext) -> CKKSCiphertext:
+        """Divide by Δ and drop one level (the CKKS rescaling step)."""
+        if x.level < 1:
+            raise ValueError("cannot rescale below level 0")
+        ring = self.ring(x.level)
+        new_ring = self.ring(x.level - 1)
+        divisor = int(self.scale)
+        return CKKSCiphertext(
+            c0=ring.rescale(x.c0, divisor, new_ring.q),
+            c1=ring.rescale(x.c1, divisor, new_ring.q),
+            level=x.level - 1,
+            scale=x.scale / self.scale,
+        )
+
+    def level_down(self, x: CKKSCiphertext, target_level: int) -> CKKSCiphertext:
+        """Drop to a lower level without changing the scale (mod switch only)."""
+        if not 0 <= target_level <= x.level:
+            raise ValueError(f"target level {target_level} not below {x.level}")
+        ring = self.ring(x.level)
+        out = x
+        while out.level > target_level:
+            next_ring = self.ring(out.level - 1)
+            out = CKKSCiphertext(
+                c0=ring.change_modulus(out.c0, next_ring.q),
+                c1=ring.change_modulus(out.c1, next_ring.q),
+                level=out.level - 1,
+                scale=out.scale,
+            )
+            ring = next_ring
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CKKSContext(n={self.n}, slots={self.num_slots}, depth={self.depth}, "
+            f"log2(Δ)={int(np.log2(self.scale))})"
+        )

@@ -1,0 +1,65 @@
+"""CKKS canonical-embedding encoder (paper [15] substrate).
+
+CKKS encodes a complex vector ``z ∈ C^{n/2}`` into an integer polynomial
+``m(X) ∈ Z[X]/(X^n+1)`` such that evaluating ``m`` at the primitive 2n-th
+roots of unity recovers ``Δ·z`` (Δ is the scale).  Additions and
+multiplications of polynomials then act slot-wise on the encoded vectors.
+
+This implementation uses the explicit Vandermonde of the embedding — O(n²)
+but exact and transparent; fine for the ring degrees exercised in tests
+(n ≤ 4096).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class CKKSEncoder:
+    """Encode/decode complex vectors to/from scaled integer polynomials."""
+
+    def __init__(self, ring_degree: int, scale: float) -> None:
+        if ring_degree < 2 or ring_degree & (ring_degree - 1):
+            raise ValueError(f"ring degree must be a power of two >= 2, got {ring_degree}")
+        if scale <= 1:
+            raise ValueError(f"scale must exceed 1, got {scale}")
+        self.n = ring_degree
+        self.scale = float(scale)
+        self.num_slots = ring_degree // 2
+        # Primitive 2n-th roots of unity used as evaluation points: the first
+        # n/2 odd powers; the remaining points are their conjugates.
+        angles = np.pi * (2 * np.arange(self.num_slots) + 1) / ring_degree
+        self._points = np.exp(1j * angles)
+        # Vandermonde V[j, i] = point_j ** i  (num_slots x n).
+        powers = np.arange(ring_degree)
+        self._vandermonde = self._points[:, None] ** powers[None, :]
+
+    def encode(self, values: Sequence[complex]) -> List[int]:
+        """Encode up to ``num_slots`` complex values into integer coefficients.
+
+        Short inputs are zero-padded.  The result is the coefficient vector of
+        ``round(Δ · σ^{-1}(z))`` where σ is the canonical embedding.
+        """
+        z = np.asarray(values, dtype=complex)
+        if z.ndim != 1:
+            raise ValueError("values must be a one-dimensional sequence")
+        if len(z) > self.num_slots:
+            raise ValueError(f"at most {self.num_slots} slots available, got {len(z)}")
+        if len(z) < self.num_slots:
+            z = np.concatenate([z, np.zeros(self.num_slots - len(z), dtype=complex)])
+        # For a real-coefficient polynomial, the embedding at conjugate points
+        # is the conjugate; inverting the full 2(n/2)-point system reduces to
+        # coeffs = (1/n) * (V^H z + conj(V)^H conj(z)) = (2/n) Re(V^H z).
+        coeffs = (2.0 / self.n) * np.real(self._vandermonde.conj().T @ z)
+        scaled = np.rint(coeffs * self.scale).astype(object)
+        return [int(c) for c in scaled]
+
+    def decode(self, coefficients: Sequence[int], *, scale: float | None = None) -> np.ndarray:
+        """Evaluate the polynomial at the embedding points and unscale."""
+        if len(coefficients) != self.n:
+            raise ValueError(f"expected {self.n} coefficients, got {len(coefficients)}")
+        effective_scale = self.scale if scale is None else float(scale)
+        coeffs = np.asarray([float(c) for c in coefficients])
+        return (self._vandermonde @ coeffs) / effective_scale

@@ -1,0 +1,135 @@
+"""Exact (bit-precise) transciphering over BFV.
+
+:mod:`repro.crypto.transcipher` implements the paper's §III-A-4 pipeline over
+CKKS, where the keystream removal is *approximate*.  Deployed transciphering
+frameworks (the paper's reference [17], and the proxy-re-encryption systems
+of [12]) also need an exact path — e.g. for symmetric keys, token ids or any
+payload where CKKS noise is unacceptable.  This module provides it:
+
+* The shared symmetric key is a short vector ``K ∈ Z_t^k`` derived from QKD
+  key bytes.
+* The keystream for block ``nonce`` is the public linear map
+  ``r = P K mod t`` with ``P`` expanded from a public seed by ChaCha20.
+* Client: ``c = m + r mod t`` (exact one-time-pad over ``Z_t``).
+* Server: holds ``Enc(K_j)`` (constant-polynomial BFV ciphertexts, sent
+  once) and computes ``Enc(r) = Σ_j multiply_plain(Enc(K_j), P[:, j])`` —
+  a constant-message ciphertext times a plaintext polynomial scales each
+  coefficient, exactly realising the linear map — then
+  ``Enc(m) = encode(c) − Enc(r)``, bit-precise.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.crypto.bfv import BFVCiphertext, BFVContext
+from repro.crypto.chacha20 import ChaCha20
+
+
+def derive_integer_key(key_bytes: bytes, key_length: int, modulus: int) -> List[int]:
+    """Map symmetric key bytes to ``key_length`` integers mod ``modulus``."""
+    if key_length < 1:
+        raise ValueError("key_length must be positive")
+    needed = 4 * key_length
+    if len(key_bytes) < needed:
+        raise ValueError(f"need {needed} key bytes for {key_length} coordinates")
+    words = struct.unpack(f"<{key_length}L", key_bytes[:needed])
+    return [w % modulus for w in words]
+
+
+def expand_integer_matrix(
+    seed: bytes, nonce_index: int, rows: int, cols: int, modulus: int
+) -> np.ndarray:
+    """Public pseudorandom matrix ``P`` mod ``modulus`` from ChaCha20."""
+    if len(seed) != 32:
+        raise ValueError("public seed must be 32 bytes (a ChaCha20 key)")
+    nonce = struct.pack(
+        "<3L", nonce_index & 0xFFFFFFFF, (nonce_index >> 32) & 0xFFFFFFFF, 1
+    )
+    stream = ChaCha20(seed, nonce).keystream(4 * rows * cols)
+    words = struct.unpack(f"<{rows * cols}L", stream)
+    return (np.array(words, dtype=np.uint64) % modulus).reshape(rows, cols).astype(int)
+
+
+@dataclass(frozen=True)
+class ExactBlock:
+    """One exactly-masked block: values mod t plus its nonce index."""
+
+    nonce_index: int
+    masked: List[int]
+
+
+class ExactTranscipherEngine:
+    """Client and server halves of the BFV exact transciphering pipeline."""
+
+    def __init__(
+        self,
+        context: BFVContext,
+        *,
+        key_length: int = 8,
+        public_seed: bytes = b"\x24" * 32,
+    ) -> None:
+        if key_length < 1:
+            raise ValueError("key_length must be positive")
+        self.context = context
+        self.key_length = key_length
+        self.public_seed = public_seed
+        self.block_size = context.n
+
+    # -- client side -----------------------------------------------------------
+
+    def keystream(self, key: Sequence[int], nonce_index: int) -> List[int]:
+        """``r = P K mod t`` for one block."""
+        if len(key) != self.key_length:
+            raise ValueError(f"key must have {self.key_length} coordinates")
+        matrix = expand_integer_matrix(
+            self.public_seed, nonce_index, self.block_size, self.key_length,
+            self.context.t,
+        )
+        return [int(v) for v in (matrix @ np.array(key)) % self.context.t]
+
+    def client_encrypt_block(
+        self, key: Sequence[int], values: Sequence[int], nonce_index: int
+    ) -> ExactBlock:
+        """Mask a block of integers mod t (Eq. 1 in the exact domain)."""
+        if len(values) > self.block_size:
+            raise ValueError(f"block holds at most {self.block_size} values")
+        padded = [int(v) % self.context.t for v in values]
+        padded += [0] * (self.block_size - len(padded))
+        stream = self.keystream(key, nonce_index)
+        masked = [(m + r) % self.context.t for m, r in zip(padded, stream)]
+        return ExactBlock(nonce_index=nonce_index, masked=masked)
+
+    def client_encrypt_key(self, key: Sequence[int]) -> List[BFVCiphertext]:
+        """BFV-encrypt each key coordinate as a constant polynomial."""
+        if len(key) != self.key_length:
+            raise ValueError(f"key must have {self.key_length} coordinates")
+        return [self.context.encrypt([int(kj) % self.context.t]) for kj in key]
+
+    # -- server side -----------------------------------------------------------
+
+    def server_transcipher(
+        self, block: ExactBlock, encrypted_key: Sequence[BFVCiphertext]
+    ) -> BFVCiphertext:
+        """Homomorphically remove the mask, bit-exactly."""
+        if len(encrypted_key) != self.key_length:
+            raise ValueError(
+                f"expected {self.key_length} key ciphertexts, got {len(encrypted_key)}"
+            )
+        matrix = expand_integer_matrix(
+            self.public_seed, block.nonce_index, self.block_size, self.key_length,
+            self.context.t,
+        )
+        enc_keystream = None
+        for j, enc_kj in enumerate(encrypted_key):
+            column = [int(v) for v in matrix[:, j]]
+            term = self.context.multiply_plain(enc_kj, column)
+            enc_keystream = (
+                term if enc_keystream is None else self.context.add(enc_keystream, term)
+            )
+        masked_ct = self.context.encrypt(block.masked)
+        return self.context.sub(masked_ct, enc_keystream)

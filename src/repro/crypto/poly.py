@@ -1,0 +1,180 @@
+"""Negacyclic polynomial ring ``R_q = Z_q[X]/(X^n + 1)`` — the CKKS substrate.
+
+Coefficients are arbitrary-precision Python integers (CKKS moduli exceed
+64 bits), stored in numpy object arrays.  Multiplication uses Kronecker
+substitution: coefficients are packed into one big integer, multiplied with
+Python's native big-int arithmetic (subquadratic), and unpacked — exact and
+considerably faster than schoolbook convolution in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+IntVector = Union[Sequence[int], np.ndarray]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+class PolyRing:
+    """Arithmetic in ``Z_q[X]/(X^n + 1)`` with ``n`` a power of two.
+
+    Elements are represented as Python lists of ints in ``[0, q)``.  All
+    operations return new lists; nothing is mutated in place.
+    """
+
+    def __init__(self, degree: int, modulus: int) -> None:
+        if not _is_power_of_two(degree):
+            raise ValueError(f"ring degree must be a power of two, got {degree}")
+        if modulus < 2:
+            raise ValueError(f"modulus must be >= 2, got {modulus}")
+        self.n = degree
+        self.q = modulus
+
+    # -- element construction -------------------------------------------------
+
+    def zero(self) -> List[int]:
+        """The zero element."""
+        return [0] * self.n
+
+    def constant(self, value: int) -> List[int]:
+        """The constant polynomial ``value``."""
+        coeffs = self.zero()
+        coeffs[0] = value % self.q
+        return coeffs
+
+    def from_coefficients(self, coeffs: IntVector) -> List[int]:
+        """Reduce an arbitrary-length coefficient vector into the ring.
+
+        Handles vectors longer than ``n`` by folding with ``X^n = -1``.
+        """
+        out = [0] * self.n
+        for i, c in enumerate(coeffs):
+            idx = i % self.n
+            sign = -1 if (i // self.n) % 2 else 1
+            out[idx] = (out[idx] + sign * int(c)) % self.q
+        return out
+
+    def random_uniform(self, rng: SeedLike = None) -> List[int]:
+        """Uniform element of the ring (used for the public randomness ``a``)."""
+        gen = as_generator(rng)
+        bits = max(self.q.bit_length() + 64, 64)
+        # Draw wide integers and reduce: avoids modulo bias beyond 2^-64.
+        return [
+            int.from_bytes(gen.bytes(bits // 8 + 1), "little") % self.q
+            for _ in range(self.n)
+        ]
+
+    def random_ternary(self, rng: SeedLike = None, *, hamming_weight: int | None = None) -> List[int]:
+        """Ternary secret with entries in {-1, 0, 1} (mod q).
+
+        With ``hamming_weight`` set, exactly that many entries are nonzero —
+        the sparse-secret distribution common in HE libraries.
+        """
+        gen = as_generator(rng)
+        if hamming_weight is None:
+            raw = gen.integers(-1, 2, size=self.n)
+        else:
+            if not 0 <= hamming_weight <= self.n:
+                raise ValueError("hamming_weight out of range")
+            raw = np.zeros(self.n, dtype=np.int64)
+            idx = gen.choice(self.n, size=hamming_weight, replace=False)
+            raw[idx] = gen.choice([-1, 1], size=hamming_weight)
+        return [int(v) % self.q for v in raw]
+
+    def random_gaussian(self, rng: SeedLike = None, *, sigma: float = 3.2) -> List[int]:
+        """Discrete-Gaussian-ish error term (rounded continuous Gaussian)."""
+        gen = as_generator(rng)
+        raw = np.rint(gen.normal(0.0, sigma, size=self.n)).astype(np.int64)
+        return [int(v) % self.q for v in raw]
+
+    # -- ring operations -------------------------------------------------------
+
+    def add(self, a: List[int], b: List[int]) -> List[int]:
+        """a + b."""
+        self._check(a), self._check(b)
+        return [(x + y) % self.q for x, y in zip(a, b)]
+
+    def sub(self, a: List[int], b: List[int]) -> List[int]:
+        """a - b."""
+        self._check(a), self._check(b)
+        return [(x - y) % self.q for x, y in zip(a, b)]
+
+    def neg(self, a: List[int]) -> List[int]:
+        """-a."""
+        self._check(a)
+        return [(-x) % self.q for x in a]
+
+    def scalar_mul(self, a: List[int], scalar: int) -> List[int]:
+        """scalar · a."""
+        self._check(a)
+        s = scalar % self.q
+        return [(x * s) % self.q for x in a]
+
+    def mul(self, a: List[int], b: List[int]) -> List[int]:
+        """Negacyclic product a · b mod (X^n + 1, q) via Kronecker substitution."""
+        self._check(a), self._check(b)
+        n, q = self.n, self.q
+        # Slot width: products of centred values fit if 2^k > n * q^2; add
+        # headroom bits so carries from neighbouring slots cannot collide.
+        slot_bits = (n * q * q).bit_length() + 2
+        base = 1 << slot_bits
+        packed_a = sum(int(x) << (slot_bits * i) for i, x in enumerate(a))
+        packed_b = sum(int(x) << (slot_bits * i) for i, x in enumerate(b))
+        product = packed_a * packed_b
+        mask = base - 1
+        out = [0] * n
+        for i in range(2 * n - 1):
+            coeff = (product >> (slot_bits * i)) & mask
+            if i < n:
+                out[i] = (out[i] + coeff) % q
+            else:
+                out[i - n] = (out[i - n] - coeff) % q  # X^n = -1
+        return out
+
+    # -- representation changes --------------------------------------------------
+
+    def centered(self, a: List[int]) -> List[int]:
+        """Lift to the symmetric representative in ``(-q/2, q/2]``."""
+        self._check(a)
+        half = self.q // 2
+        return [x - self.q if x > half else x for x in a]
+
+    def rescale(self, a: List[int], divisor: int, new_modulus: int) -> List[int]:
+        """Divide-and-round: the CKKS rescale primitive.
+
+        Maps ``a mod q`` to ``round(a / divisor) mod new_modulus`` using the
+        centred representative, as in the CKKS modulus-switching step.
+        """
+        if divisor <= 0:
+            raise ValueError("divisor must be positive")
+        centred = self.centered(a)
+        out = []
+        for x in centred:
+            # Round-half-away-from-zero on exact integers.
+            quotient, remainder = divmod(abs(x), divisor)
+            if 2 * remainder >= divisor:
+                quotient += 1
+            out.append((quotient if x >= 0 else -quotient) % new_modulus)
+        return out
+
+    def change_modulus(self, a: List[int], new_modulus: int) -> List[int]:
+        """Reinterpret the centred representative modulo a different q."""
+        return [x % new_modulus for x in self.centered(a)]
+
+    def infinity_norm(self, a: List[int]) -> int:
+        """Max absolute value of the centred representative."""
+        return max(abs(x) for x in self.centered(a)) if a else 0
+
+    def _check(self, a: Sequence[int]) -> None:
+        if len(a) != self.n:
+            raise ValueError(f"element has length {len(a)}, ring degree is {self.n}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PolyRing(n={self.n}, log2(q)≈{self.q.bit_length()})"

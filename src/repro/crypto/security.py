@@ -1,0 +1,96 @@
+"""Minimum-security-level curve ``f_msl`` (paper Eq. 30) and its fitting.
+
+The paper models the relationship between the CKKS polynomial degree
+``λ_n`` and the minimum security level (bits) by the fitted linear curve
+
+    ``f_msl(λ) = 0.002 λ + 1.4789``                              (Eq. 30)
+
+obtained by running the LWE estimator (uSVP, BDD, hybrid-dual) at fixed
+coefficient modulus.  :func:`paper_msl` is that exact curve (used by all
+experiments); :func:`fit_msl_curve` reproduces the fitting pipeline on top
+of our :mod:`repro.crypto.lwe_estimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.crypto.lwe_estimator import LWEParameters, minimum_security_level
+
+#: Slope and intercept of the paper's Eq. 30.
+PAPER_MSL_SLOPE: float = 0.002
+PAPER_MSL_INTERCEPT: float = 1.4789
+
+
+def paper_msl(polynomial_degree) -> float:
+    """The paper's fitted minimum security level curve (Eq. 30), in bits."""
+    lam = np.asarray(polynomial_degree, dtype=float)
+    if np.any(lam <= 0):
+        raise ValueError("polynomial degree must be positive")
+    value = PAPER_MSL_SLOPE * lam + PAPER_MSL_INTERCEPT
+    if np.isscalar(polynomial_degree):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class MSLCurve:
+    """A fitted linear security curve ``bits ≈ slope·λ + intercept``."""
+
+    slope: float
+    intercept: float
+    residual: float
+
+    def __call__(self, polynomial_degree: float) -> float:
+        return self.slope * polynomial_degree + self.intercept
+
+
+def security_curve_table(
+    degrees: Sequence[int],
+    *,
+    modulus_bits: int = 1000,
+    error_stddev: float = 3.2,
+) -> Dict[int, float]:
+    """Minimum security level per ring degree at a fixed coefficient modulus.
+
+    Mirrors the paper's procedure: fix ``q`` (large, for arithmetic depth)
+    and sweep the polynomial degree λ.
+    """
+    table: Dict[int, float] = {}
+    for degree in degrees:
+        params = LWEParameters(n=int(degree), q=1 << modulus_bits, error_stddev=error_stddev)
+        table[int(degree)] = minimum_security_level(params)
+    return table
+
+
+def fit_msl_curve(
+    degrees: Sequence[int],
+    security_bits: Sequence[float],
+) -> MSLCurve:
+    """Least-squares linear fit of security bits against λ (the Eq. 30 recipe)."""
+    lam = np.asarray(degrees, dtype=float)
+    bits = np.asarray(security_bits, dtype=float)
+    if lam.shape != bits.shape or lam.ndim != 1:
+        raise ValueError("degrees and security_bits must be 1-D and equal length")
+    if len(lam) < 2:
+        raise ValueError("need at least two points to fit a line")
+    design = np.vstack([lam, np.ones_like(lam)]).T
+    (slope, intercept), residual, _, _ = np.linalg.lstsq(design, bits, rcond=None)
+    res = float(np.sqrt(residual[0] / len(lam))) if residual.size else 0.0
+    return MSLCurve(slope=float(slope), intercept=float(intercept), residual=res)
+
+
+def weighted_minimum_security(
+    degrees: Sequence[float], privacy_weights: Sequence[float]
+) -> float:
+    """System-level security utility ``U_msl = Σ_n ς_n f_msl(λ_n)`` (Eq. 9)."""
+    lam = np.asarray(degrees, dtype=float)
+    weights = np.asarray(privacy_weights, dtype=float)
+    if lam.shape != weights.shape:
+        raise ValueError("degrees and weights must have the same shape")
+    if np.any(weights < 0):
+        raise ValueError("privacy weights must be non-negative")
+    return float(np.sum(weights * paper_msl(lam)))

@@ -1,0 +1,162 @@
+"""Transciphering: symmetric ciphertext → HE ciphertext at the server.
+
+Paper §III-A-4: the client sends a symmetrically encrypted payload ``c`` and
+an HE encryption of the symmetric key; the server homomorphically evaluates
+the symmetric *decryption*, obtaining ``Enc(m)`` without ever seeing ``m``.
+This shifts the expensive HE encryption work from the client to the server
+and shrinks the uplink payload.
+
+ChaCha20 itself (bitwise rotations/XORs) is not evaluable under CKKS's
+approximate arithmetic; practical CKKS transciphering uses arithmetic-
+friendly ciphers (HERA / the RtF framework of the paper's reference [17]).
+We implement that *structure* with an arithmetic stream cipher:
+
+* The shared symmetric key is a short real vector ``K ∈ R^k`` derived from
+  QKD key bytes.
+* The keystream for nonce ``t`` is the public pseudorandom linear map
+  ``r_t = P_t K`` where the matrix ``P_t`` is expanded from a *public* seed
+  with ChaCha20 (so ChaCha20 still appears, as the public randomness
+  expander — only the short key must stay secret).
+* Client-side encryption is one-time-pad style: ``c_t = m_t + r_t``.
+* The server holds ``Enc(K_j)`` (one CKKS ciphertext per key coordinate,
+  sent once) and computes ``Enc(r_t) = Σ_j P_t[:, j] ⊙ Enc(K_j)`` with
+  plaintext multiplications, then ``Enc(m_t) = encode(c_t) - Enc(r_t)``.
+
+See DESIGN.md §3 for the substitution note.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.crypto.chacha20 import ChaCha20
+from repro.crypto.ckks import CKKSCiphertext, CKKSContext
+
+
+def derive_key_vector(key_bytes: bytes, key_length: int) -> np.ndarray:
+    """Map symmetric key bytes to the short real key vector ``K``.
+
+    Each coordinate uses 4 key bytes interpreted as a uniform value in
+    ``[-1, 1)`` — small magnitudes keep CKKS precision healthy.
+    """
+    if key_length < 1:
+        raise ValueError("key_length must be positive")
+    needed = 4 * key_length
+    if len(key_bytes) < needed:
+        raise ValueError(f"need {needed} key bytes for {key_length} coordinates")
+    words = struct.unpack(f"<{key_length}L", key_bytes[:needed])
+    return np.array([(w / 2**31) - 1.0 for w in words])
+
+
+def expand_public_matrix(
+    seed: bytes, nonce_index: int, rows: int, cols: int
+) -> np.ndarray:
+    """Expand the public coefficient matrix ``P_t`` with ChaCha20.
+
+    ``seed`` is public; ``nonce_index`` selects the keystream segment for
+    block ``t``.  Entries are uniform in ``[-1, 1)``.
+    """
+    if len(seed) != 32:
+        raise ValueError("public seed must be 32 bytes (a ChaCha20 key)")
+    nonce = struct.pack("<3L", nonce_index & 0xFFFFFFFF, (nonce_index >> 32) & 0xFFFFFFFF, 0)
+    stream = ChaCha20(seed, nonce).keystream(4 * rows * cols)
+    words = struct.unpack(f"<{rows * cols}L", stream)
+    values = np.array([(w / 2**31) - 1.0 for w in words])
+    return values.reshape(rows, cols)
+
+
+@dataclass(frozen=True)
+class TranscipherBlock:
+    """One symmetric-encrypted block: masked values plus its nonce index."""
+
+    nonce_index: int
+    masked: np.ndarray
+
+
+class TranscipherEngine:
+    """Client+server halves of the CKKS transciphering pipeline."""
+
+    def __init__(
+        self,
+        context: CKKSContext,
+        *,
+        key_length: int = 8,
+        public_seed: bytes = b"\x42" * 32,
+    ) -> None:
+        if key_length < 1:
+            raise ValueError("key_length must be positive")
+        self.context = context
+        self.key_length = key_length
+        self.public_seed = public_seed
+        self.block_size = context.num_slots
+
+    # -- client side -----------------------------------------------------------
+
+    def keystream(self, key: np.ndarray, nonce_index: int) -> np.ndarray:
+        """The arithmetic keystream ``r_t = P_t K`` for one block."""
+        if key.shape != (self.key_length,):
+            raise ValueError(f"key must have shape ({self.key_length},)")
+        matrix = expand_public_matrix(
+            self.public_seed, nonce_index, self.block_size, self.key_length
+        )
+        return matrix @ key
+
+    def client_encrypt_block(
+        self, key: np.ndarray, values: Sequence[float], nonce_index: int
+    ) -> TranscipherBlock:
+        """Symmetric encryption (Eq. 1): mask the block with the keystream."""
+        m = np.asarray(values, dtype=float)
+        if len(m) > self.block_size:
+            raise ValueError(f"block holds at most {self.block_size} values")
+        padded = np.zeros(self.block_size)
+        padded[: len(m)] = m
+        return TranscipherBlock(
+            nonce_index=nonce_index,
+            masked=padded + self.keystream(key, nonce_index),
+        )
+
+    def client_encrypt_key(self, key: np.ndarray) -> List[CKKSCiphertext]:
+        """HE-encrypt each key coordinate (sent once; ``Enc(k_qkd)`` of Eq. 2)."""
+        if key.shape != (self.key_length,):
+            raise ValueError(f"key must have shape ({self.key_length},)")
+        return [
+            self.context.encrypt(np.full(self.block_size, kj)) for kj in key
+        ]
+
+    # -- server side -----------------------------------------------------------
+
+    def server_transcipher(
+        self,
+        block: TranscipherBlock,
+        encrypted_key: Sequence[CKKSCiphertext],
+    ) -> CKKSCiphertext:
+        """Homomorphically remove the mask: ``Enc(m) = encode(c) − Enc(P_t K)``.
+
+        Costs one plaintext multiplication per key coordinate (the
+        ``f_eval`` work accounted by Eq. 29 in the resource model).
+        """
+        if len(encrypted_key) != self.key_length:
+            raise ValueError(
+                f"expected {self.key_length} key ciphertexts, got {len(encrypted_key)}"
+            )
+        matrix = expand_public_matrix(
+            self.public_seed, block.nonce_index, self.block_size, self.key_length
+        )
+        enc_keystream = None
+        for j, enc_kj in enumerate(encrypted_key):
+            term = self.context.multiply_plain(enc_kj, matrix[:, j])
+            enc_keystream = term if enc_keystream is None else self.context.add(enc_keystream, term)
+        # Bring the masked values into the ciphertext domain and subtract.
+        masked_ct = self.context.encrypt(
+            block.masked, level=enc_keystream.level
+        )
+        # Align scales: multiply_plain rescaled enc_keystream once.
+        if not np.isclose(masked_ct.scale, enc_keystream.scale, rtol=1e-9):
+            raise RuntimeError(
+                "scale mismatch between masked data and keystream ciphertexts"
+            )
+        return self.context.sub(masked_ct, enc_keystream)

@@ -1,0 +1,76 @@
+"""Experiment harness: regenerate every table and figure of the paper's §VI.
+
+Each module mirrors one artefact:
+
+* :mod:`repro.experiments.tables` — Tables V and VI (Stage-1 φ and w per
+  method).
+* :mod:`repro.experiments.fig3_optimality` — Fig. 3 (objective distribution
+  over 100 random initial configurations).
+* :mod:`repro.experiments.fig4_convergence` — Fig. 4 (per-stage convergence
+  traces and the Stage-3 tightness gap).
+* :mod:`repro.experiments.fig5_comparison` — Fig. 5 (stage calls/runtimes,
+  Stage-1 method comparison, AA/OLAA/OCCR/QuHE comparison).
+* :mod:`repro.experiments.fig6_sweeps` — Fig. 6 (objective vs B_total,
+  p_max, f_c^max, f_total for all four methods).
+
+All entry points return plain dataclasses of rows so that the pytest-benchmark
+suite (``benchmarks/``) can both time them and print the paper-shaped tables.
+
+``DEFAULT_SEED = 2`` selects a representative channel realization (all six
+Rayleigh draws within normal range); seed 0 contains a deep fade on client 6
+and reproduces the paper's Fig.-3 worst-case regime instead.
+"""
+
+from repro.experiments.tables import (
+    Stage1MethodComparison,
+    run_stage1_methods,
+    table_v_rows,
+    table_vi_rows,
+)
+from repro.experiments.fig3_optimality import OptimalityStudy, run_optimality_study
+from repro.experiments.fig4_convergence import ConvergenceTraces, run_convergence
+from repro.experiments.fig5_comparison import (
+    MethodComparison,
+    StageCallReport,
+    run_method_comparison,
+    run_stage_call_report,
+)
+from repro.experiments.fig6_sweeps import SweepSeries, sweep
+from repro.experiments.ablations import (
+    bnb_vs_exhaustive,
+    log_convexification_ablation,
+    msl_activation_threshold,
+    transform_vs_direct,
+    weight_sensitivity,
+)
+from repro.experiments.dynamic import DynamicStudy, EpochResult, run_dynamic_study
+from repro.experiments.report import generate_report
+
+DEFAULT_SEED = 2
+
+__all__ = [
+    "ConvergenceTraces",
+    "DEFAULT_SEED",
+    "MethodComparison",
+    "OptimalityStudy",
+    "Stage1MethodComparison",
+    "StageCallReport",
+    "SweepSeries",
+    "run_convergence",
+    "run_method_comparison",
+    "run_optimality_study",
+    "run_stage1_methods",
+    "run_stage_call_report",
+    "sweep",
+    "table_v_rows",
+    "table_vi_rows",
+    "bnb_vs_exhaustive",
+    "generate_report",
+    "log_convexification_ablation",
+    "msl_activation_threshold",
+    "run_dynamic_study",
+    "transform_vs_direct",
+    "weight_sensitivity",
+    "DynamicStudy",
+    "EpochResult",
+]

@@ -1,0 +1,98 @@
+"""One-shot markdown report: run every experiment, emit a summary document.
+
+``python -m repro report`` (or :func:`generate_report`) reruns the headline
+experiments and renders a self-contained markdown summary — the live
+counterpart of the static EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.core.config import SystemConfig, paper_config
+from repro.experiments.fig3_optimality import run_optimality_study
+from repro.experiments.fig4_convergence import run_convergence
+from repro.experiments.fig5_comparison import run_method_comparison, run_stage_call_report
+from repro.experiments.fig6_sweeps import sweep
+from repro.experiments.tables import (
+    render_table_v,
+    render_table_vi,
+    run_stage1_methods,
+)
+
+
+def generate_report(
+    *,
+    seed: int = 2,
+    fig3_samples: int = 20,
+    config: Optional[SystemConfig] = None,
+) -> str:
+    """Run the full experiment battery and return a markdown report."""
+    out = io.StringIO()
+    cfg = config or paper_config(seed=seed)
+    table_cfg = paper_config(seed=0)
+
+    print("# QuHE reproduction report", file=out)
+    print(f"\nChannel seed: {seed} (tables use seed 0, matching EXPERIMENTS.md)\n", file=out)
+
+    print("## Tables V and VI (Stage 1)\n", file=out)
+    comparison = run_stage1_methods(table_cfg)
+    print("```", file=out)
+    print(render_table_v(comparison), file=out)
+    print(file=out)
+    print(render_table_vi(comparison), file=out)
+    print("```", file=out)
+    values = comparison.values()
+    runtimes = comparison.runtimes()
+    print("\n## Fig. 5(b)/(c): Stage-1 methods\n", file=out)
+    print("| method | P2 value | runtime (s) |", file=out)
+    print("|---|---|---|", file=out)
+    for name in values:
+        print(f"| {name} | {values[name]:.4f} | {runtimes[name]:.4f} |", file=out)
+
+    print("\n## Fig. 3: optimality study\n", file=out)
+    study = run_optimality_study(num_samples=fig3_samples, seed=seed)
+    print(
+        f"{fig3_samples} trials: max {study.maximum:.2f}, min {study.minimum:.2f}, "
+        f"mean {study.mean:.2f}; {study.fraction_near_best(5.0):.0%} within 5 of "
+        f"best, {study.fraction_near_best(10.0):.0%} within 10.",
+        file=out,
+    )
+
+    print("\n## Fig. 4: convergence\n", file=out)
+    traces = run_convergence(cfg)
+    print(
+        f"Stage 1: {traces.stage1_iterations} iterations to "
+        f"{traces.stage1_objective[-1]:.4f}; Stage 2: {traces.stage2_nodes} "
+        f"B&B nodes; Stage 3: {traces.stage3_iterations} outer iterations, "
+        f"tightness gap {traces.stage3_gap[0]:.3g} → {traces.stage3_gap[-1]:.3g}.",
+        file=out,
+    )
+
+    print("\n## Fig. 5(a): stage calls\n", file=out)
+    report = run_stage_call_report(cfg)
+    print(
+        f"S1={report.stage1_calls}, S2={report.stage2_calls}, "
+        f"S3={report.stage3_calls}, runtime {report.runtime_s:.3f} s.",
+        file=out,
+    )
+
+    print("\n## Fig. 5(d): method comparison (alpha_msl = 0.1 ablation)\n", file=out)
+    methods = run_method_comparison(cfg)
+    print("| method | energy (J) | delay (s) | U_msl | objective |", file=out)
+    print("|---|---|---|---|---|", file=out)
+    for row in methods.rows:
+        print(
+            f"| {row.method} | {row.energy_j:.1f} | {row.delay_s:.1f} | "
+            f"{row.u_msl:.1f} | {row.objective:.3f} |",
+            file=out,
+        )
+
+    print("\n## Fig. 6: sweeps (winners per point)\n", file=out)
+    for parameter in ("bandwidth", "power", "client_cpu", "server_cpu"):
+        series = sweep(parameter, cfg)
+        winners = ", ".join(series.best_method_per_point())
+        print(f"* {parameter}: {winners}", file=out)
+
+    return out.getvalue()

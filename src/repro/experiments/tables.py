@@ -1,0 +1,100 @@
+"""Tables V and VI: Stage-1 solutions (φ, w) per method (paper §VI-E).
+
+The paper compares the QuHE Stage-1 convex solver against gradient descent,
+simulated annealing and random selection on the same Problem P2/P3, reporting
+the resulting rate vector φ (Table V) and Werner vector w (Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.stage1 import Stage1Result, Stage1Solver
+from repro.core.stage1_baselines import (
+    GradientDescentStage1,
+    RandomSearchStage1,
+    SimulatedAnnealingStage1,
+)
+from repro.utils.tables import format_table
+
+#: Column order used by both tables (paper naming).
+METHOD_ORDER = ("QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select")
+
+
+@dataclass(frozen=True)
+class Stage1MethodComparison:
+    """Stage-1 results for all four methods on one configuration."""
+
+    results: Dict[str, Stage1Result]
+
+    def runtimes(self) -> Dict[str, float]:
+        """Per-method wall-clock seconds (Fig. 5(b))."""
+        return {name: res.runtime_s for name, res in self.results.items()}
+
+    def values(self) -> Dict[str, float]:
+        """Per-method Problem-P2 objective values (Fig. 5(c))."""
+        return {name: res.value for name, res in self.results.items()}
+
+
+def run_stage1_methods(
+    config: SystemConfig,
+    *,
+    gd_learning_rate: float = 0.01,
+    gd_max_iterations: int = 20000,
+    sa_max_iterations: int = 4000,
+    rs_num_samples: int = 10_000,
+    seed: int = 0,
+) -> Stage1MethodComparison:
+    """Run QuHE Stage 1 and the three §VI-B baselines on ``config``."""
+    results: Dict[str, Stage1Result] = {}
+    results["QuHE Stage 1"] = Stage1Solver(config).solve()
+    results["Gradient descent"] = GradientDescentStage1(
+        config, learning_rate=gd_learning_rate, max_iterations=gd_max_iterations
+    ).solve()
+    results["Sim. annealing"] = SimulatedAnnealingStage1(
+        config, max_iterations=sa_max_iterations, seed=seed
+    ).solve()
+    results["Random select"] = RandomSearchStage1(
+        config, num_samples=rs_num_samples, seed=seed
+    ).solve()
+    return Stage1MethodComparison(results=results)
+
+
+def table_v_rows(comparison: Stage1MethodComparison) -> List[List[object]]:
+    """Rows of Table V: φ_n per route per method."""
+    reference = comparison.results[METHOD_ORDER[0]]
+    rows: List[List[object]] = []
+    for n in range(len(reference.phi)):
+        row: List[object] = [f"phi_{n + 1}"]
+        for method in METHOD_ORDER:
+            row.append(float(comparison.results[method].phi[n]))
+        rows.append(row)
+    return rows
+
+
+def table_vi_rows(comparison: Stage1MethodComparison) -> List[List[object]]:
+    """Rows of Table VI: w_l per link per method."""
+    reference = comparison.results[METHOD_ORDER[0]]
+    rows: List[List[object]] = []
+    for l in range(len(reference.w)):
+        row: List[object] = [f"w_{l + 1}"]
+        for method in METHOD_ORDER:
+            row.append(float(comparison.results[method].w[l]))
+        rows.append(row)
+    return rows
+
+
+def render_table_v(comparison: Stage1MethodComparison) -> str:
+    """Table V as aligned text."""
+    return format_table(
+        ["phi_n", *METHOD_ORDER], table_v_rows(comparison), title="Table V: phi values"
+    )
+
+
+def render_table_vi(comparison: Stage1MethodComparison) -> str:
+    """Table VI as aligned text."""
+    return format_table(
+        ["w_l", *METHOD_ORDER], table_vi_rows(comparison), title="Table VI: w values"
+    )

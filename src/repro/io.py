@@ -1,0 +1,98 @@
+"""JSON (de)serialization for allocations and experiment results.
+
+A downstream user wants to solve once, persist the allocation, and replay or
+audit it later; the experiment harness wants machine-readable outputs next
+to the printed tables.  Formats are plain JSON with explicit versioning.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.solution import Allocation, Metrics
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def allocation_to_dict(alloc: Allocation) -> Dict:
+    """Allocation as a JSON-ready dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "allocation",
+        "phi": alloc.phi.tolist(),
+        "w": alloc.w.tolist(),
+        "lam": [int(v) for v in alloc.lam],
+        "p": alloc.p.tolist(),
+        "b": alloc.b.tolist(),
+        "f_c": alloc.f_c.tolist(),
+        "f_s": alloc.f_s.tolist(),
+        "T": None if alloc.T is None else float(alloc.T),
+    }
+
+
+def allocation_from_dict(data: Dict) -> Allocation:
+    """Inverse of :func:`allocation_to_dict`, with format validation."""
+    if data.get("kind") != "allocation":
+        raise ValueError(f"not an allocation payload: kind={data.get('kind')!r}")
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )
+    required = ("phi", "w", "lam", "p", "b", "f_c", "f_s")
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ValueError(f"allocation payload missing fields: {missing}")
+    return Allocation(
+        phi=np.asarray(data["phi"], dtype=float),
+        w=np.asarray(data["w"], dtype=float),
+        lam=np.asarray(data["lam"], dtype=float),
+        p=np.asarray(data["p"], dtype=float),
+        b=np.asarray(data["b"], dtype=float),
+        f_c=np.asarray(data["f_c"], dtype=float),
+        f_s=np.asarray(data["f_s"], dtype=float),
+        T=data.get("T"),
+    )
+
+
+def metrics_to_dict(metrics: Metrics) -> Dict:
+    """Metrics as a JSON-ready dictionary (per-node arrays included)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "metrics",
+        "u_qkd": metrics.u_qkd,
+        "u_msl": metrics.u_msl,
+        "total_delay_s": metrics.total_delay,
+        "total_energy_j": metrics.total_energy,
+        "objective": metrics.objective,
+        "per_node": {
+            "enc_delay": metrics.enc_delay.tolist(),
+            "tr_delay": metrics.tr_delay.tolist(),
+            "cmp_delay": metrics.cmp_delay.tolist(),
+            "enc_energy": metrics.enc_energy.tolist(),
+            "tr_energy": metrics.tr_energy.tolist(),
+            "cmp_energy": metrics.cmp_energy.tolist(),
+        },
+    }
+
+
+def save_allocation(alloc: Allocation, path: PathLike, *, metrics: Optional[Metrics] = None) -> None:
+    """Write an allocation (and optionally its metrics) to a JSON file."""
+    payload: Dict = {"allocation": allocation_to_dict(alloc)}
+    if metrics is not None:
+        payload["metrics"] = metrics_to_dict(metrics)
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_allocation(path: PathLike) -> Allocation:
+    """Read an allocation back from :func:`save_allocation` output."""
+    payload = json.loads(Path(path).read_text())
+    if "allocation" not in payload:
+        raise ValueError(f"{path}: no 'allocation' object in file")
+    return allocation_from_dict(payload["allocation"])

@@ -1,0 +1,107 @@
+"""QKD network substrate.
+
+Implements the quantum side of the QuHE system (paper §III-A-1 and §III-B):
+
+* Werner-state link model: secret-key fraction (Eq. 4), link capacity (Eq. 3),
+  end-to-end Werner parameter along a route (Eq. 5) — :mod:`repro.quantum.werner`.
+* The SURFnet evaluation topology of Fig. 2 / Tables III-IV —
+  :mod:`repro.quantum.topology`.
+* Route handling and the link-route incidence matrix ``A`` —
+  :mod:`repro.quantum.routing`.
+* A stochastic entanglement-generation and swapping simulator —
+  :mod:`repro.quantum.entanglement`.
+* An entanglement-based QKD protocol (BBM92 flavour: measurement, sifting,
+  error estimation, reconciliation, privacy amplification) —
+  :mod:`repro.quantum.protocol`.
+* A key centre that runs the protocol per route and hands symmetric keys to
+  clients — :mod:`repro.quantum.key_manager`.
+* The QKD network utility of Eq. 6 and its log form —
+  :mod:`repro.quantum.utility`.
+"""
+
+from repro.quantum.werner import (
+    F_SKF_ZERO_CROSSING,
+    end_to_end_werner,
+    link_capacity,
+    secret_key_fraction,
+    secret_key_fraction_derivative,
+)
+from repro.quantum.routing import Route, incidence_matrix, routes_from_paths
+from repro.quantum.topology import (
+    Link,
+    QKDNetwork,
+    surfnet_network,
+    SURFNET_LINKS,
+    SURFNET_ROUTES,
+)
+from repro.quantum.utility import (
+    log_qkd_utility,
+    qkd_utility,
+    route_werner_parameters,
+)
+from repro.quantum.entanglement import EntanglementSimulator, PairBatch
+from repro.quantum.protocol import BBM92Protocol, QKDSessionResult
+from repro.quantum.key_manager import KeyCenter, KeyPoolEmptyError
+from repro.quantum.cascade import CascadeReconciler, CascadeResult, cascade_efficiency
+from repro.quantum.analysis import (
+    binding_links,
+    link_reports,
+    outage_impact,
+    remove_link,
+    route_reports,
+    total_secret_key_rate,
+)
+from repro.quantum.repeater import (
+    RepeaterChainSimulator,
+    RepeaterLink,
+    calibrate_link_abstraction,
+)
+from repro.quantum.states import (
+    bell_state,
+    depolarize,
+    entanglement_swap,
+    werner_parameter,
+    werner_state,
+)
+
+__all__ = [
+    "BBM92Protocol",
+    "CascadeReconciler",
+    "CascadeResult",
+    "EntanglementSimulator",
+    "F_SKF_ZERO_CROSSING",
+    "KeyCenter",
+    "KeyPoolEmptyError",
+    "Link",
+    "PairBatch",
+    "QKDNetwork",
+    "QKDSessionResult",
+    "RepeaterChainSimulator",
+    "RepeaterLink",
+    "Route",
+    "SURFNET_LINKS",
+    "SURFNET_ROUTES",
+    "binding_links",
+    "calibrate_link_abstraction",
+    "link_reports",
+    "outage_impact",
+    "remove_link",
+    "route_reports",
+    "total_secret_key_rate",
+    "bell_state",
+    "cascade_efficiency",
+    "depolarize",
+    "end_to_end_werner",
+    "entanglement_swap",
+    "incidence_matrix",
+    "link_capacity",
+    "log_qkd_utility",
+    "qkd_utility",
+    "route_werner_parameters",
+    "routes_from_paths",
+    "secret_key_fraction",
+    "secret_key_fraction_derivative",
+    "surfnet_network",
+    "werner_parameter",
+    "werner_state",
+]

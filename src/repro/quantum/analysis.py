@@ -1,0 +1,176 @@
+"""QKD network analysis: utilization, bottlenecks, outages, sensitivities.
+
+Operational tooling on top of the Stage-1 machinery: given a network and an
+allocation, report per-link utilization, identify the links that actually
+bind the optimum, and assess the impact of a link outage (the failure mode a
+deployment planner cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.quantum.routing import Route
+from repro.quantum.topology import Link, QKDNetwork
+from repro.quantum.utility import route_werner_parameters
+from repro.quantum.werner import F_SKF_ZERO_CROSSING, secret_key_fraction
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Per-link snapshot for one allocation."""
+
+    link_id: int
+    beta: float
+    load: float
+    werner: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Load as a fraction of the capacity ``β(1 - w)``; 0 for idle links."""
+        if self.capacity <= 0:
+            return 0.0 if self.load == 0 else float("inf")
+        return self.load / self.capacity
+
+
+@dataclass(frozen=True)
+class RouteReport:
+    """Per-route snapshot for one allocation."""
+
+    route_id: int
+    rate: float
+    end_to_end_werner: float
+    secret_key_fraction: float
+    bottleneck_link_id: int
+
+    @property
+    def secret_key_rate(self) -> float:
+        """Distillable key rate φ·F_skf(ϖ) in bits per second."""
+        return self.rate * self.secret_key_fraction
+
+    @property
+    def above_fidelity_floor(self) -> bool:
+        return self.end_to_end_werner > F_SKF_ZERO_CROSSING
+
+
+def link_reports(
+    network: QKDNetwork, rates: Sequence[float], werner: Sequence[float]
+) -> List[LinkReport]:
+    """Per-link load/utilization for an allocation."""
+    phi = np.asarray(rates, dtype=float)
+    w = np.asarray(werner, dtype=float)
+    load = network.incidence @ phi
+    capacity = network.betas * (1.0 - w)
+    return [
+        LinkReport(
+            link_id=link.link_id,
+            beta=link.beta,
+            load=float(load[i]),
+            werner=float(w[i]),
+            capacity=float(capacity[i]),
+        )
+        for i, link in enumerate(network.links)
+    ]
+
+
+def route_reports(
+    network: QKDNetwork, rates: Sequence[float], werner: Sequence[float]
+) -> List[RouteReport]:
+    """Per-route rate/fidelity/key-rate for an allocation."""
+    phi = np.asarray(rates, dtype=float)
+    w = np.asarray(werner, dtype=float)
+    varpi = route_werner_parameters(w, network.incidence)
+    reports = []
+    for n, route in enumerate(network.routes):
+        # Bottleneck: the on-route link with the lowest Werner parameter —
+        # it degrades the end-to-end fidelity most.
+        indices = list(route.link_indices)
+        bottleneck = route.link_ids[int(np.argmin(w[indices]))]
+        reports.append(
+            RouteReport(
+                route_id=route.route_id,
+                rate=float(phi[n]),
+                end_to_end_werner=float(varpi[n]),
+                secret_key_fraction=float(secret_key_fraction(varpi[n])),
+                bottleneck_link_id=int(bottleneck),
+            )
+        )
+    return reports
+
+
+def total_secret_key_rate(
+    network: QKDNetwork, rates: Sequence[float], werner: Sequence[float]
+) -> float:
+    """Aggregate distillable key rate Σ_n φ_n F_skf(ϖ_n) (bits/s)."""
+    return float(
+        sum(r.secret_key_rate for r in route_reports(network, rates, werner))
+    )
+
+
+def binding_links(
+    network: QKDNetwork,
+    rates: Sequence[float],
+    werner: Sequence[float],
+    *,
+    tol: float = 1e-6,
+) -> List[int]:
+    """Links whose capacity constraint (17c) is tight at this allocation."""
+    return [
+        report.link_id
+        for report in link_reports(network, rates, werner)
+        if report.load > 0 and abs(report.utilization - 1.0) < tol
+    ]
+
+
+def remove_link(network: QKDNetwork, link_id: int) -> QKDNetwork:
+    """Network after a link outage.
+
+    Routes traversing the failed link are dropped (their clients lose QKD
+    service until rerouted); the remaining routes keep their ids.  Raises if
+    *every* route dies — the network is then unusable.
+    """
+    if not any(link.link_id == link_id for link in network.links):
+        raise ValueError(f"no link with id {link_id}")
+    surviving_routes = [
+        route for route in network.routes if link_id not in route.link_ids
+    ]
+    if not surviving_routes:
+        raise ValueError(f"link {link_id} outage severs every route")
+    # Renumber links contiguously and remap route link-ids.
+    kept = [link for link in network.links if link.link_id != link_id]
+    id_map = {link.link_id: i + 1 for i, link in enumerate(kept)}
+    new_links = [
+        Link(
+            link_id=id_map[link.link_id],
+            endpoints=link.endpoints,
+            length_km=link.length_km,
+            beta=link.beta,
+        )
+        for link in kept
+    ]
+    new_routes = [
+        Route(
+            route_id=route.route_id,
+            source=route.source,
+            target=route.target,
+            link_ids=tuple(id_map[l] for l in route.link_ids),
+        )
+        for route in surviving_routes
+    ]
+    return QKDNetwork(new_links, new_routes, key_center=network.key_center)
+
+
+def outage_impact(
+    network: QKDNetwork, rates: Sequence[float], werner: Sequence[float]
+) -> Dict[int, int]:
+    """Map link_id -> number of client routes an outage of that link severs."""
+    impact: Dict[int, int] = {}
+    for link in network.links:
+        impact[link.link_id] = sum(
+            1 for route in network.routes if link.link_id in route.link_ids
+        )
+    return impact

@@ -1,0 +1,224 @@
+"""Cascade information reconciliation for QKD (paper §III-A-1 substrate).
+
+:class:`~repro.quantum.protocol.BBM92Protocol` accounts the error-correction
+leak analytically (``f_ec · h(QBER)`` bits).  This module implements the
+actual interactive protocol those numbers abstract: **Cascade** (Brassard &
+Salvail), the de-facto reconciliation scheme of deployed QKD systems.
+
+Alice and Bob hold correlated bit strings.  Over several passes they
+
+1. permute the strings with a shared random permutation,
+2. split into blocks (size ``~0.73/QBER`` in pass 1, doubling after),
+3. compare block parities; on mismatch, binary-search (``binary`` protocol)
+   to find and flip one error — each probe reveals one parity bit,
+4. on later passes, every corrected bit triggers *cascading* re-checks of
+   the blocks containing it in earlier passes.
+
+The implementation tracks every disclosed parity so the privacy-amplification
+stage can subtract the true leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Outcome of a Cascade run.
+
+    ``corrected`` is Bob's reconciled string; ``leaked_bits`` counts every
+    parity disclosed over the public channel; ``residual_errors`` is the
+    number of positions still differing from Alice (0 in the overwhelming
+    majority of runs with ≥2 passes).
+    """
+
+    corrected: np.ndarray
+    leaked_bits: int
+    residual_errors: int
+    passes: int
+
+    @property
+    def success(self) -> bool:
+        return self.residual_errors == 0
+
+
+class CascadeReconciler:
+    """Interactive Cascade reconciliation between two bit strings."""
+
+    def __init__(
+        self,
+        *,
+        num_passes: int = 4,
+        initial_block_factor: float = 0.73,
+        max_cleanup_passes: int = 16,
+        confirmation_rounds: int = 16,
+        seed: SeedLike = None,
+    ) -> None:
+        if num_passes < 1:
+            raise ValueError("need at least one pass")
+        if initial_block_factor <= 0:
+            raise ValueError("block factor must be positive")
+        if max_cleanup_passes < 0:
+            raise ValueError("max_cleanup_passes must be non-negative")
+        if confirmation_rounds < 0:
+            raise ValueError("confirmation_rounds must be non-negative")
+        self.num_passes = int(num_passes)
+        self.initial_block_factor = float(initial_block_factor)
+        self.max_cleanup_passes = int(max_cleanup_passes)
+        self.confirmation_rounds = int(confirmation_rounds)
+        self._rng = as_generator(seed)
+
+    # -- parity oracle ---------------------------------------------------------
+
+    @staticmethod
+    def _parity(bits: np.ndarray, indices: np.ndarray) -> int:
+        return int(np.bitwise_xor.reduce(bits[indices]) & 1)
+
+    def _binary_search_error(
+        self,
+        alice: np.ndarray,
+        bob: np.ndarray,
+        indices: np.ndarray,
+        leak: List[int],
+    ) -> int:
+        """Locate one error inside a parity-mismatched block.
+
+        Each halving discloses one more parity (the top-level mismatch was
+        already counted by the caller).  Returns the corrected position.
+        """
+        block = indices
+        while len(block) > 1:
+            half = len(block) // 2
+            left = block[:half]
+            leak[0] += 1
+            if self._parity(alice, left) != self._parity(bob, left):
+                block = left
+            else:
+                block = block[half:]
+        position = int(block[0])
+        bob[position] ^= 1
+        return position
+
+    # -- main protocol ------------------------------------------------------------
+
+    def reconcile(
+        self,
+        alice_bits: Sequence[int],
+        bob_bits: Sequence[int],
+        *,
+        estimated_qber: float,
+    ) -> CascadeResult:
+        """Run Cascade; returns Bob's corrected string and the parity leak."""
+        alice = np.asarray(alice_bits, dtype=np.uint8).copy()
+        bob = np.asarray(bob_bits, dtype=np.uint8).copy()
+        if alice.shape != bob.shape or alice.ndim != 1:
+            raise ValueError("alice and bob strings must be equal-length 1-D")
+        if not 0.0 <= estimated_qber <= 0.5:
+            raise ValueError("estimated QBER must be in [0, 0.5]")
+        n = len(alice)
+        if n == 0:
+            return CascadeResult(bob, 0, 0, 0)
+
+        qber = max(estimated_qber, 1.0 / n)
+        block_size = max(2, int(round(self.initial_block_factor / qber)))
+        leak = [0]
+        # Per pass: the permutation and its block partition, so corrections
+        # can cascade back into earlier passes.
+        pass_blocks: List[List[np.ndarray]] = []
+
+        def blocks_for(permutation: np.ndarray, size: int) -> List[np.ndarray]:
+            return [permutation[i : i + size] for i in range(0, n, size)]
+
+        def run_pass(pass_index: int, size: int) -> int:
+            """Run one pass; returns the number of corrections made."""
+            if pass_index == 0:
+                permutation = np.arange(n)
+            else:
+                permutation = self._rng.permutation(n)
+            blocks = blocks_for(permutation, size)
+            pass_blocks.append(blocks)
+            corrections = 0
+            queue: List[Tuple[int, int]] = [(pass_index, i) for i in range(len(blocks))]
+            while queue:
+                p_idx, b_idx = queue.pop()
+                block = pass_blocks[p_idx][b_idx]
+                leak[0] += 1
+                if self._parity(alice, block) == self._parity(bob, block):
+                    continue
+                corrected_pos = self._binary_search_error(alice, bob, block, leak)
+                corrections += 1
+                # Cascade: re-check every earlier block containing the bit —
+                # its parity mismatch state has flipped.
+                for earlier in range(p_idx):
+                    for j, other in enumerate(pass_blocks[earlier]):
+                        if corrected_pos in other:
+                            queue.append((earlier, j))
+                            break
+                # The current block may still hide an even error count; it
+                # will be revisited on later passes.
+            return corrections
+
+        passes_run = 0
+        for pass_index in range(self.num_passes):
+            size = min(n, block_size * (2**pass_index))
+            run_pass(pass_index, size)
+            passes_run += 1
+        # Confirmation: even-count error pairs can hide inside every pass's
+        # blocks, so blockwise passes alone cannot certify success.  Compare
+        # parities of *random subsets*: any nonzero residual error vector
+        # mismatches each random-subset parity with probability 1/2, so
+        # ``confirmation_rounds`` consecutive matches bound the residual
+        # probability by 2^-rounds.  A mismatch localises one error by the
+        # usual binary search and restarts the count (this is the BBBSS-style
+        # confirmation step used before the final authentication hash).
+        consecutive_clean = 0
+        budget = self.max_cleanup_passes * max(1, self.confirmation_rounds)
+        while consecutive_clean < self.confirmation_rounds and budget > 0:
+            budget -= 1
+            subset = np.nonzero(self._rng.random(n) < 0.5)[0]
+            if len(subset) == 0:
+                continue
+            leak[0] += 1
+            if self._parity(alice, subset) == self._parity(bob, subset):
+                consecutive_clean += 1
+                continue
+            consecutive_clean = 0
+            corrected_pos = self._binary_search_error(alice, bob, subset, leak)
+            # Cascade the correction back through every blockwise pass.
+            for earlier, blocks in enumerate(pass_blocks):
+                for j, other in enumerate(blocks):
+                    if corrected_pos in other:
+                        leak[0] += 1
+                        if self._parity(alice, other) != self._parity(bob, other):
+                            self._binary_search_error(alice, bob, other, leak)
+                        break
+        passes_run += 1  # count the confirmation stage as one pass
+        residual = int(np.sum(alice != bob))
+        return CascadeResult(
+            corrected=bob,
+            leaked_bits=leak[0],
+            residual_errors=residual,
+            passes=passes_run,
+        )
+
+
+def cascade_efficiency(result: CascadeResult, qber: float, length: int) -> float:
+    """Reconciliation efficiency ``f_ec = leak / (n · h(QBER))``.
+
+    Cascade typically achieves 1.05-1.25; the protocol layer's analytical
+    ``f_ec`` parameter (paper-style accounting) can be calibrated from this.
+    """
+    from repro.quantum.protocol import binary_entropy
+
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if qber <= 0.0:
+        return float("inf")
+    entropy = binary_entropy(min(qber, 0.5))
+    return result.leaked_bits / (length * entropy)

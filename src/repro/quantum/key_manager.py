@@ -1,0 +1,104 @@
+"""Key centre: runs QKD per route and serves symmetric keys to clients.
+
+Paper §III-A-1: "QKD is utilized to securely generate and distribute
+symmetric keys between a key center and client nodes".  The
+:class:`KeyCenter` drives the :class:`~repro.quantum.entanglement.EntanglementSimulator`
+and :class:`~repro.quantum.protocol.BBM92Protocol` to fill per-client key
+pools, from which fixed-size symmetric keys (e.g. 32-byte ChaCha20 keys) are
+drawn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+from repro.quantum.entanglement import EntanglementSimulator
+from repro.quantum.protocol import BBM92Protocol, QKDSessionResult
+from repro.quantum.topology import QKDNetwork
+from repro.utils.rng import SeedLike, as_generator
+
+
+class KeyPoolEmptyError(RuntimeError):
+    """Raised when a client requests more key material than the pool holds."""
+
+
+class KeyCenter:
+    """Central QKD key authority over a :class:`QKDNetwork`.
+
+    Typical use::
+
+        center = KeyCenter(surfnet_network(), seed=7)
+        center.replenish(rates, link_werner, duration_s=300.0)
+        key = center.draw_key(client_index=0, num_bytes=32)
+    """
+
+    def __init__(
+        self,
+        network: QKDNetwork,
+        *,
+        protocol: Optional[BBM92Protocol] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        rng = as_generator(seed)
+        self.network = network
+        self.simulator = EntanglementSimulator(network, seed=rng)
+        self.protocol = protocol or BBM92Protocol(seed=rng)
+        self._pools: Dict[int, bytearray] = {
+            n: bytearray() for n in range(network.num_routes)
+        }
+        self._history: List[QKDSessionResult] = []
+
+    # -- key generation -------------------------------------------------------
+
+    def replenish(
+        self,
+        rates: Sequence[float],
+        link_werner: Sequence[float],
+        *,
+        duration_s: float = 60.0,
+    ) -> List[QKDSessionResult]:
+        """Run one QKD round on every route; append new key bytes to pools."""
+        batches = self.simulator.run(rates, link_werner, duration_s=duration_s)
+        results: List[QKDSessionResult] = []
+        for n, batch in enumerate(batches):
+            result = self.protocol.run_session(batch.count, batch.werner)
+            self._pools[n].extend(result.key)
+            self._history.append(result)
+            results.append(result)
+        return results
+
+    # -- key consumption --------------------------------------------------------
+
+    def available_bytes(self, client_index: int) -> int:
+        """Unconsumed key bytes currently pooled for a client."""
+        return len(self._pools[client_index])
+
+    def draw_key(self, client_index: int, num_bytes: int) -> bytes:
+        """Consume and return ``num_bytes`` of key material for a client.
+
+        Raises :class:`KeyPoolEmptyError` if the pool is too small — callers
+        should :meth:`replenish` (i.e. run more QKD) first.
+        """
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        pool = self._pools[client_index]
+        if len(pool) < num_bytes:
+            raise KeyPoolEmptyError(
+                f"client {client_index} pool holds {len(pool)} bytes, "
+                f"requested {num_bytes}; run replenish() first"
+            )
+        key = bytes(pool[:num_bytes])
+        del pool[:num_bytes]
+        return key
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def session_history(self) -> List[QKDSessionResult]:
+        """All protocol sessions executed so far."""
+        return list(self._history)
+
+    def pool_summary(self) -> Dict[int, int]:
+        """Map client index -> pooled key bytes."""
+        return {n: len(pool) for n, pool in self._pools.items()}

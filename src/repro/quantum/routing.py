@@ -1,0 +1,110 @@
+"""Routes and the link-route incidence matrix ``A`` (paper §III-B).
+
+The optimization layer only consumes the binary incidence matrix
+``A[l, n] = 1`` iff link ``l`` lies on route ``n`` (paper Eq. 5 and
+constraint 17c); this module builds and validates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Route:
+    """A quantum-network route from the key centre to one client node.
+
+    Attributes
+    ----------
+    route_id:
+        1-based identifier as in paper Table III.
+    source, target:
+        Human-readable end-node names (key centre and client city).
+    link_ids:
+        1-based link identifiers traversed, in order, as in Table III.
+    """
+
+    route_id: int
+    source: str
+    target: str
+    link_ids: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.route_id < 1:
+            raise ValueError(f"route_id must be >= 1, got {self.route_id}")
+        if not self.link_ids:
+            raise ValueError("a route must traverse at least one link")
+        if len(set(self.link_ids)) != len(self.link_ids):
+            raise ValueError(f"route {self.route_id} repeats a link: {self.link_ids}")
+        if any(l < 1 for l in self.link_ids):
+            raise ValueError("link ids are 1-based and must be >= 1")
+
+    @property
+    def link_indices(self) -> Tuple[int, ...]:
+        """0-based link indices (for numpy indexing)."""
+        return tuple(l - 1 for l in self.link_ids)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links traversed."""
+        return len(self.link_ids)
+
+
+def incidence_matrix(routes: Sequence[Route], num_links: int) -> np.ndarray:
+    """Build the ``L x N`` binary matrix ``A`` with ``A[l, n] = a_ln``.
+
+    ``a_ln = 1`` iff link ``l+1`` is part of route ``routes[n]``.
+    """
+    if num_links < 1:
+        raise ValueError("num_links must be >= 1")
+    matrix = np.zeros((num_links, len(routes)), dtype=float)
+    for n, route in enumerate(routes):
+        for link_id in route.link_ids:
+            if link_id > num_links:
+                raise ValueError(
+                    f"route {route.route_id} references link {link_id} "
+                    f"but the network has only {num_links} links"
+                )
+            matrix[link_id - 1, n] = 1.0
+    return matrix
+
+
+def routes_from_paths(
+    paths: Iterable[Sequence[str]],
+    edge_to_link_id,
+) -> List[Route]:
+    """Convert node paths into :class:`Route` objects.
+
+    Parameters
+    ----------
+    paths:
+        Iterable of node-name sequences, each starting at the key centre.
+    edge_to_link_id:
+        Mapping from frozenset({u, v}) to 1-based link id.
+
+    Used by custom topologies where routes come from shortest-path computation
+    (see :meth:`repro.quantum.topology.QKDNetwork.shortest_path_routes`).
+    """
+    routes: List[Route] = []
+    for i, path in enumerate(paths, start=1):
+        nodes = list(path)
+        if len(nodes) < 2:
+            raise ValueError(f"path {i} must contain at least two nodes, got {nodes}")
+        link_ids = []
+        for u, v in zip(nodes, nodes[1:]):
+            key = frozenset((u, v))
+            if key not in edge_to_link_id:
+                raise ValueError(f"path {i} uses unknown edge {u!r}-{v!r}")
+            link_ids.append(edge_to_link_id[key])
+        routes.append(
+            Route(
+                route_id=i,
+                source=nodes[0],
+                target=nodes[-1],
+                link_ids=tuple(link_ids),
+            )
+        )
+    return routes

@@ -1,0 +1,154 @@
+"""Two-qubit density-matrix algebra for Werner states.
+
+The optimization layer treats a link as a scalar Werner parameter ``w`` and
+uses two facts without proof:
+
+* measuring both halves of a Werner-``w`` pair in matched bases disagrees
+  with probability ``(1 - w)/2`` (the QBER used in Eq. 4), and
+* entanglement swapping two Werner pairs of parameters ``w1`` and ``w2``
+  yields a Werner pair of parameter ``w1 · w2`` (the product rule of Eq. 5).
+
+This module implements the actual 4×4 density-matrix algebra — Bell states,
+Werner states, fidelity, measurement statistics and the swapping operation
+via Bell-basis projection with Pauli correction — so both facts are *derived*
+numerically in the test suite rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+# Single-qubit Paulis.
+_I2 = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+PAULIS: Tuple[np.ndarray, ...] = (_I2, _X, _Y, _Z)
+
+
+def bell_state(index: int = 0) -> np.ndarray:
+    """The four Bell state vectors: Φ+ (0), Φ− (1), Ψ+ (2), Ψ− (3)."""
+    s = 1.0 / np.sqrt(2.0)
+    states = {
+        0: np.array([s, 0, 0, s], dtype=complex),      # |Φ+> = (|00>+|11>)/√2
+        1: np.array([s, 0, 0, -s], dtype=complex),     # |Φ->
+        2: np.array([0, s, s, 0], dtype=complex),      # |Ψ+>
+        3: np.array([0, s, -s, 0], dtype=complex),     # |Ψ->
+    }
+    if index not in states:
+        raise ValueError(f"Bell index must be 0..3, got {index}")
+    return states[index]
+
+
+def bell_projector(index: int) -> np.ndarray:
+    """Rank-1 projector onto one Bell state."""
+    v = bell_state(index)
+    return np.outer(v, v.conj())
+
+
+def werner_state(w: float) -> np.ndarray:
+    """The Werner state ``w |Φ+><Φ+| + (1-w)/4 · I`` (paper §III-B)."""
+    if not 0.0 <= w <= 1.0:
+        raise ValueError(f"Werner parameter must be in [0, 1], got {w}")
+    return w * bell_projector(0) + (1.0 - w) / 4.0 * np.eye(4, dtype=complex)
+
+
+def werner_parameter(rho: np.ndarray) -> float:
+    """Recover ``w`` from a Werner state via its Φ+ fidelity.
+
+    ``F = <Φ+|ρ|Φ+> = w + (1-w)/4`` so ``w = (4F - 1)/3``.
+    """
+    f = fidelity_with_bell(rho)
+    return float((4.0 * f - 1.0) / 3.0)
+
+
+def fidelity_with_bell(rho: np.ndarray, index: int = 0) -> float:
+    """``<Bell_i|ρ|Bell_i>`` — fidelity with a maximally entangled state."""
+    _check_density(rho)
+    v = bell_state(index)
+    return float(np.real(v.conj() @ rho @ v))
+
+
+def is_density_matrix(rho: np.ndarray, *, atol: float = 1e-9) -> bool:
+    """Hermitian, unit trace, positive semidefinite."""
+    if rho.shape != (4, 4):
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=atol):
+        return False
+    if not np.isclose(np.trace(rho).real, 1.0, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(rho)
+    return bool(np.all(eigenvalues > -atol))
+
+
+def _check_density(rho: np.ndarray) -> None:
+    if not is_density_matrix(rho):
+        raise ValueError("input is not a valid two-qubit density matrix")
+
+
+def matched_basis_error_probability(rho: np.ndarray) -> float:
+    """Probability the two halves disagree when both are measured in Z.
+
+    For a Werner-``w`` state this equals ``(1 - w)/2`` — the QBER behind
+    Eq. 4.  (Werner states are U⊗U invariant, so the X basis agrees.)
+    """
+    _check_density(rho)
+    # |01><01| + |10><10| in the computational basis.
+    p01 = float(np.real(rho[1, 1]))
+    p10 = float(np.real(rho[2, 2]))
+    return p01 + p10
+
+
+def entanglement_swap(rho_ab: np.ndarray, rho_cd: np.ndarray) -> np.ndarray:
+    """Swap entanglement: Bell-measure qubits B and C, return the A-D state.
+
+    Projects the middle pair onto each Bell outcome, applies the
+    corresponding Pauli correction on D, and averages over outcomes (each
+    occurs with probability 1/4 for Werner inputs).  For Werner inputs
+    ``w1, w2`` the output is Werner with parameter ``w1·w2`` — the paper's
+    Eq. 5; verified in ``tests/quantum/test_states.py``.
+    """
+    _check_density(rho_ab)
+    _check_density(rho_cd)
+    # Order qubits (A, B, C, D); ρ = ρ_AB ⊗ ρ_CD.
+    rho = np.kron(rho_ab, rho_cd)
+    # Pauli corrections per Bell outcome (so that Φ+ outcome needs none).
+    corrections = {0: _I2, 1: _Z, 2: _X, 3: _X @ _Z}
+    out = np.zeros((4, 4), dtype=complex)
+    for outcome in range(4):
+        projector_bc = bell_projector(outcome)
+        # Full projector on (A, B, C, D) = I_A ⊗ P_BC ⊗ I_D.
+        full = np.kron(np.kron(_I2, projector_bc), _I2)
+        projected = full @ rho @ full
+        prob = float(np.real(np.trace(projected)))
+        if prob < 1e-15:
+            continue
+        reduced = _partial_trace_bc(projected) / prob
+        u = np.kron(_I2, corrections[outcome])
+        out += prob * (u @ reduced @ u.conj().T)
+    return out
+
+
+def _partial_trace_bc(rho_abcd: np.ndarray) -> np.ndarray:
+    """Trace out qubits B and C from a 4-qubit (16×16) density matrix."""
+    if rho_abcd.shape != (16, 16):
+        raise ValueError("expected a 16x16 four-qubit matrix")
+    tensor = rho_abcd.reshape(2, 2, 2, 2, 2, 2, 2, 2)
+    # Indices: (a, b, c, d, a', b', c', d'); trace over b=b' and c=c'.
+    reduced = np.einsum("abcdxbcy->adxy", tensor)
+    return reduced.reshape(4, 4)
+
+
+def depolarize(rho: np.ndarray, probability: float) -> np.ndarray:
+    """Two-qubit depolarizing channel: mix toward I/4 with ``probability``.
+
+    Models fibre noise: a Werner-``w`` input becomes Werner with parameter
+    ``(1 - probability) · w``.
+    """
+    _check_density(rho)
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    return (1.0 - probability) * rho + probability * np.eye(4, dtype=complex) / 4.0

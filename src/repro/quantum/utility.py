@@ -1,0 +1,128 @@
+"""QKD network utility (paper Eq. 6) and its log-domain form.
+
+``U_qkd = Π_n φ_n F_skf(ϖ_n)`` where ``φ_n`` is the entanglement rate
+allocated to route ``n`` and ``ϖ_n`` the route's end-to-end Werner parameter.
+Stage 1 of QuHE works with the logarithm, which turns the product into the
+sum the paper's Problem P2/P3 minimises.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.quantum.werner import (
+    secret_key_fraction,
+    secret_key_fraction_derivative,
+)
+
+
+def route_werner_parameters(link_werner: np.ndarray, incidence: np.ndarray) -> np.ndarray:
+    """End-to-end Werner parameter per route: ``ϖ_n = Π_l w_l^{a_ln}`` (Eq. 5).
+
+    Parameters
+    ----------
+    link_werner:
+        Length-L vector of per-link Werner parameters in ``(0, 1]``.
+    incidence:
+        The ``L x N`` binary matrix ``A``.
+    """
+    w = np.asarray(link_werner, dtype=float)
+    a = np.asarray(incidence, dtype=float)
+    if w.ndim != 1 or a.ndim != 2 or a.shape[0] != w.shape[0]:
+        raise ValueError(
+            f"shape mismatch: link_werner has shape {w.shape}, incidence {a.shape}"
+        )
+    if np.any(w <= 0.0) or np.any(w > 1.0):
+        raise ValueError("link Werner parameters must lie in (0, 1]")
+    # Product in log domain for numerical stability on long routes.
+    return np.exp(a.T @ np.log(w))
+
+
+def qkd_utility(rates: np.ndarray, route_werner: np.ndarray) -> float:
+    """The paper's Eq. 6: ``U_qkd = Π_n φ_n F_skf(ϖ_n)``."""
+    phi = np.asarray(rates, dtype=float)
+    varpi = np.asarray(route_werner, dtype=float)
+    if phi.shape != varpi.shape:
+        raise ValueError(f"shape mismatch: rates {phi.shape} vs werner {varpi.shape}")
+    if np.any(phi < 0):
+        raise ValueError("entanglement rates must be non-negative")
+    fractions = secret_key_fraction(varpi)
+    return float(np.prod(phi * fractions))
+
+
+def log_qkd_utility(rates: np.ndarray, route_werner: np.ndarray) -> float:
+    """``ln U_qkd`` computed stably; ``-inf`` if any factor is zero."""
+    phi = np.asarray(rates, dtype=float)
+    varpi = np.asarray(route_werner, dtype=float)
+    fractions = np.asarray(secret_key_fraction(varpi), dtype=float)
+    factors = phi * fractions
+    if np.any(factors <= 0.0):
+        return float("-inf")
+    return float(np.sum(np.log(factors)))
+
+
+def optimal_link_werner(
+    rates: np.ndarray, incidence: np.ndarray, betas: np.ndarray
+) -> np.ndarray:
+    """Closed-form optimal Werner parameters given rates (paper Eq. 18).
+
+    The objective increases monotonically in every ``w_l``, so the capacity
+    constraint (17c) is tight at the optimum:
+    ``w_l* = 1 - (Σ_n a_ln φ_n) / β_l``.
+
+    Unused links (no route) get ``w_l* = 1`` — matching the paper's Table VI,
+    where the unused link 6 reports ``w_6 = 1.0000``.
+    """
+    phi = np.asarray(rates, dtype=float)
+    a = np.asarray(incidence, dtype=float)
+    beta = np.asarray(betas, dtype=float)
+    load = a @ phi
+    w = 1.0 - load / beta
+    if np.any(w <= 0.0):
+        bad = np.nonzero(w <= 0.0)[0] + 1
+        raise ValueError(
+            f"rates overload link(s) {bad.tolist()}: capacity constraint (17c) "
+            "leaves no positive Werner parameter"
+        )
+    return w
+
+
+def stage1_objective_and_gradient(
+    log_rates: np.ndarray,
+    incidence: np.ndarray,
+    betas: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Objective of the convexified Problem P3 (Eq. 20) and its gradient.
+
+    Variables are ``ϕ_n = ln φ_n``.  The objective is
+    ``-Σ_n ln F_skf(ϖ_n(ϕ)) - Σ_n ϕ_n`` with ``ϖ_n`` evaluated at the
+    closed-form optimal ``w*`` of Eq. 18.  Returns ``(value, gradient)``;
+    value is ``+inf`` (gradient meaningless) outside the domain, which lets
+    line-search based solvers back off.
+    """
+    varphi = np.asarray(log_rates, dtype=float)
+    a = np.asarray(incidence, dtype=float)
+    beta = np.asarray(betas, dtype=float)
+    phi = np.exp(varphi)
+    load = a @ phi
+    slack = 1.0 - load / beta  # = w_l*
+    if np.any(slack <= 0.0):
+        return float("inf"), np.full_like(varphi, np.nan)
+    log_varpi = a.T @ np.log(slack)
+    varpi = np.exp(log_varpi)
+    fractions = np.asarray(secret_key_fraction(varpi), dtype=float)
+    if np.any(fractions <= 0.0):
+        return float("inf"), np.full_like(varphi, np.nan)
+    value = float(-np.sum(np.log(fractions)) - np.sum(varphi))
+
+    # d(-ln F(ϖ_n))/dϕ_k = -(F'(ϖ_n)/F(ϖ_n)) ϖ_n Σ_l a_ln a_lk (-1/β_l)/w_l* φ_k
+    ratio = (
+        np.asarray(secret_key_fraction_derivative(varpi), dtype=float) / fractions
+    ) * varpi  # length N
+    # M[n, k] = Σ_l a_ln a_lk / (β_l w_l*)
+    scaled = a / (beta * slack)[:, None]  # L x N
+    m = a.T @ scaled  # N x N
+    grad = (ratio @ m) * phi - 1.0
+    return value, grad

@@ -1,0 +1,34 @@
+"""Shared utilities: unit conversion, RNG handling, validation, tables."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.units import (
+    GHZ,
+    MHZ,
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    watt_to_dbm,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "GHZ",
+    "MHZ",
+    "as_generator",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+    "db_to_linear",
+    "dbm_to_watt",
+    "format_table",
+    "linear_to_db",
+    "spawn_generators",
+    "watt_to_dbm",
+]

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark suite regenerates the paper's tables and figure series as rows
+of text; this module renders them in an aligned, grep-friendly format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for i, row in enumerate(rendered):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,50 @@
+"""Unit constants and dB conversions used across the wireless and compute models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: One gigahertz in hertz.
+GHZ: float = 1e9
+
+#: One megahertz in hertz.
+MHZ: float = 1e6
+
+#: One kilometre in metres.
+KM: float = 1e3
+
+#: One millisecond in seconds.
+MS: float = 1e-3
+
+
+def db_to_linear(value_db):
+    """Convert a dB power ratio to a linear ratio."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value):
+    """Convert a linear power ratio to dB.  Values must be positive."""
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("linear power ratios must be positive to convert to dB")
+    return 10.0 * np.log10(arr)
+
+
+def dbm_to_watt(value_dbm):
+    """Convert dBm to watts (0 dBm == 1 mW)."""
+    return np.power(10.0, (np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watt_to_dbm(value_watt):
+    """Convert watts to dBm.  Values must be positive."""
+    arr = np.asarray(value_watt, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("power must be positive to convert to dBm")
+    return 10.0 * np.log10(arr) + 30.0
+
+
+#: Thermal noise power spectral density at room temperature, -174 dBm/Hz,
+#: expressed in W/Hz.  The paper uses the Shannon formula with N0 but does not
+#: state the numeric value; -174 dBm/Hz is the standard assumption.
+NOISE_PSD_DBM_PER_HZ: float = -174.0
+NOISE_PSD_W_PER_HZ: float = float(dbm_to_watt(NOISE_PSD_DBM_PER_HZ))

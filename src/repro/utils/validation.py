@@ -1,0 +1,58 @@
+"""Small argument-validation helpers shared by the model constructors."""
+
+from __future__ import annotations
+
+from typing import Sized
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise ``ValueError``."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if in [0, 1], else raise ``ValueError``."""
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Return ``value`` if inside the interval, else raise ``ValueError``."""
+    ok_low = value > low if low_open else value >= low
+    ok_high = value < high if high_open else value <= high
+    if not (np.isfinite(value) and ok_low and ok_high):
+        left = "(" if low_open else "["
+        right = ")" if high_open else "]"
+        raise ValueError(f"{name} must lie in {left}{low}, {high}{right}, got {value!r}")
+    return float(value)
+
+
+def check_same_length(**named_sequences: Sized) -> int:
+    """Check all keyword sequences share one length and return it."""
+    lengths = {name: len(seq) for name, seq in named_sequences.items()}
+    unique = set(lengths.values())
+    if len(unique) > 1:
+        raise ValueError(f"length mismatch: {lengths}")
+    if not unique:
+        raise ValueError("check_same_length requires at least one sequence")
+    return unique.pop()

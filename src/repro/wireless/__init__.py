@@ -1,0 +1,37 @@
+"""Wireless uplink substrate (paper §III-D).
+
+* :mod:`repro.wireless.pathloss` — the 3GPP-style large-scale fading model
+  ``128.1 + 37.6 log10(d_km)`` plus Rayleigh small-scale fading (paper §VI-A).
+* :mod:`repro.wireless.channel` — sampling client-server channel gains in the
+  circular cell.
+* :mod:`repro.wireless.rate` — Shannon-capacity uplink rate (Eq. 10), delay
+  (Eq. 11) and energy (Eq. 12).
+* :mod:`repro.wireless.fdma` — FDMA bandwidth bookkeeping (constraint 17f).
+"""
+
+from repro.wireless.pathloss import (
+    path_loss_db,
+    path_loss_linear,
+    rayleigh_power_gain,
+)
+from repro.wireless.channel import ChannelModel, ChannelRealization
+from repro.wireless.rate import (
+    transmission_delay,
+    transmission_energy,
+    uplink_rate,
+    uplink_rate_gradient,
+)
+from repro.wireless.fdma import FDMAAllocator
+
+__all__ = [
+    "ChannelModel",
+    "ChannelRealization",
+    "FDMAAllocator",
+    "path_loss_db",
+    "path_loss_linear",
+    "rayleigh_power_gain",
+    "transmission_delay",
+    "transmission_energy",
+    "uplink_rate",
+    "uplink_rate_gradient",
+]

@@ -1,0 +1,80 @@
+"""Client-server channel sampling (paper §VI-A).
+
+Clients are dropped uniformly in a circular cell of radius 1000 m around the
+edge server; the channel attenuation ``g_n`` of Eq. 10 combines the 3GPP
+large-scale path loss with Rayleigh small-scale fading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.wireless.pathloss import path_loss_linear, rayleigh_power_gain
+
+
+@dataclass(frozen=True)
+class ChannelRealization:
+    """One sampled uplink channel state for N clients."""
+
+    distances_m: np.ndarray
+    gains: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.distances_m.shape != self.gains.shape:
+            raise ValueError("distances and gains must align")
+        if np.any(self.gains <= 0):
+            raise ValueError("channel gains must be positive")
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.gains)
+
+
+class ChannelModel:
+    """Sampler for client placements and uplink channel gains."""
+
+    def __init__(
+        self,
+        *,
+        cell_radius_m: float = 1000.0,
+        min_distance_m: float = 10.0,
+        use_rayleigh: bool = True,
+    ) -> None:
+        if cell_radius_m <= 0:
+            raise ValueError("cell radius must be positive")
+        if not 0 < min_distance_m < cell_radius_m:
+            raise ValueError("min distance must be in (0, cell radius)")
+        self.cell_radius_m = float(cell_radius_m)
+        self.min_distance_m = float(min_distance_m)
+        self.use_rayleigh = use_rayleigh
+
+    def sample_distances(self, num_clients: int, rng: SeedLike = None) -> np.ndarray:
+        """Uniform-in-disk distances (density ∝ r), clipped at the exclusion zone.
+
+        The paper states distances are "randomly chosen in a circular network
+        topology with a radius of 1000 meters".
+        """
+        gen = as_generator(rng)
+        radii = self.cell_radius_m * np.sqrt(gen.random(num_clients))
+        return np.maximum(radii, self.min_distance_m)
+
+    def sample(self, num_clients: int, rng: SeedLike = None) -> ChannelRealization:
+        """Sample distances and compute channel power gains ``g_n``."""
+        gen = as_generator(rng)
+        distances = self.sample_distances(num_clients, gen)
+        gains = np.asarray(path_loss_linear(distances), dtype=float)
+        if self.use_rayleigh:
+            gains = gains * rayleigh_power_gain(gen, size=num_clients)
+        return ChannelRealization(distances_m=distances, gains=gains)
+
+    def gains_at(self, distances_m: np.ndarray, rng: SeedLike = None) -> ChannelRealization:
+        """Channel gains for fixed distances (Rayleigh still random if enabled)."""
+        distances = np.asarray(distances_m, dtype=float)
+        gains = np.asarray(path_loss_linear(distances), dtype=float)
+        if self.use_rayleigh:
+            gains = gains * rayleigh_power_gain(as_generator(rng), size=distances.shape)
+        return ChannelRealization(distances_m=distances, gains=gains)

@@ -1,0 +1,63 @@
+"""FDMA bandwidth bookkeeping (paper §III-D, constraint 17f).
+
+The uplink uses frequency-division multiple access: each client gets a
+disjoint slice ``b_n`` of the server's total bandwidth ``B_total``, so the
+only coupling between clients is ``Σ_n b_n ≤ B_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class FDMAAllocator:
+    """Track and validate FDMA bandwidth assignments against ``B_total``."""
+
+    def __init__(self, total_bandwidth_hz: float) -> None:
+        if total_bandwidth_hz <= 0:
+            raise ValueError("total bandwidth must be positive")
+        self.total_bandwidth_hz = float(total_bandwidth_hz)
+        self._assignments: Dict[int, float] = {}
+
+    @property
+    def assigned_hz(self) -> float:
+        """Currently assigned bandwidth."""
+        return float(sum(self._assignments.values()))
+
+    @property
+    def available_hz(self) -> float:
+        """Remaining unassigned bandwidth."""
+        return self.total_bandwidth_hz - self.assigned_hz
+
+    def assign(self, client_index: int, bandwidth_hz: float) -> None:
+        """Assign (or reassign) a slice to one client; raises if oversubscribed."""
+        if bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        current = self._assignments.get(client_index, 0.0)
+        if self.assigned_hz - current + bandwidth_hz > self.total_bandwidth_hz * (1 + 1e-12):
+            raise ValueError(
+                f"assigning {bandwidth_hz:.3g} Hz to client {client_index} exceeds "
+                f"B_total={self.total_bandwidth_hz:.3g} Hz"
+            )
+        self._assignments[client_index] = float(bandwidth_hz)
+
+    def release(self, client_index: int) -> None:
+        """Return a client's slice to the pool."""
+        self._assignments.pop(client_index, None)
+
+    def allocation(self) -> Dict[int, float]:
+        """Current map of client -> bandwidth (Hz)."""
+        return dict(self._assignments)
+
+    def validate_vector(self, bandwidths_hz: Sequence[float]) -> bool:
+        """Check a full allocation vector against constraint (17f)."""
+        b = np.asarray(bandwidths_hz, dtype=float)
+        return bool(np.all(b > 0) and b.sum() <= self.total_bandwidth_hz * (1 + 1e-9))
+
+    def equal_split(self, num_clients: int) -> np.ndarray:
+        """The AA-baseline allocation: ``B_total / N`` each."""
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        return np.full(num_clients, self.total_bandwidth_hz / num_clients)

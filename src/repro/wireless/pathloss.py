@@ -1,0 +1,35 @@
+"""Large- and small-scale fading models (paper §VI-A).
+
+The paper employs ``128.1 + 37.6 log10(distance)`` as large-scale fading
+(the classic 3GPP UMa model with distance in kilometres) and Rayleigh
+small-scale fading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+#: 3GPP path-loss model constants (distance in km).
+PATH_LOSS_INTERCEPT_DB: float = 128.1
+PATH_LOSS_SLOPE_DB: float = 37.6
+
+
+def path_loss_db(distance_m):
+    """Large-scale path loss in dB for a distance in metres."""
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d <= 0):
+        raise ValueError("distance must be positive")
+    return PATH_LOSS_INTERCEPT_DB + PATH_LOSS_SLOPE_DB * np.log10(d / 1000.0)
+
+
+def path_loss_linear(distance_m):
+    """Large-scale power attenuation (linear, < 1 for macro distances)."""
+    return np.power(10.0, -np.asarray(path_loss_db(distance_m)) / 10.0)
+
+
+def rayleigh_power_gain(rng: SeedLike = None, size=None):
+    """Small-scale Rayleigh fading power gain ``|h|²`` (unit-mean exponential)."""
+    gen = as_generator(rng)
+    return gen.exponential(1.0, size=size)

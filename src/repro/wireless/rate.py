@@ -1,0 +1,73 @@
+"""Shannon-rate uplink model (paper Eq. 10-12).
+
+``r_n = b_n log2(1 + p_n g_n / (N0 b_n))`` — jointly concave in ``(p, b)``
+(it is the perspective of a concave function), which Stage 3 of QuHE relies
+on.  Delay and energy follow Eq. 11-12.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.units import NOISE_PSD_W_PER_HZ
+
+_LN2 = float(np.log(2.0))
+
+
+def uplink_rate(bandwidth, power, gain, *, noise_psd: float = NOISE_PSD_W_PER_HZ):
+    """Uplink rate in bit/s (Eq. 10).  Accepts scalars or aligned arrays."""
+    b = np.asarray(bandwidth, dtype=float)
+    p = np.asarray(power, dtype=float)
+    g = np.asarray(gain, dtype=float)
+    if np.any(b <= 0):
+        raise ValueError("bandwidth must be positive")
+    if np.any(p < 0):
+        raise ValueError("power must be non-negative")
+    if np.any(g <= 0):
+        raise ValueError("channel gain must be positive")
+    snr = p * g / (noise_psd * b)
+    value = b * np.log2(1.0 + snr)
+    if all(np.isscalar(x) for x in (bandwidth, power, gain)):
+        return float(value)
+    return value
+
+
+def uplink_rate_gradient(
+    bandwidth: float, power: float, gain: float, *, noise_psd: float = NOISE_PSD_W_PER_HZ
+) -> Tuple[float, float]:
+    """Partial derivatives ``(∂r/∂b, ∂r/∂p)`` of the Shannon rate.
+
+    Used by gradient-based Stage-3 solvers:
+    ``∂r/∂p = g / (ln2 (N0 b + p g)) · b``... specifically
+    ``∂r/∂b = log2(1+s) − s/((1+s) ln2)`` and ``∂r/∂p = g/(N0 (1+s) ln2)``
+    with ``s = p g/(N0 b)``.
+    """
+    if bandwidth <= 0 or gain <= 0 or power < 0:
+        raise ValueError("invalid rate arguments")
+    s = power * gain / (noise_psd * bandwidth)
+    d_b = np.log2(1.0 + s) - s / ((1.0 + s) * _LN2)
+    d_p = gain / (noise_psd * (1.0 + s) * _LN2)
+    return float(d_b), float(d_p)
+
+
+def transmission_delay(data_bits, bandwidth, power, gain, *, noise_psd: float = NOISE_PSD_W_PER_HZ):
+    """Uplink transmission delay ``T_tr = d_tr / r`` in seconds (Eq. 11)."""
+    d = np.asarray(data_bits, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("data size must be non-negative")
+    rate = uplink_rate(bandwidth, power, gain, noise_psd=noise_psd)
+    value = d / np.asarray(rate, dtype=float)
+    if np.isscalar(rate):
+        return float(value)
+    return value
+
+
+def transmission_energy(data_bits, bandwidth, power, gain, *, noise_psd: float = NOISE_PSD_W_PER_HZ):
+    """Uplink transmission energy ``E_tr = p · T_tr`` in joules (Eq. 12)."""
+    delay = transmission_delay(data_bits, bandwidth, power, gain, noise_psd=noise_psd)
+    value = np.asarray(power, dtype=float) * np.asarray(delay, dtype=float)
+    if np.isscalar(delay):
+        return float(value)
+    return value

@@ -1,0 +1,157 @@
+"""Synthetic NLP workload generator (paper §III-C / §VI-A substrate).
+
+The paper's clients "process natural language processing (NLP) tasks": each
+client submits ``d_cmp`` tokens, ``ϱ`` tokens form one sample, and the server
+runs encrypted prediction per sample (the CKKS cost curves of Eq. 29/31 are
+fitted on that workload, from the PrivTuner system of reference [15]).  The
+authors' actual corpus is not published, so this module provides the closest
+synthetic equivalent: a seeded generator of tokenised requests with
+realistic length dispersion, batching them into fixed-``ϱ`` samples and
+emitting the per-client ``(d_cmp, d_tr)`` statistics the optimization layer
+consumes.  See DESIGN.md §3 for the substitution note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: a token-id sequence and its wire size."""
+
+    tokens: Tuple[int, ...]
+    payload_bits: int
+
+    @property
+    def num_tokens(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class ClientWorkload:
+    """Aggregated workload statistics for one client.
+
+    ``num_tokens`` and ``tokens_per_sample`` map onto the paper's ``d_cmp``
+    and ``ϱ``; ``upload_bits`` onto ``d_tr``.
+    """
+
+    client_index: int
+    requests: Tuple[Request, ...]
+    tokens_per_sample: int
+
+    @property
+    def num_tokens(self) -> int:
+        return sum(r.num_tokens for r in self.requests)
+
+    @property
+    def num_samples(self) -> int:
+        """Samples of ``ϱ`` tokens each (the paper's d_cmp/ϱ), rounded up."""
+        return -(-self.num_tokens // self.tokens_per_sample)
+
+    @property
+    def upload_bits(self) -> int:
+        return sum(r.payload_bits for r in self.requests)
+
+    def samples(self) -> List[Tuple[int, ...]]:
+        """Batch the token stream into fixed-size samples (last one padded)."""
+        stream = [t for r in self.requests for t in r.tokens]
+        out: List[Tuple[int, ...]] = []
+        for i in range(0, len(stream), self.tokens_per_sample):
+            chunk = stream[i : i + self.tokens_per_sample]
+            if len(chunk) < self.tokens_per_sample:
+                chunk = chunk + [0] * (self.tokens_per_sample - len(chunk))
+            out.append(tuple(chunk))
+        return out
+
+
+class NLPWorkloadGenerator:
+    """Seeded generator of token workloads with log-normal length dispersion.
+
+    Defaults reproduce the paper's operating point: the expected total token
+    count per client is ``d_cmp = 160`` with ``ϱ = 10`` tokens per sample,
+    and request payloads average to ``bits_per_token`` wire bits (ciphertext
+    expansion included), so that the aggregate upload approximates ``d_tr``.
+    """
+
+    def __init__(
+        self,
+        *,
+        vocabulary_size: int = 30_000,
+        mean_request_tokens: float = 32.0,
+        length_sigma: float = 0.5,
+        tokens_per_sample: int = 10,
+        bits_per_token: float = 3e9 / 160.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if vocabulary_size < 2:
+            raise ValueError("vocabulary must have at least two tokens")
+        if mean_request_tokens <= 0 or length_sigma <= 0:
+            raise ValueError("length distribution parameters must be positive")
+        if tokens_per_sample < 1:
+            raise ValueError("tokens_per_sample must be >= 1")
+        if bits_per_token <= 0:
+            raise ValueError("bits_per_token must be positive")
+        self.vocabulary_size = int(vocabulary_size)
+        self.mean_request_tokens = float(mean_request_tokens)
+        self.length_sigma = float(length_sigma)
+        self.tokens_per_sample = int(tokens_per_sample)
+        self.bits_per_token = float(bits_per_token)
+        self._rng = as_generator(seed)
+
+    def _request_length(self) -> int:
+        mu = np.log(self.mean_request_tokens) - self.length_sigma**2 / 2.0
+        length = int(round(self._rng.lognormal(mu, self.length_sigma)))
+        return max(1, length)
+
+    def generate_request(self) -> Request:
+        """One request with Zipf-flavoured token ids."""
+        length = self._request_length()
+        # Zipf over the vocabulary, clipped into range (common-word skew).
+        raw = self._rng.zipf(1.3, size=length)
+        tokens = tuple(int(t % self.vocabulary_size) for t in raw)
+        payload = int(round(length * self.bits_per_token))
+        return Request(tokens=tokens, payload_bits=payload)
+
+    def generate_client(
+        self, client_index: int, *, target_tokens: int = 160
+    ) -> ClientWorkload:
+        """Requests until the client's token budget ``d_cmp`` is reached."""
+        if target_tokens < 1:
+            raise ValueError("target_tokens must be >= 1")
+        requests: List[Request] = []
+        total = 0
+        while total < target_tokens:
+            request = self.generate_request()
+            requests.append(request)
+            total += request.num_tokens
+        return ClientWorkload(
+            client_index=client_index,
+            requests=tuple(requests),
+            tokens_per_sample=self.tokens_per_sample,
+        )
+
+    def generate_fleet(
+        self, num_clients: int, *, target_tokens: int = 160
+    ) -> List[ClientWorkload]:
+        """One workload per client."""
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        return [
+            self.generate_client(i, target_tokens=target_tokens)
+            for i in range(num_clients)
+        ]
+
+
+def workload_to_client_parameters(workload: ClientWorkload) -> dict:
+    """Map a workload onto the :class:`~repro.compute.devices.ClientNode` fields."""
+    return {
+        "num_tokens": float(workload.num_tokens),
+        "tokens_per_sample": float(workload.tokens_per_sample),
+        "upload_bits": float(workload.upload_bits),
+    }

@@ -1,0 +1,82 @@
+"""Tests for the CPU-cycle cost curves (Eq. 29-31)."""
+
+import numpy as np
+import pytest
+
+from repro.compute.cost_models import (
+    CostModel,
+    PAPER_LAMBDA_SET,
+    f_cmp_paper,
+    f_eval_paper,
+    paper_cost_model,
+)
+from repro.crypto.security import paper_msl
+
+
+class TestPaperCurves:
+    def test_eq29_values(self):
+        assert f_eval_paper(2**15) == pytest.approx(0.012 * (32768 + 64500) ** 2)
+        assert f_eval_paper(2**17) == pytest.approx(0.012 * (131072 + 64500) ** 2)
+
+    def test_eq31_values(self):
+        assert f_cmp_paper(2**15) == pytest.approx(8917959.4 * 32768 - 51292440000)
+        assert f_cmp_paper(2**16) == pytest.approx(8917959.4 * 65536 - 51292440000)
+
+    def test_curves_increasing_on_lambda_set(self):
+        evals = [f_eval_paper(v) for v in PAPER_LAMBDA_SET]
+        cmps = [f_cmp_paper(v) for v in PAPER_LAMBDA_SET]
+        assert evals == sorted(evals)
+        assert cmps == sorted(cmps)
+
+    def test_cmp_negative_below_domain(self):
+        # The fit is only valid on the paper's λ-set; below ~5751 it is negative.
+        assert f_cmp_paper(4096) < 0
+
+    def test_array_input(self):
+        out = f_eval_paper(np.array([2**15, 2**16]))
+        assert out.shape == (2,)
+
+
+class TestCostModel:
+    def test_paper_model_lambda_set(self):
+        model = paper_cost_model()
+        assert model.lambda_set == (2**15, 2**16, 2**17)
+
+    def test_server_cycles_sum(self):
+        model = paper_cost_model()
+        lam = 2**15
+        assert model.server_cycles_per_sample(lam) == pytest.approx(
+            f_cmp_paper(lam) + f_eval_paper(lam)
+        )
+
+    def test_validate_lambda(self):
+        model = paper_cost_model()
+        assert model.validate_lambda(2**16) == 2**16
+        with pytest.raises(ValueError, match="admissible"):
+            model.validate_lambda(2**14)
+
+    def test_msl_defaults_to_paper_curve(self):
+        model = paper_cost_model()
+        assert model.msl_bits(2**15) == pytest.approx(paper_msl(2**15))
+
+    def test_rejects_unsorted_lambda_set(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CostModel(lambda_set=(2**16, 2**15))
+
+    def test_rejects_empty_lambda_set(self):
+        with pytest.raises(ValueError, match="empty"):
+            CostModel(lambda_set=())
+
+    def test_rejects_negative_cost_domain(self):
+        # λ=4096 makes f_cmp negative: constructor must refuse.
+        with pytest.raises(ValueError, match="positive"):
+            CostModel(lambda_set=(4096,))
+
+    def test_custom_curves(self):
+        model = CostModel(
+            eval_cycles=lambda lam: 10.0 * lam,
+            cmp_cycles=lambda lam: 20.0 * lam,
+            msl_bits=lambda lam: 0.001 * lam,
+            lambda_set=(1024, 2048),
+        )
+        assert model.server_cycles_per_sample(1024) == pytest.approx(30.0 * 1024)

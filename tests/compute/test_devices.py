@@ -1,0 +1,48 @@
+"""Tests for the client/server device dataclasses."""
+
+import pytest
+
+from repro.compute.devices import ClientNode, EdgeServer
+
+
+class TestClientNode:
+    def test_paper_defaults(self):
+        client = ClientNode(index=0)
+        assert client.encryption_cycles == 1e6
+        assert client.max_frequency_hz == 3e9
+        assert client.max_power_w == 0.2
+        assert client.upload_bits == 3e9
+        assert client.num_tokens == 160.0
+        assert client.tokens_per_sample == 10.0
+        assert client.min_entanglement_rate == 0.5
+
+    def test_frozen(self):
+        client = ClientNode(index=0)
+        with pytest.raises(AttributeError):
+            client.max_power_w = 1.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ClientNode(index=-1)
+
+    def test_nonpositive_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ClientNode(index=0, max_power_w=0.0)
+        with pytest.raises(ValueError):
+            ClientNode(index=0, privacy_weight=-0.1)
+        with pytest.raises(ValueError):
+            ClientNode(index=0, upload_bits=0.0)
+
+
+class TestEdgeServer:
+    def test_paper_defaults(self):
+        server = EdgeServer()
+        assert server.total_frequency_hz == 20e9
+        assert server.total_bandwidth_hz == 10e6
+        assert server.switched_capacitance == 1e-28
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeServer(total_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            EdgeServer(total_bandwidth_hz=-1.0)

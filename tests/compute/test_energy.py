@@ -1,0 +1,79 @@
+"""Tests for the delay/energy formulas (Eq. 7-8, 13-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compute.energy import (
+    computation_delay,
+    computation_energy,
+    encryption_delay,
+    encryption_energy,
+)
+
+
+class TestEncryption:
+    def test_eq7_delay(self):
+        assert encryption_delay(1e6, 3e9) == pytest.approx(1e6 / 3e9)
+
+    def test_eq8_energy(self):
+        assert encryption_energy(1e-28, 1e6, 3e9) == pytest.approx(1e-28 * 1e6 * 9e18)
+
+    def test_paper_magnitudes(self):
+        # With the paper's constants the client encryption energy is ~0.9 mJ.
+        assert encryption_energy(1e-28, 1e6, 3e9) == pytest.approx(9e-4)
+
+    def test_delay_decreases_with_frequency(self):
+        assert encryption_delay(1e6, 3e9) < encryption_delay(1e6, 1e9)
+
+    def test_energy_increases_with_frequency(self):
+        assert encryption_energy(1e-28, 1e6, 3e9) > encryption_energy(1e-28, 1e6, 1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encryption_delay(1e6, 0.0)
+        with pytest.raises(ValueError):
+            encryption_delay(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            encryption_energy(0.0, 1e6, 1e9)
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e9),
+        st.floats(min_value=1e6, max_value=1e10),
+    )
+    def test_delay_energy_frequency_tradeoff(self, cycles, freq):
+        """Raising f cuts delay but costs quadratically more energy."""
+        d1 = encryption_delay(cycles, freq)
+        d2 = encryption_delay(cycles, freq * 2)
+        e1 = encryption_energy(1e-28, cycles, freq)
+        e2 = encryption_energy(1e-28, cycles, freq * 2)
+        assert d2 == pytest.approx(d1 / 2)
+        assert e2 == pytest.approx(e1 * 4)
+
+
+class TestComputation:
+    def test_eq13_delay(self):
+        # (f_cmp + f_eval)·d_cmp / (ϱ·f_s)
+        assert computation_delay(2.41e11, 160, 10, 3.33e9) == pytest.approx(
+            2.41e11 * 160 / (10 * 3.33e9)
+        )
+
+    def test_eq14_energy(self):
+        assert computation_energy(1e-28, 2.41e11, 160, 10, 3.33e9) == pytest.approx(
+            1e-28 * 2.41e11 * 160 * (3.33e9) ** 2 / 10
+        )
+
+    def test_array_broadcasting(self):
+        delays = computation_delay(
+            np.array([1e11, 2e11]), 160.0, 10.0, np.array([1e9, 2e9])
+        )
+        assert delays.shape == (2,)
+        assert delays[0] == pytest.approx(1e11 * 16 / 1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            computation_delay(0.0, 160, 10, 1e9)
+        with pytest.raises(ValueError):
+            computation_delay(1e11, 160, 0.0, 1e9)
+        with pytest.raises(ValueError):
+            computation_energy(1e-28, 1e11, 160, 10, 0.0)

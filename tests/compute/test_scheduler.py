@@ -1,0 +1,112 @@
+"""Tests for the partitioned server scheduler (Eq. 13/15 validation)."""
+
+import numpy as np
+import pytest
+
+from repro.compute.scheduler import (
+    ClientSchedule,
+    PartitionedServerScheduler,
+    SampleJob,
+    jobs_from_uplink,
+)
+
+
+class TestBasicExecution:
+    def test_single_job(self):
+        sched = PartitionedServerScheduler([1e9])
+        jobs = [SampleJob(0, 0.0, 2e9)]
+        out = sched.run(jobs)
+        assert out[0].completion_times_s == (2.0,)
+
+    def test_fifo_queueing(self):
+        sched = PartitionedServerScheduler([1e9])
+        jobs = [SampleJob(0, 0.0, 1e9), SampleJob(0, 0.0, 1e9)]
+        out = sched.run(jobs)
+        assert out[0].completion_times_s == (1.0, 2.0)
+
+    def test_idle_gap_respected(self):
+        sched = PartitionedServerScheduler([1e9])
+        jobs = [SampleJob(0, 0.0, 1e9), SampleJob(0, 5.0, 1e9)]
+        out = sched.run(jobs)
+        assert out[0].completion_times_s == (1.0, 6.0)
+        assert out[0].busy_time_s == pytest.approx(2.0)
+
+    def test_partitions_are_independent(self):
+        sched = PartitionedServerScheduler([1e9, 2e9])
+        jobs = [SampleJob(0, 0.0, 2e9), SampleJob(1, 0.0, 2e9)]
+        out = sched.run(jobs)
+        assert out[0].makespan_s == pytest.approx(2.0)
+        assert out[1].makespan_s == pytest.approx(1.0)
+
+    def test_unknown_client_rejected(self):
+        sched = PartitionedServerScheduler([1e9])
+        with pytest.raises(ValueError, match="unknown client"):
+            sched.run([SampleJob(3, 0.0, 1e9)])
+
+    def test_17h_enforced(self):
+        with pytest.raises(ValueError, match="17h"):
+            PartitionedServerScheduler([15e9, 10e9], total_frequency_hz=20e9)
+
+
+class TestEq13Validation:
+    def test_simultaneous_arrivals_match_eq13_exactly(self, typical_cfg):
+        """With all samples at t=0 the queue reproduces Eq. 13 bit-for-bit."""
+        cycles_per_sample = typical_cfg.cost_model.server_cycles_per_sample(2**15)
+        n_samples = 16  # d_cmp / ϱ = 160 / 10
+        f_s = 2e9
+        sched = PartitionedServerScheduler([f_s])
+        jobs = [SampleJob(0, 0.0, cycles_per_sample) for _ in range(n_samples)]
+        makespan = sched.run(jobs)[0].makespan_s
+        assert makespan == pytest.approx(
+            sched.eq13_delay(0, cycles_per_sample * n_samples)
+        )
+
+    def test_eq15_sum_is_upper_bound_for_batch_arrivals(self):
+        """T_tr + T_cmp (the paper's serial model) equals the batch makespan."""
+        sched = PartitionedServerScheduler([1e9])
+        t_tr = 10.0
+        jobs = jobs_from_uplink(0, 8, 1e9, uplink_finish_time_s=t_tr)
+        makespan = sched.makespan(jobs)
+        assert makespan == pytest.approx(t_tr + 8.0)
+
+    def test_streaming_overlap_beats_serial_model(self):
+        """Letting samples stream during the upload strictly improves on the
+        paper's serialised phases when transmission dominates."""
+        sched = PartitionedServerScheduler([1e9])
+        t_tr = 100.0
+        serial = sched.makespan(jobs_from_uplink(0, 8, 1e9, uplink_finish_time_s=t_tr))
+        streamed = sched.makespan(
+            jobs_from_uplink(0, 8, 1e9, uplink_finish_time_s=t_tr, streaming=True)
+        )
+        assert streamed < serial
+        # And never better than max(T_tr, T_cmp): the true lower bound.
+        assert streamed >= max(t_tr, 8.0) - 1e-9
+
+    def test_quhe_allocation_delay_consistent(self, typical_cfg, quhe_result):
+        """The optimizer's reported T_cmp matches the simulated queue."""
+        alloc = quhe_result.allocation
+        cycles = typical_cfg.server_cycle_demand(alloc.lam)
+        sched = PartitionedServerScheduler(
+            alloc.f_s, total_frequency_hz=typical_cfg.server.total_frequency_hz
+        )
+        for n in range(typical_cfg.num_clients):
+            jobs = [SampleJob(n, 0.0, cycles[n])]
+            makespan = sched.run(jobs)[n].makespan_s
+            assert makespan == pytest.approx(quhe_result.metrics.cmp_delay[n], rel=1e-9)
+
+
+class TestValidation:
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            SampleJob(0, -1.0, 1e9)
+        with pytest.raises(ValueError):
+            SampleJob(0, 0.0, 0.0)
+
+    def test_uplink_helper_validation(self):
+        with pytest.raises(ValueError):
+            jobs_from_uplink(0, 0, 1e9, uplink_finish_time_s=1.0)
+        with pytest.raises(ValueError):
+            jobs_from_uplink(0, 1, 1e9, uplink_finish_time_s=-1.0)
+
+    def test_empty_jobs_zero_makespan(self):
+        assert PartitionedServerScheduler([1e9]).makespan([]) == 0.0

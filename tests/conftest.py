@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Heavy objects (configs, Stage-1 solutions, QuHE runs, CKKS contexts) are
+session-scoped: they are deterministic for a fixed seed, and reusing them
+keeps the several-hundred-test suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import QuHE, paper_config
+from repro.core.stage1 import Stage1Solver
+from repro.crypto.ckks import CKKSContext
+
+
+@pytest.fixture(scope="session")
+def paper_cfg():
+    """The paper's configuration with the seed-0 channel realization."""
+    return paper_config(seed=0)
+
+
+@pytest.fixture(scope="session")
+def typical_cfg():
+    """A representative realization without deep fades (experiment default)."""
+    return paper_config(seed=2)
+
+
+@pytest.fixture(scope="session")
+def stage1_solution(paper_cfg):
+    """Stage-1 optimum on the paper configuration (matches Tables V/VI)."""
+    return Stage1Solver(paper_cfg).solve()
+
+
+@pytest.fixture(scope="session")
+def quhe_result(typical_cfg):
+    """A full QuHE run on the typical configuration."""
+    return QuHE(typical_cfg).solve()
+
+
+@pytest.fixture(scope="session")
+def ckks():
+    """A small, fast CKKS context shared by crypto tests."""
+    return CKKSContext(ring_degree=32, scale_bits=22, base_modulus_bits=30, depth=3, seed=123)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(42)

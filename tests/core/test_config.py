@@ -1,0 +1,119 @@
+"""Tests for SystemConfig and the paper parameter setting."""
+
+import numpy as np
+import pytest
+
+from repro.compute.devices import ClientNode, EdgeServer
+from repro.core.config import PAPER_PRIVACY_WEIGHTS, SystemConfig, paper_config
+
+
+class TestPaperConfig:
+    def test_paper_constants(self, paper_cfg):
+        assert paper_cfg.num_clients == 6
+        assert paper_cfg.num_links == 18
+        assert paper_cfg.server.total_frequency_hz == 20e9
+        assert paper_cfg.server.total_bandwidth_hz == 10e6
+        assert paper_cfg.alpha_qkd == 1.0
+        assert paper_cfg.alpha_msl == 1e-2
+        assert paper_cfg.alpha_t == 1e-4
+        assert paper_cfg.alpha_e == 1e-4
+        assert paper_cfg.tolerance == 1e-4
+
+    def test_privacy_weights(self, paper_cfg):
+        assert tuple(paper_cfg.privacy_weights) == PAPER_PRIVACY_WEIGHTS
+        assert np.sum(paper_cfg.privacy_weights) == pytest.approx(1.0)
+
+    def test_min_rates(self, paper_cfg):
+        assert np.all(paper_cfg.min_rates == 0.5)
+
+    def test_channel_gains_deterministic(self):
+        a = paper_config(seed=5).channel_gains
+        b = paper_config(seed=5).channel_gains
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = paper_config(seed=1).channel_gains
+        b = paper_config(seed=2).channel_gains
+        # Gains are ~1e-13, so compare ratios rather than absolute closeness.
+        assert np.max(np.abs(a / b - 1.0)) > 0.01
+
+    def test_array_views(self, paper_cfg):
+        assert paper_cfg.max_power.shape == (6,)
+        assert np.all(paper_cfg.max_power == 0.2)
+        assert np.all(paper_cfg.client_max_frequency == 3e9)
+        assert np.all(paper_cfg.encryption_cycles == 1e6)
+        assert np.all(paper_cfg.upload_bits == 3e9)
+
+    def test_server_cycle_demand(self, paper_cfg):
+        lam = np.full(6, 2**15)
+        demand = paper_cfg.server_cycle_demand(lam)
+        per_sample = paper_cfg.cost_model.server_cycles_per_sample(2**15)
+        assert np.allclose(demand, per_sample * 160 / 10)
+
+
+class TestModifiedCopies:
+    def test_with_total_bandwidth(self, paper_cfg):
+        new = paper_cfg.with_total_bandwidth(5e6)
+        assert new.server.total_bandwidth_hz == 5e6
+        assert paper_cfg.server.total_bandwidth_hz == 10e6  # original untouched
+
+    def test_with_total_server_frequency(self, paper_cfg):
+        assert paper_cfg.with_total_server_frequency(30e9).server.total_frequency_hz == 30e9
+
+    def test_with_max_power(self, paper_cfg):
+        new = paper_cfg.with_max_power(0.5)
+        assert np.all(new.max_power == 0.5)
+
+    def test_with_client_max_frequency(self, paper_cfg):
+        new = paper_cfg.with_client_max_frequency(6e9)
+        assert np.all(new.client_max_frequency == 6e9)
+
+
+class TestValidation:
+    def test_client_count_must_match_routes(self, paper_cfg):
+        with pytest.raises(ValueError, match="routes"):
+            SystemConfig(
+                network=paper_cfg.network,
+                clients=paper_cfg.clients[:-1],
+                server=EdgeServer(),
+                cost_model=paper_cfg.cost_model,
+                channel_gains=paper_cfg.channel_gains[:-1],
+            )
+
+    def test_gain_shape_checked(self, paper_cfg):
+        with pytest.raises(ValueError, match="channel_gains"):
+            SystemConfig(
+                network=paper_cfg.network,
+                clients=paper_cfg.clients,
+                server=EdgeServer(),
+                cost_model=paper_cfg.cost_model,
+                channel_gains=np.ones(3),
+            )
+
+    def test_nonpositive_gain_rejected(self, paper_cfg):
+        gains = paper_cfg.channel_gains.copy()
+        gains[0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            SystemConfig(
+                network=paper_cfg.network,
+                clients=paper_cfg.clients,
+                server=EdgeServer(),
+                cost_model=paper_cfg.cost_model,
+                channel_gains=gains,
+            )
+
+    def test_negative_weight_rejected(self, paper_cfg):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="non-negative"):
+            dataclasses.replace(paper_cfg, alpha_t=-1.0)
+
+    def test_custom_network_gets_uniform_weights(self):
+        from repro.quantum.topology import QKDNetwork
+
+        net = QKDNetwork.from_edge_list(
+            [("KC", "A", 10.0), ("KC", "B", 12.0)], ["A", "B"], key_center="KC"
+        )
+        cfg = paper_config(seed=0, network=net)
+        assert cfg.num_clients == 2
+        assert np.allclose(cfg.privacy_weights, 0.1)

@@ -1,0 +1,133 @@
+"""Failure injection: stress the optimizer at the edges of its envelope.
+
+Deep fades, starved budgets and impossible demands should produce either a
+feasible (if costly) solution or a clean, diagnosable error — never a crash
+or a silently infeasible allocation.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compute.devices import ClientNode
+from repro.core.config import paper_config
+from repro.core.problem import QuHEProblem
+from repro.core.quhe import QuHE
+from repro.core.stage1 import Stage1Solver
+
+
+class TestChannelFailures:
+    def test_deep_fade_still_feasible(self, typical_cfg):
+        """One client 60 dB below the rest: QuHE must stay feasible and give
+        the victim the lion's share of bandwidth."""
+        gains = typical_cfg.channel_gains.copy()
+        gains[3] *= 1e-6
+        cfg = dataclasses.replace(typical_cfg, channel_gains=gains)
+        result = QuHE(cfg).solve()
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        assert np.argmax(result.allocation.b) == 3
+
+    def test_uniformly_terrible_channels(self, typical_cfg):
+        cfg = dataclasses.replace(
+            typical_cfg, channel_gains=typical_cfg.channel_gains * 1e-4
+        )
+        result = QuHE(cfg).solve()
+        assert result.converged
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        # Delay explodes but is correctly reported, not hidden.
+        assert result.metrics.total_delay > QuHE(typical_cfg).solve().metrics.total_delay
+
+
+class TestBudgetStarvation:
+    def test_tiny_server_cpu(self, typical_cfg):
+        cfg = typical_cfg.with_total_server_frequency(1e9)  # 1 GHz for 6 clients
+        result = QuHE(cfg).solve()
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        assert np.sum(result.allocation.f_s) <= 1e9 * (1 + 1e-9)
+
+    def test_tiny_bandwidth(self, typical_cfg):
+        cfg = typical_cfg.with_total_bandwidth(5e5)  # 0.5 MHz total
+        result = QuHE(cfg).solve()
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+
+    def test_tiny_power_cap(self, typical_cfg):
+        cfg = typical_cfg.with_max_power(1e-3)
+        result = QuHE(cfg).solve()
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        assert np.all(result.allocation.p <= 1e-3 * (1 + 1e-9))
+
+    def test_starved_objective_worse_than_default(self, typical_cfg):
+        starved = typical_cfg.with_total_bandwidth(5e5)
+        default = QuHE(typical_cfg).solve()
+        result = QuHE(starved).solve()
+        assert result.objective < default.objective
+
+
+class TestImpossibleDemands:
+    def test_infeasible_min_rates_raise_cleanly(self, typical_cfg):
+        """φ_min beyond the fidelity-feasible region must raise, not hang."""
+        clients = tuple(
+            dataclasses.replace(c, min_entanglement_rate=50.0)
+            for c in typical_cfg.clients
+        )
+        cfg = dataclasses.replace(typical_cfg, clients=clients)
+        with pytest.raises(ValueError, match="feasible starting point"):
+            Stage1Solver(cfg).feasible_start()
+
+    def test_single_violating_client(self, typical_cfg):
+        clients = list(typical_cfg.clients)
+        clients[0] = dataclasses.replace(clients[0], min_entanglement_rate=100.0)
+        cfg = dataclasses.replace(typical_cfg, clients=tuple(clients))
+        with pytest.raises(ValueError):
+            Stage1Solver(cfg).solve()
+
+
+class TestDegenerateWeights:
+    def test_all_cost_weights_zero(self, typical_cfg):
+        """Pure utility maximisation: λ jumps to the top of the set."""
+        cfg = dataclasses.replace(typical_cfg, alpha_t=0.0, alpha_e=0.0)
+        result = QuHE(cfg).solve()
+        assert result.converged
+        assert np.all(result.allocation.lam == max(cfg.cost_model.lambda_set))
+
+    def test_zero_qkd_weight_keeps_stage1_feasible(self, typical_cfg):
+        cfg = dataclasses.replace(typical_cfg, alpha_qkd=0.0)
+        result = QuHE(cfg).solve()
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        assert np.all(result.allocation.phi >= cfg.min_rates - 1e-9)
+
+    def test_huge_delay_weight_minimises_delay(self, typical_cfg):
+        slow = QuHE(typical_cfg).solve()
+        cfg = dataclasses.replace(typical_cfg, alpha_t=1.0)
+        fast = QuHE(cfg).solve()
+        assert fast.metrics.total_delay <= slow.metrics.total_delay * 1.01
+
+
+class TestHeterogeneousFleet:
+    def test_mixed_client_classes(self):
+        """Clients with wildly different payloads and CPU classes coexist."""
+        base = paper_config(seed=2)
+        clients = tuple(
+            ClientNode(
+                index=i,
+                privacy_weight=w,
+                upload_bits=bits,
+                max_frequency_hz=freq,
+                max_power_w=p,
+            )
+            for i, (w, bits, freq, p) in enumerate([
+                (0.1, 3e9, 3e9, 0.2),      # the paper's class
+                (0.1, 1e7, 1e9, 0.05),     # tiny IoT sensor
+                (0.1, 5e9, 4e9, 0.4),      # heavy uploader
+                (0.2, 1e8, 2e9, 0.1),
+                (0.2, 3e9, 3e9, 0.2),
+                (0.3, 1e9, 3e9, 0.3),
+            ])
+        )
+        cfg = dataclasses.replace(base, clients=clients)
+        result = QuHE(cfg).solve()
+        assert result.converged
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+        # The heavy uploader should hold more bandwidth than the sensor.
+        assert result.allocation.b[2] > result.allocation.b[1]

@@ -1,0 +1,79 @@
+"""Tests for the Allocation/Metrics containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.solution import Allocation, Metrics
+
+
+def make_alloc(n=3, **overrides):
+    base = dict(
+        phi=np.full(n, 0.6),
+        w=np.full(5, 0.95),
+        lam=np.full(n, 2**15),
+        p=np.full(n, 0.1),
+        b=np.full(n, 1e6),
+        f_c=np.full(n, 1e9),
+        f_s=np.full(n, 2e9),
+    )
+    base.update(overrides)
+    return Allocation(**base)
+
+
+class TestAllocation:
+    def test_num_clients(self):
+        assert make_alloc(4).num_clients == 4
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            make_alloc(p=np.ones(2))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            make_alloc(phi=np.ones((3, 1)), p=np.ones(3))
+
+    def test_with_updates_returns_new(self):
+        alloc = make_alloc()
+        updated = alloc.with_updates(T=10.0)
+        assert updated.T == 10.0
+        assert alloc.T is None
+
+    def test_arrays_coerced_to_float(self):
+        alloc = make_alloc(lam=np.array([2**15, 2**15, 2**15], dtype=int))
+        assert alloc.lam.dtype == np.float64
+
+
+class TestMetrics:
+    def make_metrics(self):
+        n = 2
+        return Metrics(
+            u_qkd=0.01,
+            u_msl=67.0,
+            enc_delay=np.array([1.0, 2.0]),
+            tr_delay=np.array([10.0, 20.0]),
+            cmp_delay=np.array([100.0, 50.0]),
+            enc_energy=np.array([0.1, 0.1]),
+            tr_energy=np.array([1.0, 2.0]),
+            cmp_energy=np.array([10.0, 10.0]),
+            total_delay=111.0,
+            total_energy=23.2,
+            objective=-1.5,
+        )
+
+    def test_per_node_delay(self):
+        m = self.make_metrics()
+        assert np.allclose(m.per_node_delay, [111.0, 72.0])
+
+    def test_per_node_energy(self):
+        m = self.make_metrics()
+        assert np.allclose(m.per_node_energy, [11.1, 12.1])
+
+    def test_summary_keys(self):
+        summary = self.make_metrics().summary()
+        assert set(summary) == {
+            "objective",
+            "u_qkd",
+            "u_msl",
+            "total_delay_s",
+            "total_energy_j",
+        }

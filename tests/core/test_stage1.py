@@ -1,0 +1,101 @@
+"""Tests for Stage 1: the convexified QKD-utility solver (Alg. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage1 import Stage1Solver
+from repro.quantum.utility import (
+    optimal_link_werner,
+    route_werner_parameters,
+    stage1_objective_and_gradient,
+)
+from repro.quantum.werner import F_SKF_ZERO_CROSSING
+
+
+class TestFeasibleStart:
+    def test_start_is_interior(self, paper_cfg):
+        solver = Stage1Solver(paper_cfg)
+        phi = solver.feasible_start()
+        assert np.all(phi >= paper_cfg.min_rates)
+        value, _ = stage1_objective_and_gradient(
+            np.log(phi), paper_cfg.network.incidence, paper_cfg.network.betas
+        )
+        assert np.isfinite(value)
+
+
+class TestSolve:
+    def test_reproduces_paper_table_v(self, stage1_solution):
+        """The paper's Table V: φ* = (2.098, 1.106, 1.103, 1.872, 0.6864, 0.5781)."""
+        expected = np.array([2.098, 1.106, 1.103, 1.872, 0.6864, 0.5781])
+        assert np.allclose(stage1_solution.phi, expected, atol=2e-3)
+
+    def test_reproduces_paper_table_vi(self, stage1_solution):
+        """The paper's Table VI w values (spot-checked entries + unused link)."""
+        w = stage1_solution.w
+        expected = {
+            0: 0.9766, 1: 0.9610, 2: 0.9857, 3: 0.9682, 4: 0.9661,
+            5: 1.0000, 8: 0.9931, 14: 0.9611, 17: 0.9600,
+        }
+        for idx, value in expected.items():
+            assert w[idx] == pytest.approx(value, abs=2e-3)
+
+    def test_reproduces_paper_objective_value(self, stage1_solution):
+        """Fig. 5(c): the Stage-1 objective value is 4.58."""
+        assert stage1_solution.value == pytest.approx(4.58, abs=0.02)
+
+    def test_converged(self, stage1_solution):
+        assert stage1_solution.converged
+        assert stage1_solution.iterations > 0
+
+    def test_log_utility_consistency(self, stage1_solution):
+        assert stage1_solution.log_utility == pytest.approx(-stage1_solution.value)
+
+    def test_w_matches_eq18(self, paper_cfg, stage1_solution):
+        w = optimal_link_werner(
+            stage1_solution.phi, paper_cfg.network.incidence, paper_cfg.network.betas
+        )
+        assert np.allclose(stage1_solution.w, w)
+
+    def test_solution_feasible(self, paper_cfg, stage1_solution):
+        net = paper_cfg.network
+        assert np.all(stage1_solution.phi >= paper_cfg.min_rates - 1e-9)
+        load = net.incidence @ stage1_solution.phi
+        assert np.all(load <= net.betas * (1 - stage1_solution.w) + 1e-6)
+        varpi = route_werner_parameters(stage1_solution.w, net.incidence)
+        assert np.all(varpi > F_SKF_ZERO_CROSSING)
+
+    def test_history_decreases(self, stage1_solution):
+        h = np.asarray(stage1_solution.history)
+        assert h[-1] <= h[0] + 1e-9
+
+    def test_insensitive_to_starting_point(self, paper_cfg):
+        solver = Stage1Solver(paper_cfg)
+        a = solver.solve()
+        b = solver.solve(initial_phi=np.full(6, 0.9))
+        assert np.allclose(a.phi, b.phi, atol=1e-3)
+        assert a.value == pytest.approx(b.value, abs=1e-5)
+
+    def test_bad_start_recovered(self, paper_cfg):
+        # An infeasible initial point falls back to the feasible start.
+        solver = Stage1Solver(paper_cfg)
+        result = solver.solve(initial_phi=np.full(6, 1e4))
+        assert result.value == pytest.approx(4.58, abs=0.02)
+
+    def test_stage1_independent_of_channel(self):
+        # The QKD block shares nothing with the wireless side: different
+        # channel seeds give identical Stage-1 solutions.
+        from repro.core.config import paper_config
+
+        a = Stage1Solver(paper_config(seed=1)).solve()
+        b = Stage1Solver(paper_config(seed=9)).solve()
+        assert np.allclose(a.phi, b.phi, atol=1e-6)
+
+    def test_kkt_stationarity_at_optimum(self, paper_cfg, stage1_solution):
+        """Projected gradient at the optimum is (near) zero on free coordinates."""
+        x = np.log(stage1_solution.phi)
+        _, grad = stage1_objective_and_gradient(
+            x, paper_cfg.network.incidence, paper_cfg.network.betas
+        )
+        at_lower = np.isclose(stage1_solution.phi, paper_cfg.min_rates, atol=1e-6)
+        free_grad = grad[~at_lower]
+        assert np.all(np.abs(free_grad) < 5e-3)

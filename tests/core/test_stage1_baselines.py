@@ -1,0 +1,102 @@
+"""Tests for the Stage-1 baselines: GD, simulated annealing, random search."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage1 import Stage1Solver
+from repro.core.stage1_baselines import (
+    GradientDescentStage1,
+    RandomSearchStage1,
+    SimulatedAnnealingStage1,
+)
+from repro.quantum.utility import route_werner_parameters
+from repro.quantum.werner import F_SKF_ZERO_CROSSING
+
+
+def assert_feasible(cfg, result):
+    assert np.all(result.phi >= cfg.min_rates * (1 - 1e-9))
+    load = cfg.network.incidence @ result.phi
+    assert np.all(load <= cfg.network.betas * (1 - result.w) + 1e-6)
+    varpi = route_werner_parameters(result.w, cfg.network.incidence)
+    assert np.all(varpi > F_SKF_ZERO_CROSSING)
+
+
+class TestGradientDescent:
+    def test_matches_convex_solver(self, paper_cfg, stage1_solution):
+        """Paper: GD reaches the same optimum as QuHE Stage 1 (Table V)."""
+        gd = GradientDescentStage1(paper_cfg, max_iterations=8000).solve()
+        assert gd.value == pytest.approx(stage1_solution.value, abs=2e-3)
+        assert np.allclose(gd.phi, stage1_solution.phi, atol=0.02)
+
+    def test_slower_than_convex_solver(self, paper_cfg, stage1_solution):
+        """Paper Fig. 5(b): GD needs much more time than QuHE Stage 1."""
+        gd = GradientDescentStage1(paper_cfg, max_iterations=8000).solve()
+        assert gd.iterations > 10 * max(stage1_solution.iterations, 1)
+
+    def test_history_monotone_overall(self, paper_cfg):
+        gd = GradientDescentStage1(paper_cfg, max_iterations=2000).solve()
+        h = np.asarray(gd.history)
+        assert h[-1] <= h[0]
+
+    def test_solution_feasible(self, paper_cfg):
+        gd = GradientDescentStage1(paper_cfg, max_iterations=2000).solve()
+        assert_feasible(paper_cfg, gd)
+
+    def test_invalid_learning_rate(self, paper_cfg):
+        with pytest.raises(ValueError):
+            GradientDescentStage1(paper_cfg, learning_rate=0.0)
+
+
+class TestSimulatedAnnealing:
+    def test_near_optimal(self, paper_cfg, stage1_solution):
+        """Paper Fig. 5(c): SA lands near but slightly above the optimum."""
+        sa = SimulatedAnnealingStage1(paper_cfg, max_iterations=4000, seed=0).solve()
+        assert sa.value == pytest.approx(stage1_solution.value, abs=0.15)
+        assert sa.value >= stage1_solution.value - 1e-6
+
+    def test_deterministic_given_seed(self, paper_cfg):
+        a = SimulatedAnnealingStage1(paper_cfg, max_iterations=500, seed=3).solve()
+        b = SimulatedAnnealingStage1(paper_cfg, max_iterations=500, seed=3).solve()
+        assert np.allclose(a.phi, b.phi)
+
+    def test_solution_feasible(self, paper_cfg):
+        sa = SimulatedAnnealingStage1(paper_cfg, max_iterations=1000, seed=1).solve()
+        assert_feasible(paper_cfg, sa)
+
+    def test_best_history_monotone(self, paper_cfg):
+        sa = SimulatedAnnealingStage1(paper_cfg, max_iterations=1000, seed=2).solve()
+        h = np.asarray(sa.history)
+        assert np.all(np.diff(h) <= 1e-12)
+
+    def test_invalid_cooling(self, paper_cfg):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingStage1(paper_cfg, cooling=1.5)
+
+
+class TestRandomSearch:
+    def test_worse_than_convex_solver(self, paper_cfg, stage1_solution):
+        """Paper Fig. 5(c): random selection has a clearly higher objective."""
+        rs = RandomSearchStage1(paper_cfg, num_samples=10_000, seed=0).solve()
+        assert rs.value > stage1_solution.value
+
+    def test_not_absurdly_bad(self, paper_cfg, stage1_solution):
+        rs = RandomSearchStage1(paper_cfg, num_samples=10_000, seed=0).solve()
+        assert rs.value < stage1_solution.value + 3.0
+
+    def test_deterministic_given_seed(self, paper_cfg):
+        a = RandomSearchStage1(paper_cfg, num_samples=2000, seed=5).solve()
+        b = RandomSearchStage1(paper_cfg, num_samples=2000, seed=5).solve()
+        assert np.allclose(a.phi, b.phi)
+
+    def test_solution_feasible(self, paper_cfg):
+        rs = RandomSearchStage1(paper_cfg, num_samples=5000, seed=1).solve()
+        assert_feasible(paper_cfg, rs)
+
+    def test_more_samples_no_worse(self, paper_cfg):
+        few = RandomSearchStage1(paper_cfg, num_samples=500, seed=7).solve()
+        many = RandomSearchStage1(paper_cfg, num_samples=20_000, seed=7).solve()
+        assert many.value <= few.value + 1e-9
+
+    def test_invalid_sample_count(self, paper_cfg):
+        with pytest.raises(ValueError):
+            RandomSearchStage1(paper_cfg, num_samples=0)

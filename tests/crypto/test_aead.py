@@ -1,0 +1,95 @@
+"""ChaCha20-Poly1305 AEAD tests against the RFC 8439 §2.8.2 vector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.aead import (
+    AuthenticatedChannel,
+    AuthenticationError,
+    open_,
+    seal,
+)
+
+RFC_KEY = bytes(range(0x80, 0xA0))
+RFC_NONCE = bytes.fromhex("070000004041424344454647")
+RFC_AAD = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+RFC_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+RFC_TAG = bytes.fromhex("1ae10b594f09e26a7e902ecbd0600691")
+RFC_CT_PREFIX = bytes.fromhex("d31a8d34648e60db7b86afbc53ef7ec2")
+
+
+class TestRFCVector:
+    def test_rfc_8439_section_2_8_2(self):
+        sealed = seal(RFC_KEY, RFC_NONCE, RFC_PLAINTEXT, RFC_AAD)
+        ciphertext, tag = sealed[:-16], sealed[-16:]
+        assert ciphertext[:16] == RFC_CT_PREFIX
+        assert tag == RFC_TAG
+
+    def test_open_roundtrip(self):
+        sealed = seal(RFC_KEY, RFC_NONCE, RFC_PLAINTEXT, RFC_AAD)
+        assert open_(RFC_KEY, RFC_NONCE, sealed, RFC_AAD) == RFC_PLAINTEXT
+
+    def test_tampered_ciphertext_rejected(self):
+        sealed = bytearray(seal(RFC_KEY, RFC_NONCE, RFC_PLAINTEXT, RFC_AAD))
+        sealed[3] ^= 1
+        with pytest.raises(AuthenticationError):
+            open_(RFC_KEY, RFC_NONCE, bytes(sealed), RFC_AAD)
+
+    def test_wrong_aad_rejected(self):
+        sealed = seal(RFC_KEY, RFC_NONCE, RFC_PLAINTEXT, RFC_AAD)
+        with pytest.raises(AuthenticationError):
+            open_(RFC_KEY, RFC_NONCE, sealed, b"different aad")
+
+    def test_short_message_rejected(self):
+        with pytest.raises(AuthenticationError):
+            open_(RFC_KEY, RFC_NONCE, b"tiny", b"")
+
+    @given(st.binary(max_size=300), st.binary(max_size=50))
+    def test_roundtrip_random(self, plaintext, aad):
+        sealed = seal(RFC_KEY, RFC_NONCE, plaintext, aad)
+        assert open_(RFC_KEY, RFC_NONCE, sealed, aad) == plaintext
+
+
+class TestAuthenticatedChannel:
+    def test_duplex_exchange(self):
+        key = bytes(32)
+        alice = AuthenticatedChannel(key)
+        bob = AuthenticatedChannel(key)
+        for i in range(5):
+            msg = f"parity block {i}".encode()
+            assert bob.receive(alice.send(msg)) == msg
+
+    def test_replay_rejected(self):
+        key = bytes(32)
+        alice = AuthenticatedChannel(key)
+        bob = AuthenticatedChannel(key)
+        sealed = alice.send(b"hello")
+        assert bob.receive(sealed) == b"hello"
+        with pytest.raises(AuthenticationError):
+            bob.receive(sealed)  # sequence number advanced: replay fails
+
+    def test_reorder_rejected(self):
+        key = bytes(32)
+        alice = AuthenticatedChannel(key)
+        bob = AuthenticatedChannel(key)
+        first = alice.send(b"one")
+        second = alice.send(b"two")
+        with pytest.raises(AuthenticationError):
+            bob.receive(second)
+        assert bob.receive(first) == b"one"
+
+    def test_channel_separation(self):
+        key = bytes(32)
+        a = AuthenticatedChannel(key, channel_id=1)
+        b = AuthenticatedChannel(key, channel_id=2)
+        with pytest.raises(AuthenticationError):
+            b.receive(a.send(b"cross-channel"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuthenticatedChannel(b"short")
+        with pytest.raises(ValueError):
+            AuthenticatedChannel(bytes(32), channel_id=2**32)

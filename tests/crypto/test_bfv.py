@@ -1,0 +1,126 @@
+"""Correctness tests for the BFV exact HE scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bfv import BFVContext
+
+
+@pytest.fixture(scope="module")
+def bfv():
+    return BFVContext(ring_degree=32, plaintext_modulus=257, seed=21)
+
+
+def negacyclic_convolve(a, b, n, t):
+    out = [0] * n
+    for i, x in enumerate(a):
+        for j, y in enumerate(b):
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + x * y) % t
+            else:
+                out[k - n] = (out[k - n] - x * y) % t
+    return out
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, bfv):
+        values = list(range(20))
+        assert bfv.decrypt(bfv.encrypt(values), length=20) == values
+
+    def test_values_reduced_mod_t(self, bfv):
+        ct = bfv.encrypt([300])  # 300 mod 257 = 43
+        assert bfv.decrypt(ct, length=1) == [43]
+
+    def test_ciphertexts_randomised(self, bfv):
+        a = bfv.encrypt([1, 2, 3])
+        b = bfv.encrypt([1, 2, 3])
+        assert a.c0 != b.c0
+
+    def test_exactness_repeated(self, bfv):
+        # Exact scheme: every decryption matches bit-for-bit, no tolerance.
+        for trial in range(5):
+            values = [(trial * 37 + i) % 257 for i in range(32)]
+            assert bfv.decrypt(bfv.encrypt(values)) == values
+
+    def test_too_many_values_rejected(self, bfv):
+        with pytest.raises(ValueError):
+            bfv.encrypt(list(range(33)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=256), min_size=1, max_size=32))
+    def test_roundtrip_random(self, values):
+        bfv = BFVContext(ring_degree=32, plaintext_modulus=257, seed=5)
+        assert bfv.decrypt(bfv.encrypt(values), length=len(values)) == [
+            v % 257 for v in values
+        ]
+
+
+class TestHomomorphicOps:
+    def test_add(self, bfv):
+        a = [10, 20, 250]
+        b = [5, 240, 10]
+        out = bfv.decrypt(bfv.add(bfv.encrypt(a), bfv.encrypt(b)), length=3)
+        assert out == [(x + y) % 257 for x, y in zip(a, b)]
+
+    def test_sub(self, bfv):
+        out = bfv.decrypt(bfv.sub(bfv.encrypt([5]), bfv.encrypt([9])), length=1)
+        assert out == [(5 - 9) % 257]
+
+    def test_negate(self, bfv):
+        out = bfv.decrypt(bfv.negate(bfv.encrypt([5])), length=1)
+        assert out == [(-5) % 257]
+
+    def test_add_plain(self, bfv):
+        out = bfv.decrypt(bfv.add_plain(bfv.encrypt([100]), [200]), length=1)
+        assert out == [(100 + 200) % 257]
+
+    def test_multiply_plain_scalar(self, bfv):
+        out = bfv.decrypt(bfv.multiply_plain_scalar(bfv.encrypt([7, 11]), 9), length=2)
+        assert out == [63, 99]
+
+    def test_multiply_is_negacyclic_convolution(self, bfv):
+        a = [3, 0, 1] + [0] * 29
+        b = [2, 5] + [0] * 30
+        product = bfv.multiply(bfv.encrypt(a), bfv.encrypt(b))
+        expected = negacyclic_convolve(a, b, 32, 257)
+        assert bfv.decrypt(product) == expected
+
+    def test_multiply_constant_polynomials(self, bfv):
+        # Constant-term-only plaintexts multiply like scalars.
+        product = bfv.multiply(bfv.encrypt([12]), bfv.encrypt([13]))
+        assert bfv.decrypt(product, length=1) == [(12 * 13) % 257]
+
+    def test_multiply_wraparound_sign(self, bfv):
+        # x^31 · x = x^32 = -1 in the ring.
+        a = [0] * 31 + [1]
+        b = [0, 1] + [0] * 30
+        product = bfv.multiply(bfv.encrypt(a), bfv.encrypt(b))
+        assert bfv.decrypt(product, length=1)[0] == (-1) % 257
+
+
+class TestNoiseBudget:
+    def test_fresh_ciphertext_has_budget(self, bfv):
+        values = [1, 2, 3]
+        budget = bfv.noise_budget_bits(bfv.encrypt(values), values)
+        assert budget > 20
+
+    def test_multiplication_consumes_budget(self, bfv):
+        a = [3] + [0] * 31
+        fresh = bfv.encrypt(a)
+        fresh_budget = bfv.noise_budget_bits(fresh, a)
+        product = bfv.multiply(fresh, bfv.encrypt([2]))
+        expected = [(6 if i == 0 else 0) for i in range(32)]
+        product_budget = bfv.noise_budget_bits(product, expected)
+        assert product_budget < fresh_budget
+
+
+class TestValidation:
+    def test_plaintext_modulus_floor(self):
+        with pytest.raises(ValueError):
+            BFVContext(plaintext_modulus=1)
+
+    def test_modulus_gap_enforced(self):
+        with pytest.raises(ValueError):
+            BFVContext(plaintext_modulus=2**40, ciphertext_modulus_bits=50)

@@ -1,0 +1,127 @@
+"""ChaCha20 tests against the RFC 8439 vectors plus property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.chacha20 import (
+    ChaCha20,
+    chacha20_block,
+    chacha20_decrypt,
+    chacha20_encrypt,
+    _quarter_round,
+)
+
+RFC_KEY = bytes(range(32))  # 00 01 02 ... 1f
+
+
+class TestQuarterRound:
+    def test_rfc_8439_section_2_1_1(self):
+        state = [0] * 16
+        state[0], state[1], state[2], state[3] = (
+            0x11111111,
+            0x01020304,
+            0x9B8D6F43,
+            0x01234567,
+        )
+        _quarter_round(state, 0, 1, 2, 3)
+        assert state[0] == 0xEA2A92F4
+        assert state[1] == 0xCB1CF8CE
+        assert state[2] == 0x4581472E
+        assert state[3] == 0x5881C4BB
+
+
+class TestBlockFunction:
+    def test_rfc_8439_section_2_3_2(self):
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(RFC_KEY, 1, nonce)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError, match="key"):
+            chacha20_block(b"short", 0, bytes(12))
+
+    def test_rejects_bad_nonce_length(self):
+        with pytest.raises(ValueError, match="nonce"):
+            chacha20_block(RFC_KEY, 0, bytes(8))
+
+    def test_rejects_oversized_counter(self):
+        with pytest.raises(ValueError, match="counter"):
+            chacha20_block(RFC_KEY, 2**32, bytes(12))
+
+    def test_distinct_counters_give_distinct_blocks(self):
+        nonce = bytes(12)
+        assert chacha20_block(RFC_KEY, 0, nonce) != chacha20_block(RFC_KEY, 1, nonce)
+
+
+class TestEncryption:
+    SUNSCREEN = (
+        b"Ladies and Gentlemen of the class of '99: If I could offer you "
+        b"only one tip for the future, sunscreen would be it."
+    )
+
+    def test_rfc_8439_section_2_4_2(self):
+        nonce = bytes.fromhex("000000000000004a00000000")
+        ciphertext = chacha20_encrypt(RFC_KEY, nonce, self.SUNSCREEN, counter=1)
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d"
+        )
+        assert ciphertext == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        nonce = bytes.fromhex("000000000000004a00000000")
+        ct = chacha20_encrypt(RFC_KEY, nonce, self.SUNSCREEN)
+        assert chacha20_decrypt(RFC_KEY, nonce, ct) == self.SUNSCREEN
+
+    def test_empty_plaintext(self):
+        assert chacha20_encrypt(RFC_KEY, bytes(12), b"") == b""
+
+    @given(st.binary(max_size=500))
+    def test_roundtrip_random_payloads(self, payload):
+        nonce = b"\x01" * 12
+        ct = chacha20_encrypt(RFC_KEY, nonce, payload)
+        assert chacha20_decrypt(RFC_KEY, nonce, ct) == payload
+
+    @given(st.binary(min_size=1, max_size=200))
+    def test_ciphertext_differs_from_plaintext(self, payload):
+        # The probability of any byte of keystream being zero across the
+        # whole payload is negligible only per-byte; just assert inequality
+        # for payloads of printable-independent content when keystream != 0.
+        nonce = b"\x02" * 12
+        ct = chacha20_encrypt(RFC_KEY, nonce, payload)
+        stream = ChaCha20(RFC_KEY, nonce, initial_counter=1).keystream(len(payload))
+        if any(stream):
+            assert ct != payload or all(s == 0 for s in stream)
+
+
+class TestStreamState:
+    def test_keystream_is_stateful(self):
+        cipher = ChaCha20(RFC_KEY, bytes(12))
+        first = cipher.keystream(64)
+        second = cipher.keystream(64)
+        assert first != second
+
+    def test_split_encryption_matches_oneshot(self):
+        nonce = b"\x03" * 12
+        payload = bytes(range(200)) + bytes(200)
+        oneshot = ChaCha20(RFC_KEY, nonce).encrypt(payload)
+        cipher = ChaCha20(RFC_KEY, nonce)
+        # Encrypt in 64-byte-aligned chunks; the keystream is continuous.
+        split = cipher.encrypt(payload[:64]) + cipher.encrypt(payload[64:128]) + cipher.encrypt(payload[128:])
+        assert split == oneshot
+
+    def test_keystream_nonnegative_request(self):
+        with pytest.raises(ValueError):
+            ChaCha20(RFC_KEY, bytes(12)).keystream(-1)

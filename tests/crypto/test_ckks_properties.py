@@ -1,0 +1,83 @@
+"""Property-based tests of the CKKS homomorphism (hypothesis).
+
+Small ring (n=16) keeps each example fast; the properties are the scheme's
+defining algebraic laws, checked against plaintext arithmetic with CKKS-noise
+tolerances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ckks import CKKSContext
+
+ATOL = 5e-3
+
+values = st.lists(
+    st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    min_size=8,
+    max_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def ckks16():
+    return CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=2, seed=77)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values, values)
+def test_addition_homomorphism(a, b):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=1)
+    out = ckks.decrypt(ckks.add(ckks.encrypt(a), ckks.encrypt(b)))
+    assert np.allclose(out.real, np.add(a, b), atol=ATOL)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values, values)
+def test_multiplication_homomorphism(a, b):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=2)
+    out = ckks.decrypt(ckks.multiply(ckks.encrypt(a), ckks.encrypt(b)))
+    assert np.allclose(out.real, np.multiply(a, b), atol=2e-2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values)
+def test_add_then_negate_cancels(a):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=3)
+    ct = ckks.encrypt(a)
+    out = ckks.decrypt(ckks.add(ct, ckks.negate(ct)))
+    assert np.allclose(out.real, 0.0, atol=ATOL)
+
+
+@settings(max_examples=15, deadline=None)
+@given(values, values, values)
+def test_addition_associativity(a, b, c):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=4)
+    left = ckks.add(ckks.add(ckks.encrypt(a), ckks.encrypt(b)), ckks.encrypt(c))
+    right = ckks.add(ckks.encrypt(a), ckks.add(ckks.encrypt(b), ckks.encrypt(c)))
+    assert np.allclose(
+        ckks.decrypt(left).real, ckks.decrypt(right).real, atol=ATOL
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(values, values)
+def test_plain_and_cipher_multiplication_agree(a, b):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=5)
+    cipher = ckks.decrypt(ckks.multiply(ckks.encrypt(a), ckks.encrypt(b)))
+    plain = ckks.decrypt(ckks.multiply_plain(ckks.encrypt(a), b))
+    assert np.allclose(cipher.real, plain.real, atol=2e-2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(values, st.floats(min_value=-2.0, max_value=2.0))
+def test_scalar_distributes_over_addition(a, scalar):
+    ckks = CKKSContext(ring_degree=16, scale_bits=22, base_modulus_bits=30, depth=1, seed=6)
+    vec = np.full(8, scalar)
+    # (a + a)·s == a·s + a·s
+    ct = ckks.encrypt(a)
+    lhs = ckks.multiply_plain(ckks.add(ct, ct), vec)
+    term = ckks.multiply_plain(ct, vec)
+    rhs = ckks.add(term, term)
+    assert np.allclose(ckks.decrypt(lhs).real, ckks.decrypt(rhs).real, atol=2e-2)

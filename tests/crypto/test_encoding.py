@@ -1,0 +1,74 @@
+"""Tests for the CKKS canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.encoding import CKKSEncoder
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return CKKSEncoder(ring_degree=32, scale=2**22)
+
+
+class TestRoundtrip:
+    def test_real_vector(self, encoder):
+        values = np.linspace(-2.0, 2.0, encoder.num_slots)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded.real, values, atol=1e-4)
+        assert np.allclose(decoded.imag, 0.0, atol=1e-4)
+
+    def test_complex_vector(self, encoder):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=encoder.num_slots) + 1j * rng.normal(size=encoder.num_slots)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded, values, atol=1e-4)
+
+    def test_short_input_zero_padded(self, encoder):
+        decoded = encoder.decode(encoder.encode([1.0, 2.0]))
+        assert decoded[0].real == pytest.approx(1.0, abs=1e-4)
+        assert decoded[1].real == pytest.approx(2.0, abs=1e-4)
+        assert np.allclose(decoded[2:], 0.0, atol=1e-4)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=16))
+    def test_roundtrip_random(self, values):
+        encoder = CKKSEncoder(ring_degree=32, scale=2**22)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.allclose(decoded.real[: len(values)], values, atol=1e-3)
+
+
+class TestHomomorphicStructure:
+    def test_encoding_is_additive(self, encoder):
+        a = np.full(encoder.num_slots, 1.25)
+        b = np.full(encoder.num_slots, -0.5)
+        sum_coeffs = [x + y for x, y in zip(encoder.encode(a), encoder.encode(b))]
+        decoded = encoder.decode(sum_coeffs)
+        assert np.allclose(decoded.real, 0.75, atol=1e-4)
+
+    def test_integer_coefficients(self, encoder):
+        coeffs = encoder.encode([1.0, 2.0, 3.0])
+        assert all(isinstance(c, int) for c in coeffs)
+
+
+class TestValidation:
+    def test_too_many_slots_rejected(self, encoder):
+        with pytest.raises(ValueError, match="slots"):
+            encoder.encode(np.ones(encoder.num_slots + 1))
+
+    def test_wrong_coefficient_count_rejected(self, encoder):
+        with pytest.raises(ValueError, match="coefficients"):
+            encoder.decode([0] * 7)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            CKKSEncoder(ring_degree=24, scale=2**10)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CKKSEncoder(ring_degree=32, scale=0.5)
+
+    def test_matrix_input_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones((2, 2)))

@@ -1,0 +1,103 @@
+"""Tests for the exact (BFV) transciphering path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bfv import BFVContext
+from repro.crypto.exact_transcipher import (
+    ExactTranscipherEngine,
+    derive_integer_key,
+    expand_integer_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return BFVContext(ring_degree=32, plaintext_modulus=257, seed=31)
+
+
+@pytest.fixture(scope="module")
+def engine(context):
+    return ExactTranscipherEngine(context, key_length=4)
+
+
+KEY_BYTES = bytes(range(32))
+
+
+class TestKeyDerivation:
+    def test_deterministic_and_in_range(self):
+        key = derive_integer_key(KEY_BYTES, 4, 257)
+        assert key == derive_integer_key(KEY_BYTES, 4, 257)
+        assert all(0 <= k < 257 for k in key)
+
+    def test_insufficient_bytes(self):
+        with pytest.raises(ValueError):
+            derive_integer_key(bytes(4), 4, 257)
+
+
+class TestMatrixExpansion:
+    def test_shape_and_range(self):
+        m = expand_integer_matrix(b"\x24" * 32, 0, 16, 4, 257)
+        assert m.shape == (16, 4)
+        assert np.all((0 <= m) & (m < 257))
+
+    def test_nonce_separation(self):
+        a = expand_integer_matrix(b"\x24" * 32, 0, 8, 4, 257)
+        b = expand_integer_matrix(b"\x24" * 32, 1, 8, 4, 257)
+        assert not np.array_equal(a, b)
+
+
+class TestExactPipeline:
+    def test_transcipher_is_bit_exact(self, context, engine):
+        key = derive_integer_key(KEY_BYTES, engine.key_length, context.t)
+        values = [(7 * i) % 257 for i in range(engine.block_size)]
+        block = engine.client_encrypt_block(key, values, nonce_index=0)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(key))
+        assert context.decrypt(enc) == values  # no tolerance: exact
+
+    def test_mask_hides_values(self, engine, context):
+        key = derive_integer_key(KEY_BYTES, engine.key_length, context.t)
+        values = [1] * engine.block_size
+        block = engine.client_encrypt_block(key, values, nonce_index=1)
+        assert block.masked != values
+
+    def test_compute_after_transcipher(self, context, engine):
+        """The server adds an encrypted constant after unmasking — exactly."""
+        key = derive_integer_key(KEY_BYTES, engine.key_length, context.t)
+        values = [5] * engine.block_size
+        block = engine.client_encrypt_block(key, values, nonce_index=2)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(key))
+        shifted = context.add_plain(enc, [100] * engine.block_size)
+        assert context.decrypt(shifted) == [105] * engine.block_size
+
+    def test_wrong_key_fails_exactly(self, context, engine):
+        # Note: structured byte patterns are degenerate mod 257 (256 ≡ -1
+        # makes any repeated or arithmetic pattern collapse to one residue),
+        # so draw two unrelated random key strings.
+        rng = np.random.default_rng(99)
+        key = derive_integer_key(rng.bytes(32), engine.key_length, context.t)
+        wrong = derive_integer_key(rng.bytes(32), engine.key_length, context.t)
+        assert key != wrong
+        values = [9] * engine.block_size
+        block = engine.client_encrypt_block(key, values, nonce_index=0)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(wrong))
+        assert context.decrypt(enc) != values
+
+    def test_key_ciphertext_count_checked(self, engine, context):
+        key = derive_integer_key(KEY_BYTES, engine.key_length, context.t)
+        block = engine.client_encrypt_block(key, [1], 0)
+        with pytest.raises(ValueError, match="key ciphertexts"):
+            engine.server_transcipher(block, engine.client_encrypt_key(key)[:-1])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=256), min_size=1, max_size=32),
+           st.integers(min_value=0, max_value=1000))
+    def test_roundtrip_random_blocks(self, values, nonce):
+        context = BFVContext(ring_degree=32, plaintext_modulus=257, seed=33)
+        engine = ExactTranscipherEngine(context, key_length=4)
+        key = derive_integer_key(KEY_BYTES, 4, context.t)
+        block = engine.client_encrypt_block(key, values, nonce_index=nonce)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(key))
+        expected = [v % 257 for v in values] + [0] * (32 - len(values))
+        assert context.decrypt(enc) == expected

@@ -1,0 +1,90 @@
+"""Tests for the simplified LWE security estimator."""
+
+import pytest
+
+from repro.crypto.lwe_estimator import (
+    AttackEstimate,
+    LWEParameters,
+    delta_from_blocksize,
+    estimate_dual,
+    estimate_hybrid_dual,
+    estimate_primal_usvp,
+    estimate_security,
+    minimum_security_level,
+)
+
+
+class TestDelta:
+    def test_known_reference_value(self):
+        # δ(β) for BKZ-100 is about 1.009 (standard reference point).
+        assert delta_from_blocksize(100) == pytest.approx(1.009, abs=0.001)
+
+    def test_decreasing_in_blocksize(self):
+        assert delta_from_blocksize(100) > delta_from_blocksize(200) > delta_from_blocksize(400)
+
+    def test_rejects_tiny_blocksize(self):
+        with pytest.raises(ValueError):
+            delta_from_blocksize(10)
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LWEParameters(n=0, q=2**30)
+        with pytest.raises(ValueError):
+            LWEParameters(n=100, q=1)
+        with pytest.raises(ValueError):
+            LWEParameters(n=100, q=2**30, error_stddev=0.0)
+
+
+class TestAttacks:
+    def test_all_attacks_return_estimates(self):
+        params = LWEParameters(n=1024, q=2**27)
+        estimates = estimate_security(params)
+        assert set(estimates) == {"usvp", "dual", "hybrid_dual"}
+        for est in estimates.values():
+            assert isinstance(est, AttackEstimate)
+            assert est.security_bits > 0
+
+    def test_security_increases_with_dimension(self):
+        q = 2**600
+        bits = [
+            minimum_security_level(LWEParameters(n=n, q=q))
+            for n in (2**13, 2**14, 2**15)
+        ]
+        assert bits[0] < bits[1] < bits[2]
+
+    def test_security_decreases_with_modulus(self):
+        n = 2**13
+        small_q = minimum_security_level(LWEParameters(n=n, q=2**200))
+        large_q = minimum_security_level(LWEParameters(n=n, q=2**400))
+        assert large_q < small_q
+
+    def test_standard_parameter_sanity(self):
+        # n=1024, q≈2^27, σ=3.2 is a ~128-bit HE standard set; our simplified
+        # models should land in the right decade (80-250 bits).
+        bits = minimum_security_level(LWEParameters(n=1024, q=2**27))
+        assert 80 < bits < 250
+
+    def test_minimum_is_min_over_attacks(self):
+        params = LWEParameters(n=2048, q=2**50)
+        estimates = estimate_security(params)
+        assert minimum_security_level(params) == min(
+            e.security_bits for e in estimates.values()
+        )
+
+    def test_hybrid_no_worse_than_plain_dual_for_ternary(self):
+        params = LWEParameters(n=1024, q=2**100, ternary_secret=True)
+        dual = estimate_dual(params)
+        hybrid = estimate_hybrid_dual(params)
+        assert hybrid.security_bits <= dual.security_bits + 1.5
+
+    def test_hybrid_equals_dual_for_non_ternary(self):
+        params = LWEParameters(n=512, q=2**40, ternary_secret=False)
+        assert estimate_hybrid_dual(params).security_bits == pytest.approx(
+            estimate_dual(params).security_bits
+        )
+
+    def test_usvp_blocksize_reasonable(self):
+        est = estimate_primal_usvp(LWEParameters(n=1024, q=2**27))
+        assert 100 <= est.blocksize <= 1500

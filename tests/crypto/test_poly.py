@@ -1,0 +1,173 @@
+"""Property and unit tests for the negacyclic polynomial ring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.poly import PolyRing
+
+RING = PolyRing(8, 97)
+
+
+def poly_strategy(ring=RING):
+    return st.lists(
+        st.integers(min_value=0, max_value=ring.q - 1),
+        min_size=ring.n,
+        max_size=ring.n,
+    )
+
+
+def schoolbook_negacyclic(a, b, n, q):
+    """Reference O(n²) negacyclic multiplication."""
+    out = [0] * n
+    for i, x in enumerate(a):
+        for j, y in enumerate(b):
+            k = i + j
+            if k < n:
+                out[k] = (out[k] + x * y) % q
+            else:
+                out[k - n] = (out[k - n] - x * y) % q
+    return out
+
+
+class TestConstruction:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PolyRing(6, 97)
+
+    def test_requires_modulus(self):
+        with pytest.raises(ValueError):
+            PolyRing(8, 1)
+
+    def test_constant(self):
+        c = RING.constant(5)
+        assert c[0] == 5 and all(v == 0 for v in c[1:])
+
+    def test_constant_reduces(self):
+        assert RING.constant(100)[0] == 3
+
+    def test_from_coefficients_folds_negacyclically(self):
+        # X^8 = -1: coefficient at index 8 subtracts from index 0.
+        coeffs = [1] + [0] * 7 + [2]
+        out = RING.from_coefficients(coeffs)
+        assert out[0] == (1 - 2) % 97
+
+    def test_from_coefficients_double_fold(self):
+        # X^16 = +1.
+        coeffs = [0] * 16 + [3]
+        out = RING.from_coefficients(coeffs)
+        assert out[0] == 3
+
+
+class TestArithmetic:
+    @given(poly_strategy(), poly_strategy())
+    def test_add_commutes(self, a, b):
+        assert RING.add(a, b) == RING.add(b, a)
+
+    @given(poly_strategy())
+    def test_add_neg_is_zero(self, a):
+        assert RING.add(a, RING.neg(a)) == RING.zero()
+
+    @given(poly_strategy(), poly_strategy())
+    def test_sub_is_add_neg(self, a, b):
+        assert RING.sub(a, b) == RING.add(a, RING.neg(b))
+
+    @settings(max_examples=30)
+    @given(poly_strategy(), poly_strategy())
+    def test_mul_matches_schoolbook(self, a, b):
+        assert RING.mul(a, b) == schoolbook_negacyclic(a, b, RING.n, RING.q)
+
+    @settings(max_examples=30)
+    @given(poly_strategy(), poly_strategy())
+    def test_mul_commutes(self, a, b):
+        assert RING.mul(a, b) == RING.mul(b, a)
+
+    @settings(max_examples=20)
+    @given(poly_strategy(), poly_strategy(), poly_strategy())
+    def test_mul_distributes_over_add(self, a, b, c):
+        left = RING.mul(a, RING.add(b, c))
+        right = RING.add(RING.mul(a, b), RING.mul(a, c))
+        assert left == right
+
+    @given(poly_strategy())
+    def test_mul_by_one(self, a):
+        assert RING.mul(a, RING.constant(1)) == a
+
+    @given(poly_strategy(), st.integers(min_value=0, max_value=200))
+    def test_scalar_mul_matches_mul_by_constant(self, a, s):
+        assert RING.scalar_mul(a, s) == RING.mul(a, RING.constant(s))
+
+    def test_negacyclic_wraparound_sign(self):
+        # X^(n-1) * X = X^n = -1.
+        x_power = RING.zero()
+        x_power[7] = 1
+        x = RING.zero()
+        x[1] = 1
+        assert RING.mul(x_power, x) == RING.constant(-1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RING.add([0] * 4, RING.zero())
+
+
+class TestBigModulus:
+    """Exercise the big-int path with a CKKS-sized modulus."""
+
+    def test_mul_with_120_bit_modulus(self):
+        ring = PolyRing(16, (1 << 120) + 451)
+        rng = np.random.default_rng(0)
+        a = [int(x) for x in rng.integers(0, 2**60, 16)]
+        b = [int(x) for x in rng.integers(0, 2**60, 16)]
+        assert ring.mul(a, b) == schoolbook_negacyclic(a, b, 16, ring.q)
+
+
+class TestRepresentation:
+    def test_centered_range(self):
+        ring = PolyRing(4, 10)
+        centred = ring.centered([0, 4, 5, 9])
+        assert centred == [0, 4, 5, -1]
+        assert all(-5 < c <= 5 for c in centred)
+
+    def test_rescale_rounds_half_away(self):
+        ring = PolyRing(4, 1000)
+        # 15/10 → 2, -15/10 → -2, 14/10 → 1.
+        out = ring.rescale([15, (-15) % 1000, 14, 0], 10, 100)
+        assert out == [2, (-2) % 100, 1, 0]
+
+    def test_rescale_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            RING.rescale(RING.zero(), 0, 50)
+
+    def test_change_modulus_preserves_centred_value(self):
+        ring = PolyRing(4, 1000)
+        small = ring.change_modulus([999, 1, 0, 500], 10)
+        assert small == [(-1) % 10, 1, 0, 500 % 10]
+
+    def test_infinity_norm(self):
+        ring = PolyRing(4, 100)
+        assert ring.infinity_norm([99, 2, 0, 50]) == 50
+
+
+class TestSampling:
+    def test_uniform_in_range(self):
+        sample = RING.random_uniform(rng=0)
+        assert len(sample) == RING.n
+        assert all(0 <= v < RING.q for v in sample)
+
+    def test_ternary_values(self):
+        sample = RING.random_ternary(rng=0)
+        allowed = {0, 1, RING.q - 1}
+        assert set(sample) <= allowed
+
+    def test_ternary_hamming_weight(self):
+        ring = PolyRing(64, 97)
+        sample = ring.random_ternary(rng=0, hamming_weight=10)
+        nonzero = sum(1 for v in sample if v != 0)
+        assert nonzero == 10
+
+    def test_gaussian_concentrated(self):
+        ring = PolyRing(1024, 1 << 30)
+        sample = ring.random_gaussian(rng=0, sigma=3.2)
+        centred = ring.centered(sample)
+        assert max(abs(c) for c in centred) < 30
+        assert np.std(centred) == pytest.approx(3.2, rel=0.25)

@@ -1,0 +1,86 @@
+"""Tests for the f_msl curve (Eq. 30) and the fitting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.security import (
+    MSLCurve,
+    fit_msl_curve,
+    paper_msl,
+    security_curve_table,
+    weighted_minimum_security,
+)
+
+
+class TestPaperCurve:
+    def test_eq30_values(self):
+        # f_msl(λ) = 0.002 λ + 1.4789 at the paper's λ-set.
+        assert paper_msl(2**15) == pytest.approx(0.002 * 32768 + 1.4789)
+        assert paper_msl(2**16) == pytest.approx(132.55, abs=0.01)
+        assert paper_msl(2**17) == pytest.approx(263.62, abs=0.01)
+
+    def test_monotone_increasing(self):
+        assert paper_msl(2**15) < paper_msl(2**16) < paper_msl(2**17)
+
+    def test_vector_input(self):
+        out = paper_msl(np.array([2**15, 2**16]))
+        assert out.shape == (2,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            paper_msl(0)
+
+
+class TestWeightedSecurity:
+    def test_eq9_weighted_sum(self):
+        lam = np.array([2**15, 2**17])
+        weights = np.array([0.25, 0.75])
+        expected = 0.25 * paper_msl(2**15) + 0.75 * paper_msl(2**17)
+        assert weighted_minimum_security(lam, weights) == pytest.approx(expected)
+
+    def test_paper_weights_at_uniform_lambda(self):
+        # Σς = 1 in the paper, so uniform λ gives exactly f_msl(λ).
+        weights = np.array([0.1, 0.1, 0.1, 0.2, 0.2, 0.3])
+        lam = np.full(6, 2**15)
+        assert weighted_minimum_security(lam, weights) == pytest.approx(paper_msl(2**15))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_minimum_security(np.ones(3), np.ones(2))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_minimum_security(np.ones(2), np.array([0.5, -0.1]))
+
+
+class TestFitting:
+    def test_exact_linear_data_recovered(self):
+        lam = np.array([1000.0, 2000.0, 4000.0, 8000.0])
+        bits = 0.003 * lam + 2.0
+        curve = fit_msl_curve(lam, bits)
+        assert curve.slope == pytest.approx(0.003)
+        assert curve.intercept == pytest.approx(2.0)
+        assert curve.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_curve_is_callable(self):
+        curve = MSLCurve(slope=0.002, intercept=1.4789, residual=0.0)
+        assert curve(2**15) == pytest.approx(paper_msl(2**15))
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_msl_curve([1.0], [1.0])
+
+    def test_estimator_curve_increasing_with_positive_slope(self):
+        # The paper's Eq. 30 recipe: sweep λ at fixed large q, fit a line.
+        # Our core-SVP models grow super-linearly across octaves, so the fit
+        # is only checked for monotonicity and sign; the paper's exact linear
+        # coefficients come from the real LWE estimator on a narrower range
+        # (see DESIGN.md §3).
+        degrees = [2**13, 2**14, 2**15]
+        table = security_curve_table(degrees, modulus_bits=800)
+        bits = [table[d] for d in degrees]
+        assert bits[0] < bits[1] < bits[2]
+        curve = fit_msl_curve(degrees, bits)
+        assert curve.slope > 0
+        # The line interpolates the middle point within a factor of two.
+        assert curve(degrees[1]) == pytest.approx(bits[1], rel=0.5)

@@ -1,0 +1,118 @@
+"""Tests for the transciphering engine (server-side homomorphic unmasking)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.ckks import CKKSContext
+from repro.crypto.transcipher import (
+    TranscipherEngine,
+    derive_key_vector,
+    expand_public_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return CKKSContext(ring_degree=32, scale_bits=22, base_modulus_bits=30, depth=2, seed=9)
+
+
+@pytest.fixture(scope="module")
+def engine(context):
+    return TranscipherEngine(context, key_length=4)
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        key = bytes(range(16))
+        assert np.array_equal(derive_key_vector(key, 4), derive_key_vector(key, 4))
+
+    def test_values_in_unit_interval(self):
+        vec = derive_key_vector(bytes(range(32)), 8)
+        assert np.all(vec >= -1.0) and np.all(vec < 1.0)
+
+    def test_insufficient_bytes_rejected(self):
+        with pytest.raises(ValueError, match="key bytes"):
+            derive_key_vector(bytes(4), 4)
+
+    def test_different_keys_differ(self):
+        a = derive_key_vector(b"\x01" * 16, 4)
+        b = derive_key_vector(b"\x02" * 16, 4)
+        assert not np.allclose(a, b)
+
+
+class TestPublicExpansion:
+    def test_shape(self):
+        m = expand_public_matrix(b"\x42" * 32, 0, rows=16, cols=4)
+        assert m.shape == (16, 4)
+
+    def test_nonce_separates_blocks(self):
+        a = expand_public_matrix(b"\x42" * 32, 0, 8, 4)
+        b = expand_public_matrix(b"\x42" * 32, 1, 8, 4)
+        assert not np.allclose(a, b)
+
+    def test_seed_must_be_32_bytes(self):
+        with pytest.raises(ValueError):
+            expand_public_matrix(b"short", 0, 8, 4)
+
+    def test_deterministic_public_randomness(self):
+        a = expand_public_matrix(b"\x11" * 32, 5, 8, 4)
+        b = expand_public_matrix(b"\x11" * 32, 5, 8, 4)
+        assert np.array_equal(a, b)
+
+
+class TestClientSide:
+    def test_mask_hides_plaintext(self, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        values = np.ones(engine.block_size)
+        block = engine.client_encrypt_block(key, values, nonce_index=0)
+        assert not np.allclose(block.masked, values, atol=1e-3)
+
+    def test_mask_removable_with_keystream(self, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        values = np.linspace(-1, 1, engine.block_size)
+        block = engine.client_encrypt_block(key, values, nonce_index=3)
+        recovered = block.masked - engine.keystream(key, 3)
+        assert np.allclose(recovered, values, atol=1e-12)
+
+    def test_oversized_block_rejected(self, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        with pytest.raises(ValueError, match="block"):
+            engine.client_encrypt_block(key, np.ones(engine.block_size + 1), 0)
+
+    def test_encrypted_key_count(self, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        assert len(engine.client_encrypt_key(key)) == engine.key_length
+
+
+class TestServerSide:
+    def test_transcipher_recovers_plaintext_homomorphically(self, context, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        values = np.linspace(-0.8, 0.9, engine.block_size)
+        block = engine.client_encrypt_block(key, values, nonce_index=1)
+        enc_key = engine.client_encrypt_key(key)
+        enc_data = engine.server_transcipher(block, enc_key)
+        decrypted = context.decrypt(enc_data)
+        assert np.allclose(decrypted.real, values, atol=5e-3)
+
+    def test_transcipher_then_compute(self, context, engine):
+        # The server computes on the transciphered data (one plain multiply).
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        values = np.full(engine.block_size, 0.5)
+        block = engine.client_encrypt_block(key, values, nonce_index=2)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(key))
+        scaled = context.multiply_plain(enc, np.full(engine.block_size, 2.0))
+        assert np.allclose(context.decrypt(scaled).real, 1.0, atol=1e-2)
+
+    def test_wrong_key_count_rejected(self, engine):
+        key = derive_key_vector(bytes(range(16)), engine.key_length)
+        block = engine.client_encrypt_block(key, np.ones(4), 0)
+        with pytest.raises(ValueError, match="key ciphertexts"):
+            engine.server_transcipher(block, engine.client_encrypt_key(key)[:-1])
+
+    def test_wrong_key_does_not_recover(self, context, engine):
+        key = derive_key_vector(b"\x01" * 16, engine.key_length)
+        wrong = derive_key_vector(b"\x02" * 16, engine.key_length)
+        values = np.full(engine.block_size, 0.7)
+        block = engine.client_encrypt_block(key, values, nonce_index=0)
+        enc = engine.server_transcipher(block, engine.client_encrypt_key(wrong))
+        assert not np.allclose(context.decrypt(enc).real, values, atol=1e-2)

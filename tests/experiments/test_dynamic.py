@@ -1,0 +1,50 @@
+"""Tests for the dynamic block-fading adaptation study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamic import run_dynamic_study
+
+
+@pytest.fixture(scope="module")
+def study(typical_cfg):
+    return run_dynamic_study(typical_cfg, num_epochs=4, seed=3)
+
+
+class TestDynamicStudy:
+    def test_epoch_count(self, study):
+        assert len(study.epochs) == 4
+        assert [e.epoch for e in study.epochs] == [0, 1, 2, 3]
+
+    def test_epoch_zero_policies_coincide(self, study):
+        """At epoch 0 the static policy *is* the adaptive solution."""
+        first = study.epochs[0]
+        assert first.adaptive_objective == pytest.approx(
+            first.static_objective, abs=1e-6
+        )
+
+    def test_adaptive_never_worse(self, study):
+        """Re-optimizing on the true channel can only help (or tie)."""
+        for epoch in study.epochs:
+            assert epoch.adaptive_objective >= epoch.static_objective - 1e-6
+
+    def test_adaptation_gains_positive_on_faded_epochs(self, study):
+        gains = [e.adaptation_gain for e in study.epochs[1:]]
+        assert max(gains) > 0  # at least one epoch benefits from adapting
+
+    def test_mean_gain_nonnegative(self, study):
+        assert study.mean_adaptation_gain >= -1e-9
+
+    def test_channels_actually_vary(self, study):
+        g0 = study.epochs[0].gains
+        g1 = study.epochs[1].gains
+        assert np.max(np.abs(g0 / g1 - 1.0)) > 0.01
+
+    def test_deterministic_given_seed(self, typical_cfg):
+        a = run_dynamic_study(typical_cfg, num_epochs=2, seed=9)
+        b = run_dynamic_study(typical_cfg, num_epochs=2, seed=9)
+        assert a.adaptive_objectives == pytest.approx(b.adaptive_objectives)
+
+    def test_validation(self, typical_cfg):
+        with pytest.raises(ValueError):
+            run_dynamic_study(typical_cfg, num_epochs=0)

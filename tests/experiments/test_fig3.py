@@ -1,0 +1,56 @@
+"""Tests for the Fig. 3 optimality study."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3_optimality import (
+    PAPER_BINS,
+    OptimalityStudy,
+    run_optimality_study,
+)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_optimality_study(num_samples=8, seed=1)
+
+
+class TestStudy:
+    def test_sample_count(self, small_study):
+        assert len(small_study.values) == 8
+
+    def test_bins_cover_paper_layout(self, small_study):
+        assert small_study.bin_edges == PAPER_BINS
+        assert len(small_study.bin_counts) == 6
+
+    def test_statistics_consistent(self, small_study):
+        assert small_study.minimum <= small_study.mean <= small_study.maximum
+
+    def test_fraction_near_best_nonzero(self, small_study):
+        """Fig. 3's reliability claim: a solid share of runs land near the top."""
+        assert small_study.fraction_near_best(band=5.0) >= 0.25
+
+    def test_fraction_within(self, small_study):
+        full = small_study.fraction_within(-1e9, 1e9)
+        assert full == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = run_optimality_study(num_samples=3, seed=4)
+        b = run_optimality_study(num_samples=3, seed=4)
+        assert np.allclose(a.values, b.values)
+
+    def test_fixed_channel_variant(self, typical_cfg):
+        study = run_optimality_study(
+            num_samples=3, seed=2, config=typical_cfg, resample_channels=False
+        )
+        # With a fixed channel, all runs converge near one optimum.
+        assert np.ptp(study.values) < 1.0
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            run_optimality_study(num_samples=0)
+
+    def test_resampled_channels_spread_values(self):
+        """Per-trial channel draws create the paper's wide objective spread."""
+        study = run_optimality_study(num_samples=8, seed=1)
+        assert np.ptp(study.values) > 0.1

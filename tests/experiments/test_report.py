@@ -1,0 +1,44 @@
+"""Tests for the live markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(seed=2, fig3_samples=3)
+
+
+class TestReport:
+    def test_contains_all_sections(self, report_text):
+        for heading in (
+            "# QuHE reproduction report",
+            "## Tables V and VI",
+            "## Fig. 3",
+            "## Fig. 4",
+            "## Fig. 5(a)",
+            "## Fig. 5(d)",
+            "## Fig. 6",
+        ):
+            assert heading in report_text
+
+    def test_table_v_values_present(self, report_text):
+        assert "2.098" in report_text  # the paper-exact φ1
+
+    def test_method_rows_present(self, report_text):
+        for method in ("AA", "OLAA", "OCCR", "QuHE"):
+            assert f"| {method} |" in report_text
+
+    def test_sweep_winners_listed(self, report_text):
+        assert "bandwidth:" in report_text
+        assert "server_cpu:" in report_text
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "report.md"
+        assert main(["--seed", "2", "report", "--samples", "2",
+                     "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "QuHE reproduction report" in out_file.read_text()

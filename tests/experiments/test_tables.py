@@ -1,0 +1,73 @@
+"""Tests for the Table V/VI regeneration harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import (
+    METHOD_ORDER,
+    render_table_v,
+    render_table_vi,
+    run_stage1_methods,
+    table_v_rows,
+    table_vi_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(typical_cfg):
+    # Reduced iteration budgets keep the test quick; shapes are unaffected.
+    return run_stage1_methods(
+        typical_cfg,
+        gd_max_iterations=4000,
+        sa_max_iterations=1500,
+        rs_num_samples=4000,
+        seed=0,
+    )
+
+
+class TestComparison:
+    def test_all_methods_present(self, comparison):
+        assert set(comparison.results) == set(METHOD_ORDER)
+
+    def test_quhe_is_best_or_tied(self, comparison):
+        values = comparison.values()
+        best = min(values.values())
+        assert values["QuHE Stage 1"] == pytest.approx(best, abs=1e-6)
+
+    def test_gd_matches_quhe(self, comparison):
+        """Table V: gradient descent reaches the same optimum."""
+        values = comparison.values()
+        assert values["Gradient descent"] == pytest.approx(
+            values["QuHE Stage 1"], abs=5e-3
+        )
+
+    def test_random_select_clearly_worse(self, comparison):
+        values = comparison.values()
+        assert values["Random select"] > values["QuHE Stage 1"] + 0.01
+
+    def test_gd_slower_than_quhe(self, comparison):
+        """Fig. 5(b) ordering."""
+        runtimes = comparison.runtimes()
+        assert runtimes["Gradient descent"] > runtimes["QuHE Stage 1"]
+
+
+class TestRendering:
+    def test_table_v_dimensions(self, comparison, typical_cfg):
+        rows = table_v_rows(comparison)
+        assert len(rows) == typical_cfg.num_clients
+        assert len(rows[0]) == 1 + len(METHOD_ORDER)
+
+    def test_table_vi_dimensions(self, comparison, typical_cfg):
+        rows = table_vi_rows(comparison)
+        assert len(rows) == typical_cfg.num_links
+
+    def test_render_contains_headers(self, comparison):
+        text = render_table_v(comparison)
+        assert "Table V" in text and "QuHE Stage 1" in text
+        text_vi = render_table_vi(comparison)
+        assert "Table VI" in text_vi and "w_18" in text_vi
+
+    def test_unused_link_w_is_one_for_all_methods(self, comparison):
+        rows = table_vi_rows(comparison)
+        w6 = rows[5]
+        assert all(v == pytest.approx(1.0, abs=1e-9) for v in w6[1:])

@@ -1,0 +1,96 @@
+"""Integration: every subsystem wired together on one scenario.
+
+Exercises the full QuHE story — optimize resources, run QKD at the optimal
+rates, encrypt, transcipher, compute — and the custom-topology extension
+path, in single tests that cross all package boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro import QuHE, QuHEProblem, SecureEdgePipeline, SystemConfig, paper_config
+from repro.compute.cost_models import paper_cost_model
+from repro.compute.devices import ClientNode, EdgeServer
+from repro.quantum.topology import QKDNetwork
+from repro.utils.units import NOISE_PSD_W_PER_HZ
+from repro.wireless.channel import ChannelModel
+
+
+class TestOptimizeThenRun:
+    def test_allocation_drives_real_crypto_pipeline(self, typical_cfg, quhe_result):
+        """The optimizer's (φ, w) feed the actual QKD + HE data path."""
+        alloc = quhe_result.allocation
+        pipeline = SecureEdgePipeline(ckks_ring_degree=32, transcipher_key_length=4, seed=6)
+        pipeline.distribute_keys(alloc.phi, alloc.w, duration_s=500.0, min_bytes=16)
+
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=8)
+        weights = rng.normal(size=8)
+        report = pipeline.run_client(
+            client_index=0,
+            features=features,
+            model_weights=weights,
+            model_bias=-0.3,
+            bandwidth_hz=float(alloc.b[0]),
+            power_w=float(alloc.p[0]),
+            channel_gain=float(typical_cfg.channel_gains[0]),
+            noise_psd=typical_cfg.noise_psd,
+        )
+        assert report.max_abs_error < 1e-2
+
+    def test_quhe_allocation_satisfies_every_paper_constraint(
+        self, typical_cfg, quhe_result
+    ):
+        problem = QuHEProblem(typical_cfg)
+        assert problem.is_feasible(quhe_result.allocation, tol=1e-5)
+
+    def test_qkd_rates_sustainable_by_protocol_sim(self, typical_cfg, quhe_result):
+        """The allocated rates are physically deliverable by the simulator."""
+        from repro.quantum.entanglement import EntanglementSimulator
+
+        alloc = quhe_result.allocation
+        sim = EntanglementSimulator(typical_cfg.network, seed=0)
+        delivered = sim.delivered_rates(alloc.phi, alloc.w, duration_s=1000.0)
+        for n, route in enumerate(typical_cfg.network.routes):
+            assert delivered[route.route_id] >= 0.5 * alloc.phi[n]
+
+
+class TestCustomDeployment:
+    def test_full_stack_on_custom_topology(self):
+        edges = [
+            ("HQ", "Plant", 12.0),
+            ("HQ", "Lab", 20.0),
+            ("Plant", "Depot", 15.0),
+        ]
+        network = QKDNetwork.from_edge_list(
+            edges, ["Plant", "Lab", "Depot"], key_center="HQ"
+        )
+        clients = tuple(
+            ClientNode(index=i, privacy_weight=0.2 + 0.1 * i, upload_bits=1e8)
+            for i in range(3)
+        )
+        gains = ChannelModel(cell_radius_m=300.0).sample(3, rng=1).gains
+        config = SystemConfig(
+            network=network,
+            clients=clients,
+            server=EdgeServer(total_frequency_hz=8e9, total_bandwidth_hz=5e6),
+            cost_model=paper_cost_model(),
+            channel_gains=gains,
+        )
+        result = QuHE(config).solve()
+        assert result.converged
+        assert QuHEProblem(config).is_feasible(result.allocation, tol=1e-5)
+        # Rates clear the per-client floors and utilities are positive.
+        assert np.all(result.allocation.phi >= config.min_rates - 1e-9)
+        assert result.metrics.u_qkd > 0
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_quhe_beats_aa_across_channel_draws(self, seed):
+        from repro import average_allocation
+
+        cfg = paper_config(seed=seed)
+        result = QuHE(cfg).solve()
+        aa = average_allocation(cfg, stage1_result=result.stage1)
+        assert result.objective >= aa.objective - 1e-6

@@ -1,0 +1,138 @@
+"""Tests for the QKD network analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.analysis import (
+    binding_links,
+    link_reports,
+    outage_impact,
+    remove_link,
+    route_reports,
+    total_secret_key_rate,
+)
+from repro.quantum.topology import surfnet_network
+from repro.quantum.utility import optimal_link_werner
+
+
+@pytest.fixture(scope="module")
+def net():
+    return surfnet_network()
+
+
+@pytest.fixture(scope="module")
+def allocation(net):
+    phi = np.full(net.num_routes, 0.7)
+    w = optimal_link_werner(phi, net.incidence, net.betas)
+    return phi, w
+
+
+class TestLinkReports:
+    def test_one_report_per_link(self, net, allocation):
+        reports = link_reports(net, *allocation)
+        assert len(reports) == net.num_links
+        assert [r.link_id for r in reports] == list(range(1, 19))
+
+    def test_idle_link_utilization_zero(self, net, allocation):
+        reports = link_reports(net, *allocation)
+        link6 = reports[5]
+        assert link6.load == 0.0
+        assert link6.utilization == 0.0
+
+    def test_eq18_allocation_saturates_used_links(self, net, allocation):
+        """With w from Eq. 18 every used link runs at 100% utilization."""
+        reports = link_reports(net, *allocation)
+        for report in reports:
+            if report.load > 0:
+                assert report.utilization == pytest.approx(1.0)
+
+    def test_binding_links_match_saturation(self, net, allocation):
+        bound = binding_links(net, *allocation)
+        used = {l for r in net.routes for l in r.link_ids}
+        assert set(bound) == used
+
+
+class TestRouteReports:
+    def test_one_report_per_route(self, net, allocation):
+        reports = route_reports(net, *allocation)
+        assert [r.route_id for r in reports] == [1, 2, 3, 4, 5, 6]
+
+    def test_key_rate_positive_above_floor(self, net, allocation):
+        for report in route_reports(net, *allocation):
+            assert report.above_fidelity_floor
+            assert report.secret_key_rate > 0
+
+    def test_bottleneck_on_route(self, net, allocation):
+        for report, route in zip(route_reports(net, *allocation), net.routes):
+            assert report.bottleneck_link_id in route.link_ids
+
+    def test_total_rate_is_sum(self, net, allocation):
+        reports = route_reports(net, *allocation)
+        assert total_secret_key_rate(net, *allocation) == pytest.approx(
+            sum(r.secret_key_rate for r in reports)
+        )
+
+
+class TestOutage:
+    def test_impact_counts(self, net, allocation):
+        impact = outage_impact(net, *allocation)
+        assert impact[15] == 3  # link 15 serves routes 4, 5, 6
+        assert impact[6] == 0   # unused link
+        assert impact[1] == 1
+
+    def test_remove_unused_link_keeps_all_routes(self, net):
+        reduced = remove_link(net, 6)
+        assert reduced.num_links == 17
+        assert reduced.num_routes == 6
+
+    def test_remove_shared_link_drops_routes(self, net):
+        reduced = remove_link(net, 15)
+        assert reduced.num_routes == 3  # routes 4, 5, 6 severed
+        assert {r.route_id for r in reduced.routes} == {1, 2, 3}
+
+    def test_surviving_routes_still_valid_paths(self, net):
+        reduced = remove_link(net, 7)  # kills route 6 only
+        assert reduced.num_routes == 5
+        # The constructor re-validates connectivity; reaching here suffices,
+        # but also check the incidence matrix is consistent.
+        assert reduced.incidence.shape == (17, 5)
+
+    def test_unknown_link_rejected(self, net):
+        with pytest.raises(ValueError, match="no link"):
+            remove_link(net, 99)
+
+    def test_severing_all_routes_rejected(self):
+        from repro.quantum.topology import QKDNetwork
+
+        single = QKDNetwork.from_edge_list([("KC", "A", 10.0)], ["A"], key_center="KC")
+        with pytest.raises(ValueError, match="severs every route"):
+            remove_link(single, 1)
+
+
+class TestFailureInjectionEndToEnd:
+    def test_quhe_recovers_after_outage(self, net):
+        """Failure injection: after a link outage, re-optimizing on the
+        surviving network still produces a feasible, convergent solution."""
+        from repro.core.config import paper_config
+        from repro.core.quhe import QuHE
+        from repro.core.problem import QuHEProblem
+
+        reduced = remove_link(net, 15)
+        cfg = paper_config(seed=2, network=reduced)
+        result = QuHE(cfg).solve()
+        assert result.converged
+        assert QuHEProblem(cfg).is_feasible(result.allocation, tol=1e-5)
+
+    def test_outage_reduces_total_key_rate(self, net, allocation):
+        from repro.core.config import paper_config
+        from repro.core.stage1 import Stage1Solver
+
+        full_cfg = paper_config(seed=2)
+        full = Stage1Solver(full_cfg).solve()
+        full_rate = total_secret_key_rate(net, full.phi, full.w)
+
+        reduced_net = remove_link(net, 15)
+        reduced_cfg = paper_config(seed=2, network=reduced_net)
+        reduced = Stage1Solver(reduced_cfg).solve()
+        reduced_rate = total_secret_key_rate(reduced_net, reduced.phi, reduced.w)
+        assert reduced_rate < full_rate

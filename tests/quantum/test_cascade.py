@@ -1,0 +1,93 @@
+"""Tests for the Cascade reconciliation protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.cascade import CascadeReconciler, cascade_efficiency
+
+
+def correlated_strings(n, qber, seed):
+    rng = np.random.default_rng(seed)
+    alice = rng.integers(0, 2, size=n, dtype=np.uint8)
+    flips = (rng.random(n) < qber).astype(np.uint8)
+    return alice, alice ^ flips, int(flips.sum())
+
+
+class TestReconcile:
+    @pytest.mark.parametrize("qber", [0.01, 0.03, 0.05, 0.10])
+    def test_corrects_all_errors(self, qber):
+        alice, bob, _ = correlated_strings(4096, qber, seed=1)
+        result = CascadeReconciler(seed=2).reconcile(alice, bob, estimated_qber=qber)
+        assert result.success
+        assert np.array_equal(result.corrected, alice)
+
+    def test_no_errors_low_leak(self):
+        alice, bob, _ = correlated_strings(2048, 0.0, seed=3)
+        result = CascadeReconciler(seed=4).reconcile(alice, bob, estimated_qber=0.02)
+        assert result.success
+        # Only top-level parities leak when nothing mismatches.
+        assert result.leaked_bits < len(alice) // 2
+
+    def test_leak_increases_with_qber(self):
+        leaks = []
+        for qber in (0.01, 0.05, 0.10):
+            alice, bob, _ = correlated_strings(4096, qber, seed=5)
+            result = CascadeReconciler(seed=6).reconcile(alice, bob, estimated_qber=qber)
+            leaks.append(result.leaked_bits)
+        assert leaks[0] < leaks[1] < leaks[2]
+
+    def test_efficiency_in_practical_band(self):
+        """Cascade leaks close to the Shannon bound: f_ec typically ≤ ~1.6."""
+        alice, bob, _ = correlated_strings(8192, 0.05, seed=7)
+        result = CascadeReconciler(seed=8).reconcile(alice, bob, estimated_qber=0.05)
+        assert result.success
+        f_ec = cascade_efficiency(result, 0.05, len(alice))
+        assert 1.0 <= f_ec < 2.0
+
+    def test_inputs_not_mutated(self):
+        alice, bob, _ = correlated_strings(512, 0.05, seed=9)
+        bob_copy = bob.copy()
+        CascadeReconciler(seed=10).reconcile(alice, bob, estimated_qber=0.05)
+        assert np.array_equal(bob, bob_copy)
+
+    def test_empty_strings(self):
+        result = CascadeReconciler(seed=0).reconcile([], [], estimated_qber=0.05)
+        assert result.success and result.leaked_bits == 0
+
+    def test_validation(self):
+        rec = CascadeReconciler()
+        with pytest.raises(ValueError):
+            rec.reconcile([0, 1], [0], estimated_qber=0.05)
+        with pytest.raises(ValueError):
+            rec.reconcile([0], [1], estimated_qber=0.7)
+        with pytest.raises(ValueError):
+            CascadeReconciler(num_passes=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=64, max_value=1024),
+        st.floats(min_value=0.0, max_value=0.08),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_random_instances_converge(self, n, qber, seed):
+        alice, bob, _ = correlated_strings(n, qber, seed=seed)
+        result = CascadeReconciler(seed=seed + 1).reconcile(
+            alice, bob, estimated_qber=max(qber, 0.01)
+        )
+        assert result.residual_errors == 0
+
+
+class TestEfficiencyHelper:
+    def test_zero_entropy_gives_inf(self):
+        from repro.quantum.cascade import CascadeResult
+
+        result = CascadeResult(np.zeros(4, dtype=np.uint8), 10, 0, 2)
+        assert cascade_efficiency(result, 0.0, 4) == float("inf")
+
+    def test_invalid_length(self):
+        from repro.quantum.cascade import CascadeResult
+
+        result = CascadeResult(np.zeros(4, dtype=np.uint8), 10, 0, 2)
+        with pytest.raises(ValueError):
+            cascade_efficiency(result, 0.05, 0)

@@ -1,0 +1,93 @@
+"""Tests for the entanglement generation/swapping simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.entanglement import EntanglementSimulator
+from repro.quantum.topology import surfnet_network
+from repro.quantum.utility import optimal_link_werner, route_werner_parameters
+
+
+@pytest.fixture(scope="module")
+def net():
+    return surfnet_network()
+
+
+@pytest.fixture()
+def feasible_allocation(net):
+    phi = np.full(net.num_routes, 0.6)
+    w = optimal_link_werner(phi, net.incidence, net.betas) * 0.999
+    return phi, w
+
+
+class TestRun:
+    def test_delivers_batches_per_route(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=1)
+        batches = sim.run(phi, w, duration_s=50.0)
+        assert len(batches) == net.num_routes
+        assert all(b.count >= 0 for b in batches)
+
+    def test_batch_werner_matches_eq5(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=1)
+        batches = sim.run(phi, w, duration_s=10.0)
+        varpi = route_werner_parameters(w, net.incidence)
+        for n, batch in enumerate(batches):
+            assert batch.werner == pytest.approx(varpi[n])
+
+    def test_delivered_rate_concentrates_on_allocation(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=2)
+        rates = sim.delivered_rates(phi, w, duration_s=2000.0)
+        for n, route in enumerate(net.routes):
+            # Swapping takes the min across links, so the delivered rate is
+            # at most φ and concentrates near it for long windows.
+            assert rates[route.route_id] == pytest.approx(phi[n], rel=0.25)
+            assert rates[route.route_id] <= phi[n] * 1.05
+
+    def test_overload_rejected(self, net):
+        phi = np.full(net.num_routes, 100.0)
+        w = np.full(net.num_links, 0.99)
+        sim = EntanglementSimulator(net, seed=0)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            sim.run(phi, w)
+
+    def test_wrong_shapes_rejected(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=0)
+        with pytest.raises(ValueError):
+            sim.run(phi[:-1], w)
+        with pytest.raises(ValueError):
+            sim.run(phi, w[:-1])
+        with pytest.raises(ValueError):
+            sim.run(phi, w, duration_s=0.0)
+
+    def test_deterministic_given_seed(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        runs = [
+            EntanglementSimulator(net, seed=7).run(phi, w, duration_s=20.0)
+            for _ in range(2)
+        ]
+        assert [b.count for b in runs[0]] == [b.count for b in runs[1]]
+
+
+class TestQBER:
+    def test_qber_concentrates_on_theory(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=3)
+        batches = sim.run(phi, w, duration_s=3000.0)
+        varpi = route_werner_parameters(w, net.incidence)
+        for n, batch in enumerate(batches):
+            if batch.count < 200:
+                continue
+            qber = sim.measure_qber(batch)
+            assert qber == pytest.approx((1 - varpi[n]) / 2, abs=0.05)
+
+    def test_empty_batch_yields_nan(self, net, feasible_allocation):
+        phi, w = feasible_allocation
+        sim = EntanglementSimulator(net, seed=0)
+        batches = sim.run(phi, w, duration_s=1e-6)
+        empty = [b for b in batches if b.count == 0]
+        assert empty, "expected at least one empty batch in a tiny window"
+        assert np.isnan(sim.measure_qber(empty[0]))

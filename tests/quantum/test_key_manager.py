@@ -1,0 +1,79 @@
+"""Tests for the KeyCenter (QKD key pooling and consumption)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.key_manager import KeyCenter, KeyPoolEmptyError
+from repro.quantum.topology import surfnet_network
+from repro.quantum.utility import optimal_link_werner
+
+
+@pytest.fixture(scope="module")
+def net():
+    return surfnet_network()
+
+
+@pytest.fixture()
+def allocation(net):
+    phi = np.full(net.num_routes, 0.8)
+    w = optimal_link_werner(phi, net.incidence, net.betas) * 0.999
+    return phi, w
+
+
+class TestReplenish:
+    def test_pools_grow(self, net, allocation):
+        phi, w = allocation
+        center = KeyCenter(net, seed=0)
+        assert all(v == 0 for v in center.pool_summary().values())
+        center.replenish(phi, w, duration_s=600.0)
+        assert sum(center.pool_summary().values()) > 0
+
+    def test_one_session_per_route(self, net, allocation):
+        phi, w = allocation
+        center = KeyCenter(net, seed=0)
+        results = center.replenish(phi, w, duration_s=100.0)
+        assert len(results) == net.num_routes
+        assert len(center.session_history) == net.num_routes
+
+    def test_deterministic_given_seed(self, net, allocation):
+        phi, w = allocation
+        pools = []
+        for _ in range(2):
+            center = KeyCenter(net, seed=42)
+            center.replenish(phi, w, duration_s=200.0)
+            pools.append(center.pool_summary())
+        assert pools[0] == pools[1]
+
+
+class TestDrawKey:
+    def test_draw_consumes_pool(self, net, allocation):
+        phi, w = allocation
+        center = KeyCenter(net, seed=1)
+        center.replenish(phi, w, duration_s=800.0)
+        before = center.available_bytes(0)
+        if before < 16:
+            pytest.skip("seeded run delivered too little key material")
+        key = center.draw_key(0, 16)
+        assert len(key) == 16
+        assert center.available_bytes(0) == before - 16
+
+    def test_empty_pool_raises(self, net):
+        center = KeyCenter(net, seed=2)
+        with pytest.raises(KeyPoolEmptyError):
+            center.draw_key(0, 1)
+
+    def test_nonpositive_request_rejected(self, net):
+        center = KeyCenter(net, seed=3)
+        with pytest.raises(ValueError):
+            center.draw_key(0, 0)
+
+    def test_distinct_draws_are_distinct_bytes(self, net, allocation):
+        phi, w = allocation
+        center = KeyCenter(net, seed=4)
+        for _ in range(10):
+            center.replenish(phi, w, duration_s=600.0)
+        if center.available_bytes(0) < 32:
+            pytest.skip("not enough key material in seeded run")
+        k1 = center.draw_key(0, 16)
+        k2 = center.draw_key(0, 16)
+        assert k1 != k2

@@ -1,0 +1,167 @@
+"""Tests for the BBM92 QKD protocol pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.protocol import (
+    BBM92Protocol,
+    QBER_ABORT_THRESHOLD,
+    binary_entropy,
+    bits_to_bytes,
+)
+from repro.quantum.werner import F_SKF_ZERO_CROSSING, secret_key_fraction
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.1) == pytest.approx(binary_entropy(0.9))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.2)
+
+
+class TestAbortThreshold:
+    def test_matches_werner_crossing(self):
+        # 1 - 2 h(Q) = 0 at Q = (1 - 0.779944)/2.
+        assert QBER_ABORT_THRESHOLD == pytest.approx((1 - F_SKF_ZERO_CROSSING) / 2)
+        assert 1 - 2 * binary_entropy(QBER_ABORT_THRESHOLD) == pytest.approx(0.0, abs=1e-4)
+
+
+class TestPhases:
+    def test_measurement_shapes(self):
+        proto = BBM92Protocol(seed=0)
+        alice, bob, match = proto.measure(500, 0.95)
+        assert alice.shape == bob.shape == match.shape == (500,)
+
+    def test_perfect_pairs_agree(self):
+        proto = BBM92Protocol(seed=0)
+        alice, bob, _ = proto.measure(1000, 1.0)
+        assert np.array_equal(alice, bob)
+
+    def test_error_rate_tracks_werner(self):
+        proto = BBM92Protocol(seed=1)
+        w = 0.9
+        alice, bob, _ = proto.measure(40000, w)
+        qber = np.mean(alice != bob)
+        assert qber == pytest.approx((1 - w) / 2, abs=0.01)
+
+    def test_sifting_keeps_about_half(self):
+        proto = BBM92Protocol(seed=2)
+        alice, bob, match = proto.measure(10000, 0.95)
+        a, b = proto.sift(alice, bob, match)
+        assert len(a) == len(b)
+        assert 0.4 < len(a) / 10000 < 0.6
+
+    def test_reconcile_fixes_all_errors(self):
+        proto = BBM92Protocol(seed=3)
+        alice = np.array([0, 1, 1, 0, 1], dtype=np.uint8)
+        bob = np.array([0, 0, 1, 0, 0], dtype=np.uint8)
+        corrected, n_err, leak = proto.reconcile(alice, bob, qber=0.4)
+        assert np.array_equal(corrected, alice)
+        assert n_err == 2
+        assert leak >= 1
+
+    def test_amplify_output_shorter_than_input(self):
+        proto = BBM92Protocol(seed=4)
+        bits = np.ones(1000, dtype=np.uint8)
+        out = proto.amplify(bits, leaked_bits=200, qber=0.05)
+        assert 0 < len(out) < 1000
+
+
+class TestFullSession:
+    def test_high_fidelity_yields_key(self):
+        proto = BBM92Protocol(seed=5)
+        result = proto.run_session(pair_count=20000, werner=0.95)
+        assert not result.aborted
+        assert result.key_bits > 0
+        assert result.sifted_bits > 0
+        assert result.estimated_qber < QBER_ABORT_THRESHOLD
+
+    def test_secret_fraction_tracks_eq4(self):
+        # Empirical key bits per raw pair ≈ 0.5 (sifting) × F_skf(w) minus
+        # the estimation sample; verify the right order.
+        proto = BBM92Protocol(seed=6)
+        w = 0.95
+        result = proto.run_session(pair_count=200000, werner=w)
+        ideal = 0.5 * secret_key_fraction(w)
+        assert 0.3 * ideal < result.secret_fraction <= ideal * 1.05
+
+    def test_low_fidelity_aborts(self):
+        proto = BBM92Protocol(seed=7)
+        result = proto.run_session(pair_count=20000, werner=0.6)
+        assert result.aborted
+        assert result.key == b""
+
+    def test_zero_pairs_aborts(self):
+        proto = BBM92Protocol(seed=8)
+        result = proto.run_session(pair_count=0, werner=0.99)
+        assert result.aborted
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BBM92Protocol(error_correction_efficiency=0.9)
+        with pytest.raises(ValueError):
+            BBM92Protocol(sample_fraction=0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.85, max_value=1.0), st.integers(min_value=5000, max_value=20000))
+    def test_key_never_longer_than_sifted_bits(self, werner, pairs):
+        proto = BBM92Protocol(seed=9)
+        result = proto.run_session(pairs, werner)
+        assert result.key_bits <= result.sifted_bits
+
+
+class TestCascadeReconciliation:
+    def test_cascade_mode_produces_identical_keys(self):
+        """With the real Cascade reconciler, Alice's and Bob's final keys
+        match because Bob's string is actually corrected (not copied)."""
+        proto = BBM92Protocol(seed=11, reconciliation="cascade")
+        result = proto.run_session(pair_count=30000, werner=0.95)
+        assert not result.aborted
+        assert result.key_bits > 0
+
+    def test_cascade_leak_comparable_to_analytic(self):
+        ideal = BBM92Protocol(seed=12, reconciliation="ideal")
+        cascade = BBM92Protocol(seed=12, reconciliation="cascade")
+        r_ideal = ideal.run_session(40000, 0.94)
+        r_cascade = cascade.run_session(40000, 0.94)
+        assert not r_ideal.aborted and not r_cascade.aborted
+        # Cascade leaks at most ~2x the Shannon bound the analytic model uses.
+        assert r_cascade.leaked_bits < 2.5 * max(r_ideal.leaked_bits, 1)
+
+    def test_cascade_reconcile_actually_corrects(self):
+        proto = BBM92Protocol(seed=13, reconciliation="cascade")
+        rng = np.random.default_rng(0)
+        alice = rng.integers(0, 2, 2048, dtype=np.uint8)
+        flips = (rng.random(2048) < 0.03).astype(np.uint8)
+        bob = alice ^ flips
+        corrected, n_err, leak = proto.reconcile(alice, bob, qber=0.03)
+        assert n_err == int(flips.sum())
+        assert np.array_equal(corrected, alice)
+        assert leak > 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="reconciliation"):
+            BBM92Protocol(reconciliation="turbo")
+
+
+class TestBitsToBytes:
+    def test_packs_whole_bytes(self):
+        bits = np.array([1, 0, 0, 0, 0, 0, 0, 1], dtype=np.uint8)
+        assert bits_to_bytes(bits) == b"\x81"
+
+    def test_discards_partial_byte(self):
+        bits = np.ones(10, dtype=np.uint8)
+        assert len(bits_to_bytes(bits)) == 1
+
+    def test_empty(self):
+        assert bits_to_bytes(np.zeros(0, dtype=np.uint8)) == b""

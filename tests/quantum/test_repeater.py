@@ -1,0 +1,93 @@
+"""Tests for the time-stepped repeater-chain simulator."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.repeater import (
+    ChainStatistics,
+    RepeaterChainSimulator,
+    RepeaterLink,
+    calibrate_link_abstraction,
+)
+
+
+def chain(probs, werner=0.95, **kwargs):
+    links = [RepeaterLink(p, werner) for p in probs]
+    return RepeaterChainSimulator(links, **kwargs)
+
+
+class TestSingleLink:
+    def test_rate_matches_generation_probability(self):
+        sim = chain([0.3], seed=0)
+        stats = sim.run(30_000)
+        assert stats.delivery_rate == pytest.approx(0.3, rel=0.05)
+
+    def test_fresh_pairs_keep_base_werner(self):
+        # A single link swaps immediately on generation: age 0, no decay.
+        sim = chain([0.5], werner=0.9, seed=1)
+        stats = sim.run(5_000)
+        assert stats.mean_werner == pytest.approx(0.9, rel=1e-6)
+
+
+class TestChainBehaviour:
+    def test_rate_below_weakest_link(self):
+        sim = chain([0.4, 0.2, 0.4], seed=2)
+        stats = sim.run(30_000)
+        assert stats.delivery_rate < 0.2
+        assert stats.delivery_rate > 0.05
+
+    def test_fast_links_long_memory_approach_eq5(self):
+        """The paper's static abstraction is accurate in the fast/coherent regime."""
+        sim = chain([0.9, 0.9, 0.9], werner=0.95, coherence_slots=10_000, seed=3)
+        report = calibrate_link_abstraction(sim, time_slots=20_000)
+        assert report["mean_werner"] == pytest.approx(report["ideal_werner"], rel=0.01)
+        assert report["decoherence_shortfall"] < 0.01
+
+    def test_slow_links_short_memory_degrade(self):
+        """Decoherence bites when partners are slow: ϖ < Π w_l."""
+        sim = chain([0.05, 0.05], werner=0.95, coherence_slots=20.0, seed=4)
+        report = calibrate_link_abstraction(sim, time_slots=40_000)
+        assert report["decoherence_shortfall"] > 0.1
+
+    def test_cutoff_discards_and_preserves_fidelity(self):
+        loose = chain([0.05, 0.05], werner=0.95, coherence_slots=30.0, seed=5)
+        strict = chain(
+            [0.05, 0.05], werner=0.95, coherence_slots=30.0, cutoff_slots=10, seed=5
+        )
+        loose_stats = loose.run(40_000)
+        strict_stats = strict.run(40_000)
+        assert strict_stats.discarded_pairs > 0
+        assert loose_stats.discarded_pairs == 0
+        # Discarding old pairs raises delivered fidelity at some rate cost.
+        assert strict_stats.mean_werner > loose_stats.mean_werner
+        assert strict_stats.delivered_pairs <= loose_stats.delivered_pairs
+
+    def test_deterministic_given_seed(self):
+        a = chain([0.3, 0.3], seed=7).run(5_000)
+        b = chain([0.3, 0.3], seed=7).run(5_000)
+        assert a.delivered_pairs == b.delivered_pairs
+        assert a.mean_werner == pytest.approx(b.mean_werner)
+
+    def test_no_delivery_gives_nan_werner(self):
+        sim = chain([1e-6, 1e-6], seed=8)
+        stats = sim.run(100)
+        assert stats.delivered_pairs == 0
+        assert np.isnan(stats.mean_werner)
+
+
+class TestValidation:
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            RepeaterLink(0.0, 0.9)
+        with pytest.raises(ValueError):
+            RepeaterLink(0.5, 1.5)
+
+    def test_simulator_validation(self):
+        with pytest.raises(ValueError):
+            RepeaterChainSimulator([])
+        with pytest.raises(ValueError):
+            chain([0.5], coherence_slots=0.0)
+        with pytest.raises(ValueError):
+            chain([0.5], cutoff_slots=0)
+        with pytest.raises(ValueError):
+            chain([0.5]).run(0)

@@ -1,0 +1,71 @@
+"""Tests for Route and the incidence-matrix builder."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.routing import Route, incidence_matrix, routes_from_paths
+
+
+class TestRoute:
+    def test_link_indices_are_zero_based(self):
+        route = Route(1, "A", "B", (3, 1, 2))
+        assert route.link_indices == (2, 0, 1)
+
+    def test_hop_count(self):
+        assert Route(1, "A", "B", (5, 6)).hop_count == 2
+
+    def test_repeated_link_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            Route(1, "A", "B", (1, 1))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError, match="at least one link"):
+            Route(1, "A", "B", ())
+
+    def test_nonpositive_route_id_rejected(self):
+        with pytest.raises(ValueError):
+            Route(0, "A", "B", (1,))
+
+    def test_nonpositive_link_id_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            Route(1, "A", "B", (0,))
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_entries(self):
+        routes = [Route(1, "A", "B", (1, 2)), Route(2, "A", "C", (2, 3))]
+        a = incidence_matrix(routes, 4)
+        assert a.shape == (4, 2)
+        assert a[0].tolist() == [1, 0]
+        assert a[1].tolist() == [1, 1]
+        assert a[2].tolist() == [0, 1]
+        assert a[3].tolist() == [0, 0]
+
+    def test_out_of_range_link_rejected(self):
+        with pytest.raises(ValueError, match="only 2 links"):
+            incidence_matrix([Route(1, "A", "B", (3,))], 2)
+
+    def test_column_sums_are_hop_counts(self):
+        routes = [Route(1, "A", "B", (1, 2, 3)), Route(2, "A", "C", (4,))]
+        a = incidence_matrix(routes, 4)
+        assert a.sum(axis=0).tolist() == [3, 1]
+
+
+class TestRoutesFromPaths:
+    def test_builds_routes_in_order(self):
+        edge_map = {
+            frozenset(("KC", "A")): 1,
+            frozenset(("A", "B")): 2,
+        }
+        routes = routes_from_paths([["KC", "A"], ["KC", "A", "B"]], edge_map)
+        assert routes[0].link_ids == (1,)
+        assert routes[1].link_ids == (1, 2)
+        assert routes[1].target == "B"
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(ValueError, match="unknown edge"):
+            routes_from_paths([["KC", "X"]], {})
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            routes_from_paths([["KC"]], {})

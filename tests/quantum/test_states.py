@@ -1,0 +1,113 @@
+"""Density-matrix validation of the Werner-state facts used by the paper.
+
+These tests *derive* the two scalar rules the optimization layer assumes:
+QBER = (1-w)/2 for matched-basis measurement, and the w-product rule of
+Eq. 5 under entanglement swapping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.states import (
+    bell_projector,
+    bell_state,
+    depolarize,
+    entanglement_swap,
+    fidelity_with_bell,
+    is_density_matrix,
+    matched_basis_error_probability,
+    werner_parameter,
+    werner_state,
+)
+
+
+class TestBellStates:
+    def test_normalised(self):
+        for i in range(4):
+            assert np.linalg.norm(bell_state(i)) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert abs(bell_state(i).conj() @ bell_state(j)) < 1e-12
+
+    def test_projectors_sum_to_identity(self):
+        total = sum(bell_projector(i) for i in range(4))
+        assert np.allclose(total, np.eye(4))
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            bell_state(4)
+
+
+class TestWernerStates:
+    @pytest.mark.parametrize("w", [0.0, 0.3, 0.7794, 0.95, 1.0])
+    def test_valid_density_matrix(self, w):
+        assert is_density_matrix(werner_state(w))
+
+    def test_w_one_is_bell(self):
+        assert np.allclose(werner_state(1.0), bell_projector(0))
+
+    def test_w_zero_is_maximally_mixed(self):
+        assert np.allclose(werner_state(0.0), np.eye(4) / 4)
+
+    @pytest.mark.parametrize("w", [0.1, 0.5, 0.9])
+    def test_parameter_recovery(self, w):
+        assert werner_parameter(werner_state(w)) == pytest.approx(w)
+
+    def test_fidelity_formula(self):
+        # F = w + (1-w)/4.
+        w = 0.8
+        assert fidelity_with_bell(werner_state(w)) == pytest.approx(w + (1 - w) / 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            werner_state(1.1)
+
+
+class TestQBERDerivation:
+    @pytest.mark.parametrize("w", [0.0, 0.5, 0.779944, 0.9, 1.0])
+    def test_matched_basis_error_is_half_one_minus_w(self, w):
+        """The QBER behind Eq. 4, derived from the density matrix."""
+        qber = matched_basis_error_probability(werner_state(w))
+        assert qber == pytest.approx((1 - w) / 2)
+
+
+class TestSwapping:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_product_rule_eq5(self, w1, w2):
+        """Swapping Werner(w1) and Werner(w2) yields Werner(w1·w2)."""
+        out = entanglement_swap(werner_state(w1), werner_state(w2))
+        assert is_density_matrix(out)
+        assert werner_parameter(out) == pytest.approx(w1 * w2, abs=1e-9)
+
+    def test_perfect_pairs_swap_perfectly(self):
+        out = entanglement_swap(werner_state(1.0), werner_state(1.0))
+        assert np.allclose(out, bell_projector(0), atol=1e-12)
+
+    def test_three_hop_chain(self):
+        """Iterated swapping reproduces the route product Π w_l."""
+        ws = [0.95, 0.9, 0.85]
+        rho = werner_state(ws[0])
+        for w in ws[1:]:
+            rho = entanglement_swap(rho, werner_state(w))
+        assert werner_parameter(rho) == pytest.approx(np.prod(ws), abs=1e-9)
+
+
+class TestDepolarize:
+    def test_scales_werner_parameter(self):
+        rho = depolarize(werner_state(0.9), 0.2)
+        assert werner_parameter(rho) == pytest.approx(0.9 * 0.8)
+
+    def test_probability_one_gives_mixed(self):
+        rho = depolarize(werner_state(0.9), 1.0)
+        assert np.allclose(rho, np.eye(4) / 4)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            depolarize(werner_state(0.9), 1.5)

@@ -1,0 +1,142 @@
+"""Tests for the QKD network utility (Eq. 6) and the Stage-1 objective."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantum.topology import surfnet_network
+from repro.quantum.utility import (
+    log_qkd_utility,
+    optimal_link_werner,
+    qkd_utility,
+    route_werner_parameters,
+    stage1_objective_and_gradient,
+)
+from repro.quantum.werner import secret_key_fraction
+
+
+@pytest.fixture(scope="module")
+def net():
+    return surfnet_network()
+
+
+class TestRouteWerner:
+    def test_matches_manual_product(self, net):
+        w = np.linspace(0.9, 0.99, net.num_links)
+        varpi = route_werner_parameters(w, net.incidence)
+        # Route 4 = links 15, 18 (0-based 14, 17).
+        assert varpi[3] == pytest.approx(w[14] * w[17])
+
+    def test_unit_werner_gives_unit_route(self, net):
+        varpi = route_werner_parameters(np.ones(net.num_links), net.incidence)
+        assert np.allclose(varpi, 1.0)
+
+    def test_rejects_zero_werner(self, net):
+        w = np.ones(net.num_links)
+        w[0] = 0.0
+        with pytest.raises(ValueError):
+            route_werner_parameters(w, net.incidence)
+
+    def test_shape_mismatch_rejected(self, net):
+        with pytest.raises(ValueError):
+            route_werner_parameters(np.ones(3), net.incidence)
+
+
+class TestUtility:
+    def test_eq6_product_form(self):
+        phi = np.array([1.0, 2.0])
+        varpi = np.array([0.9, 0.95])
+        expected = (
+            1.0 * secret_key_fraction(0.9) * 2.0 * secret_key_fraction(0.95)
+        )
+        assert qkd_utility(phi, varpi) == pytest.approx(expected)
+
+    def test_zero_fraction_kills_utility(self):
+        phi = np.array([1.0, 2.0])
+        varpi = np.array([0.9, 0.5])  # second below the crossing
+        assert qkd_utility(phi, varpi) == 0.0
+        assert log_qkd_utility(phi, varpi) == -np.inf
+
+    def test_log_consistency(self):
+        phi = np.array([1.5, 0.7, 2.0])
+        varpi = np.array([0.9, 0.92, 0.97])
+        assert log_qkd_utility(phi, varpi) == pytest.approx(
+            np.log(qkd_utility(phi, varpi))
+        )
+
+    def test_utility_increasing_in_rate(self):
+        varpi = np.array([0.9, 0.9])
+        low = qkd_utility(np.array([1.0, 1.0]), varpi)
+        high = qkd_utility(np.array([2.0, 1.0]), varpi)
+        assert high > low
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            qkd_utility(np.array([-1.0]), np.array([0.9]))
+
+
+class TestOptimalWerner:
+    def test_eq18_closed_form(self, net):
+        phi = np.full(net.num_routes, 0.6)
+        w = optimal_link_werner(phi, net.incidence, net.betas)
+        load = net.incidence @ phi
+        assert np.allclose(w, 1.0 - load / net.betas)
+
+    def test_unused_link_gets_unity(self, net):
+        phi = np.full(net.num_routes, 0.6)
+        w = optimal_link_werner(phi, net.incidence, net.betas)
+        assert w[5] == 1.0  # link 6 is on no route
+
+    def test_overload_rejected(self, net):
+        phi = np.full(net.num_routes, 1e4)
+        with pytest.raises(ValueError, match="overload"):
+            optimal_link_werner(phi, net.incidence, net.betas)
+
+    def test_capacity_constraint_tight(self, net):
+        # Eq. 18 saturates (17c): load == β (1 - w).
+        phi = np.full(net.num_routes, 0.8)
+        w = optimal_link_werner(phi, net.incidence, net.betas)
+        load = net.incidence @ phi
+        assert np.allclose(load, net.betas * (1.0 - w))
+
+
+class TestStage1Objective:
+    def test_gradient_matches_finite_difference(self, net):
+        x = np.log(np.full(net.num_routes, 0.7))
+        value, grad = stage1_objective_and_gradient(x, net.incidence, net.betas)
+        assert np.isfinite(value)
+        for k in range(len(x)):
+            h = 1e-6
+            xp, xm = x.copy(), x.copy()
+            xp[k] += h
+            xm[k] -= h
+            vp, _ = stage1_objective_and_gradient(xp, net.incidence, net.betas)
+            vm, _ = stage1_objective_and_gradient(xm, net.incidence, net.betas)
+            assert grad[k] == pytest.approx((vp - vm) / (2 * h), rel=1e-4, abs=1e-6)
+
+    def test_outside_domain_returns_inf(self, net):
+        x = np.log(np.full(net.num_routes, 1e5))
+        value, _ = stage1_objective_and_gradient(x, net.incidence, net.betas)
+        assert value == np.inf
+
+    def test_objective_equals_negative_log_utility(self, net):
+        phi = np.full(net.num_routes, 0.7)
+        x = np.log(phi)
+        value, _ = stage1_objective_and_gradient(x, net.incidence, net.betas)
+        w = optimal_link_werner(phi, net.incidence, net.betas)
+        varpi = route_werner_parameters(w, net.incidence)
+        assert value == pytest.approx(-log_qkd_utility(phi, varpi))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=0.9))
+    def test_convexity_along_random_segments(self, phi_level):
+        """The P3 objective is convex in ϕ (Kar-Wehner); check midpoint convexity."""
+        net = surfnet_network()
+        rng = np.random.default_rng(int(phi_level * 1e6))
+        x1 = np.log(np.full(net.num_routes, phi_level) * rng.uniform(0.9, 1.1, net.num_routes))
+        x2 = np.log(np.full(net.num_routes, phi_level) * rng.uniform(0.9, 1.1, net.num_routes))
+        v1, _ = stage1_objective_and_gradient(x1, net.incidence, net.betas)
+        v2, _ = stage1_objective_and_gradient(x2, net.incidence, net.betas)
+        vm, _ = stage1_objective_and_gradient((x1 + x2) / 2, net.incidence, net.betas)
+        if np.isfinite(v1) and np.isfinite(v2) and np.isfinite(vm):
+            assert vm <= (v1 + v2) / 2 + 1e-9

@@ -1,0 +1,42 @@
+"""Tests for the experiment CLI (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_solve(self, capsys):
+        assert main(["--seed", "2", "solve"]) == 0
+        out = capsys.readouterr().out
+        assert "phi:" in out and "converged=True" in out
+
+    def test_table5(self, capsys):
+        assert main(["--seed", "0", "table5"]) == 0
+        assert "Table V" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["--seed", "0", "table6"]) == 0
+        assert "Table VI" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main(["--seed", "1", "fig3", "--samples", "2"]) == 0
+        assert "histogram" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["--seed", "2", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "stage1" in out and "stage3 gap" in out
+
+    def test_fig6_single_panel(self, capsys):
+        assert main(["--seed", "2", "fig6", "--panel", "server_cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "server_cpu" in out and "QuHE" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

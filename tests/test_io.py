@@ -1,0 +1,79 @@
+"""Tests for JSON serialization of allocations and metrics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.problem import QuHEProblem
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    metrics_to_dict,
+    save_allocation,
+)
+
+
+class TestAllocationRoundtrip:
+    def test_dict_roundtrip(self, quhe_result):
+        alloc = quhe_result.allocation
+        restored = allocation_from_dict(allocation_to_dict(alloc))
+        assert np.allclose(restored.phi, alloc.phi)
+        assert np.allclose(restored.w, alloc.w)
+        assert np.allclose(restored.lam, alloc.lam)
+        assert np.allclose(restored.p, alloc.p)
+        assert np.allclose(restored.b, alloc.b)
+        assert np.allclose(restored.f_c, alloc.f_c)
+        assert np.allclose(restored.f_s, alloc.f_s)
+        assert restored.T == pytest.approx(alloc.T)
+
+    def test_file_roundtrip(self, quhe_result, tmp_path):
+        path = tmp_path / "allocation.json"
+        save_allocation(quhe_result.allocation, path)
+        restored = load_allocation(path)
+        assert np.allclose(restored.phi, quhe_result.allocation.phi)
+
+    def test_restored_allocation_reproduces_objective(
+        self, typical_cfg, quhe_result, tmp_path
+    ):
+        path = tmp_path / "allocation.json"
+        save_allocation(quhe_result.allocation, path)
+        restored = load_allocation(path)
+        problem = QuHEProblem(typical_cfg)
+        assert problem.objective(restored) == pytest.approx(quhe_result.objective)
+
+    def test_metrics_embedded(self, quhe_result, tmp_path):
+        path = tmp_path / "with_metrics.json"
+        save_allocation(quhe_result.allocation, path, metrics=quhe_result.metrics)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["objective"] == pytest.approx(quhe_result.objective)
+        assert len(payload["metrics"]["per_node"]["tr_delay"]) == 6
+
+    def test_lam_serialized_as_ints(self, quhe_result):
+        data = allocation_to_dict(quhe_result.allocation)
+        assert all(isinstance(v, int) for v in data["lam"])
+
+
+class TestValidation:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            allocation_from_dict({"kind": "metrics", "format_version": 1})
+
+    def test_wrong_version_rejected(self, quhe_result):
+        data = allocation_to_dict(quhe_result.allocation)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            allocation_from_dict(data)
+
+    def test_missing_field_rejected(self, quhe_result):
+        data = allocation_to_dict(quhe_result.allocation)
+        del data["phi"]
+        with pytest.raises(ValueError, match="missing"):
+            allocation_from_dict(data)
+
+    def test_file_without_allocation_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="no 'allocation'"):
+            load_allocation(path)

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end secure edge pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import SecureEdgePipeline
+from repro.core.stage1 import Stage1Solver
+from repro.utils.units import NOISE_PSD_W_PER_HZ
+
+
+@pytest.fixture(scope="module")
+def pipeline(paper_cfg):
+    p = SecureEdgePipeline(ckks_ring_degree=32, transcipher_key_length=4, seed=3)
+    s1 = Stage1Solver(paper_cfg).solve()
+    p.distribute_keys(s1.phi, s1.w, duration_s=500.0, min_bytes=48)
+    return p
+
+
+class TestKeyDistribution:
+    def test_pools_filled(self, pipeline):
+        pools = pipeline.key_center.pool_summary()
+        assert all(size >= 48 for size in pools.values())
+
+    def test_sessions_recorded(self, pipeline):
+        assert len(pipeline.key_center.session_history) > 0
+
+    def test_unreachable_target_raises(self, paper_cfg):
+        p = SecureEdgePipeline(ckks_ring_degree=32, seed=4)
+        s1 = Stage1Solver(paper_cfg).solve()
+        with pytest.raises(RuntimeError, match="could not deliver"):
+            # A microscopic window cannot deliver 10 kB of key.
+            p.distribute_keys(s1.phi, s1.w, duration_s=1e-3, min_bytes=10_000, max_rounds=2)
+
+
+class TestClientRoundTrip:
+    def run(self, pipeline, paper_cfg, client=0, n_features=8):
+        rng = np.random.default_rng(17)
+        features = rng.normal(size=n_features)
+        weights = rng.normal(size=n_features)
+        return features, weights, pipeline.run_client(
+            client_index=client,
+            features=features,
+            model_weights=weights,
+            model_bias=0.5,
+            bandwidth_hz=1e6,
+            power_w=0.2,
+            channel_gain=float(paper_cfg.channel_gains[client]),
+            noise_psd=NOISE_PSD_W_PER_HZ,
+        )
+
+    def test_encrypted_inference_matches_plaintext(self, pipeline, paper_cfg):
+        features, weights, report = self.run(pipeline, paper_cfg)
+        assert np.allclose(report.plaintext_reference, weights * features + 0.5)
+        assert report.max_abs_error < 1e-2
+
+    def test_uplink_accounting_positive(self, pipeline, paper_cfg):
+        _, _, report = self.run(pipeline, paper_cfg)
+        assert report.uplink_bits > 0
+        assert report.uplink_delay_s > 0
+        assert report.uplink_energy_j == pytest.approx(0.2 * report.uplink_delay_s)
+
+    def test_key_material_consumed(self, pipeline, paper_cfg):
+        before = pipeline.key_center.available_bytes(1)
+        self.run(pipeline, paper_cfg, client=1)
+        after = pipeline.key_center.available_bytes(1)
+        assert after == before - 16  # 4 bytes per key coordinate, 4 coordinates
+
+    def test_feature_weight_mismatch_rejected(self, pipeline, paper_cfg):
+        with pytest.raises(ValueError, match="align"):
+            pipeline.run_client(
+                client_index=0,
+                features=np.ones(4),
+                model_weights=np.ones(5),
+                model_bias=0.0,
+                bandwidth_hz=1e6,
+                power_w=0.1,
+                channel_gain=1e-12,
+                noise_psd=NOISE_PSD_W_PER_HZ,
+            )
+
+    def test_oversized_feature_block_rejected(self, pipeline, paper_cfg):
+        n = pipeline.engine.block_size + 1
+        with pytest.raises(ValueError, match="features"):
+            pipeline.run_client(
+                client_index=0,
+                features=np.ones(n),
+                model_weights=np.ones(n),
+                model_bias=0.0,
+                bandwidth_hz=1e6,
+                power_w=0.1,
+                channel_gain=1e-12,
+                noise_psd=NOISE_PSD_W_PER_HZ,
+            )

@@ -1,0 +1,96 @@
+"""Tests for the synthetic NLP workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload import (
+    ClientWorkload,
+    NLPWorkloadGenerator,
+    Request,
+    workload_to_client_parameters,
+)
+
+
+class TestRequest:
+    def test_token_count(self):
+        request = Request(tokens=(1, 2, 3), payload_bits=100)
+        assert request.num_tokens == 3
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = NLPWorkloadGenerator(seed=1).generate_client(0)
+        b = NLPWorkloadGenerator(seed=1).generate_client(0)
+        assert a.num_tokens == b.num_tokens
+        assert a.requests[0].tokens == b.requests[0].tokens
+
+    def test_token_budget_reached(self):
+        workload = NLPWorkloadGenerator(seed=2).generate_client(0, target_tokens=160)
+        assert workload.num_tokens >= 160
+
+    def test_tokens_in_vocabulary(self):
+        gen = NLPWorkloadGenerator(vocabulary_size=100, seed=3)
+        workload = gen.generate_client(0, target_tokens=50)
+        for request in workload.requests:
+            assert all(0 <= t < 100 for t in request.tokens)
+
+    def test_mean_request_length_tracks_parameter(self):
+        gen = NLPWorkloadGenerator(mean_request_tokens=40.0, seed=4)
+        lengths = [gen.generate_request().num_tokens for _ in range(2000)]
+        assert np.mean(lengths) == pytest.approx(40.0, rel=0.15)
+
+    def test_fleet_generation(self):
+        fleet = NLPWorkloadGenerator(seed=5).generate_fleet(6)
+        assert len(fleet) == 6
+        assert [w.client_index for w in fleet] == list(range(6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NLPWorkloadGenerator(vocabulary_size=1)
+        with pytest.raises(ValueError):
+            NLPWorkloadGenerator(tokens_per_sample=0)
+        with pytest.raises(ValueError):
+            NLPWorkloadGenerator(seed=0).generate_client(0, target_tokens=0)
+        with pytest.raises(ValueError):
+            NLPWorkloadGenerator(seed=0).generate_fleet(0)
+
+
+class TestClientWorkload:
+    def test_sample_count_matches_paper_formula(self):
+        """num_samples == ceil(d_cmp / ϱ) — the Eq. 13 divisor."""
+        workload = NLPWorkloadGenerator(seed=6).generate_client(0, target_tokens=160)
+        assert workload.num_samples == -(-workload.num_tokens // 10)
+
+    def test_samples_are_fixed_size(self):
+        workload = NLPWorkloadGenerator(seed=7).generate_client(0, target_tokens=60)
+        samples = workload.samples()
+        assert all(len(s) == workload.tokens_per_sample for s in samples)
+        assert len(samples) == workload.num_samples
+
+    def test_samples_preserve_token_stream(self):
+        workload = NLPWorkloadGenerator(seed=8).generate_client(0, target_tokens=40)
+        stream = [t for r in workload.requests for t in r.tokens]
+        flattened = [t for s in workload.samples() for t in s][: len(stream)]
+        assert flattened == stream
+
+    def test_parameter_mapping(self):
+        workload = NLPWorkloadGenerator(seed=9).generate_client(0, target_tokens=160)
+        params = workload_to_client_parameters(workload)
+        assert params["num_tokens"] == workload.num_tokens
+        assert params["tokens_per_sample"] == 10.0
+        assert params["upload_bits"] == workload.upload_bits
+
+    def test_paper_operating_point_approximated(self):
+        """With defaults, aggregate upload bits land near d_tr = 3e9 when the
+        token budget is the paper's d_cmp = 160."""
+        workload = NLPWorkloadGenerator(seed=10).generate_client(0, target_tokens=160)
+        assert workload.upload_bits == pytest.approx(3e9, rel=0.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=300), st.integers(min_value=1, max_value=20))
+    def test_sample_batching_invariant(self, target, per_sample):
+        gen = NLPWorkloadGenerator(tokens_per_sample=per_sample, seed=11)
+        workload = gen.generate_client(0, target_tokens=target)
+        total_sample_tokens = workload.num_samples * per_sample
+        assert total_sample_tokens >= workload.num_tokens

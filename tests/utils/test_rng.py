@@ -1,0 +1,61 @@
+"""Tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, sample_log_uniform, spawn_generators
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        assert as_generator(1).random() == as_generator(1).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent_and_deterministic(self):
+        a = [g.random() for g in spawn_generators(7, 3)]
+        b = [g.random() for g in spawn_generators(7, 3)]
+        assert a == b
+        assert len(set(a)) == 3
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_from_generator(self):
+        children = spawn_generators(np.random.default_rng(3), 2)
+        assert len(children) == 2
+
+
+class TestLogUniform:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = sample_log_uniform(rng, 1e-3, 1e3, size=1000)
+        assert np.all(samples >= 1e-3) and np.all(samples <= 1e3)
+
+    def test_log_spread(self):
+        rng = np.random.default_rng(1)
+        samples = sample_log_uniform(rng, 1e-6, 1.0, size=50_000)
+        # Log-uniform: the median is the geometric mean of the bounds.
+        assert np.median(samples) == pytest.approx(1e-3, rel=0.2)
+
+    def test_invalid_bounds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_log_uniform(rng, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            sample_log_uniform(rng, 2.0, 1.0)

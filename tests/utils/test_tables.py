@@ -1,0 +1,35 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table(["h"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

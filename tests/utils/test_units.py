@@ -1,0 +1,43 @@
+"""Tests for unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro.utils.units import (
+    GHZ,
+    MHZ,
+    NOISE_PSD_W_PER_HZ,
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    watt_to_dbm,
+)
+
+
+class TestConversions:
+    def test_db_roundtrip(self):
+        assert linear_to_db(db_to_linear(13.0)) == pytest.approx(13.0)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(2.0, rel=0.01)
+        assert dbm_to_watt(30.0) == pytest.approx(1.0)
+        assert dbm_to_watt(0.0) == pytest.approx(1e-3)
+        assert watt_to_dbm(0.2) == pytest.approx(23.01, abs=0.01)
+
+    def test_noise_psd_constant(self):
+        # -174 dBm/Hz ≈ 3.98e-21 W/Hz.
+        assert NOISE_PSD_W_PER_HZ == pytest.approx(3.98e-21, rel=0.01)
+
+    def test_constants(self):
+        assert GHZ == 1e9 and MHZ == 1e6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            watt_to_dbm(-1.0)
+
+    def test_array_inputs(self):
+        out = db_to_linear(np.array([0.0, 10.0]))
+        assert np.allclose(out, [1.0, 10.0])

@@ -1,0 +1,70 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_closed_interval(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+
+    def test_open_boundaries(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, low_open=True)
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 1.0, 2.0, high_open=True)
+
+    def test_message_shows_interval(self):
+        with pytest.raises(ValueError, match=r"\(1.0, 2.0\]"):
+            check_in_range("x", 0.5, 1.0, 2.0, low_open=True)
+
+
+class TestCheckSameLength:
+    def test_matching(self):
+        assert check_same_length(a=[1, 2], b=(3, 4)) == 2
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            check_same_length(a=[1], b=[1, 2])
+
+    def test_empty_call(self):
+        with pytest.raises(ValueError):
+            check_same_length()

@@ -1,0 +1,56 @@
+"""Tests for the client-placement channel model."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.channel import ChannelModel, ChannelRealization
+
+
+class TestSampling:
+    def test_distances_within_cell(self):
+        model = ChannelModel(cell_radius_m=1000.0)
+        d = model.sample_distances(1000, rng=0)
+        assert np.all(d >= model.min_distance_m)
+        assert np.all(d <= 1000.0)
+
+    def test_uniform_in_disk_density(self):
+        # Uniform-in-disk: P(d <= r) = (r/R)²; check the median ≈ R/√2.
+        model = ChannelModel(cell_radius_m=1000.0)
+        d = model.sample_distances(200_000, rng=1)
+        assert np.median(d) == pytest.approx(1000.0 / np.sqrt(2), rel=0.02)
+
+    def test_gains_positive(self):
+        model = ChannelModel()
+        real = model.sample(6, rng=2)
+        assert real.num_clients == 6
+        assert np.all(real.gains > 0)
+
+    def test_rayleigh_toggle(self):
+        distances = np.array([500.0, 500.0])
+        with_fading = ChannelModel(use_rayleigh=True).gains_at(distances, rng=3)
+        without = ChannelModel(use_rayleigh=False).gains_at(distances, rng=3)
+        # Without fading both gains are identical (same distance).
+        assert without.gains[0] == pytest.approx(without.gains[1])
+        ratio = with_fading.gains[0] / with_fading.gains[1]
+        assert abs(ratio - 1.0) > 1e-6
+
+    def test_deterministic_given_seed(self):
+        a = ChannelModel().sample(4, rng=11).gains
+        b = ChannelModel().sample(4, rng=11).gains
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelModel(cell_radius_m=0.0)
+        with pytest.raises(ValueError):
+            ChannelModel(min_distance_m=2000.0)
+
+
+class TestRealization:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelRealization(distances_m=np.ones(3), gains=np.ones(2))
+
+    def test_nonpositive_gain_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelRealization(distances_m=np.ones(2), gains=np.array([1e-12, 0.0]))

@@ -1,0 +1,66 @@
+"""Tests for the FDMA bandwidth allocator (constraint 17f)."""
+
+import numpy as np
+import pytest
+
+from repro.wireless.fdma import FDMAAllocator
+
+
+class TestAllocator:
+    def test_assign_and_track(self):
+        alloc = FDMAAllocator(10e6)
+        alloc.assign(0, 3e6)
+        alloc.assign(1, 4e6)
+        assert alloc.assigned_hz == pytest.approx(7e6)
+        assert alloc.available_hz == pytest.approx(3e6)
+
+    def test_oversubscription_rejected(self):
+        alloc = FDMAAllocator(10e6)
+        alloc.assign(0, 8e6)
+        with pytest.raises(ValueError, match="exceeds"):
+            alloc.assign(1, 3e6)
+
+    def test_reassignment_replaces(self):
+        alloc = FDMAAllocator(10e6)
+        alloc.assign(0, 8e6)
+        alloc.assign(0, 2e6)  # shrink: now 2 MHz used
+        alloc.assign(1, 7e6)
+        assert alloc.assigned_hz == pytest.approx(9e6)
+
+    def test_release(self):
+        alloc = FDMAAllocator(10e6)
+        alloc.assign(0, 5e6)
+        alloc.release(0)
+        assert alloc.assigned_hz == 0.0
+        alloc.release(99)  # releasing an unknown client is a no-op
+
+    def test_nonpositive_slice_rejected(self):
+        alloc = FDMAAllocator(10e6)
+        with pytest.raises(ValueError):
+            alloc.assign(0, 0.0)
+
+    def test_allocation_snapshot(self):
+        alloc = FDMAAllocator(10e6)
+        alloc.assign(2, 1e6)
+        snapshot = alloc.allocation()
+        assert snapshot == {2: 1e6}
+        snapshot[2] = 0.0  # mutating the snapshot must not affect the allocator
+        assert alloc.allocation() == {2: 1e6}
+
+    def test_validate_vector(self):
+        alloc = FDMAAllocator(10e6)
+        assert alloc.validate_vector(np.full(5, 2e6))
+        assert not alloc.validate_vector(np.full(6, 2e6))
+        assert not alloc.validate_vector(np.array([1e6, 0.0]))
+
+    def test_equal_split_is_aa_baseline(self):
+        alloc = FDMAAllocator(10e6)
+        split = alloc.equal_split(6)
+        assert np.allclose(split, 10e6 / 6)
+        assert alloc.validate_vector(split)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FDMAAllocator(0.0)
+        with pytest.raises(ValueError):
+            FDMAAllocator(10e6).equal_split(0)

@@ -1,0 +1,57 @@
+"""Tests for the 3GPP path-loss and Rayleigh fading models (§VI-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wireless.pathloss import (
+    path_loss_db,
+    path_loss_linear,
+    rayleigh_power_gain,
+)
+
+
+class TestPathLoss:
+    def test_paper_model_at_one_km(self):
+        # 128.1 + 37.6 log10(1) = 128.1 dB at 1 km.
+        assert path_loss_db(1000.0) == pytest.approx(128.1)
+
+    def test_paper_model_at_100_m(self):
+        assert path_loss_db(100.0) == pytest.approx(128.1 - 37.6)
+
+    def test_linear_is_db_inverted(self):
+        d = 500.0
+        assert path_loss_linear(d) == pytest.approx(10 ** (-path_loss_db(d) / 10))
+
+    def test_monotone_in_distance(self):
+        assert path_loss_db(100.0) < path_loss_db(500.0) < path_loss_db(1000.0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            path_loss_db(0.0)
+
+    def test_array_input(self):
+        out = path_loss_db(np.array([100.0, 1000.0]))
+        assert out.shape == (2,)
+
+    @given(st.floats(min_value=1.0, max_value=1e5))
+    def test_linear_gain_below_unity(self, distance):
+        assert 0.0 < path_loss_linear(distance) < 1.0
+
+
+class TestRayleigh:
+    def test_unit_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rayleigh_power_gain(rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.02)
+
+    def test_exponential_distribution_shape(self):
+        rng = np.random.default_rng(1)
+        samples = rayleigh_power_gain(rng, size=200_000)
+        # P(X > 1) = e^-1 for Exp(1).
+        assert np.mean(samples > 1.0) == pytest.approx(np.exp(-1), abs=0.01)
+
+    def test_deterministic_with_seed(self):
+        a = rayleigh_power_gain(7, size=10)
+        b = rayleigh_power_gain(7, size=10)
+        assert np.allclose(a, b)

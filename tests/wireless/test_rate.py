@@ -1,0 +1,106 @@
+"""Tests for the Shannon-rate uplink model (Eq. 10-12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wireless.rate import (
+    transmission_delay,
+    transmission_energy,
+    uplink_rate,
+    uplink_rate_gradient,
+)
+
+G = 1e-12  # a typical macro-cell channel gain
+
+
+class TestRate:
+    def test_eq10_formula(self):
+        b, p = 1e6, 0.1
+        n0 = 4e-21
+        expected = b * np.log2(1 + p * G / (n0 * b))
+        assert uplink_rate(b, p, G, noise_psd=n0) == pytest.approx(expected)
+
+    def test_zero_power_zero_rate(self):
+        assert uplink_rate(1e6, 0.0, G) == 0.0
+
+    def test_increasing_in_power(self):
+        assert uplink_rate(1e6, 0.2, G) > uplink_rate(1e6, 0.1, G)
+
+    def test_increasing_in_bandwidth(self):
+        assert uplink_rate(2e6, 0.1, G) > uplink_rate(1e6, 0.1, G)
+
+    def test_bandwidth_saturation(self):
+        # r -> p g / (N0 ln 2) as b -> inf; the marginal gain shrinks.
+        r1 = uplink_rate(1e6, 0.1, G)
+        r2 = uplink_rate(2e6, 0.1, G)
+        r4 = uplink_rate(4e6, 0.1, G)
+        assert (r2 - r1) > (r4 - r2) / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uplink_rate(0.0, 0.1, G)
+        with pytest.raises(ValueError):
+            uplink_rate(1e6, -0.1, G)
+        with pytest.raises(ValueError):
+            uplink_rate(1e6, 0.1, 0.0)
+
+    @settings(max_examples=40)
+    @given(
+        st.floats(min_value=1e4, max_value=1e8),
+        st.floats(min_value=1e-3, max_value=1.0),
+    )
+    def test_jointly_concave_along_segments(self, b, p):
+        """r(p, b) is jointly concave (Stage 3 relies on this)."""
+        b2, p2 = b * 1.7, p * 0.4
+        mid = uplink_rate((b + b2) / 2, (p + p2) / 2, G)
+        ends = (uplink_rate(b, p, G) + uplink_rate(b2, p2, G)) / 2
+        assert mid >= ends - 1e-6 * max(1.0, ends)
+
+
+class TestGradient:
+    def test_matches_finite_difference(self):
+        b, p = 2e6, 0.15
+        d_b, d_p = uplink_rate_gradient(b, p, G)
+        h = 1e-3
+        num_b = (uplink_rate(b + h * b, p, G) - uplink_rate(b - h * b, p, G)) / (2 * h * b)
+        num_p = (uplink_rate(b, p + h * p, G) - uplink_rate(b, p - h * p, G)) / (2 * h * p)
+        assert d_b == pytest.approx(num_b, rel=1e-4)
+        assert d_p == pytest.approx(num_p, rel=1e-4)
+
+    def test_gradients_positive(self):
+        d_b, d_p = uplink_rate_gradient(1e6, 0.1, G)
+        assert d_b > 0 and d_p > 0
+
+
+class TestDelayEnergy:
+    def test_eq11_delay(self):
+        r = uplink_rate(1e6, 0.1, G)
+        assert transmission_delay(3e9, 1e6, 0.1, G) == pytest.approx(3e9 / r)
+
+    def test_eq12_energy(self):
+        delay = transmission_delay(3e9, 1e6, 0.1, G)
+        assert transmission_energy(3e9, 1e6, 0.1, G) == pytest.approx(0.1 * delay)
+
+    def test_zero_data_zero_cost(self):
+        assert transmission_delay(0.0, 1e6, 0.1, G) == 0.0
+        assert transmission_energy(0.0, 1e6, 0.1, G) == 0.0
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_delay(-1.0, 1e6, 0.1, G)
+
+    def test_array_broadcasting(self):
+        b = np.array([1e6, 2e6])
+        p = np.array([0.1, 0.2])
+        g = np.array([G, G])
+        delays = transmission_delay(np.array([3e9, 3e9]), b, p, g)
+        assert delays.shape == (2,)
+        assert delays[1] < delays[0]
+
+    def test_energy_power_tradeoff_is_nonmonotone_in_p(self):
+        # E = p d / r(p): raising p raises the numerator but also r; for a
+        # log-capacity channel at high SNR, energy eventually grows with p.
+        p_grid = np.linspace(0.01, 1.0, 50)
+        energies = [transmission_energy(3e9, 1e6, p, G) for p in p_grid]
+        assert energies[-1] > min(energies)
