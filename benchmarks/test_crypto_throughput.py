@@ -1,0 +1,127 @@
+"""Crypto-substrate throughput: RNS/NTT backend vs the reference big-int ring.
+
+The tentpole acceptance criterion lives here: ring multiplication at
+``n = 4096`` must be at least 10× faster on the RNS/NTT backend than on the
+Kronecker big-int path, with both backends bit-for-bit equal.  A smaller
+``smoke``-marked variant (n = 1024) keeps the guard cheap enough for CI.
+
+Run::
+
+    pytest benchmarks/test_crypto_throughput.py -s            # everything
+    pytest benchmarks/test_crypto_throughput.py -m smoke -s   # quick guard
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.ckks import CKKSContext
+from repro.crypto.ntt import find_ntt_primes
+from repro.crypto.poly import PolyRing
+from repro.crypto.rns import RNSPolyRing
+from repro.utils.bench import time_op
+
+#: The ≥10× tentpole target (ring multiplication, RNS vs reference).
+SPEEDUP_TARGET = 10.0
+
+
+def _random_pair(ring_q: int, degree: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    a = [int(x) % ring_q for x in rng.integers(0, 2**62, degree)]
+    b = [int(x) % ring_q for x in rng.integers(0, 2**62, degree)]
+    return a, b
+
+
+def _mul_speedup(degree: int, prime_bits: int, num_primes: int):
+    """Time ring multiplication on both backends; return (results, speedup)."""
+    primes = find_ntt_primes(prime_bits, degree, num_primes)
+    q = 1
+    for p in primes:
+        q *= p
+    reference = PolyRing(degree, q)
+    fast = RNSPolyRing(degree, primes)
+    a, b = _random_pair(q, degree)
+    fa, fb = fast.from_coefficients(a), fast.from_coefficients(b)
+    assert fast.mul(fa, fb) == reference.mul(a, b), "backends disagree"
+    ref_res = time_op(
+        lambda: reference.mul(a, b),
+        op="ring_mul",
+        backend="reference",
+        params={"n": degree, "log2q": q.bit_length()},
+        min_duration=0.4,
+        max_reps=16,
+    )
+    fast_res = time_op(
+        lambda: fast.mul(fa, fb),
+        op="ring_mul",
+        backend="rns",
+        params={"n": degree, "log2q": q.bit_length()},
+        min_duration=0.4,
+    )
+    return ref_res, fast_res, ref_res.seconds_per_op / fast_res.seconds_per_op
+
+
+@pytest.mark.smoke
+def test_ring_mul_speedup_smoke():
+    """Quick guard: ≥10× already at n=1024 (CI-friendly, ~2 s)."""
+    ref_res, fast_res, speedup = _mul_speedup(1024, 55, 2)
+    print(f"\n{ref_res}\n{fast_res}\nspeedup: {speedup:.1f}x")
+    assert speedup >= SPEEDUP_TARGET
+
+
+@pytest.mark.bench
+def test_ring_mul_speedup_n4096():
+    """The tentpole criterion: ≥10× on ring multiplication at n=4096."""
+    ref_res, fast_res, speedup = _mul_speedup(4096, 55, 2)
+    print(f"\n{ref_res}\n{fast_res}\nspeedup: {speedup:.1f}x")
+    assert speedup >= SPEEDUP_TARGET
+
+
+@pytest.mark.bench
+def test_ckks_multiply_throughput():
+    """Whole-scheme effect: CKKS homomorphic multiply across backends."""
+    results = {}
+    for backend in ("rns", "reference"):
+        ctx = CKKSContext(
+            ring_degree=256, scale_bits=22, base_modulus_bits=30,
+            depth=2, seed=3, backend=backend,
+        )
+        v = np.linspace(-1, 1, ctx.num_slots)
+        x, y = ctx.encrypt(v), ctx.encrypt(v)
+        results[backend] = time_op(
+            lambda: ctx.multiply(x, y),
+            op="ckks_multiply",
+            backend=backend,
+            params={"n": 256, "depth": 2},
+            min_duration=0.4,
+            max_reps=64,
+        )
+        print(f"\n{results[backend]}")
+    speedup = (
+        results["reference"].seconds_per_op / results["rns"].seconds_per_op
+    )
+    print(f"ckks multiply speedup: {speedup:.1f}x")
+    # Whole-op speedup is diluted by CRT boundaries (relinearise lifts) but
+    # must still be clearly visible.
+    assert speedup >= 3.0
+
+
+@pytest.mark.smoke
+def test_ntt_transform_roundtrip_rate():
+    """NTT forward+inverse throughput at n=4096 (reporting only)."""
+    from repro.crypto.ntt import get_ntt_context
+
+    (p,) = find_ntt_primes(55, 4096, 1)
+    ctx = get_ntt_context(4096, p)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, p, 4096).astype(np.uint64)
+    res = time_op(
+        lambda: ctx.inverse(ctx.forward(a)),
+        op="ntt_roundtrip",
+        backend="rns",
+        params={"n": 4096, "log2p": 55},
+        min_duration=0.3,
+    )
+    print(f"\n{res}")
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)

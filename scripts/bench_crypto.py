@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Crypto throughput snapshot → ``BENCH_crypto.json`` (perf trajectory).
+
+Times the polynomial-ring substrate on both backends across a grid of ring
+degrees, plus whole-scheme CKKS operations, and writes a machine-readable
+report (see :mod:`repro.utils.bench` for the schema).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_crypto.py            # full grid
+    PYTHONPATH=src python scripts/bench_crypto.py --quick    # small grid
+    PYTHONPATH=src python scripts/bench_crypto.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.crypto.ckks import CKKSContext  # noqa: E402
+from repro.crypto.ntt import find_ntt_primes  # noqa: E402
+from repro.crypto.poly import PolyRing  # noqa: E402
+from repro.crypto.rns import RNSPolyRing  # noqa: E402
+from repro.utils.bench import BenchResult, time_op, write_results  # noqa: E402
+
+
+def bench_ring_mul(degree: int, prime_bits: int, num_primes: int, *, reference_cap: int):
+    primes = find_ntt_primes(prime_bits, degree, num_primes)
+    q = 1
+    for p in primes:
+        q *= p
+    rng = np.random.default_rng(degree)
+    a = [int(x) % q for x in rng.integers(0, 2**62, degree)]
+    b = [int(x) % q for x in rng.integers(0, 2**62, degree)]
+    fast = RNSPolyRing(degree, primes)
+    fa, fb = fast.from_coefficients(a), fast.from_coefficients(b)
+    reference = PolyRing(degree, q)
+    assert fast.mul(fa, fb) == reference.mul(a, b)
+    params = {"n": degree, "log2q": q.bit_length()}
+    yield time_op(
+        lambda: fast.mul(fa, fb), op="ring_mul", backend="rns", params=params
+    )
+    yield time_op(
+        lambda: reference.mul(a, b),
+        op="ring_mul",
+        backend="reference",
+        params=params,
+        min_duration=0.3,
+        max_reps=reference_cap,
+    )
+
+
+def bench_ckks(degree: int, depth: int):
+    for backend in ("rns", "reference"):
+        ctx = CKKSContext(
+            ring_degree=degree, scale_bits=22, base_modulus_bits=30,
+            depth=depth, seed=1, backend=backend,
+        )
+        v = np.linspace(-1, 1, ctx.num_slots)
+        x = ctx.encrypt(v)
+        y = ctx.encrypt(v)
+        params = {"n": degree, "depth": depth}
+        yield time_op(
+            lambda: ctx.encrypt(v), op="ckks_encrypt", backend=backend,
+            params=params, min_duration=0.3, max_reps=256,
+        )
+        yield time_op(
+            lambda: ctx.multiply(x, y), op="ckks_multiply", backend=backend,
+            params=params, min_duration=0.3, max_reps=64,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_crypto.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small grid only (skips n=4096 and the reference ring there)",
+    )
+    args = parser.parse_args(argv)
+
+    results: list[BenchResult] = []
+    grid = [(256, 30, 2), (1024, 45, 2)] if args.quick else [
+        (256, 30, 2), (1024, 45, 2), (4096, 55, 2),
+    ]
+    for degree, bits, k in grid:
+        cap = 4 if degree >= 4096 else 64
+        for res in bench_ring_mul(degree, bits, k, reference_cap=cap):
+            results.append(res)
+            print(res)
+    for res in bench_ckks(128, 2):
+        results.append(res)
+        print(res)
+
+    by_key = {
+        (r.op, r.backend, r.params.get("n")): r.seconds_per_op for r in results
+    }
+    for (op, backend, n), sec in sorted(by_key.items()):
+        if backend != "rns":
+            continue
+        ref = by_key.get((op, "reference", n))
+        if ref:
+            print(f"{op} n={n}: speedup {ref / sec:.1f}x (rns vs reference)")
+
+    out = write_results(args.output, results)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,12 +53,20 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["bandwidth", "power", "client_cpu", "server_cpu", "all"],
         default="all",
     )
+    fig6.add_argument(
+        "--workers", type=int, default=1,
+        help="fan independent sweep points out over N worker processes",
+    )
 
     sub.add_parser("pipeline", help="end-to-end secure inference demo")
 
     report = sub.add_parser("report", help="run everything, emit a markdown report")
     report.add_argument("--output", type=str, default="", help="write to file instead of stdout")
     report.add_argument("--samples", type=int, default=20, help="Fig. 3 trial count")
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the embedded Fig. 6 sweeps",
+    )
     return parser
 
 
@@ -141,14 +149,16 @@ def _cmd_fig5(seed: int) -> None:
     print(run_method_comparison(cfg).render())
 
 
-def _cmd_fig6(seed: int, panel: str) -> None:
+def _cmd_fig6(seed: int, panel: str, workers: int = 1) -> None:
     from repro import paper_config
+    from repro.core.stage1 import Stage1Solver
     from repro.experiments.fig6_sweeps import sweep
 
     cfg = paper_config(seed=seed)
     panels = ["bandwidth", "power", "client_cpu", "server_cpu"] if panel == "all" else [panel]
+    stage1 = Stage1Solver(cfg).solve()
     for name in panels:
-        series = sweep(name, cfg)
+        series = sweep(name, cfg, stage1_result=stage1, workers=workers)
         print(series.render())
         print("winners:", series.best_method_per_point())
         print()
@@ -197,13 +207,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "fig5":
         _cmd_fig5(args.seed)
     elif args.command == "fig6":
-        _cmd_fig6(args.seed, args.panel)
+        _cmd_fig6(args.seed, args.panel, args.workers)
     elif args.command == "pipeline":
         _cmd_pipeline(args.seed)
     elif args.command == "report":
         from repro.experiments.report import generate_report
 
-        text = generate_report(seed=args.seed, fig3_samples=args.samples)
+        text = generate_report(
+            seed=args.seed, fig3_samples=args.samples, workers=args.workers
+        )
         if args.output:
             from pathlib import Path
 

@@ -68,11 +68,34 @@ class CostModel:
                     f"cost curves must be positive on the λ-set; failed at λ={lam}"
                 )
 
-    def server_cycles_per_sample(self, polynomial_degree: float) -> float:
-        """Total server cycles per sample: computation + transciphering."""
-        return float(
-            self.cmp_cycles(polynomial_degree) + self.eval_cycles(polynomial_degree)
-        )
+    def server_cycles_per_sample(self, polynomial_degree):
+        """Total server cycles per sample: computation + transciphering.
+
+        Accepts a scalar (returns ``float``) or an array of λ values
+        (returns an ``ndarray``) — the paper curves are numpy-vectorized, so
+        per-client evaluations need no Python loop.  Custom cost models with
+        scalar-only callables are still supported via a per-element fallback.
+        """
+        if np.ndim(polynomial_degree) == 0:
+            return float(
+                self.cmp_cycles(polynomial_degree)
+                + self.eval_cycles(polynomial_degree)
+            )
+        lam = np.asarray(polynomial_degree, dtype=float)
+        try:
+            total = np.asarray(self.cmp_cycles(lam), dtype=float) + np.asarray(
+                self.eval_cycles(lam), dtype=float
+            )
+            if total.shape != lam.shape:
+                raise ValueError("cost curve did not broadcast")
+        except (TypeError, ValueError):
+            total = np.array(
+                [
+                    float(self.cmp_cycles(v)) + float(self.eval_cycles(v))
+                    for v in lam
+                ]
+            )
+        return total
 
     def validate_lambda(self, polynomial_degree: int) -> int:
         """Check λ is one of the admissible discrete choices (17d)."""

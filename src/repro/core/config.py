@@ -117,9 +117,7 @@ class SystemConfig:
     def server_cycle_demand(self, lambdas: np.ndarray) -> np.ndarray:
         """Total server cycles per client: ``(f_cmp+f_eval)(λ_n)·d_cmp/ϱ``."""
         lam = np.asarray(lambdas, dtype=float)
-        per_sample = np.array(
-            [self.cost_model.server_cycles_per_sample(v) for v in lam]
-        )
+        per_sample = self.cost_model.server_cycles_per_sample(lam)
         return per_sample * self.num_tokens / self.tokens_per_sample
 
     # -- modified copies (used by the Fig. 6 sweeps) ----------------------------

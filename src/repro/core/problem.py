@@ -4,12 +4,20 @@ The objective is ``α_qkd U_qkd + α_msl U_msl − α_t T − α_e E_total`` wit
 utilities of Eq. 6/9 and the cost terms of Eq. 7-16, subject to constraints
 (17a)-(17i).  :class:`QuHEProblem` evaluates all of it for a given
 :class:`~repro.core.solution.Allocation` and reports violations.
+
+Evaluation is fully vectorized (numpy masks rather than per-client Python
+loops) and memoized: ``QuHE.solve`` calls :meth:`QuHEProblem.metrics` and
+:meth:`QuHEProblem.check_constraints` repeatedly on the *same* allocation
+within an outer iteration, so the route Werner parameters, rates and metric
+arrays of the most recent allocations are cached and shared between the two
+entry points.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,6 +32,9 @@ from repro.core.solution import Allocation, Metrics
 from repro.crypto.security import weighted_minimum_security
 from repro.quantum.utility import qkd_utility, route_werner_parameters
 from repro.wireless.rate import transmission_delay, transmission_energy, uplink_rate
+
+#: How many distinct allocations to keep memoized per problem instance.
+_EVAL_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -43,25 +54,68 @@ class QuHEProblem:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self._eval_cache: "OrderedDict[Tuple, Dict]" = OrderedDict()
+
+    # -- shared intermediate cache ----------------------------------------------
+
+    @staticmethod
+    def _alloc_key(alloc: Allocation) -> Tuple:
+        return (
+            alloc.phi.tobytes(),
+            alloc.w.tobytes(),
+            alloc.lam.tobytes(),
+            alloc.p.tobytes(),
+            alloc.b.tobytes(),
+            alloc.f_c.tobytes(),
+            alloc.f_s.tobytes(),
+            None if alloc.T is None else float(alloc.T),
+        )
+
+    def _shared(self, alloc: Allocation) -> Dict:
+        """Per-allocation memo of intermediates used by metrics *and* checks."""
+        key = self._alloc_key(alloc)
+        entry = self._eval_cache.get(key)
+        if entry is None:
+            entry = {}
+            self._eval_cache[key] = entry
+            if len(self._eval_cache) > _EVAL_CACHE_SIZE:
+                self._eval_cache.popitem(last=False)
+        else:
+            self._eval_cache.move_to_end(key)
+        return entry
+
+    def _route_werner(self, alloc: Allocation, shared: Dict) -> np.ndarray:
+        if "varpi" not in shared:
+            shared["varpi"] = route_werner_parameters(
+                alloc.w, self.config.network.incidence
+            )
+        return shared["varpi"]
 
     # -- metric computation ------------------------------------------------------
 
     def uplink_rates(self, alloc: Allocation) -> np.ndarray:
-        """Per-client Shannon rates r_n (Eq. 10) in bit/s."""
-        return np.asarray(
-            uplink_rate(
-                alloc.b,
-                alloc.p,
-                self.config.channel_gains,
-                noise_psd=self.config.noise_psd,
-            ),
-            dtype=float,
-        )
+        """Per-client Shannon rates r_n (Eq. 10) in bit/s (memoized)."""
+        shared = self._shared(alloc)
+        if "rates" not in shared:
+            shared["rates"] = np.asarray(
+                uplink_rate(
+                    alloc.b,
+                    alloc.p,
+                    self.config.channel_gains,
+                    noise_psd=self.config.noise_psd,
+                ),
+                dtype=float,
+            )
+        return shared["rates"]
 
     def metrics(self, alloc: Allocation) -> Metrics:
         """All §III metrics and the Eq. 17 objective for one allocation."""
+        shared = self._shared(alloc)
+        cached = shared.get("metrics")
+        if cached is not None:
+            return cached
         cfg = self.config
-        varpi = route_werner_parameters(alloc.w, cfg.network.incidence)
+        varpi = self._route_werner(alloc, shared)
         u_qkd = qkd_utility(alloc.phi, varpi)
         u_msl = weighted_minimum_security(alloc.lam, cfg.privacy_weights)
 
@@ -86,9 +140,9 @@ class QuHEProblem:
             ),
             dtype=float,
         )
-        cycles_per_sample = np.array(
-            [cfg.cost_model.server_cycles_per_sample(v) for v in alloc.lam]
-        )
+        # Vectorized via the cost model's array path (no per-client loop);
+        # server_cycle_demand = cycles_per_sample · d_cmp / ϱ.
+        cycles_per_sample = cfg.cost_model.server_cycles_per_sample(alloc.lam)
         cmp_d = np.asarray(
             computation_delay(
                 cycles_per_sample, cfg.num_tokens, cfg.tokens_per_sample, alloc.f_s
@@ -115,7 +169,7 @@ class QuHEProblem:
             - cfg.alpha_t * effective_t
             - cfg.alpha_e * total_energy
         )
-        return Metrics(
+        result = Metrics(
             u_qkd=u_qkd,
             u_msl=u_msl,
             enc_delay=enc_d,
@@ -128,6 +182,8 @@ class QuHEProblem:
             total_energy=total_energy,
             objective=float(objective),
         )
+        shared["metrics"] = result
+        return result
 
     def objective(self, alloc: Allocation) -> float:
         """The Eq. 17 objective value."""
@@ -136,62 +192,104 @@ class QuHEProblem:
     # -- feasibility -------------------------------------------------------------
 
     def check_constraints(self, alloc: Allocation, *, tol: float = 1e-6) -> List[ConstraintReport]:
-        """Return the list of violated constraints (empty = feasible)."""
+        """Return the list of violated constraints (empty = feasible).
+
+        All per-client/per-link checks are evaluated as numpy masks; only
+        actual violations materialise Python report objects.
+        """
         cfg = self.config
         reports: List[ConstraintReport] = []
 
-        def record(constraint: str, description: str, violation: float) -> None:
-            if violation > tol:
-                reports.append(ConstraintReport(constraint, description, float(violation)))
+        def record_mask(
+            mask: np.ndarray,
+            violations: np.ndarray,
+            constraint: str,
+            describe,
+        ) -> None:
+            for idx in np.nonzero(mask)[0]:
+                reports.append(
+                    ConstraintReport(
+                        constraint, describe(int(idx)), float(violations[idx])
+                    )
+                )
 
         # (17a) φ_n >= φ_min.
         gap = cfg.min_rates - alloc.phi
-        for n in np.nonzero(gap > tol)[0]:
-            record("17a", f"route {n + 1} rate below φ_min", gap[n])
+        record_mask(
+            gap > tol, gap, "17a", lambda n: f"route {n + 1} rate below φ_min"
+        )
         # (17b) w in (0, 1].
-        for l in range(cfg.num_links):
-            record("17b", f"link {l + 1} Werner parameter above 1", alloc.w[l] - 1.0)
-            record("17b", f"link {l + 1} Werner parameter not positive", -alloc.w[l] + tol)
+        over_w = alloc.w - 1.0
+        record_mask(
+            over_w > tol, over_w, "17b",
+            lambda l: f"link {l + 1} Werner parameter above 1",
+        )
+        under_w = tol - alloc.w
+        record_mask(
+            under_w > tol, under_w, "17b",
+            lambda l: f"link {l + 1} Werner parameter not positive",
+        )
         # (17c) Σ a_ln φ_n <= β_l (1 - w_l).
         load = cfg.network.incidence @ alloc.phi
         capacity = cfg.network.betas * (1.0 - alloc.w)
         excess = load - capacity
-        for l in np.nonzero(excess > tol)[0]:
-            record("17c", f"link {l + 1} entanglement capacity exceeded", excess[l])
+        record_mask(
+            excess > tol, excess, "17c",
+            lambda l: f"link {l + 1} entanglement capacity exceeded",
+        )
         # (17d) λ in the admissible set.
-        for n, lam in enumerate(alloc.lam):
-            if int(round(lam)) not in cfg.cost_model.lambda_set:
-                record("17d", f"client {n + 1} λ={lam} outside the set", 1.0)
+        lam_rounded = np.rint(alloc.lam).astype(int)
+        admissible = np.isin(lam_rounded, np.asarray(cfg.cost_model.lambda_set))
+        ones = np.ones_like(alloc.lam, dtype=float)
+        record_mask(
+            ~admissible, ones, "17d",
+            lambda n: f"client {n + 1} λ={alloc.lam[n]} outside the set",
+        )
         # (17e) p <= p_max.
         over_p = alloc.p - cfg.max_power
-        for n in np.nonzero(over_p > tol)[0]:
-            record("17e", f"client {n + 1} power above p_max", over_p[n])
-        # (17f) Σ b <= B_total.
-        record(
-            "17f",
-            "total bandwidth exceeded",
-            float(np.sum(alloc.b)) - cfg.server.total_bandwidth_hz,
+        record_mask(
+            over_p > tol, over_p, "17e",
+            lambda n: f"client {n + 1} power above p_max",
         )
+        # (17f) Σ b <= B_total.
+        over_b = float(np.sum(alloc.b)) - cfg.server.total_bandwidth_hz
+        if over_b > tol:
+            reports.append(
+                ConstraintReport("17f", "total bandwidth exceeded", over_b)
+            )
         # (17g) f_c <= f_max.
         over_fc = alloc.f_c - cfg.client_max_frequency
-        for n in np.nonzero(over_fc > tol)[0]:
-            record("17g", f"client {n + 1} CPU above f_max", over_fc[n])
-        # (17h) Σ f_s <= f_total.
-        record(
-            "17h",
-            "total server CPU exceeded",
-            float(np.sum(alloc.f_s)) - cfg.server.total_frequency_hz,
+        record_mask(
+            over_fc > tol, over_fc, "17g",
+            lambda n: f"client {n + 1} CPU above f_max",
         )
+        # (17h) Σ f_s <= f_total.
+        over_fs = float(np.sum(alloc.f_s)) - cfg.server.total_frequency_hz
+        if over_fs > tol:
+            reports.append(
+                ConstraintReport("17h", "total server CPU exceeded", over_fs)
+            )
         # (17i) per-node delay <= T (only when an explicit T is carried).
         if alloc.T is not None:
             delays = self.metrics(alloc).per_node_delay
             over_t = delays - alloc.T
-            for n in np.nonzero(over_t > tol * max(1.0, alloc.T))[0]:
-                record("17i", f"client {n + 1} delay above T", over_t[n])
-        # Positivity of the continuous variables.
-        for name, arr in (("p", alloc.p), ("b", alloc.b), ("f_c", alloc.f_c), ("f_s", alloc.f_s), ("phi", alloc.phi)):
-            for n in np.nonzero(arr <= 0)[0]:
-                record("domain", f"{name}[{n}] must be positive", tol + float(-arr[n]))
+            record_mask(
+                over_t > tol * max(1.0, alloc.T), over_t, "17i",
+                lambda n: f"client {n + 1} delay above T",
+            )
+        # Positivity of the continuous variables.  Deliberate tightening over
+        # the seed implementation: exactly-zero values are reported too (a
+        # zero rate/power/frequency makes the delay/energy formulas blow up,
+        # so such an allocation was never actually usable).
+        for name, arr in (
+            ("p", alloc.p), ("b", alloc.b), ("f_c", alloc.f_c),
+            ("f_s", alloc.f_s), ("phi", alloc.phi),
+        ):
+            nonpos = arr <= 0
+            record_mask(
+                nonpos, tol - arr, "domain",
+                lambda n, name=name: f"{name}[{n}] must be positive",
+            )
         return reports
 
     def is_feasible(self, alloc: Allocation, *, tol: float = 1e-6) -> bool:

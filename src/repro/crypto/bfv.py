@@ -4,12 +4,21 @@ CKKS (paper [15]) computes approximately over reals; the transciphering
 framework the paper builds on ([17], and the lattice implementations of
 reference [12]) also targets *exact* schemes, where stream-cipher evaluation
 is bit-precise.  This module provides that second scheme on top of the same
-:class:`~repro.crypto.poly.PolyRing` substrate:
+polynomial-ring substrate:
 
 * plaintexts are polynomials over ``Z_t`` (vectors of integers mod ``t``),
 * encryption scales by ``Δ = floor(q/t)``: ``ct = (Δ·m + small noise)``,
 * addition is exact; multiplication uses the scale-invariant
   ``round(t/q · c1·c2)`` BFV tensor followed by relinearisation.
+
+The ciphertext modulus ``q`` is built as a product of NTT-friendly primes
+totalling ``ciphertext_modulus_bits`` whenever possible, so all ring
+arithmetic (including the widened tensor ring and the raised
+relinearisation ring) runs on the vectorized RNS/NTT backend
+(:mod:`repro.crypto.rns`).  ``backend="reference"`` keeps the same prime
+moduli on the big-integer ring — bit-identical results, reference speed.
+When no NTT-friendly chain exists the context falls back to the historical
+``2^bits + 1`` modulus on the reference ring.
 
 Supports keygen, encrypt/decrypt, add/sub/negate, plaintext add/multiply and
 one ciphertext multiplication level — enough for the exact-transciphering
@@ -19,20 +28,23 @@ experiments and as a reference implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from math import prod
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.crypto.poly import PolyRing
+from repro.crypto.ntt import find_prime_chain
+from repro.crypto.poly import PolyRing, divide_round_half_away
+from repro.crypto.rns import get_ring, reference_backend_forced
 from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass
 class BFVCiphertext:
-    """A BFV ciphertext ``(c0, c1)`` over ``R_q``."""
+    """A BFV ciphertext ``(c0, c1)`` over ``R_q`` (backend ring elements)."""
 
-    c0: List[int]
-    c1: List[int]
+    c0: Any
+    c1: Any
 
 
 class BFVContext:
@@ -46,6 +58,7 @@ class BFVContext:
         ciphertext_modulus_bits: int = 120,
         error_sigma: float = 3.2,
         seed: SeedLike = None,
+        backend: str = "auto",
     ) -> None:
         if plaintext_modulus < 2:
             raise ValueError("plaintext modulus must be >= 2")
@@ -53,13 +66,67 @@ class BFVContext:
             raise ValueError(
                 "ciphertext modulus too small for the plaintext modulus"
             )
+        if backend not in ("auto", "rns", "reference"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.n = ring_degree
         self.t = int(plaintext_modulus)
-        self.q = (1 << ciphertext_modulus_bits) + 1
-        self.delta = self.q // self.t
         self.error_sigma = float(error_sigma)
         self._rng = as_generator(seed)
-        self.ring = PolyRing(ring_degree, self.q)
+        self.chain_primes: Optional[Tuple[int, ...]] = None
+        try:
+            self.chain_primes = find_prime_chain(
+                ciphertext_modulus_bits, ring_degree
+            )
+        except ValueError:
+            if backend == "rns":
+                raise
+        if self.chain_primes is not None:
+            self.q = prod(self.chain_primes)
+            # Explicit backend="rns" is a hard requirement (matching
+            # get_ring); the env-var override only steers "auto".
+            use_rns = backend == "rns" or (
+                backend == "auto" and not reference_backend_forced()
+            )
+            self.backend = "rns" if use_rns else "reference"
+            self.ring = get_ring(
+                ring_degree, primes=self.chain_primes, backend=self.backend
+            )
+            # Widened tensor ring: large enough that the centred products in
+            # `multiply` never wrap (true coefficients are bounded by
+            # n·(q/2)², so 2^(2·log q + log n + 1) has slack).
+            wide_bits = 2 * self.q.bit_length() + ring_degree.bit_length() + 1
+            self._wide_primes = find_prime_chain(
+                wide_bits, ring_degree, exclude=self.chain_primes
+            )
+            self.wide_ring = get_ring(
+                ring_degree, primes=self._wide_primes, backend=self.backend
+            )
+            # Raised relinearisation ring R_{P·q}.
+            self._aux_primes = find_prime_chain(
+                self.q.bit_length() + 8,
+                ring_degree,
+                exclude=self.chain_primes + self._wide_primes,
+            )
+            self.aux_modulus = prod(self._aux_primes)
+            self._big_ring = get_ring(
+                ring_degree,
+                primes=self._aux_primes + self.chain_primes,
+                backend=self.backend,
+            )
+        else:
+            self.q = (1 << ciphertext_modulus_bits) + 1
+            self.backend = "reference"
+            self.ring = get_ring(ring_degree, self.q, backend="reference")
+            self.wide_ring = get_ring(
+                ring_degree,
+                self.q * self.q * 4 * ring_degree,
+                backend="reference",
+            )
+            self.aux_modulus = 1 << (self.q.bit_length() + 8)
+            self._big_ring = get_ring(
+                ring_degree, self.aux_modulus * self.q, backend="reference"
+            )
+        self.delta = self.q // self.t
         self.plain_ring = PolyRing(ring_degree, self.t)
         # Secret / public keys.
         self._s = self.ring.random_ternary(self._rng)
@@ -67,10 +134,9 @@ class BFVContext:
         e = self.ring.random_gaussian(self._rng, sigma=self.error_sigma)
         b = self.ring.add(self.ring.neg(self.ring.mul(a, self._s)), e)
         self._pk = (b, a)
-        # Relinearisation key under a raised modulus P·q.
-        self.aux_modulus = 1 << (self.q.bit_length() + 8)
-        big = PolyRing(ring_degree, self.aux_modulus * self.q)
-        s_big = big.from_coefficients(self.ring.centered(self._s))
+        # Relinearisation key under the raised modulus P·q.
+        big = self._big_ring
+        s_big = self.ring.project_to(self._s, big)
         a_prime = big.random_uniform(self._rng)
         e_prime = big.random_gaussian(self._rng, sigma=self.error_sigma)
         rk0 = big.add(
@@ -113,16 +179,10 @@ class BFVContext:
     def decrypt(self, ct: BFVCiphertext, length: int | None = None) -> List[int]:
         """Decrypt to integers mod t: ``round(t/q · (c0 + c1·s)) mod t``."""
         raw = self.ring.add(ct.c0, self.ring.mul(ct.c1, self._s))
-        centred = self.ring.centered(raw)
-        out = []
-        for c in centred:
-            # round(t * c / q) with exact integer arithmetic.
-            scaled = c * self.t
-            quotient, remainder = divmod(abs(scaled), self.q)
-            if 2 * remainder >= self.q:
-                quotient += 1
-            value = quotient if scaled >= 0 else -quotient
-            out.append(value % self.t)
+        out = [
+            divide_round_half_away(c * self.t, self.q) % self.t
+            for c in self.ring.centered(raw)
+        ]
         return out[: self.n if length is None else length]
 
     # -- homomorphic operations ------------------------------------------------------
@@ -148,7 +208,7 @@ class BFVContext:
         scaled = [self.delta * c for c in self.encode(values)]
         return BFVCiphertext(
             c0=self.ring.add(x.c0, self.ring.from_coefficients(scaled)),
-            c1=list(x.c1),
+            c1=x.c1,
         )
 
     def multiply_plain_scalar(self, x: BFVCiphertext, scalar: int) -> BFVCiphertext:
@@ -166,9 +226,7 @@ class BFVContext:
         per-coefficient scaling ``m · p_i`` used by exact transciphering.
         No relinearisation or rescaling is needed (the plaintext carries no Δ).
         """
-        p = self.ring.from_coefficients(
-            [int(v) % self.t for v in self.encode(values)]
-        )
+        p = self.ring.from_coefficients(self.encode(values))
         return BFVCiphertext(
             c0=self.ring.mul(x.c0, p), c1=self.ring.mul(x.c1, p)
         )
@@ -182,40 +240,35 @@ class BFVContext:
         against exactly that semantics.  (Slot-wise semantics would need a
         CRT/NTT packing, out of scope.)
         """
-        # Scale-invariant tensor: round(t/q · ci·cj) on the centred lift.
-        lifted_x0, lifted_x1 = self.ring.centered(x.c0), self.ring.centered(x.c1)
-        lifted_y0, lifted_y1 = self.ring.centered(y.c0), self.ring.centered(y.c1)
-        wide = PolyRing(self.n, self.q * self.q * 4)
+        # Scale-invariant tensor: round(t/q · ci·cj) on the centred lift,
+        # computed in a ring wide enough that products never wrap.
+        wide = self.wide_ring
+        x0 = self.ring.project_to(x.c0, wide)
+        x1 = self.ring.project_to(x.c1, wide)
+        y0 = self.ring.project_to(y.c0, wide)
+        y1 = self.ring.project_to(y.c1, wide)
 
-        def lift(v):
-            return [c % wide.q for c in v]
+        d0 = wide.mul(x0, y0)
+        d1 = wide.add(wide.mul(x0, y1), wide.mul(x1, y0))
+        d2 = wide.mul(x1, y1)
 
-        d0 = wide.mul(lift(lifted_x0), lift(lifted_y0))
-        d1 = wide.add(
-            wide.mul(lift(lifted_x0), lift(lifted_y1)),
-            wide.mul(lift(lifted_x1), lift(lifted_y0)),
-        )
-        d2 = wide.mul(lift(lifted_x1), lift(lifted_y1))
+        def tensor_rescale(poly) -> Any:
+            return self.ring.from_coefficients(
+                [
+                    divide_round_half_away(c * self.t, self.q) % self.q
+                    for c in wide.centered(poly)
+                ]
+            )
 
-        def rescale(poly):
-            out = []
-            for c in wide.centered(poly):
-                scaled = c * self.t
-                quotient, remainder = divmod(abs(scaled), self.q)
-                if 2 * remainder >= self.q:
-                    quotient += 1
-                out.append((quotient if scaled >= 0 else -quotient) % self.q)
-            return out
-
-        d0, d1, d2 = rescale(d0), rescale(d1), rescale(d2)
+        d0, d1, d2 = tensor_rescale(d0), tensor_rescale(d1), tensor_rescale(d2)
         # Relinearise d2 with the raised-modulus key.
-        big = PolyRing(self.n, self.aux_modulus * self.q)
+        big = self._big_ring
         rk0, rk1 = self._rk
-        d2_big = [c % big.q for c in self.ring.centered(d2)]
-        t0 = big.mul(d2_big, [c % big.q for c in big.centered(rk0)])
-        t1 = big.mul(d2_big, [c % big.q for c in big.centered(rk1)])
-        c0 = self.ring.add(d0, big.rescale(t0, self.aux_modulus, self.q))
-        c1 = self.ring.add(d1, big.rescale(t1, self.aux_modulus, self.q))
+        d2_big = self.ring.project_to(d2, big)
+        t0 = big.mul(d2_big, rk0)
+        t1 = big.mul(d2_big, rk1)
+        c0 = self.ring.add(d0, big.rescale_to(t0, self.aux_modulus, self.ring))
+        c1 = self.ring.add(d1, big.rescale_to(t1, self.aux_modulus, self.ring))
         return BFVCiphertext(c0=c0, c1=c1)
 
     def noise_budget_bits(self, ct: BFVCiphertext, reference: Sequence[int]) -> float:

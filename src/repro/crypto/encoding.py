@@ -36,11 +36,17 @@ class CKKSEncoder:
         powers = np.arange(ring_degree)
         self._vandermonde = self._points[:, None] ** powers[None, :]
 
-    def encode(self, values: Sequence[complex]) -> List[int]:
+    def encode(
+        self, values: Sequence[complex], *, scale: float | None = None
+    ) -> List[int]:
         """Encode up to ``num_slots`` complex values into integer coefficients.
 
         Short inputs are zero-padded.  The result is the coefficient vector of
-        ``round(Δ · σ^{-1}(z))`` where σ is the canonical embedding.
+        ``round(Δ · σ^{-1}(z))`` where σ is the canonical embedding.  ``scale``
+        overrides the encoder's default Δ for one call — used to match the
+        (slightly drifted) scale of an existing ciphertext under the RNS
+        prime-chain modulus, where rescaling divides by a prime near Δ rather
+        than Δ itself.
         """
         z = np.asarray(values, dtype=complex)
         if z.ndim != 1:
@@ -52,8 +58,9 @@ class CKKSEncoder:
         # For a real-coefficient polynomial, the embedding at conjugate points
         # is the conjugate; inverting the full 2(n/2)-point system reduces to
         # coeffs = (1/n) * (V^H z + conj(V)^H conj(z)) = (2/n) Re(V^H z).
+        effective_scale = self.scale if scale is None else float(scale)
         coeffs = (2.0 / self.n) * np.real(self._vandermonde.conj().T @ z)
-        scaled = np.rint(coeffs * self.scale).astype(object)
+        scaled = np.rint(coeffs * effective_scale).astype(object)
         return [int(c) for c in scaled]
 
     def decode(self, coefficients: Sequence[int], *, scale: float | None = None) -> np.ndarray:

@@ -16,6 +16,10 @@ payload where CKKS noise is unacceptable.  This module provides it:
   a constant-message ciphertext times a plaintext polynomial scales each
   coefficient, exactly realising the linear map — then
   ``Enc(m) = encode(c) − Enc(r)``, bit-precise.
+
+All ring arithmetic inherits the BFV context's backend: with the default
+RNS/NTT chain every ``multiply_plain`` in the keystream sum is a pointwise
+vectorized product (see ``repro/crypto/__init__.py`` § Performance).
 """
 
 from __future__ import annotations

@@ -1,0 +1,419 @@
+"""Iterative negacyclic number-theoretic transforms over NTT-friendly primes.
+
+This module is the computational core of the RNS polynomial backend
+(:mod:`repro.crypto.rns`).  It provides exact negacyclic convolution in
+``Z_p[X]/(X^n + 1)`` in O(n log n) word operations, fully vectorized with
+numpy ``uint64`` arrays.
+
+Prime selection
+---------------
+A negacyclic NTT of length ``n`` (a power of two) requires a primitive
+``2n``-th root of unity ``ψ`` modulo ``p``, which exists exactly when
+``p ≡ 1 (mod 2n)``.  :func:`find_ntt_primes` searches outward from a target
+bit size for such primes (Miller-Rabin certified, deterministic below
+2^64), keeping every prime below 2^62 so that Shoup/Barrett reduction fits
+in 64-bit words with headroom for lazy sums.
+
+The negacyclic twist
+--------------------
+Multiplication modulo ``X^n + 1`` is *not* a cyclic convolution: wrapping a
+degree-``n`` term flips its sign (``X^n = -1``).  Rather than zero-padding
+to length 2n, the classic trick multiplies coefficient ``a_i`` by ``ψ^i``
+before a cyclic transform and by ``ψ^{-i}/n`` after the inverse — the
+"twist" folds the sign flip into the root of unity because ``ψ² = ω`` is a
+primitive n-th root.  The iterative Cooley-Tukey / Gentleman-Sande pair
+below (after Longa-Naehrig, as used by SEAL) merges the twist into the
+butterfly twiddles: the forward transform consumes powers of ``ψ`` in
+bit-reversed order, the inverse consumes powers of ``ψ^{-1}``, and no
+separate twisting pass is needed.
+
+Modular reduction strategy
+--------------------------
+* Twiddle factors are fixed per context, so butterflies use Shoup
+  multiplication: with ``w' = ⌊w·2^64/p⌋`` precomputed, ``x·w mod p`` costs
+  one 64×64→high-64 product (emulated with 32-bit limbs), two wrapping
+  multiplies and one conditional subtraction.
+* Pointwise products (both operands vary) use Barrett reduction with the
+  full 128-bit ratio ``⌊2^128/p⌋``, again via 32-bit limb arithmetic.
+* Primes below 2^31 take a fast path: the 64-bit product cannot overflow,
+  so a plain vectorized ``%`` suffices.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+_M32 = np.uint64(0xFFFFFFFF)
+_U64 = np.uint64
+#: Primes must stay below 2^62 so lazy sums and Shoup products keep headroom.
+MAX_PRIME_BITS = 62
+
+# -- primality / prime search -------------------------------------------------
+
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for ``n < 2^64`` (probabilistic above)."""
+    if n < 2:
+        return False
+    for p in _MR_BASES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_ntt_friendly(prime: int, degree: int) -> bool:
+    """True iff ``prime`` supports a length-``degree`` negacyclic NTT."""
+    return (
+        1 < prime < (1 << MAX_PRIME_BITS)
+        and prime % (2 * degree) == 1
+        and is_prime(prime)
+    )
+
+
+def find_ntt_primes(
+    bits: int,
+    degree: int,
+    count: int = 1,
+    *,
+    exclude: Sequence[int] = (),
+) -> Tuple[int, ...]:
+    """Find ``count`` NTT-friendly primes for ``degree``, nearest to 2^bits.
+
+    Candidates ``p = j·2n + 1`` are scanned outward from ``2^bits`` in both
+    directions so the returned primes bracket the target as tightly as
+    possible — this keeps the CKKS scale drift ``|p/Δ - 1|`` minimal when
+    the primes stand in for a power-of-two scale.  The scan is confined to
+    ``(2^(bits-2), 2^(bits+2))`` so a caller never silently receives a prime
+    far from the requested size.
+
+    Raises :class:`ValueError` when the window cannot supply enough primes
+    (e.g. ``2^bits`` is not much larger than ``2·degree``).
+    """
+    if degree < 1 or degree & (degree - 1):
+        raise ValueError(f"degree must be a power of two, got {degree}")
+    if not 4 <= bits <= MAX_PRIME_BITS:
+        raise ValueError(f"bits must be in [4, {MAX_PRIME_BITS}], got {bits}")
+    two_n = 2 * degree
+    j0 = (1 << bits) // two_n
+    lo, hi = 1 << max(bits - 2, 1), 1 << (bits + 2)
+    found = []
+    taken = set(int(p) for p in exclude)
+    # Alternate above/below the target within the proximity window.
+    for step in range(0, max(4 * j0, 1 << 22)):
+        candidates = {j0 + step, j0 - step} if step else {j0}
+        if all((j * two_n + 1 < lo or j * two_n + 1 > hi) for j in candidates):
+            break
+        for j in sorted(candidates):
+            if j < 1:
+                continue
+            p = j * two_n + 1
+            if not lo < p < hi:
+                continue
+            if p >= (1 << MAX_PRIME_BITS) or p in taken:
+                continue
+            if is_prime(p):
+                found.append(p)
+                taken.add(p)
+                if len(found) == count:
+                    return tuple(sorted(found))
+    raise ValueError(
+        f"could not find {count} NTT-friendly primes near 2^{bits} "
+        f"for degree {degree}"
+    )
+
+
+def find_prime_chain(
+    total_bits: int,
+    degree: int,
+    *,
+    max_prime_bits: int = 58,
+    exclude: Sequence[int] = (),
+) -> Tuple[int, ...]:
+    """NTT-friendly primes whose product has at least ``total_bits`` bits.
+
+    Used for auxiliary moduli (relinearisation raise, BFV wide basis) where
+    only the magnitude of the product matters, not the individual sizes.
+    """
+    primes: list[int] = []
+    product = 1
+    while product.bit_length() <= total_bits:
+        remaining = total_bits - product.bit_length() + 1
+        # Floor well above log2(2n) so the proximity window of
+        # find_ntt_primes contains plenty of p ≡ 1 (mod 2n) candidates.
+        bits = min(max_prime_bits, max(remaining, degree.bit_length() + 4, 14))
+        step = find_ntt_primes(
+            bits, degree, 1, exclude=tuple(exclude) + tuple(primes)
+        )
+        primes.extend(step)
+        product *= step[0]
+    return tuple(primes)
+
+
+# -- 64-bit modular vector primitives ----------------------------------------
+
+
+def _mul_high(a: np.ndarray, b) -> np.ndarray:
+    """High 64 bits of the 128-bit product, via 32-bit limbs (wrap-free)."""
+    ah, al = a >> 32, a & _M32
+    bh, bl = b >> 32, b & _M32
+    lo = al * bl
+    m1 = al * bh
+    m2 = ah * bl
+    carry = (lo >> 32) + (m1 & _M32) + (m2 & _M32)
+    return ah * bh + (m1 >> 32) + (m2 >> 32) + (carry >> 32)
+
+
+def add_mod(a: np.ndarray, b: np.ndarray, q: np.uint64) -> np.ndarray:
+    """``a + b mod q`` for operands already reduced below q < 2^63."""
+    s = a + b
+    return np.where(s >= q, s - q, s)
+
+
+def sub_mod(a: np.ndarray, b: np.ndarray, q: np.uint64) -> np.ndarray:
+    """``a - b mod q`` for operands already reduced below q."""
+    d = a + (q - b)
+    return np.where(d >= q, d - q, d)
+
+
+def _barrett_ratio(q: int) -> Tuple[np.uint64, np.uint64]:
+    """``⌊2^128/q⌋`` split into (high, low) 64-bit words."""
+    ratio = (1 << 128) // q
+    return _U64(ratio >> 64), _U64(ratio & 0xFFFFFFFFFFFFFFFF)
+
+
+def mul_mod(
+    a: np.ndarray,
+    b,
+    q: np.uint64,
+    ratio: Tuple[np.uint64, np.uint64],
+) -> np.ndarray:
+    """Barrett ``a·b mod q`` for reduced operands, any prime below 2^62.
+
+    Computes the full 128-bit product in 32-bit limbs, estimates the
+    quotient with the precomputed 128-bit ratio, and corrects with at most
+    two conditional subtractions.
+    """
+    r1, r0 = ratio
+    hi = _mul_high(a, b)
+    lo = a * b  # wraps mod 2^64 by design
+    # est = floor((hi·2^64 + lo) · ratio / 2^128): collect the 2^128 word of
+    # the 256-bit product, with carries from the 2^64 word.
+    b_lo = lo * r1
+    c_lo = hi * r0
+    word = _mul_high(lo, r0) + b_lo
+    carry1 = (word < b_lo).astype(np.uint64)
+    word = word + c_lo
+    carry2 = (word < c_lo).astype(np.uint64)
+    est = _mul_high(lo, r1) + _mul_high(hi, r0) + hi * r1 + carry1 + carry2
+    r = lo - est * q  # true remainder < 3q, wrap-free since 3q < 2^64
+    r = np.where(r >= q, r - q, r)
+    return np.where(r >= q, r - q, r)
+
+
+def _shoup(w: int, q: int) -> int:
+    """Shoup companion constant ``⌊w·2^64/q⌋`` for a fixed multiplicand."""
+    return (w << 64) // q
+
+
+def mul_mod_shoup(
+    x: np.ndarray, w, w_shoup, q: np.uint64
+) -> np.ndarray:
+    """``x·w mod q`` with the Shoup-precomputed ``w' = ⌊w·2^64/q⌋``.
+
+    Valid for ``x < q`` and ``w < q``; result is fully reduced.
+    """
+    hi = _mul_high(x, w_shoup)
+    r = x * w - hi * q  # in [0, 2q), computed mod 2^64
+    return np.where(r >= q, r - q, r)
+
+
+def ntt_forward_kernel(
+    a: np.ndarray, psi, psi_shoup, q_block, fast: bool
+) -> np.ndarray:
+    """In-place Cooley-Tukey forward pass over the last axis of ``a``.
+
+    Shared by the single-prime :class:`NTTContext` (``psi`` is a 1-D table,
+    ``q_block`` a scalar) and the all-primes-at-once batched transform of
+    :mod:`repro.crypto.rns` (``psi`` stacked ``(k, n)``, ``q_block`` shaped
+    ``(k, 1, 1)``) — the twiddle tables' last axis and the modulus just have
+    to broadcast against the ``(..., m, t)`` butterfly blocks.
+    """
+    n = a.shape[-1]
+    lead = a.shape[:-1]
+    t, m = n, 1
+    while m < n:
+        t >>= 1
+        blocks = a.reshape(*lead, m, 2 * t)
+        even = blocks[..., :t].copy()
+        w = psi[..., m : 2 * m][..., None]
+        ws = psi_shoup[..., m : 2 * m][..., None]
+        odd = blocks[..., t:]
+        v = (odd * w) % q_block if fast else mul_mod_shoup(odd, w, ws, q_block)
+        blocks[..., :t] = add_mod(even, v, q_block)
+        blocks[..., t:] = sub_mod(even, v, q_block)
+        m <<= 1
+    return a
+
+
+def ntt_inverse_kernel(
+    a: np.ndarray, inv_psi, inv_psi_shoup, q_block, fast: bool
+) -> np.ndarray:
+    """In-place Gentleman-Sande inverse pass (sans the final ``n^{-1}``
+    scaling, which callers apply with their own table shapes)."""
+    n = a.shape[-1]
+    lead = a.shape[:-1]
+    t, m = 1, n
+    while m > 1:
+        h = m >> 1
+        blocks = a.reshape(*lead, h, 2 * t)
+        u = blocks[..., :t].copy()
+        v = blocks[..., t:]
+        w = inv_psi[..., h : 2 * h][..., None]
+        ws = inv_psi_shoup[..., h : 2 * h][..., None]
+        blocks[..., :t] = add_mod(u, v, q_block)
+        diff = sub_mod(u, v, q_block)
+        blocks[..., t:] = (
+            (diff * w) % q_block if fast else mul_mod_shoup(diff, w, ws, q_block)
+        )
+        t <<= 1
+        m = h
+    return a
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    """Permutation ``j -> reverse of j``'s log2(n)-bit representation."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.uint64)
+    out = np.zeros(n, dtype=np.uint64)
+    for b in range(bits):
+        out |= ((idx >> b) & 1) << (bits - 1 - b)
+    return out.astype(np.int64)
+
+
+# -- the transform ------------------------------------------------------------
+
+
+class NTTContext:
+    """Negacyclic NTT plan for one (degree, prime) pair.
+
+    Precomputes the bit-reversed ψ / ψ^{-1} power tables with their Shoup
+    companions; :meth:`forward` maps coefficients to the evaluation domain
+    (bit-reversed order), :meth:`inverse` maps back, and
+    :meth:`negacyclic_multiply` composes the two around a pointwise product.
+
+    Transforms accept arrays of shape ``(..., n)`` and are applied along the
+    last axis, so a whole RNS residue matrix (or a batch of polynomials)
+    transforms in one call per prime.
+    """
+
+    def __init__(self, degree: int, prime: int) -> None:
+        if degree < 2 or degree & (degree - 1):
+            raise ValueError(f"degree must be a power of two >= 2, got {degree}")
+        if not is_ntt_friendly(prime, degree):
+            raise ValueError(
+                f"{prime} is not an NTT-friendly prime for degree {degree} "
+                f"(need p ≡ 1 mod {2 * degree}, p prime, p < 2^{MAX_PRIME_BITS})"
+            )
+        self.n = degree
+        self.q = int(prime)
+        self._q64 = _U64(self.q)
+        self._ratio = _barrett_ratio(self.q)
+        self._fast = self.q < (1 << 31)  # products fit: plain % path
+        psi = self._find_psi()
+        inv_psi = pow(psi, -1, self.q)
+        rev = _bit_reverse_indices(degree)
+        psi_pows = self._power_table(psi)
+        inv_pows = self._power_table(inv_psi)
+        self._psi_br = psi_pows[rev]
+        self._inv_psi_br = inv_pows[rev]
+        self._psi_br_shoup = self._shoup_table(self._psi_br)
+        self._inv_psi_br_shoup = self._shoup_table(self._inv_psi_br)
+        n_inv = pow(degree, -1, self.q)
+        self._n_inv = _U64(n_inv)
+        self._n_inv_shoup = _U64(_shoup(n_inv, self.q))
+
+    # -- setup helpers ---------------------------------------------------------
+
+    def _find_psi(self) -> int:
+        """A primitive 2n-th root of unity mod q (ψ^n ≡ -1)."""
+        q, n = self.q, self.n
+        exponent = (q - 1) // (2 * n)
+        for g in range(2, 1000):
+            psi = pow(g, exponent, q)
+            # n is a power of two, so ψ^n = -1 already certifies order 2n.
+            if pow(psi, n, q) == q - 1:
+                return psi
+        raise RuntimeError(f"no primitive 2n-th root found for q={q}")  # pragma: no cover
+
+    def _power_table(self, base: int) -> np.ndarray:
+        powers = np.empty(self.n, dtype=np.uint64)
+        acc = 1
+        for i in range(self.n):
+            powers[i] = acc
+            acc = acc * base % self.q
+        return powers
+
+    def _shoup_table(self, table: np.ndarray) -> np.ndarray:
+        return np.array(
+            [_shoup(int(w), self.q) for w in table], dtype=np.uint64
+        )
+
+    # -- reduction kernels -----------------------------------------------------
+
+    def pointwise_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise ``a·b mod q`` for reduced operands."""
+        if self._fast:
+            return (a * b) % self._q64
+        return mul_mod(a, b, self._q64, self._ratio)
+
+    # -- transforms ------------------------------------------------------------
+
+    def forward(self, values: np.ndarray) -> np.ndarray:
+        """Coefficients → evaluation domain (Cooley-Tukey, merged ψ twist)."""
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        return ntt_forward_kernel(
+            a, self._psi_br, self._psi_br_shoup, self._q64, self._fast
+        )
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Evaluation domain → coefficients (Gentleman-Sande, merged twist)."""
+        a = np.ascontiguousarray(values, dtype=np.uint64).copy()
+        ntt_inverse_kernel(
+            a, self._inv_psi_br, self._inv_psi_br_shoup, self._q64, self._fast
+        )
+        if self._fast:
+            return (a * self._n_inv) % self._q64
+        return mul_mod_shoup(a, self._n_inv, self._n_inv_shoup, self._q64)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Exact product in ``Z_q[X]/(X^n+1)`` of reduced coefficient arrays."""
+        return self.inverse(self.pointwise_mul(self.forward(a), self.forward(b)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NTTContext(n={self.n}, q={self.q})"
+
+
+@lru_cache(maxsize=None)
+def get_ntt_context(degree: int, prime: int) -> NTTContext:
+    """Process-wide cache: one twiddle-table build per (degree, prime)."""
+    return NTTContext(degree, prime)

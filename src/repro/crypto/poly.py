@@ -1,10 +1,21 @@
 """Negacyclic polynomial ring ``R_q = Z_q[X]/(X^n + 1)`` — the CKKS substrate.
 
-Coefficients are arbitrary-precision Python integers (CKKS moduli exceed
-64 bits), stored in numpy object arrays.  Multiplication uses Kronecker
-substitution: coefficients are packed into one big integer, multiplied with
-Python's native big-int arithmetic (subquadratic), and unpacked — exact and
-considerably faster than schoolbook convolution in pure Python.
+Two interchangeable implementations share the interface documented by
+:class:`PolyRingBase`:
+
+* :class:`PolyRing` (this module) — the reference big-integer ring.
+  Coefficients are arbitrary-precision Python integers, multiplication uses
+  Kronecker substitution (pack into one big integer, multiply with CPython's
+  subquadratic big-int arithmetic, unpack).  Exact for *any* modulus, but
+  every operation is a Python-level loop.
+* :class:`repro.crypto.rns.RNSPolyRing` — the fast backend.  The modulus is
+  a product of NTT-friendly primes; elements live as numpy ``uint64``
+  residue matrices and multiplication is an O(n log n) vectorized NTT per
+  prime.  Bit-for-bit equivalent to the reference ring on every operation
+  (the equivalence is property-tested in ``tests/crypto/test_rns_ntt.py``).
+
+Use :func:`repro.crypto.rns.get_ring` to pick a backend (with caching)
+instead of constructing rings directly in hot paths.
 """
 
 from __future__ import annotations
@@ -22,11 +33,123 @@ def _is_power_of_two(value: int) -> bool:
     return value >= 1 and (value & (value - 1)) == 0
 
 
-class PolyRing:
+# -- shared primitives --------------------------------------------------------
+#
+# Both ring backends delegate to these helpers so that rounding behaviour and
+# random-number consumption are *identical*: given the same generator state,
+# the reference and RNS rings produce the same mathematical element, which is
+# what makes whole-scheme (CKKS/BFV) cross-backend equality tests possible.
+
+
+def fold_negacyclic(coeffs: IntVector, degree: int) -> List[int]:
+    """Fold an arbitrary-length integer vector with ``X^n = -1`` (no modulus)."""
+    out = [0] * degree
+    for i, c in enumerate(coeffs):
+        idx = i % degree
+        if (i // degree) % 2:
+            out[idx] -= int(c)
+        else:
+            out[idx] += int(c)
+    return out
+
+
+def divide_round_half_away(value: int, divisor: int) -> int:
+    """``round(value / divisor)`` with ties away from zero, exact integers."""
+    quotient, remainder = divmod(abs(value), divisor)
+    if 2 * remainder >= divisor:
+        quotient += 1
+    return quotient if value >= 0 else -quotient
+
+
+def draw_uniform_ints(degree: int, modulus: int, rng: SeedLike = None) -> List[int]:
+    """Near-uniform integers in ``[0, q)`` (bias below 2^-64 per draw)."""
+    gen = as_generator(rng)
+    bits = max(modulus.bit_length() + 64, 64)
+    return [
+        int.from_bytes(gen.bytes(bits // 8 + 1), "little") % modulus
+        for _ in range(degree)
+    ]
+
+
+def draw_ternary_raw(
+    degree: int, rng: SeedLike = None, *, hamming_weight: int | None = None
+) -> np.ndarray:
+    """Raw ternary vector in {-1, 0, 1} before modular reduction."""
+    gen = as_generator(rng)
+    if hamming_weight is None:
+        return gen.integers(-1, 2, size=degree)
+    if not 0 <= hamming_weight <= degree:
+        raise ValueError("hamming_weight out of range")
+    raw = np.zeros(degree, dtype=np.int64)
+    idx = gen.choice(degree, size=hamming_weight, replace=False)
+    raw[idx] = gen.choice([-1, 1], size=hamming_weight)
+    return raw
+
+
+def draw_gaussian_raw(
+    degree: int, rng: SeedLike = None, *, sigma: float = 3.2
+) -> np.ndarray:
+    """Rounded continuous Gaussian before modular reduction."""
+    gen = as_generator(rng)
+    return np.rint(gen.normal(0.0, sigma, size=degree)).astype(np.int64)
+
+
+class PolyRingBase:
+    """Common interface of the polynomial-ring backends.
+
+    Elements are *opaque*: the reference ring uses Python lists of ints, the
+    RNS ring a residue-matrix wrapper.  Code built on top of a ring must only
+    pass elements back into methods of the ring that created them (or into
+    another ring via the integer-list bridge ``centered``/``coefficients`` →
+    ``from_coefficients``).
+
+    Required operations::
+
+        zero() constant(v) from_coefficients(coeffs)
+        random_uniform(rng) random_ternary(rng, hamming_weight=)
+        random_gaussian(rng, sigma=)
+        add(a, b) sub(a, b) neg(a) scalar_mul(a, s) mul(a, b)
+        coefficients(a)            # canonical ints in [0, q)
+        centered(a)                # ints in (-q/2, q/2]
+        rescale(a, divisor, new_modulus)   # int list mod new_modulus
+        change_modulus(a, new_modulus)     # int list mod new_modulus
+        infinity_norm(a)
+    """
+
+    n: int
+    q: int
+
+    def coefficients(self, a) -> List[int]:
+        """Canonical coefficient list in ``[0, q)`` (the cross-ring bridge)."""
+        raise NotImplementedError
+
+    def project_to(self, a, new_ring: "PolyRingBase"):
+        """Centred lift of ``a`` reinterpreted as an element of ``new_ring``.
+
+        Used both to drop down a modulus chain (``new_ring.q`` divides
+        ``q``) and to raise into a wider ring for relinearisation.  Backends
+        override this with structure-aware fast paths.
+        """
+        return new_ring.from_coefficients(self.centered(a))
+
+    def rescale_to(self, a, divisor: int, new_ring: "PolyRingBase"):
+        """``round(a / divisor)`` on the centred lift, as a ``new_ring`` element."""
+        return new_ring.from_coefficients(self.rescale(a, divisor, new_ring.q))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, log2(q)≈{self.q.bit_length()})"
+        )
+
+
+class PolyRing(PolyRingBase):
     """Arithmetic in ``Z_q[X]/(X^n + 1)`` with ``n`` a power of two.
 
     Elements are represented as Python lists of ints in ``[0, q)``.  All
-    operations return new lists; nothing is mutated in place.
+    operations return new lists; nothing is mutated in place.  This is the
+    reference implementation: exact for any modulus ``q >= 2``, used directly
+    for non-NTT-friendly moduli and as the ground truth the RNS backend is
+    tested against.
     """
 
     def __init__(self, degree: int, modulus: int) -> None:
@@ -61,15 +184,14 @@ class PolyRing:
             out[idx] = (out[idx] + sign * int(c)) % self.q
         return out
 
+    def coefficients(self, a: List[int]) -> List[int]:
+        """Canonical coefficient list (copy)."""
+        self._check(a)
+        return list(a)
+
     def random_uniform(self, rng: SeedLike = None) -> List[int]:
         """Uniform element of the ring (used for the public randomness ``a``)."""
-        gen = as_generator(rng)
-        bits = max(self.q.bit_length() + 64, 64)
-        # Draw wide integers and reduce: avoids modulo bias beyond 2^-64.
-        return [
-            int.from_bytes(gen.bytes(bits // 8 + 1), "little") % self.q
-            for _ in range(self.n)
-        ]
+        return draw_uniform_ints(self.n, self.q, rng)
 
     def random_ternary(self, rng: SeedLike = None, *, hamming_weight: int | None = None) -> List[int]:
         """Ternary secret with entries in {-1, 0, 1} (mod q).
@@ -77,21 +199,12 @@ class PolyRing:
         With ``hamming_weight`` set, exactly that many entries are nonzero —
         the sparse-secret distribution common in HE libraries.
         """
-        gen = as_generator(rng)
-        if hamming_weight is None:
-            raw = gen.integers(-1, 2, size=self.n)
-        else:
-            if not 0 <= hamming_weight <= self.n:
-                raise ValueError("hamming_weight out of range")
-            raw = np.zeros(self.n, dtype=np.int64)
-            idx = gen.choice(self.n, size=hamming_weight, replace=False)
-            raw[idx] = gen.choice([-1, 1], size=hamming_weight)
+        raw = draw_ternary_raw(self.n, rng, hamming_weight=hamming_weight)
         return [int(v) % self.q for v in raw]
 
     def random_gaussian(self, rng: SeedLike = None, *, sigma: float = 3.2) -> List[int]:
         """Discrete-Gaussian-ish error term (rounded continuous Gaussian)."""
-        gen = as_generator(rng)
-        raw = np.rint(gen.normal(0.0, sigma, size=self.n)).astype(np.int64)
+        raw = draw_gaussian_raw(self.n, rng, sigma=sigma)
         return [int(v) % self.q for v in raw]
 
     # -- ring operations -------------------------------------------------------
@@ -154,15 +267,10 @@ class PolyRing:
         """
         if divisor <= 0:
             raise ValueError("divisor must be positive")
-        centred = self.centered(a)
-        out = []
-        for x in centred:
-            # Round-half-away-from-zero on exact integers.
-            quotient, remainder = divmod(abs(x), divisor)
-            if 2 * remainder >= divisor:
-                quotient += 1
-            out.append((quotient if x >= 0 else -quotient) % new_modulus)
-        return out
+        return [
+            divide_round_half_away(x, divisor) % new_modulus
+            for x in self.centered(a)
+        ]
 
     def change_modulus(self, a: List[int], new_modulus: int) -> List[int]:
         """Reinterpret the centred representative modulo a different q."""

@@ -151,12 +151,10 @@ class TranscipherEngine:
             term = self.context.multiply_plain(enc_kj, matrix[:, j])
             enc_keystream = term if enc_keystream is None else self.context.add(enc_keystream, term)
         # Bring the masked values into the ciphertext domain and subtract.
+        # multiply_plain rescaled enc_keystream once, so under the RNS prime
+        # chain its scale is Δ²/p ≈ Δ rather than Δ exactly; encrypting the
+        # masked block *at that scale* keeps the subtraction exact.
         masked_ct = self.context.encrypt(
-            block.masked, level=enc_keystream.level
+            block.masked, level=enc_keystream.level, scale=enc_keystream.scale
         )
-        # Align scales: multiply_plain rescaled enc_keystream once.
-        if not np.isclose(masked_ct.scale, enc_keystream.scale, rtol=1e-9):
-            raise RuntimeError(
-                "scale mismatch between masked data and keystream ciphertexts"
-            )
         return self.context.sub(masked_ct, enc_keystream)

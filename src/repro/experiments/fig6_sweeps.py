@@ -11,12 +11,18 @@ Each point re-solves all four methods on the modified configuration; the
 Stage-1 block does not depend on any swept quantity, so its solution is
 computed once and shared (exactly the paper's "optimal U_qkd from Stage 1"
 convention).
+
+Sweep points are independent, so :func:`sweep` accepts ``workers=N`` to fan
+them out over a :class:`concurrent.futures.ProcessPoolExecutor` (the CLI
+exposes this as ``python -m repro fig6 --workers N``).
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,14 +72,34 @@ class SweepSeries:
         return format_table(headers, rows, title=f"Fig. 6 sweep: {self.parameter}")
 
 
+def _solve_point(
+    args: Tuple[str, float, SystemConfig, Stage1Result]
+) -> Dict[str, float]:
+    """All four methods at one sweep point (top-level: picklable for pools)."""
+    parameter, value, config, s1 = args
+    cfg = _MODIFIERS[parameter](config, float(value))
+    return {
+        "AA": average_allocation(cfg, stage1_result=s1).objective,
+        "OLAA": olaa_baseline(cfg, stage1_result=s1).objective,
+        "OCCR": occr_baseline(cfg, stage1_result=s1).objective,
+        "QuHE": QuHE(cfg).solve().objective,
+    }
+
+
 def sweep(
     parameter: str,
     config: SystemConfig,
     *,
     values: Optional[Sequence[float]] = None,
     stage1_result: Optional[Stage1Result] = None,
+    workers: Optional[int] = None,
 ) -> SweepSeries:
-    """Run one Fig.-6 panel: all four methods across the parameter grid."""
+    """Run one Fig.-6 panel: all four methods across the parameter grid.
+
+    ``workers`` > 1 distributes the (independent) sweep points over a
+    process pool; results are identical to the serial run — the grid order
+    is preserved and every point shares the same Stage-1 solution.
+    """
     if parameter not in _MODIFIERS:
         raise ValueError(
             f"unknown sweep parameter {parameter!r}; choose from {sorted(_MODIFIERS)}"
@@ -82,11 +108,19 @@ def sweep(
         PAPER_SWEEPS[parameter] if values is None else values, dtype=float
     )
     s1 = stage1_result or Stage1Solver(config).solve()
-    objectives: Dict[str, List[float]] = {m: [] for m in ("AA", "OLAA", "OCCR", "QuHE")}
-    for value in grid:
-        cfg = _MODIFIERS[parameter](config, float(value))
-        objectives["AA"].append(average_allocation(cfg, stage1_result=s1).objective)
-        objectives["OLAA"].append(olaa_baseline(cfg, stage1_result=s1).objective)
-        objectives["OCCR"].append(occr_baseline(cfg, stage1_result=s1).objective)
-        objectives["QuHE"].append(QuHE(cfg).solve().objective)
+    tasks = [(parameter, float(v), config, s1) for v in grid]
+    per_point = None
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+                per_point = list(pool.map(_solve_point, tasks))
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # Custom configs with closure/lambda cost curves cannot cross a
+            # process boundary — degrade to the (identical-result) serial run.
+            per_point = None
+    if per_point is None:
+        per_point = [_solve_point(t) for t in tasks]
+    objectives: Dict[str, List[float]] = {
+        m: [point[m] for point in per_point] for m in ("AA", "OLAA", "OCCR", "QuHE")
+    }
     return SweepSeries(parameter=parameter, x_values=grid, objectives=objectives)

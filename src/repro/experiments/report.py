@@ -11,6 +11,7 @@ import io
 from typing import Optional
 
 from repro.core.config import SystemConfig, paper_config
+from repro.core.stage1 import Stage1Solver
 from repro.experiments.fig3_optimality import run_optimality_study
 from repro.experiments.fig4_convergence import run_convergence
 from repro.experiments.fig5_comparison import run_method_comparison, run_stage_call_report
@@ -27,6 +28,7 @@ def generate_report(
     seed: int = 2,
     fig3_samples: int = 20,
     config: Optional[SystemConfig] = None,
+    workers: int = 1,
 ) -> str:
     """Run the full experiment battery and return a markdown report."""
     out = io.StringIO()
@@ -90,8 +92,9 @@ def generate_report(
         )
 
     print("\n## Fig. 6: sweeps (winners per point)\n", file=out)
+    stage1 = Stage1Solver(cfg).solve()
     for parameter in ("bandwidth", "power", "client_cpu", "server_cpu"):
-        series = sweep(parameter, cfg)
+        series = sweep(parameter, cfg, stage1_result=stage1, workers=workers)
         winners = ", ".join(series.best_method_per_point())
         print(f"* {parameter}: {winners}", file=out)
 

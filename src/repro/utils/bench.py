@@ -1,0 +1,117 @@
+"""Tiny benchmarking helper emitting machine-readable JSON.
+
+Used by ``benchmarks/test_crypto_throughput.py`` and
+``scripts/bench_crypto.py`` to record the perf trajectory of the crypto
+substrate (and any other hot path) in a stable schema::
+
+    {
+      "meta": {"timestamp": ..., "python": ..., "numpy": ...},
+      "results": [
+        {"op": "ring_mul", "backend": "rns", "params": {"n": 4096, ...},
+         "reps": 32, "seconds_per_op": 0.0061, "ops_per_second": 163.9},
+        ...
+      ]
+    }
+
+Timing strategy: one warm-up call (to amortise lazy table builds and JIT-ish
+caches), then batches of increasing size until ``min_duration`` of total
+runtime is accumulated — robust for operations ranging from microseconds to
+seconds without configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed operation."""
+
+    op: str
+    backend: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    reps: int = 0
+    seconds_per_op: float = float("nan")
+
+    @property
+    def ops_per_second(self) -> float:
+        return 1.0 / self.seconds_per_op if self.seconds_per_op > 0 else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "backend": self.backend,
+            "params": dict(self.params),
+            "reps": self.reps,
+            "seconds_per_op": self.seconds_per_op,
+            "ops_per_second": self.ops_per_second,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in self.params.items())
+        return (
+            f"{self.op:>16s} [{self.backend}] {extras}: "
+            f"{self.seconds_per_op * 1e3:.3f} ms/op "
+            f"({self.ops_per_second:.1f} op/s, reps={self.reps})"
+        )
+
+
+def time_op(
+    fn: Callable[[], Any],
+    *,
+    op: str,
+    backend: str,
+    params: Dict[str, Any] | None = None,
+    min_duration: float = 0.2,
+    max_reps: int = 10_000,
+    warmup: bool = True,
+) -> BenchResult:
+    """Time ``fn`` until ``min_duration`` seconds accumulate (≥1 rep)."""
+    if warmup:
+        fn()
+    total = 0.0
+    reps = 0
+    batch = 1
+    while total < min_duration and reps < max_reps:
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        total += time.perf_counter() - start
+        reps += batch
+        batch = min(2 * batch, max_reps - reps) or 1
+    return BenchResult(
+        op=op,
+        backend=backend,
+        params=dict(params or {}),
+        reps=reps,
+        seconds_per_op=total / reps,
+    )
+
+
+def write_results(path: str | Path, results: Iterable[BenchResult]) -> Path:
+    """Write a JSON benchmark report; returns the path written."""
+    payload = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": [r.to_dict() for r in results],
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def load_results(path: str | Path) -> List[Dict[str, Any]]:
+    """Read back the ``results`` list of a report written by write_results."""
+    return json.loads(Path(path).read_text())["results"]
