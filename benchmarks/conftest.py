@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro import paper_config
+from repro import SolverService, paper_config
 from repro.core.stage1 import Stage1Solver
 from repro.experiments import DEFAULT_SEED
 
@@ -37,3 +37,9 @@ def typical_cfg():
 @pytest.fixture(scope="session")
 def stage1_solution(paper_cfg):
     return Stage1Solver(paper_cfg).solve()
+
+
+@pytest.fixture(scope="session")
+def service():
+    """Shared SolverService: benchmarks reuse one fingerprint cache."""
+    return SolverService()

@@ -1,0 +1,79 @@
+"""SolverService throughput: cache hits, batch fan-out, end-to-end latency.
+
+The API-redesign acceptance criteria live here: ``solve_many`` must produce
+results identical to the serial loop at any worker count, and the
+fingerprint cache must turn repeat solves into sub-millisecond lookups.
+Pool *speedup* is recorded by ``scripts/bench_solver.py`` →
+``BENCH_solver.json`` rather than asserted, because it depends on the
+machine's core count.
+
+Run::
+
+    pytest benchmarks/test_solver_throughput.py -s            # everything
+    pytest benchmarks/test_solver_throughput.py -m smoke -s   # quick guard
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.service import SolverService
+from repro.experiments.fig6_sweeps import PAPER_SWEEPS
+from repro.utils.bench import time_op
+
+from conftest import full_run
+
+
+@pytest.fixture(scope="module")
+def sweep_configs(typical_cfg):
+    grid = PAPER_SWEEPS["bandwidth"]
+    if not full_run():
+        grid = grid[::2]
+    return [typical_cfg.with_total_bandwidth(float(v)) for v in grid]
+
+
+@pytest.mark.smoke
+def test_cache_hit_is_fast_and_identical(typical_cfg, capsys):
+    service = SolverService()
+    first = service.solve(typical_cfg)
+    cold = time_op(
+        lambda: SolverService(cache_size=0).solve(typical_cfg),
+        op="solve_cold", backend="service", min_duration=0.5, max_reps=32,
+    )
+    hit = time_op(
+        lambda: service.solve(typical_cfg),
+        op="solve_cached", backend="service",
+    )
+    assert service.solve(typical_cfg) is first
+    with capsys.disabled():
+        print()
+        print(cold)
+        print(hit)
+        print(f"cache speedup: {cold.seconds_per_op / hit.seconds_per_op:.0f}x")
+    # A cache hit is a fingerprint + dict lookup; it must beat a full
+    # three-stage solve by a wide margin.
+    assert hit.seconds_per_op * 5 < cold.seconds_per_op
+
+
+@pytest.mark.smoke
+def test_solve_many_pooled_identical_to_serial(sweep_configs):
+    serial = SolverService().solve_many(sweep_configs, workers=1, use_cache=False)
+    pooled = SolverService().solve_many(sweep_configs, workers=2, use_cache=False)
+    for a, b in zip(serial, pooled):
+        assert a.objective == pytest.approx(b.objective, rel=1e-12)
+        assert np.allclose(a.allocation.phi, b.allocation.phi)
+        assert np.allclose(a.allocation.b, b.allocation.b)
+        assert np.allclose(a.allocation.f_s, b.allocation.f_s)
+
+
+@pytest.mark.bench
+def test_benchmark_solve_many(benchmark, sweep_configs, service):
+    results = benchmark.pedantic(
+        service.solve_many,
+        args=(sweep_configs,),
+        kwargs={"workers": 4, "use_cache": False},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(sweep_configs)

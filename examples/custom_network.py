@@ -10,7 +10,7 @@ Run:  python examples/custom_network.py
 
 import numpy as np
 
-from repro import QuHE, SystemConfig
+from repro import SolverService, SystemConfig
 from repro.compute.cost_models import paper_cost_model
 from repro.compute.devices import ClientNode, EdgeServer
 from repro.quantum.topology import QKDNetwork
@@ -54,7 +54,9 @@ def main() -> None:
         alpha_msl=0.1,
     )
 
-    result = QuHE(config).solve()
+    # The same SolverService front-door works for custom deployments — the
+    # config fingerprint covers the custom topology and client fleet too.
+    result = SolverService().solve(config)
     print(f"\nConverged: {result.converged}, objective {result.objective:.4f}")
     print("phi:", np.round(result.allocation.phi, 3))
     print("lambda:", [int(v) for v in result.allocation.lam])

@@ -10,7 +10,7 @@ Run:  python examples/outage_resilience.py
 
 import numpy as np
 
-from repro import QuHE, paper_config
+from repro import SolverService, paper_config
 from repro.core.stage1 import Stage1Solver
 from repro.quantum.analysis import (
     binding_links,
@@ -47,7 +47,7 @@ def main() -> None:
     print(f"surviving routes: {[r.route_id for r in degraded.routes]}")
 
     degraded_config = paper_config(seed=2, network=degraded)
-    result = QuHE(degraded_config).solve()
+    result = SolverService().solve(degraded_config)
     alloc = result.allocation
     print(f"re-optimized: converged={result.converged}, objective {result.objective:.4f}")
     print("  phi:", np.round(alloc.phi, 3))

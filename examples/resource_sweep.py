@@ -4,11 +4,15 @@ Compares AA, OLAA, OCCR and QuHE across bandwidth / power / CPU budgets and
 prints the per-panel winner — the paper's headline claim is that QuHE leads
 at every operating point.
 
+Run through the scenario registry: ``run_scenario("fig6")`` executes the
+same sweeps the CLI's ``repro run fig6`` does and hands back a RunRecord
+whose result can be rendered, serialized or archived.
+
 Run:  python examples/resource_sweep.py
 """
 
-from repro import paper_config
-from repro.experiments import DEFAULT_SEED, run_method_comparison, sweep
+from repro import paper_config, run_scenario
+from repro.experiments import DEFAULT_SEED, run_method_comparison
 
 def main() -> None:
     config = paper_config(seed=DEFAULT_SEED)
@@ -18,12 +22,15 @@ def main() -> None:
     print(comparison.render())
     print()
 
-    for parameter in ("bandwidth", "power", "client_cpu", "server_cpu"):
-        series = sweep(parameter, config)
+    record = run_scenario("fig6", {"seed": DEFAULT_SEED})
+    sweep_set = record.result
+    for parameter, series in sweep_set.panels.items():
         print(series.render())
         winners = set(series.best_method_per_point())
         print(f"winner at every point: {winners}")
         print()
+    print(f"(scenario {record.scenario!r} ran in {record.runtime_s:.1f}s; "
+          f"record.save('runs/') would archive params + results as JSON)")
 
 if __name__ == "__main__":
     main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Solver throughput snapshot → ``BENCH_solver.json`` (perf trajectory).
+
+Times the SolverService front-door end to end:
+
+* ``solve_cold`` — one full QuHE solve on the paper configuration,
+* ``solve_cached`` — the same config through the fingerprint cache,
+* ``solve_many`` — the Fig.-6 bandwidth-sweep batch (one config per sweep
+  point) at several worker counts, with the serial/pooled results checked
+  identical before timing.
+
+Writes a machine-readable report (see :mod:`repro.utils.bench` for the
+schema).  Note: pool speedups depend on available cores — the report
+records ``cpu_count`` so single-core CI numbers are interpretable.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_solver.py              # default grid
+    PYTHONPATH=src python scripts/bench_solver.py --quick      # fewer workers
+    PYTHONPATH=src python scripts/bench_solver.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api.service import SolverService, config_fingerprint  # noqa: E402
+from repro.core.config import paper_config  # noqa: E402
+from repro.experiments.fig6_sweeps import PAPER_SWEEPS  # noqa: E402
+from repro.utils.bench import BenchResult, time_op, write_results  # noqa: E402
+
+
+def sweep_configs(seed: int = 2):
+    """One config per Fig.-6(a) bandwidth sweep point."""
+    base = paper_config(seed=seed)
+    return [base.with_total_bandwidth(float(v)) for v in PAPER_SWEEPS["bandwidth"]]
+
+
+def bench_single(seed: int = 2):
+    service = SolverService()
+    cfg = paper_config(seed=seed)
+    params = {"seed": seed, "n_clients": cfg.num_clients}
+    yield time_op(
+        lambda: SolverService(cache_size=0).solve(cfg),
+        op="solve_cold", backend="service", params=params,
+        min_duration=1.0, max_reps=64,
+    )
+    service.solve(cfg)  # prime the cache
+    yield time_op(
+        lambda: service.solve(cfg),
+        op="solve_cached", backend="service", params=params,
+    )
+    yield time_op(
+        lambda: config_fingerprint(cfg),
+        op="config_fingerprint", backend="service", params=params,
+    )
+
+
+def bench_solve_many(worker_grid, seed: int = 2):
+    configs = sweep_configs(seed)
+    reference = SolverService().solve_many(configs, workers=1, use_cache=False)
+    for workers in worker_grid:
+        service = SolverService()
+        start = time.perf_counter()
+        results = service.solve_many(configs, workers=workers, use_cache=False)
+        elapsed = time.perf_counter() - start
+        for a, b in zip(reference, results):
+            assert np.isclose(a.objective, b.objective), (
+                f"workers={workers} diverged from serial"
+            )
+        yield BenchResult(
+            op="solve_many_fig6_bandwidth",
+            backend=f"workers={workers}",
+            params={"batch": len(configs), "seed": seed,
+                    "cpu_count": os.cpu_count()},
+            reps=1,
+            seconds_per_op=elapsed,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_solver.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="workers 1 and 2 only")
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    results: list[BenchResult] = []
+    for res in bench_single(seed=args.seed):
+        results.append(res)
+        print(res)
+    worker_grid = (1, 2) if args.quick else (1, 2, 4)
+    for res in bench_solve_many(worker_grid, seed=args.seed):
+        results.append(res)
+        print(res)
+
+    by_workers = {
+        r.backend: r.seconds_per_op
+        for r in results if r.op == "solve_many_fig6_bandwidth"
+    }
+    serial = by_workers.get("workers=1")
+    if serial:
+        for backend, sec in sorted(by_workers.items()):
+            print(f"solve_many {backend}: {serial / sec:.2f}x vs serial "
+                  f"({os.cpu_count()} cpu)")
+
+    out = write_results(args.output, results)
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,10 @@ Subpackages
     Problem P1, the QuHE algorithm (stages 1-3) and all baselines.
 ``repro.experiments``
     Regeneration harness for every table and figure of the paper's §VI.
+``repro.api``
+    Unified scenario registry + :class:`SolverService` front-door: cached,
+    batchable solves and artifact-first experiment runs
+    (``run_scenario("fig6", {"workers": 4}).save("runs/")``).
 """
 
 from repro.core import (
@@ -47,11 +51,17 @@ from repro.core import (
     paper_config,
 )
 from repro.pipeline import SecureEdgePipeline, PipelineReport
+from repro.api import RunRecord, SolverService, get_scenario, run_scenario, scenario_names
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Allocation",
+    "RunRecord",
+    "SolverService",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "BranchAndBoundSolver",
     "ExhaustiveSolver",
     "Metrics",

@@ -1,0 +1,137 @@
+"""Run artifacts: every scenario execution can leave a durable record.
+
+A :class:`RunRecord` captures everything needed to audit or replay one
+scenario run — the scenario name, the fully-bound parameters (seed
+included), the result payload (via the :mod:`repro.io` codecs), and wall
+timings — and writes it into a run directory::
+
+    runs/fig6-20260728T120000-ab12cd34/
+        record.json     # params + seed + timings + embedded result payload
+        result.json     # the bare result payload (repro.io schema)
+
+``RunRecord.load`` reverses the process, reconstructing the original result
+object, so ``repro run fig6 --out runs/`` followed by offline analysis of
+``result.json`` (or ``load``) replaces today's print-and-lose flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from itertools import count
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro import io as repro_io
+
+PathLike = Union[str, Path]
+
+RECORD_FILENAME = "record.json"
+RESULT_FILENAME = "result.json"
+
+
+def _params_digest(params: Dict[str, Any]) -> str:
+    blob = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:8]
+
+
+#: Per-process sequence: keeps run_ids unique even for identical params
+#: launched within the same wall-clock second (pid covers concurrent
+#: processes writing one run directory).
+_RUN_SEQUENCE = count()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One scenario execution: parameters, result, and timings."""
+
+    scenario: str
+    params: Dict[str, Any]
+    result: Any
+    started_at: str
+    runtime_s: float
+    run_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            stamp = self.started_at.replace("-", "").replace(":", "")
+            object.__setattr__(
+                self,
+                "run_id",
+                f"{self.scenario}-{stamp}-{_params_digest(self.params)}"
+                f"-p{os.getpid()}n{next(_RUN_SEQUENCE)}",
+            )
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The run's seed when the scenario declares one."""
+        value = self.params.get("seed")
+        return None if value is None else int(value)
+
+    def result_payload(self) -> Dict[str, Any]:
+        """The result as its versioned ``repro.io`` payload."""
+        return repro_io.result_to_dict(self.result)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format_version": 1,
+            "kind": "run_record",
+            "run_id": self.run_id,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "started_at": self.started_at,
+            "runtime_s": self.runtime_s,
+            "result": self.result_payload(),
+        }
+
+    def save(self, run_dir: PathLike) -> Path:
+        """Write ``record.json`` + ``result.json`` under ``run_dir/run_id/``.
+
+        Returns the created directory.  Parent directories are created as
+        needed.
+        """
+        target = Path(run_dir) / self.run_id
+        target.mkdir(parents=True, exist_ok=True)
+        payload = self.to_dict()
+        (target / RECORD_FILENAME).write_text(json.dumps(payload, indent=2) + "\n")
+        (target / RESULT_FILENAME).write_text(
+            json.dumps(payload["result"], indent=2) + "\n"
+        )
+        return target
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunRecord":
+        """Read a record back from a run directory (or its ``record.json``)."""
+        source = Path(path)
+        if source.is_dir():
+            source = source / RECORD_FILENAME
+        data = json.loads(source.read_text())
+        if data.get("kind") != "run_record":
+            raise ValueError(f"{source}: not a run record (kind={data.get('kind')!r})")
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data["params"]),
+            result=repro_io.result_from_dict(data["result"]),
+            started_at=data["started_at"],
+            runtime_s=float(data["runtime_s"]),
+            run_id=data["run_id"],
+        )
+
+
+def record_run(scenario_name: str, params: Dict[str, Any], run) -> RunRecord:
+    """Execute ``run(**params)`` and wrap the outcome in a :class:`RunRecord`."""
+    started_at = time.strftime("%Y%m%dT%H%M%S")
+    start = time.perf_counter()
+    result = run(**params)
+    runtime = time.perf_counter() - start
+    return RunRecord(
+        scenario=scenario_name,
+        params=dict(params),
+        result=result,
+        started_at=started_at,
+        runtime_s=runtime,
+    )

@@ -1,0 +1,236 @@
+"""Declarative scenario registry: the single source of truth for experiments.
+
+Every runnable experiment (``solve``, ``table5``, ``fig3`` … ``pipeline``)
+is described once as a :class:`Scenario`: a name, a typed parameter spec, a
+run function returning a result object with a registered ``repro.io`` codec,
+and a renderer that turns that result into the human-readable text the CLI
+prints.  Everything else — CLI subcommands and flags, ``repro run`` with
+``--set k=v`` overrides, JSON output, :class:`~repro.api.artifacts.RunRecord`
+artifacts, smoke tests — is *generated* from this table, so adding a new
+experiment is one ``register_scenario`` call in one file.
+
+Authoring a scenario::
+
+    from repro.api.registry import ParamSpec, Scenario, register_scenario
+
+    register_scenario(Scenario(
+        name="my_study",
+        help="one-line description for --help",
+        params=(
+            ParamSpec("seed", int, 2, help="channel realization seed"),
+            ParamSpec("samples", int, 100, help="number of trials"),
+        ),
+        run=lambda seed, samples: run_my_study(seed=seed, samples=samples),
+        render=lambda result: result.render(),
+        smoke_overrides={"samples": 2},
+    ))
+
+The result object must round-trip through :func:`repro.io.result_to_dict` /
+:func:`repro.io.result_from_dict` — register a codec for new result types
+with :func:`repro.io.register_codec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ParamSpec",
+    "Scenario",
+    "ScenarioRegistry",
+    "REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+#: Accepted spellings for boolean parameter values (``--set flag=yes``).
+_TRUE = {"1", "true", "yes", "on"}
+_FALSE = {"0", "false", "no", "off"}
+
+#: Names the generated CLI claims for itself (argparse dests); a parameter
+#: with one of these names would break every subcommand at parser build time.
+RESERVED_PARAM_NAMES = frozenset(
+    {"command", "scenario", "overrides", "json", "out", "global_seed"}
+)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed scenario parameter (becomes a CLI flag and a ``--set`` key)."""
+
+    name: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str = ""
+    choices: Optional[Tuple[Any, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ValueError(f"parameter name {self.name!r} is not an identifier")
+        if self.name in RESERVED_PARAM_NAMES:
+            raise ValueError(
+                f"parameter name {self.name!r} is reserved by the generated CLI"
+            )
+        if self.choices is not None and self.default not in self.choices:
+            raise ValueError(
+                f"{self.name}: default {self.default!r} not in choices {self.choices}"
+            )
+
+    def parse(self, text: str) -> Any:
+        """Parse a command-line string into a validated value."""
+        if self.type is bool:
+            lowered = text.strip().lower()
+            if lowered in _TRUE:
+                return self.validate(True)
+            if lowered in _FALSE:
+                return self.validate(False)
+            raise ValueError(
+                f"{self.name}: expected a boolean "
+                f"({'/'.join(sorted(_TRUE | _FALSE))}), got {text!r}"
+            )
+        try:
+            value = self.type(text)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{self.name}: cannot parse {text!r} as {self.type.__name__}"
+            ) from exc
+        return self.validate(value)
+
+    def validate(self, value: Any) -> Any:
+        """Check an already-typed value against the spec's type and choices."""
+        if self.type is bool:
+            if not isinstance(value, bool):
+                raise ValueError(f"{self.name}: expected bool, got {value!r}")
+        elif self.type is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(f"{self.name}: expected int, got {value!r}")
+        elif self.type is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{self.name}: expected float, got {value!r}")
+            value = float(value)
+        elif self.type is str:
+            if not isinstance(value, str):
+                raise ValueError(f"{self.name}: expected str, got {value!r}")
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"{self.name}: {value!r} not one of {list(self.choices)}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered experiment: parameter spec + run function + renderer."""
+
+    name: str
+    help: str
+    run: Callable[..., Any]
+    render: Callable[[Any], str]
+    params: Tuple[ParamSpec, ...] = ()
+    aliases: Tuple[str, ...] = ()
+    #: Cheap parameter overrides used by smoke tests and CI.
+    smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
+    #: The run function writes its own files when its ``output`` parameter is
+    #: set; the CLI then prints the destination instead of the rendered text.
+    writes_own_output: bool = False
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate parameter names in {names}")
+        unknown = set(self.smoke_overrides) - set(names)
+        if unknown:
+            raise ValueError(f"{self.name}: smoke_overrides for unknown {unknown}")
+
+    def param(self, name: str) -> ParamSpec:
+        for spec in self.params:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"scenario {self.name!r} has no parameter {name!r}")
+
+    @property
+    def param_names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    def bind(self, overrides: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Defaults merged with validated ``overrides``; rejects unknown keys."""
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(self.param_names)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r}: unknown parameter(s) {sorted(unknown)}; "
+                f"valid: {self.param_names}"
+            )
+        bound = {p.name: p.default for p in self.params}
+        for key, value in overrides.items():
+            spec = self.param(key)
+            if isinstance(value, str) and spec.type is not str:
+                value = spec.parse(value)
+            else:
+                value = spec.validate(value)
+            bound[key] = value
+        return bound
+
+    def execute(self, overrides: Optional[Mapping[str, Any]] = None) -> Any:
+        """Bind parameters and invoke the run function."""
+        return self.run(**self.bind(overrides))
+
+
+class ScenarioRegistry:
+    """Name → :class:`Scenario` table with alias resolution."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+        self._aliases: Dict[str, str] = {}
+
+    def register(self, scenario: Scenario) -> Scenario:
+        for name in (scenario.name, *scenario.aliases):
+            if name in self._scenarios or name in self._aliases:
+                raise ValueError(f"scenario name {name!r} already registered")
+        self._scenarios[scenario.name] = scenario
+        for alias in scenario.aliases:
+            self._aliases[alias] = scenario.name
+        return scenario
+
+    def get(self, name: str) -> Scenario:
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._scenarios[canonical]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Canonical scenario names, in registration order."""
+        return list(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios or name in self._aliases
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+#: The process-wide registry the CLI and tests are generated from.
+REGISTRY = ScenarioRegistry()
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register ``scenario`` in the global registry (returns it unchanged)."""
+    return REGISTRY.register(scenario)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by canonical name or alias."""
+    return REGISTRY.get(name)
+
+
+def scenario_names() -> List[str]:
+    """All canonical scenario names."""
+    return REGISTRY.names()

@@ -1,0 +1,390 @@
+"""Built-in scenario definitions: every paper artefact, registered once.
+
+This module is the only place that knows how to wire an experiment module
+into the unified surface.  Each ``register_scenario`` call declares the
+typed parameters (seed included — it is an ordinary per-scenario parameter,
+recorded in every :class:`~repro.api.artifacts.RunRecord`), the run
+function, and the renderer producing the text the CLI prints.
+
+The module-level :data:`SERVICE` is the shared :class:`SolverService`
+instance: scenario runs within one process reuse its fingerprint cache.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.api.artifacts import RunRecord, record_run
+from repro.api.registry import ParamSpec, Scenario, get_scenario, register_scenario
+from repro.api.service import SolverService
+from repro.core.config import paper_config
+
+#: Shared solver front-door; every scenario solve goes through its cache.
+SERVICE = SolverService()
+
+_SEED = ParamSpec("seed", int, 2, help="channel realization seed")
+
+#: Iteration-budget knobs shared by the Stage-1 method comparisons.
+_STAGE1_BUDGETS = (
+    ParamSpec("gd_max_iterations", int, 20000, help="gradient-descent budget"),
+    ParamSpec("sa_max_iterations", int, 4000, help="simulated-annealing budget"),
+    ParamSpec("rs_num_samples", int, 10_000, help="random-search samples"),
+)
+_STAGE1_SMOKE = {
+    "gd_max_iterations": 3000,
+    "sa_max_iterations": 1000,
+    "rs_num_samples": 2000,
+}
+
+
+def run_scenario(
+    name: str,
+    overrides: Optional[Mapping[str, Any]] = None,
+    *,
+    out_dir: Optional[str] = None,
+) -> RunRecord:
+    """Execute a registered scenario and return its :class:`RunRecord`.
+
+    ``out_dir`` additionally persists the record (``record.json`` +
+    ``result.json``) under ``out_dir/<run_id>/``.
+    """
+    scenario = get_scenario(name)
+    params = scenario.bind(overrides)
+    record = record_run(scenario.name, params, scenario.run)
+    if out_dir:
+        record.save(out_dir)
+    return record
+
+
+# -- solve -------------------------------------------------------------------
+
+
+def _run_solve(seed: int):
+    return SERVICE.solve(paper_config(seed=seed))
+
+
+def _render_solve(result) -> str:
+    alloc = result.allocation
+    lines = [
+        f"converged={result.converged} outer={result.outer_iterations} "
+        f"runtime={result.runtime_s:.2f}s",
+        "phi: " + np.array2string(alloc.phi, precision=4),
+        "lam: " + str([int(v) for v in alloc.lam]),
+        "p  : " + np.array2string(alloc.p, precision=4),
+        "b  : " + np.array2string(alloc.b / 1e6, precision=4) + " MHz",
+        "f_c: " + np.array2string(alloc.f_c / 1e9, precision=4) + " GHz",
+        "f_s: " + np.array2string(alloc.f_s / 1e9, precision=4) + " GHz",
+    ]
+    for key, value in result.metrics.summary().items():
+        lines.append(f"{key:>16s}: {value:.6g}")
+    return "\n".join(lines) + "\n"
+
+
+register_scenario(Scenario(
+    name="solve",
+    help="run QuHE on the paper configuration and print the allocation",
+    params=(_SEED,),
+    run=_run_solve,
+    render=_render_solve,
+))
+
+
+# -- tables ------------------------------------------------------------------
+
+
+def _run_tables(seed, gd_max_iterations, sa_max_iterations, rs_num_samples):
+    from repro.experiments.tables import run_stage1_methods
+
+    return run_stage1_methods(
+        paper_config(seed=seed),
+        gd_max_iterations=gd_max_iterations,
+        sa_max_iterations=sa_max_iterations,
+        rs_num_samples=rs_num_samples,
+    )
+
+
+def _render_table(which: str):
+    def render(comparison) -> str:
+        from repro.experiments.tables import render_table_v, render_table_vi
+
+        table = render_table_v if which == "v" else render_table_vi
+        return table(comparison) + "\n"
+
+    return render
+
+
+for _name, _which, _label in (("table5", "v", "V"), ("table6", "vi", "VI")):
+    register_scenario(Scenario(
+        name=_name,
+        help=f"Table {_label}: Stage-1 {'phi' if _which == 'v' else 'w'} per method",
+        params=(_SEED, *_STAGE1_BUDGETS),
+        run=_run_tables,
+        render=_render_table(_which),
+        smoke_overrides=_STAGE1_SMOKE,
+    ))
+
+
+# -- fig3 --------------------------------------------------------------------
+
+
+def _run_fig3(seed, samples, resample_channels, randomize_start):
+    from repro.experiments.fig3_optimality import run_optimality_study
+
+    return run_optimality_study(
+        num_samples=samples,
+        seed=seed,
+        resample_channels=resample_channels,
+        randomize_start=randomize_start,
+    )
+
+
+def _render_fig3(study) -> str:
+    from repro.utils.tables import format_table
+
+    rows = [
+        [f"[{low:g}, {high:g})", count]
+        for (low, high), count in zip(study.bin_edges, study.bin_counts)
+    ]
+    return (
+        f"max {study.maximum:.2f}  min {study.minimum:.2f}  mean {study.mean:.2f}\n"
+        + format_table(["range", "count"], rows, title="Fig. 3(b) histogram")
+        + "\n"
+    )
+
+
+register_scenario(Scenario(
+    name="fig3",
+    help="Fig. 3 optimality study over random initial configurations",
+    params=(
+        _SEED,
+        ParamSpec("samples", int, 20, help="number of random trials"),
+        ParamSpec("resample_channels", bool, True,
+                  help="draw a fresh channel realization per trial"),
+        ParamSpec("randomize_start", bool, True,
+                  help="sample the initial allocation uniformly"),
+    ),
+    run=_run_fig3,
+    render=_render_fig3,
+    smoke_overrides={"samples": 2},
+))
+
+
+# -- fig4 --------------------------------------------------------------------
+
+
+def _run_fig4(seed):
+    from repro.experiments.fig4_convergence import run_convergence
+
+    return run_convergence(paper_config(seed=seed))
+
+
+def _render_fig4(traces) -> str:
+    return (
+        f"stage1 ({traces.stage1_iterations} iters): "
+        + str([round(v, 4) for v in traces.stage1_objective])
+        + f"\nstage2 ({traces.stage2_nodes} nodes): "
+        + str([round(v, 4) for v in traces.stage2_incumbent])
+        + f"\nstage3 ({traces.stage3_iterations} iters): "
+        + str([round(v, 4) for v in traces.stage3_objective])
+        + "\nstage3 gap: "
+        + str([round(v, 6) for v in traces.stage3_gap])
+        + "\n"
+    )
+
+
+register_scenario(Scenario(
+    name="fig4",
+    help="Fig. 4 per-stage convergence traces",
+    params=(_SEED,),
+    run=_run_fig4,
+    render=_render_fig4,
+))
+
+
+# -- fig5 --------------------------------------------------------------------
+
+
+def _run_fig5(seed, gd_max_iterations, sa_max_iterations, rs_num_samples):
+    from repro.experiments.fig5_comparison import run_fig5_bundle
+
+    # Fig. 5(b)/(c) conventionally reuse the Table-V/VI seed-0 comparison.
+    return run_fig5_bundle(
+        paper_config(seed=seed),
+        table_config=paper_config(seed=0),
+        gd_max_iterations=gd_max_iterations,
+        sa_max_iterations=sa_max_iterations,
+        rs_num_samples=rs_num_samples,
+    )
+
+
+register_scenario(Scenario(
+    name="fig5",
+    help="Fig. 5 stage calls, Stage-1 methods, AA/OLAA/OCCR/QuHE comparison",
+    params=(_SEED, *_STAGE1_BUDGETS),
+    run=_run_fig5,
+    render=lambda bundle: bundle.render(),
+    smoke_overrides=_STAGE1_SMOKE,
+))
+
+
+# -- fig6 --------------------------------------------------------------------
+
+
+def _run_fig6(seed, panel, workers):
+    from repro.experiments.fig6_sweeps import PANEL_ORDER, run_panels
+
+    panels = PANEL_ORDER if panel == "all" else (panel,)
+    return run_panels(paper_config(seed=seed), panels=panels, workers=workers)
+
+
+register_scenario(Scenario(
+    name="fig6",
+    help="Fig. 6 resource sweeps (objective vs budget, all four methods)",
+    params=(
+        _SEED,
+        ParamSpec(
+            "panel", str, "all",
+            choices=("bandwidth", "power", "client_cpu", "server_cpu", "all"),
+            help="which sweep panel to run",
+        ),
+        ParamSpec("workers", int, 1,
+                  help="fan sweep points out over N worker processes"),
+    ),
+    run=_run_fig6,
+    render=lambda sweep_set: sweep_set.render(),
+    smoke_overrides={"panel": "server_cpu"},
+))
+
+
+# -- ablations ---------------------------------------------------------------
+
+
+def _run_ablations(seed):
+    from repro.experiments.ablations import run_ablation_suite
+
+    return run_ablation_suite(paper_config(seed=seed))
+
+
+register_scenario(Scenario(
+    name="ablations",
+    help="DESIGN.md §7 ablations: B&B pruning, transform vs direct, weights",
+    params=(_SEED,),
+    run=_run_ablations,
+    render=lambda suite: suite.render(),
+))
+
+
+# -- dynamic -----------------------------------------------------------------
+
+
+def _run_dynamic(seed, epochs):
+    from repro.experiments.dynamic import run_dynamic_study
+
+    return run_dynamic_study(paper_config(seed=seed), num_epochs=epochs, seed=seed)
+
+
+def _render_dynamic(study) -> str:
+    lines = ["epoch  adaptive     static       gain"]
+    for e in study.epochs:
+        lines.append(
+            f"{e.epoch:>5d}  {e.adaptive_objective:>10.4f}  "
+            f"{e.static_objective:>10.4f}  {e.adaptation_gain:>9.4f}"
+        )
+    lines.append(f"mean adaptation gain: {study.mean_adaptation_gain:.4f}")
+    return "\n".join(lines) + "\n"
+
+
+register_scenario(Scenario(
+    name="dynamic",
+    help="block-fading adaptation study (adaptive vs static policy)",
+    params=(_SEED, ParamSpec("epochs", int, 5, help="fading epochs to simulate")),
+    run=_run_dynamic,
+    render=_render_dynamic,
+    smoke_overrides={"epochs": 2},
+))
+
+
+# -- pipeline ----------------------------------------------------------------
+
+
+def _run_pipeline(seed):
+    from repro.core.stage1 import Stage1Solver
+    from repro.pipeline import SecureEdgePipeline
+
+    cfg = paper_config(seed=seed)
+    stage1 = Stage1Solver(cfg).solve()
+    pipeline = SecureEdgePipeline(ckks_ring_degree=64, seed=seed)
+    pipeline.distribute_keys(stage1.phi, stage1.w, duration_s=400.0, min_bytes=32)
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=8)
+    weights = rng.normal(size=8)
+    return pipeline.run_client(
+        client_index=0,
+        features=features,
+        model_weights=weights,
+        model_bias=0.1,
+        bandwidth_hz=cfg.server.total_bandwidth_hz / cfg.num_clients,
+        power_w=float(cfg.max_power[0]),
+        channel_gain=float(cfg.channel_gains[0]),
+        noise_psd=cfg.noise_psd,
+    )
+
+
+def _render_pipeline(report) -> str:
+    return (
+        f"uplink: {report.uplink_bits:.3g} bits, {report.uplink_delay_s:.4f} s, "
+        f"{report.uplink_energy_j:.4g} J\n"
+        f"prediction  : {np.round(report.prediction, 4)}\n"
+        f"reference   : {np.round(report.plaintext_reference, 4)}\n"
+        f"max |error| : {report.max_abs_error:.3e}\n"
+    )
+
+
+register_scenario(Scenario(
+    name="pipeline",
+    help="end-to-end secure inference demo (QKD → transcipher → CKKS)",
+    params=(_SEED,),
+    run=_run_pipeline,
+    render=_render_pipeline,
+))
+
+
+# -- report ------------------------------------------------------------------
+
+
+def _run_report(seed, samples, workers, output):
+    import json
+
+    from repro.experiments.report import collect_report, report_artifacts, render_report
+
+    bundle = collect_report(seed=seed, fig3_samples=samples, workers=workers)
+    if output:
+        out = Path(output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(render_report(bundle))
+        for section, payload in report_artifacts(bundle).items():
+            artifact = out.with_name(f"{out.stem}.{section}.json")
+            artifact.write_text(json.dumps(payload, indent=2) + "\n")
+    return bundle
+
+
+register_scenario(Scenario(
+    name="report",
+    help="run everything, emit a markdown report (+ JSON artifacts with output=)",
+    params=(
+        _SEED,
+        ParamSpec("samples", int, 20, help="Fig. 3 trial count"),
+        ParamSpec("workers", int, 1,
+                  help="worker processes for the embedded Fig. 6 sweeps"),
+        ParamSpec("output", str, "",
+                  help="write markdown here (parents created); JSON artifacts "
+                       "land next to it as <stem>.<section>.json"),
+    ),
+    run=_run_report,
+    render=lambda bundle: bundle.render(),
+    smoke_overrides={"samples": 2},
+    writes_own_output=True,
+))

@@ -1,0 +1,267 @@
+"""`SolverService`: the cached, batched front-door to the QuHE solver.
+
+Every surface (CLI, examples, benchmarks, future RPC layers) goes through
+one object instead of constructing :class:`~repro.core.quhe.QuHE` by hand:
+
+* **config-hash caching** — :func:`config_fingerprint` derives a stable
+  SHA-256 from every constant of a :class:`~repro.core.config.SystemConfig`
+  (nested dataclasses, numpy arrays, and cost-curve callables included), so
+  re-solving an identical configuration returns the cached
+  :class:`~repro.core.quhe.QuHEResult` object without touching the solver;
+* **batching** — :meth:`SolverService.solve_many` fans independent configs
+  out over a process pool (:func:`repro.utils.parallel.parallel_map`),
+  deduplicates identical configs, preserves input order, and produces
+  results identical to the serial loop;
+* **progress callbacks** — ``progress(done, total)`` fires as batch items
+  complete, for long sweeps driven from a UI or logger.
+
+Example::
+
+    from repro.api import SolverService
+    from repro.core.config import paper_config
+
+    service = SolverService()
+    result = service.solve(paper_config(seed=2))      # solved
+    again = service.solve(paper_config(seed=2))       # cache hit, same object
+    sweep = service.solve_many(
+        [paper_config(seed=s) for s in range(8)], workers=4
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import Counter, OrderedDict
+from itertools import accumulate
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.quhe import QuHE, QuHEResult
+from repro.core.solution import Allocation
+from repro.quantum.topology import QKDNetwork
+from repro.utils.parallel import ProgressCallback, parallel_map
+
+__all__ = [
+    "FingerprintError",
+    "SolverService",
+    "config_fingerprint",
+    "canonical_config_dict",
+]
+
+
+class FingerprintError(ValueError):
+    """The configuration contains something with no stable identity.
+
+    Raised for closure/lambda cost curves: their only runtime identity is a
+    memory address, which CPython reuses after garbage collection, so
+    hashing it could silently alias two different configurations.  The
+    service treats such configs as uncacheable instead.
+    """
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert ``value`` into a JSON-stable structure."""
+    if isinstance(value, QKDNetwork):
+        # Not a dataclass (it carries a networkx graph); its identity is
+        # fully determined by links + routes + key centre.
+        return {
+            "__type__": "QKDNetwork",
+            "links": [_canonical(link) for link in value.links],
+            "routes": [_canonical(route) for route in value.routes],
+            "key_center": value.key_center,
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type(value).__qualname__, **fields}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if callable(value):
+        # Cost-model curves: module-level functions have a stable qualified
+        # name.  Closures and lambdas do not — refuse rather than hash a
+        # reusable memory address.
+        module = getattr(value, "__module__", None)
+        qualname = getattr(value, "__qualname__", None)
+        if (
+            module and qualname
+            and "<locals>" not in qualname and "<lambda>" not in qualname
+        ):
+            return f"{module}.{qualname}"
+        raise FingerprintError(
+            f"cannot fingerprint callable {value!r}: closures/lambdas have "
+            "no stable identity (use a module-level function to enable "
+            "result caching)"
+        )
+    return value
+
+
+def canonical_config_dict(config: SystemConfig) -> Dict[str, Any]:
+    """A JSON-ready canonical view of every constant in ``config``."""
+    return _canonical(config)
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable SHA-256 hex digest of a configuration's constants.
+
+    Raises :class:`FingerprintError` when the config holds anything without
+    a stable serializable identity (closures, duck-typed components); the
+    service then solves it uncached instead of crashing.
+    """
+    try:
+        blob = json.dumps(canonical_config_dict(config), sort_keys=True)
+    except TypeError as exc:
+        raise FingerprintError(
+            f"cannot fingerprint config: {exc} (custom component without a "
+            "JSON-stable identity; the solve will run uncached)"
+        ) from exc
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _solve_config(config: SystemConfig) -> QuHEResult:
+    """One full QuHE solve (module-level: picklable for process pools)."""
+    return QuHE(config).solve()
+
+
+class SolverService:
+    """Front-door to QuHE with result caching and batch fan-out."""
+
+    def __init__(self, *, cache_size: int = 64) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[str, QuHEResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def cache_info(self) -> Dict[str, int]:
+        """``{"hits": ..., "misses": ..., "size": ...}`` counters."""
+        return {"hits": self._hits, "misses": self._misses, "size": len(self._cache)}
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _cache_get(self, key: str) -> Optional[QuHEResult]:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+            self._hits += 1
+        else:
+            self._misses += 1
+        return result
+
+    def _cache_put(self, key: str, result: QuHEResult) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        config: SystemConfig,
+        *,
+        initial: Optional[Allocation] = None,
+        use_cache: bool = True,
+    ) -> QuHEResult:
+        """Solve one configuration (cached on the config fingerprint).
+
+        A custom ``initial`` allocation bypasses the cache in both
+        directions: the warm start can change the trajectory, so its result
+        neither reads from nor populates the fingerprint cache.
+        """
+        if initial is not None:
+            return QuHE(config).solve(initial)
+        try:
+            key = config_fingerprint(config)
+        except FingerprintError:
+            return _solve_config(config)
+        if use_cache:
+            cached = self._cache_get(key)
+            if cached is not None:
+                return cached
+        result = _solve_config(config)
+        if use_cache:
+            self._cache_put(key, result)
+        return result
+
+    def solve_many(
+        self,
+        configs: Sequence[SystemConfig],
+        *,
+        workers: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        use_cache: bool = True,
+    ) -> List[QuHEResult]:
+        """Solve a batch of configurations, optionally over ``workers`` processes.
+
+        Results come back in input order and are identical to the serial
+        run.  Fingerprint-identical configs are solved once; cached entries
+        skip the pool entirely.  ``progress(done, total)`` counts *input*
+        configs as their results become available.
+        """
+        keys: List[str] = []
+        cacheable: List[bool] = []
+        for i, cfg in enumerate(configs):
+            try:
+                keys.append(config_fingerprint(cfg))
+                cacheable.append(True)
+            except FingerprintError:
+                # No stable identity: a unique per-index key keeps the item
+                # in the batch but out of the cache and dedup.
+                keys.append(f"__uncacheable_{i}__")
+                cacheable.append(False)
+        total = len(configs)
+        counts = Counter(keys)
+        results: Dict[str, QuHEResult] = {}
+        pending: List[int] = []  # first input index of each unsolved unique key
+        queued = set()
+        for i, key in enumerate(keys):
+            if key in results or key in queued:
+                continue
+            cached = self._cache_get(key) if use_cache and cacheable[i] else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                queued.add(key)
+                pending.append(i)
+        # Cached (and their duplicate) items are "done" before the pool starts.
+        done = sum(counts[key] for key in results)
+        if progress is not None and done:
+            progress(done, total)
+        if pending:
+            # done-count after each completed unique pending solve, duplicates
+            # included, so the final tick reports exactly (total, total).
+            ticks = list(accumulate(counts[keys[i]] for i in pending))
+
+            def _tick(completed: int, _n: int) -> None:
+                if progress is not None:
+                    progress(done + ticks[completed - 1], total)
+
+            solved = parallel_map(
+                _solve_config,
+                [configs[i] for i in pending],
+                workers=workers,
+                progress=_tick,
+            )
+            for i, result in zip(pending, solved):
+                results[keys[i]] = result
+                if use_cache and cacheable[i]:
+                    self._cache_put(keys[i], result)
+        return [results[key] for key in keys]

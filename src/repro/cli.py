@@ -1,230 +1,179 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands
+The CLI is **generated from the scenario registry**
+(:mod:`repro.api.registry`): every registered scenario becomes a subcommand
+whose flags mirror its typed parameter spec, and the uniform ``run``
+subcommand drives any scenario with ``--set key=value`` overrides.  Adding a
+scenario to the registry adds its subcommand, flags and help automatically.
+
+Surfaces
 --------
-``solve``      Run QuHE on the paper configuration and print the allocation.
-``table5``     Regenerate Table V (Stage-1 φ per method).
-``table6``     Regenerate Table VI (Stage-1 w per method).
-``fig3``       Optimality study over random initial configurations.
-``fig4``       Per-stage convergence traces.
-``fig5``       Stage calls, Stage-1 method comparison, AA/OLAA/OCCR/QuHE.
-``fig6``       The four resource sweeps.
-``pipeline``   Run the end-to-end secure-inference demo.
+``repro run <scenario> [--set k=v ...] [--json] [--out DIR]``
+    Run any registered scenario.  ``--json`` prints the versioned
+    :mod:`repro.io` payload instead of the rendered text; ``--out DIR``
+    writes a :class:`~repro.api.artifacts.RunRecord` (params + seed +
+    result + timings) under ``DIR/<run_id>/``.
+``repro list``
+    Show every scenario with its parameters and defaults.
+``repro <scenario> [--<param> value ...]``
+    Direct subcommands (``solve``, ``table5``, ``table6``, ``fig3``-``fig6``,
+    ``ablations``, ``dynamic``, ``pipeline``, ``report``), kept for
+    compatibility — ``python -m repro fig6 --panel bandwidth`` still works.
 
 Examples::
 
     python -m repro solve --seed 2
-    python -m repro fig6 --panel bandwidth --seed 2
-    python -m repro fig3 --samples 100
+    python -m repro run fig6 --set panel=bandwidth --set workers=4 --json
+    python -m repro run fig3 --set samples=100 --out runs/
+    python -m repro report --samples 20 --output out/report.md
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-import numpy as np
+_RUN_HELP = "run any registered scenario by name (see 'repro list')"
+
+
+def _flag(name: str) -> str:
+    return "--" + name.replace("_", "-")
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the versioned JSON payload instead of rendered text",
+    )
+    parser.add_argument(
+        "--out", type=str, default="",
+        help="write a RunRecord (record.json + result.json) under this directory",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.api import REGISTRY
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QuHE reproduction: secure QKD+HE edge computing experiments",
     )
+    # dest avoids colliding with the per-scenario --seed flags, whose
+    # SUPPRESS defaults could not override an attribute the top-level parser
+    # already set (scenarios would then see seed=None instead of their default).
     parser.add_argument(
-        "--seed", type=int, default=2, help="channel realization seed (default 2)"
+        "--seed", dest="global_seed", type=int, default=None,
+        help="override the scenario's seed parameter (compatibility alias for "
+             "--set seed=N / the per-scenario --seed flag)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("solve", help="run QuHE and print the optimal allocation")
-    sub.add_parser("table5", help="Table V: Stage-1 phi per method")
-    sub.add_parser("table6", help="Table VI: Stage-1 w per method")
-
-    fig3 = sub.add_parser("fig3", help="Fig. 3 optimality study")
-    fig3.add_argument("--samples", type=int, default=20)
-
-    sub.add_parser("fig4", help="Fig. 4 convergence traces")
-    sub.add_parser("fig5", help="Fig. 5 comparisons")
-
-    fig6 = sub.add_parser("fig6", help="Fig. 6 resource sweeps")
-    fig6.add_argument(
-        "--panel",
-        choices=["bandwidth", "power", "client_cpu", "server_cpu", "all"],
-        default="all",
+    run = sub.add_parser("run", help=_RUN_HELP)
+    run.add_argument("scenario", choices=[s.name for s in REGISTRY],
+                     help="scenario name")
+    run.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="KEY=VALUE", help="override a scenario parameter (repeatable)",
     )
-    fig6.add_argument(
-        "--workers", type=int, default=1,
-        help="fan independent sweep points out over N worker processes",
-    )
+    _add_output_options(run)
 
-    sub.add_parser("pipeline", help="end-to-end secure inference demo")
+    sub.add_parser("list", help="list registered scenarios and their parameters")
 
-    report = sub.add_parser("report", help="run everything, emit a markdown report")
-    report.add_argument("--output", type=str, default="", help="write to file instead of stdout")
-    report.add_argument("--samples", type=int, default=20, help="Fig. 3 trial count")
-    report.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the embedded Fig. 6 sweeps",
-    )
+    for scenario in REGISTRY:
+        direct = sub.add_parser(
+            scenario.name, aliases=list(scenario.aliases), help=scenario.help
+        )
+        for spec in scenario.params:
+            direct.add_argument(
+                _flag(spec.name),
+                dest=spec.name,
+                type=spec.parse,
+                default=argparse.SUPPRESS,
+                choices=spec.choices,
+                help=f"{spec.help} (default: {spec.default!r})",
+            )
+        _add_output_options(direct)
     return parser
 
 
-def _cmd_solve(seed: int) -> None:
-    from repro import QuHE, paper_config
-
-    result = QuHE(paper_config(seed=seed)).solve()
-    alloc = result.allocation
-    print(f"converged={result.converged} outer={result.outer_iterations} "
-          f"runtime={result.runtime_s:.2f}s")
-    print("phi:", np.array2string(alloc.phi, precision=4))
-    print("lam:", [int(v) for v in alloc.lam])
-    print("p  :", np.array2string(alloc.p, precision=4))
-    print("b  :", np.array2string(alloc.b / 1e6, precision=4), "MHz")
-    print("f_c:", np.array2string(alloc.f_c / 1e9, precision=4), "GHz")
-    print("f_s:", np.array2string(alloc.f_s / 1e9, precision=4), "GHz")
-    for key, value in result.metrics.summary().items():
-        print(f"{key:>16s}: {value:.6g}")
+def _parse_set_overrides(scenario, pairs: List[str]) -> Dict[str, Any]:
+    """``--set key=value`` strings → typed parameter overrides."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        overrides[key] = scenario.param(key).parse(value)
+    return overrides
 
 
-def _cmd_tables(seed: int, which: str) -> None:
-    from repro import paper_config
-    from repro.experiments.tables import (
-        render_table_v,
-        render_table_vi,
-        run_stage1_methods,
-    )
+def _render_scenario_list() -> str:
+    from repro.api import REGISTRY
 
-    comparison = run_stage1_methods(paper_config(seed=seed))
-    print(render_table_v(comparison) if which == "v" else render_table_vi(comparison))
-
-
-def _cmd_fig3(seed: int, samples: int) -> None:
-    from repro.experiments.fig3_optimality import run_optimality_study
-    from repro.utils.tables import format_table
-
-    study = run_optimality_study(num_samples=samples, seed=seed)
-    print(f"max {study.maximum:.2f}  min {study.minimum:.2f}  mean {study.mean:.2f}")
-    rows = [
-        [f"[{low:g}, {high:g})", count]
-        for (low, high), count in zip(study.bin_edges, study.bin_counts)
-    ]
-    print(format_table(["range", "count"], rows, title="Fig. 3(b) histogram"))
-
-
-def _cmd_fig4(seed: int) -> None:
-    from repro import paper_config
-    from repro.experiments.fig4_convergence import run_convergence
-
-    traces = run_convergence(paper_config(seed=seed))
-    print(f"stage1 ({traces.stage1_iterations} iters):",
-          [round(v, 4) for v in traces.stage1_objective])
-    print(f"stage2 ({traces.stage2_nodes} nodes):",
-          [round(v, 4) for v in traces.stage2_incumbent])
-    print(f"stage3 ({traces.stage3_iterations} iters):",
-          [round(v, 4) for v in traces.stage3_objective])
-    print("stage3 gap:", [round(v, 6) for v in traces.stage3_gap])
-
-
-def _cmd_fig5(seed: int) -> None:
-    from repro import paper_config
-    from repro.experiments.fig5_comparison import (
-        run_method_comparison,
-        run_stage_call_report,
-    )
-    from repro.experiments.tables import run_stage1_methods
-    from repro.utils.tables import format_table
-
-    cfg = paper_config(seed=seed)
-    report = run_stage_call_report(cfg)
-    print(f"Fig 5(a): S1={report.stage1_calls} S2={report.stage2_calls} "
-          f"S3={report.stage3_calls} runtime={report.runtime_s:.3f}s")
-    comparison = run_stage1_methods(paper_config(seed=0))
-    rows = [
-        [name, f"{res.value:.4f}", f"{res.runtime_s:.4f}"]
-        for name, res in comparison.results.items()
-    ]
-    print(format_table(["method", "P2 value", "runtime (s)"], rows,
-                       title="Fig. 5(b)/(c): Stage-1 methods"))
-    print(run_method_comparison(cfg).render())
-
-
-def _cmd_fig6(seed: int, panel: str, workers: int = 1) -> None:
-    from repro import paper_config
-    from repro.core.stage1 import Stage1Solver
-    from repro.experiments.fig6_sweeps import sweep
-
-    cfg = paper_config(seed=seed)
-    panels = ["bandwidth", "power", "client_cpu", "server_cpu"] if panel == "all" else [panel]
-    stage1 = Stage1Solver(cfg).solve()
-    for name in panels:
-        series = sweep(name, cfg, stage1_result=stage1, workers=workers)
-        print(series.render())
-        print("winners:", series.best_method_per_point())
-        print()
-
-
-def _cmd_pipeline(seed: int) -> None:
-    from repro import SecureEdgePipeline, Stage1Solver, paper_config
-
-    cfg = paper_config(seed=seed)
-    stage1 = Stage1Solver(cfg).solve()
-    pipeline = SecureEdgePipeline(ckks_ring_degree=64, seed=seed)
-    pipeline.distribute_keys(stage1.phi, stage1.w, duration_s=400.0, min_bytes=32)
-    rng = np.random.default_rng(seed)
-    features = rng.normal(size=8)
-    weights = rng.normal(size=8)
-    report = pipeline.run_client(
-        client_index=0,
-        features=features,
-        model_weights=weights,
-        model_bias=0.1,
-        bandwidth_hz=cfg.server.total_bandwidth_hz / cfg.num_clients,
-        power_w=float(cfg.max_power[0]),
-        channel_gain=float(cfg.channel_gains[0]),
-        noise_psd=cfg.noise_psd,
-    )
-    print(f"uplink: {report.uplink_bits:.3g} bits, {report.uplink_delay_s:.4f} s, "
-          f"{report.uplink_energy_j:.4g} J")
-    print("prediction  :", np.round(report.prediction, 4))
-    print("reference   :", np.round(report.plaintext_reference, 4))
-    print(f"max |error| : {report.max_abs_error:.3e}")
+    lines = []
+    for scenario in REGISTRY:
+        names = scenario.name
+        if scenario.aliases:
+            names += f" ({', '.join(scenario.aliases)})"
+        lines.append(f"{names}: {scenario.help}")
+        for spec in scenario.params:
+            choice = f" choices={list(spec.choices)}" if spec.choices else ""
+            lines.append(
+                f"    --set {spec.name}=<{spec.type.__name__}>  "
+                f"default={spec.default!r}{choice}  {spec.help}"
+            )
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.command == "solve":
-        _cmd_solve(args.seed)
-    elif args.command == "table5":
-        _cmd_tables(args.seed, "v")
-    elif args.command == "table6":
-        _cmd_tables(args.seed, "vi")
-    elif args.command == "fig3":
-        _cmd_fig3(args.seed, args.samples)
-    elif args.command == "fig4":
-        _cmd_fig4(args.seed)
-    elif args.command == "fig5":
-        _cmd_fig5(args.seed)
-    elif args.command == "fig6":
-        _cmd_fig6(args.seed, args.panel, args.workers)
-    elif args.command == "pipeline":
-        _cmd_pipeline(args.seed)
-    elif args.command == "report":
-        from repro.experiments.report import generate_report
+    parser = _build_parser()
+    args = parser.parse_args(argv)
 
-        text = generate_report(
-            seed=args.seed, fig3_samples=args.samples, workers=args.workers
-        )
-        if args.output:
-            from pathlib import Path
+    if args.command == "list":
+        print(_render_scenario_list(), end="")
+        return 0
 
-            Path(args.output).write_text(text)
-            print(f"report written to {args.output}")
-        else:
-            print(text)
-    else:  # pragma: no cover - argparse enforces the choices
-        return 2
+    from repro.api import get_scenario, run_scenario
+
+    if args.command == "run":
+        name = args.scenario
+        scenario = get_scenario(name)
+        try:
+            overrides = _parse_set_overrides(scenario, args.overrides)
+        except (KeyError, ValueError) as exc:
+            parser.error(str(exc))
+    else:
+        name = args.command
+        scenario = get_scenario(name)
+        overrides = {
+            spec.name: getattr(args, spec.name)
+            for spec in scenario.params
+            if hasattr(args, spec.name)
+        }
+    if args.global_seed is not None and "seed" not in overrides and any(
+        spec.name == "seed" for spec in scenario.params
+    ):
+        overrides["seed"] = args.global_seed
+
+    try:
+        scenario.bind(overrides)  # surface parameter errors as usage errors
+    except ValueError as exc:
+        parser.error(str(exc))
+    # Execution errors are real failures, not usage mistakes: let them
+    # propagate with their traceback instead of an argparse usage banner.
+    record = run_scenario(name, overrides)
+
+    if args.json:
+        print(json.dumps(record.result_payload(), indent=2))
+    elif scenario.writes_own_output and record.params.get("output"):
+        print(f"report written to {record.params['output']}")
+    else:
+        print(scenario.render(record.result), end="")
+    if args.out:
+        print(f"run record written to {record.save(args.out)}", file=sys.stderr)
     return 0
 
 

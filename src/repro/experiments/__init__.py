@@ -12,9 +12,21 @@ Each module mirrors one artefact:
   Stage-1 method comparison, AA/OLAA/OCCR/QuHE comparison).
 * :mod:`repro.experiments.fig6_sweeps` — Fig. 6 (objective vs B_total,
   p_max, f_c^max, f_total for all four methods).
+* :mod:`repro.experiments.ablations` / :mod:`repro.experiments.dynamic` —
+  the beyond-the-paper studies (DESIGN.md §7, block-fading adaptation).
+* :mod:`repro.experiments.report` — the one-shot markdown report bundling
+  everything above.
 
-All entry points return plain dataclasses of rows so that the pytest-benchmark
-suite (``benchmarks/``) can both time them and print the paper-shaped tables.
+Every entry point returns a result dataclass with a registered
+:mod:`repro.io` codec, so results round-trip through JSON
+(``result_to_dict``/``result_from_dict``) with a ``format_version``.  The
+preferred way to *run* an experiment is the scenario registry
+(:mod:`repro.api`): ``run_scenario("fig6", {"panel": "bandwidth"})`` — or
+``repro run fig6 --set panel=bandwidth`` from the command line — executes
+the same functions and wraps the outcome in a
+:class:`~repro.api.artifacts.RunRecord`.  The pytest-benchmark suite
+(``benchmarks/``) both times these entry points and prints the paper-shaped
+tables.
 
 ``DEFAULT_SEED = 2`` selects a representative channel realization (all six
 Rayleigh draws within normal range); seed 0 contains a deep fade on client 6
@@ -30,47 +42,65 @@ from repro.experiments.tables import (
 from repro.experiments.fig3_optimality import OptimalityStudy, run_optimality_study
 from repro.experiments.fig4_convergence import ConvergenceTraces, run_convergence
 from repro.experiments.fig5_comparison import (
+    Fig5Bundle,
     MethodComparison,
     StageCallReport,
+    run_fig5_bundle,
     run_method_comparison,
     run_stage_call_report,
 )
-from repro.experiments.fig6_sweeps import SweepSeries, sweep
+from repro.experiments.fig6_sweeps import SweepSeries, SweepSet, run_panels, sweep
 from repro.experiments.ablations import (
+    AblationSuite,
     bnb_vs_exhaustive,
     log_convexification_ablation,
     msl_activation_threshold,
+    run_ablation_suite,
     transform_vs_direct,
     weight_sensitivity,
 )
 from repro.experiments.dynamic import DynamicStudy, EpochResult, run_dynamic_study
-from repro.experiments.report import generate_report
+from repro.experiments.report import (
+    ReportBundle,
+    collect_report,
+    generate_report,
+    render_report,
+    report_artifacts,
+)
 
 DEFAULT_SEED = 2
 
 __all__ = [
+    "AblationSuite",
     "ConvergenceTraces",
     "DEFAULT_SEED",
+    "DynamicStudy",
+    "EpochResult",
+    "Fig5Bundle",
     "MethodComparison",
     "OptimalityStudy",
+    "ReportBundle",
     "Stage1MethodComparison",
     "StageCallReport",
     "SweepSeries",
+    "SweepSet",
+    "bnb_vs_exhaustive",
+    "collect_report",
+    "generate_report",
+    "log_convexification_ablation",
+    "msl_activation_threshold",
+    "render_report",
+    "report_artifacts",
+    "run_ablation_suite",
     "run_convergence",
+    "run_dynamic_study",
+    "run_fig5_bundle",
     "run_method_comparison",
     "run_optimality_study",
+    "run_panels",
     "run_stage1_methods",
     "run_stage_call_report",
     "sweep",
     "table_v_rows",
     "table_vi_rows",
-    "bnb_vs_exhaustive",
-    "generate_report",
-    "log_convexification_ablation",
-    "msl_activation_threshold",
-    "run_dynamic_study",
-    "transform_vs_direct",
-    "weight_sensitivity",
-    "DynamicStudy",
-    "EpochResult",
 ]

@@ -134,6 +134,59 @@ def msl_activation_threshold(points: Sequence[WeightPoint]) -> float:
 
 
 @dataclass(frozen=True)
+class AblationSuite:
+    """All DESIGN.md §7 ablations in one result (the ``ablations`` scenario)."""
+
+    bnb: BnbAblation
+    transform: TransformAblation
+    weights: List[WeightPoint]
+    activation_threshold: float
+    convexification: "ConvexificationAblation"
+
+    def render(self) -> str:
+        lines = [
+            f"Stage-2 B&B: {self.bnb.bnb_nodes} nodes vs "
+            f"{self.bnb.exhaustive_nodes} exhaustive "
+            f"({self.bnb.node_savings:.0%} saved), identical argmax: "
+            f"{self.bnb.identical_argmax}",
+            f"Stage-3 transform vs direct: {self.transform.transform_value:.6f} "
+            f"vs {self.transform.direct_value:.6f} "
+            f"(relative gap {self.transform.relative_gap:.2e})",
+            "alpha_msl sweep (lambda profile / U_msl / energy):",
+        ]
+        for point in self.weights:
+            lines.append(
+                f"  alpha={point.alpha_msl:g}: lam={[int(v) for v in point.lam]} "
+                f"u_msl={point.u_msl:.3f} energy={point.total_energy:.1f} "
+                f"objective={point.objective:.4f}"
+            )
+        lines.append(f"MSL activation threshold: {self.activation_threshold:g}")
+        lines.append(
+            f"Stage-1 convexification: log-space {self.convexification.log_space_value:.6f} "
+            f"vs raw-space {self.convexification.raw_space_value:.6f} "
+            f"(raw converged: {self.convexification.raw_space_converged})"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def run_ablation_suite(
+    config: SystemConfig,
+    *,
+    alpha_msl_values: Sequence[float] = (0.01, 0.05, 0.1),
+) -> AblationSuite:
+    """Run every ablation on ``config`` (from QuHE's own starting point)."""
+    alloc = QuHE(config).initial_allocation()
+    points = weight_sensitivity(config, alpha_msl_values=alpha_msl_values)
+    return AblationSuite(
+        bnb=bnb_vs_exhaustive(config, alloc),
+        transform=transform_vs_direct(config, alloc),
+        weights=points,
+        activation_threshold=msl_activation_threshold(points),
+        convexification=log_convexification_ablation(config),
+    )
+
+
+@dataclass(frozen=True)
 class ConvexificationAblation:
     """Stage-1 with vs without the ϕ = ln φ substitution."""
 

@@ -88,6 +88,64 @@ def run_stage_call_report(config: SystemConfig) -> StageCallReport:
     )
 
 
+@dataclass(frozen=True)
+class Fig5Bundle:
+    """All of Fig. 5 in one result (the ``fig5`` scenario result).
+
+    ``stage1_methods`` reuses the Table-V/VI comparison (Fig. 5(b)/(c) plot
+    exactly those runtimes and objective values, conventionally at seed 0).
+    """
+
+    stage_calls: StageCallReport
+    stage1_methods: "Stage1MethodComparison"
+    methods: MethodComparison
+
+    def render(self) -> str:
+        from repro.utils.tables import format_table
+
+        lines = [
+            f"Fig 5(a): S1={self.stage_calls.stage1_calls} "
+            f"S2={self.stage_calls.stage2_calls} "
+            f"S3={self.stage_calls.stage3_calls} "
+            f"runtime={self.stage_calls.runtime_s:.3f}s"
+        ]
+        rows = [
+            [name, f"{res.value:.4f}", f"{res.runtime_s:.4f}"]
+            for name, res in self.stage1_methods.results.items()
+        ]
+        lines.append(
+            format_table(
+                ["method", "P2 value", "runtime (s)"], rows,
+                title="Fig. 5(b)/(c): Stage-1 methods",
+            )
+        )
+        lines.append(self.methods.render())
+        return "\n".join(lines) + "\n"
+
+
+def run_fig5_bundle(
+    config: SystemConfig,
+    *,
+    table_config: Optional[SystemConfig] = None,
+    gd_max_iterations: int = 20000,
+    sa_max_iterations: int = 4000,
+    rs_num_samples: int = 10_000,
+) -> Fig5Bundle:
+    """Run every Fig.-5 panel: stage calls, Stage-1 methods, method bars."""
+    from repro.experiments.tables import run_stage1_methods
+
+    return Fig5Bundle(
+        stage_calls=run_stage_call_report(config),
+        stage1_methods=run_stage1_methods(
+            table_config if table_config is not None else config,
+            gd_max_iterations=gd_max_iterations,
+            sa_max_iterations=sa_max_iterations,
+            rs_num_samples=rs_num_samples,
+        ),
+        methods=run_method_comparison(config),
+    )
+
+
 def run_method_comparison(
     config: SystemConfig,
     *,

@@ -13,14 +13,13 @@ computed once and shared (exactly the paper's "optimal U_qkd from Stage 1"
 convention).
 
 Sweep points are independent, so :func:`sweep` accepts ``workers=N`` to fan
-them out over a :class:`concurrent.futures.ProcessPoolExecutor` (the CLI
-exposes this as ``python -m repro fig6 --workers N``).
+them out over :func:`repro.utils.parallel.parallel_map` (the CLI exposes
+this as ``repro run fig6 --set workers=N``); :func:`run_panels` bundles the
+four panels into one :class:`SweepSet` result for the scenario registry.
 """
 
 from __future__ import annotations
 
-import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -30,7 +29,11 @@ from repro.core.baselines import average_allocation, occr_baseline, olaa_baselin
 from repro.core.config import SystemConfig
 from repro.core.quhe import QuHE
 from repro.core.stage1 import Stage1Result, Stage1Solver
+from repro.utils.parallel import parallel_map
 from repro.utils.tables import format_table
+
+#: Canonical panel order of Fig. 6(a)-(d).
+PANEL_ORDER = ("bandwidth", "power", "client_cpu", "server_cpu")
 
 #: Paper sweep grids (panel → x values).
 PAPER_SWEEPS: Dict[str, np.ndarray] = {
@@ -109,18 +112,40 @@ def sweep(
     )
     s1 = stage1_result or Stage1Solver(config).solve()
     tasks = [(parameter, float(v), config, s1) for v in grid]
-    per_point = None
-    if workers is not None and workers > 1 and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-                per_point = list(pool.map(_solve_point, tasks))
-        except (pickle.PicklingError, AttributeError, TypeError):
-            # Custom configs with closure/lambda cost curves cannot cross a
-            # process boundary — degrade to the (identical-result) serial run.
-            per_point = None
-    if per_point is None:
-        per_point = [_solve_point(t) for t in tasks]
+    per_point = parallel_map(_solve_point, tasks, workers=workers)
     objectives: Dict[str, List[float]] = {
         m: [point[m] for point in per_point] for m in ("AA", "OLAA", "OCCR", "QuHE")
     }
     return SweepSeries(parameter=parameter, x_values=grid, objectives=objectives)
+
+
+@dataclass(frozen=True)
+class SweepSet:
+    """A bundle of Fig.-6 panels (the ``fig6`` scenario result)."""
+
+    panels: Dict[str, SweepSeries]
+
+    def render(self) -> str:
+        blocks = []
+        for series in self.panels.values():
+            blocks.append(series.render())
+            blocks.append("winners: " + str(series.best_method_per_point()))
+            blocks.append("")
+        return "\n".join(blocks).rstrip() + "\n"
+
+
+def run_panels(
+    config: SystemConfig,
+    *,
+    panels: Sequence[str] = PANEL_ORDER,
+    workers: Optional[int] = None,
+    stage1_result: Optional[Stage1Result] = None,
+) -> SweepSet:
+    """Run the requested Fig.-6 panels with one shared Stage-1 solution."""
+    s1 = stage1_result or Stage1Solver(config).solve()
+    return SweepSet(
+        panels={
+            name: sweep(name, config, stage1_result=s1, workers=workers)
+            for name in panels
+        }
+    )

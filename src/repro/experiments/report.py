@@ -1,45 +1,92 @@
-"""One-shot markdown report: run every experiment, emit a summary document.
+"""One-shot report: run every experiment, keep the data, render markdown.
 
 ``python -m repro report`` (or :func:`generate_report`) reruns the headline
 experiments and renders a self-contained markdown summary — the live
 counterpart of the static EXPERIMENTS.md.
+
+The run is split so nothing is print-only anymore:
+
+* :func:`collect_report` runs the battery once and returns a
+  :class:`ReportBundle` holding every underlying result object,
+* :func:`render_report` turns a bundle into the markdown document,
+* :func:`report_artifacts` turns the same bundle into machine-readable JSON
+  payloads (one per section, via the :mod:`repro.io` codecs) that the CLI
+  writes next to the markdown file.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.config import SystemConfig, paper_config
-from repro.core.stage1 import Stage1Solver
-from repro.experiments.fig3_optimality import run_optimality_study
-from repro.experiments.fig4_convergence import run_convergence
-from repro.experiments.fig5_comparison import run_method_comparison, run_stage_call_report
-from repro.experiments.fig6_sweeps import sweep
+from repro.experiments.fig3_optimality import OptimalityStudy, run_optimality_study
+from repro.experiments.fig4_convergence import ConvergenceTraces, run_convergence
+from repro.experiments.fig5_comparison import (
+    MethodComparison,
+    StageCallReport,
+    run_method_comparison,
+    run_stage_call_report,
+)
+from repro.experiments.fig6_sweeps import SweepSet, run_panels
 from repro.experiments.tables import (
+    Stage1MethodComparison,
     render_table_v,
     render_table_vi,
     run_stage1_methods,
 )
 
 
-def generate_report(
+@dataclass(frozen=True)
+class ReportBundle:
+    """Every result object behind the markdown report (``report`` scenario)."""
+
+    seed: int
+    fig3_samples: int
+    stage1_methods: Stage1MethodComparison
+    optimality: OptimalityStudy
+    convergence: ConvergenceTraces
+    stage_calls: StageCallReport
+    methods: MethodComparison
+    sweeps: SweepSet
+
+    def render(self) -> str:
+        return render_report(self)
+
+
+def collect_report(
     *,
     seed: int = 2,
     fig3_samples: int = 20,
     config: Optional[SystemConfig] = None,
     workers: int = 1,
-) -> str:
-    """Run the full experiment battery and return a markdown report."""
-    out = io.StringIO()
+) -> ReportBundle:
+    """Run the full experiment battery and return the result bundle."""
     cfg = config or paper_config(seed=seed)
     table_cfg = paper_config(seed=0)
+    return ReportBundle(
+        seed=seed,
+        fig3_samples=fig3_samples,
+        stage1_methods=run_stage1_methods(table_cfg),
+        optimality=run_optimality_study(num_samples=fig3_samples, seed=seed),
+        convergence=run_convergence(cfg),
+        stage_calls=run_stage_call_report(cfg),
+        methods=run_method_comparison(cfg),
+        sweeps=run_panels(cfg, workers=workers),
+    )
+
+
+def render_report(bundle: ReportBundle) -> str:
+    """Render a collected bundle as the markdown report."""
+    out = io.StringIO()
+    seed = bundle.seed
 
     print("# QuHE reproduction report", file=out)
     print(f"\nChannel seed: {seed} (tables use seed 0, matching EXPERIMENTS.md)\n", file=out)
 
     print("## Tables V and VI (Stage 1)\n", file=out)
-    comparison = run_stage1_methods(table_cfg)
+    comparison = bundle.stage1_methods
     print("```", file=out)
     print(render_table_v(comparison), file=out)
     print(file=out)
@@ -54,16 +101,17 @@ def generate_report(
         print(f"| {name} | {values[name]:.4f} | {runtimes[name]:.4f} |", file=out)
 
     print("\n## Fig. 3: optimality study\n", file=out)
-    study = run_optimality_study(num_samples=fig3_samples, seed=seed)
+    study = bundle.optimality
     print(
-        f"{fig3_samples} trials: max {study.maximum:.2f}, min {study.minimum:.2f}, "
-        f"mean {study.mean:.2f}; {study.fraction_near_best(5.0):.0%} within 5 of "
-        f"best, {study.fraction_near_best(10.0):.0%} within 10.",
+        f"{bundle.fig3_samples} trials: max {study.maximum:.2f}, min "
+        f"{study.minimum:.2f}, mean {study.mean:.2f}; "
+        f"{study.fraction_near_best(5.0):.0%} within 5 of best, "
+        f"{study.fraction_near_best(10.0):.0%} within 10.",
         file=out,
     )
 
     print("\n## Fig. 4: convergence\n", file=out)
-    traces = run_convergence(cfg)
+    traces = bundle.convergence
     print(
         f"Stage 1: {traces.stage1_iterations} iterations to "
         f"{traces.stage1_objective[-1]:.4f}; Stage 2: {traces.stage2_nodes} "
@@ -73,7 +121,7 @@ def generate_report(
     )
 
     print("\n## Fig. 5(a): stage calls\n", file=out)
-    report = run_stage_call_report(cfg)
+    report = bundle.stage_calls
     print(
         f"S1={report.stage1_calls}, S2={report.stage2_calls}, "
         f"S3={report.stage3_calls}, runtime {report.runtime_s:.3f} s.",
@@ -81,10 +129,9 @@ def generate_report(
     )
 
     print("\n## Fig. 5(d): method comparison (alpha_msl = 0.1 ablation)\n", file=out)
-    methods = run_method_comparison(cfg)
     print("| method | energy (J) | delay (s) | U_msl | objective |", file=out)
     print("|---|---|---|---|---|", file=out)
-    for row in methods.rows:
+    for row in bundle.methods.rows:
         print(
             f"| {row.method} | {row.energy_j:.1f} | {row.delay_s:.1f} | "
             f"{row.u_msl:.1f} | {row.objective:.3f} |",
@@ -92,10 +139,37 @@ def generate_report(
         )
 
     print("\n## Fig. 6: sweeps (winners per point)\n", file=out)
-    stage1 = Stage1Solver(cfg).solve()
-    for parameter in ("bandwidth", "power", "client_cpu", "server_cpu"):
-        series = sweep(parameter, cfg, stage1_result=stage1, workers=workers)
+    for parameter, series in bundle.sweeps.panels.items():
         winners = ", ".join(series.best_method_per_point())
         print(f"* {parameter}: {winners}", file=out)
 
     return out.getvalue()
+
+
+def report_artifacts(bundle: ReportBundle) -> Dict[str, Dict]:
+    """Section name → JSON-ready payload for every figure behind the report."""
+    from repro.io import result_to_dict
+
+    return {
+        "tables": result_to_dict(bundle.stage1_methods),
+        "fig3": result_to_dict(bundle.optimality),
+        "fig4": result_to_dict(bundle.convergence),
+        "fig5_stage_calls": result_to_dict(bundle.stage_calls),
+        "fig5_methods": result_to_dict(bundle.methods),
+        "fig6": result_to_dict(bundle.sweeps),
+    }
+
+
+def generate_report(
+    *,
+    seed: int = 2,
+    fig3_samples: int = 20,
+    config: Optional[SystemConfig] = None,
+    workers: int = 1,
+) -> str:
+    """Run the full experiment battery and return a markdown report."""
+    return render_report(
+        collect_report(
+            seed=seed, fig3_samples=fig3_samples, config=config, workers=workers
+        )
+    )

@@ -8,7 +8,7 @@ the resulting rate vector φ (Table V) and Werner vector w (Table VI).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.stage1 import Stage1Result, Stage1Solver

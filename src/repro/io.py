@@ -1,15 +1,33 @@
-"""JSON (de)serialization for allocations and experiment results.
+"""JSON (de)serialization for allocations and every experiment result.
 
-A downstream user wants to solve once, persist the allocation, and replay or
+A downstream user wants to solve once, persist the result, and replay or
 audit it later; the experiment harness wants machine-readable outputs next
 to the printed tables.  Formats are plain JSON with explicit versioning.
+
+Two layers:
+
+* the original allocation/metrics helpers (:func:`allocation_to_dict`,
+  :func:`save_allocation`, …), kept verbatim for compatibility;
+* a **codec registry** covering every scenario result type.  Each registered
+  codec owns a ``kind`` tag and a ``format_version``;
+  :func:`result_to_dict` dispatches on the object's type and
+  :func:`result_from_dict` on the payload's ``kind``, so any registered
+  experiment result — :class:`~repro.core.quhe.QuHEResult`, a Fig.-6
+  :class:`~repro.experiments.fig6_sweeps.SweepSet`, a full
+  :class:`~repro.experiments.report.ReportBundle` — round-trips losslessly::
+
+      payload = result_to_dict(QuHE(cfg).solve())
+      restored = result_from_dict(payload)        # a QuHEResult again
+
+  New scenario result types plug in with :func:`register_codec`.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Type, Union
 
 import numpy as np
 
@@ -82,6 +100,24 @@ def metrics_to_dict(metrics: Metrics) -> Dict:
     }
 
 
+def metrics_from_dict(data: Dict) -> Metrics:
+    """Inverse of :func:`metrics_to_dict`."""
+    per_node = data["per_node"]
+    return Metrics(
+        u_qkd=float(data["u_qkd"]),
+        u_msl=float(data["u_msl"]),
+        enc_delay=np.asarray(per_node["enc_delay"], dtype=float),
+        tr_delay=np.asarray(per_node["tr_delay"], dtype=float),
+        cmp_delay=np.asarray(per_node["cmp_delay"], dtype=float),
+        enc_energy=np.asarray(per_node["enc_energy"], dtype=float),
+        tr_energy=np.asarray(per_node["tr_energy"], dtype=float),
+        cmp_energy=np.asarray(per_node["cmp_energy"], dtype=float),
+        total_delay=float(data["total_delay_s"]),
+        total_energy=float(data["total_energy_j"]),
+        objective=float(data["objective"]),
+    )
+
+
 def save_allocation(alloc: Allocation, path: PathLike, *, metrics: Optional[Metrics] = None) -> None:
     """Write an allocation (and optionally its metrics) to a JSON file."""
     payload: Dict = {"allocation": allocation_to_dict(alloc)}
@@ -96,3 +132,527 @@ def load_allocation(path: PathLike) -> Allocation:
     if "allocation" not in payload:
         raise ValueError(f"{path}: no 'allocation' object in file")
     return allocation_from_dict(payload["allocation"])
+
+
+# ---------------------------------------------------------------------------
+# Codec registry: one versioned schema per experiment result type.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResultCodec:
+    """Serialization rules for one result type."""
+
+    kind: str
+    cls: Type
+    encode: Callable[[Any], Dict]
+    decode: Callable[[Dict], Any]
+    version: int = 1
+
+
+_CODECS_BY_KIND: Dict[str, ResultCodec] = {}
+_CODECS_BY_TYPE: Dict[Type, ResultCodec] = {}
+_BUILTINS_REGISTERED = False
+
+
+def register_codec(
+    kind: str,
+    cls: Type,
+    encode: Callable[[Any], Dict],
+    decode: Callable[[Dict], Any],
+    *,
+    version: int = 1,
+) -> ResultCodec:
+    """Register a (de)serializer for ``cls`` under the ``kind`` tag.
+
+    ``encode`` returns the body fields only; ``kind`` and ``format_version``
+    are stamped on by :func:`result_to_dict`.  ``decode`` receives the full
+    payload (version already validated) and returns an instance of ``cls``.
+    """
+    if kind in _CODECS_BY_KIND:
+        raise ValueError(f"codec kind {kind!r} already registered")
+    if cls in _CODECS_BY_TYPE:
+        raise ValueError(f"codec for type {cls.__name__} already registered")
+    codec = ResultCodec(kind=kind, cls=cls, encode=encode, decode=decode, version=version)
+    _CODECS_BY_KIND[kind] = codec
+    _CODECS_BY_TYPE[cls] = codec
+    return codec
+
+
+def registered_kinds() -> List[str]:
+    """All codec kinds (built-ins registered on demand)."""
+    _ensure_builtin_codecs()
+    return sorted(_CODECS_BY_KIND)
+
+
+def result_to_dict(obj: Any) -> Dict:
+    """Serialize any registered result object to a JSON-ready payload."""
+    _ensure_builtin_codecs()
+    codec = _CODECS_BY_TYPE.get(type(obj))
+    if codec is None:
+        raise TypeError(
+            f"no codec registered for {type(obj).__name__}; "
+            f"known kinds: {registered_kinds()}"
+        )
+    payload = codec.encode(obj)
+    payload["kind"] = codec.kind
+    payload["format_version"] = codec.version
+    return payload
+
+
+def result_from_dict(data: Dict) -> Any:
+    """Inverse of :func:`result_to_dict`, dispatching on ``kind``."""
+    _ensure_builtin_codecs()
+    kind = data.get("kind")
+    codec = _CODECS_BY_KIND.get(kind)
+    if codec is None:
+        raise ValueError(
+            f"unknown result kind {kind!r}; known kinds: {registered_kinds()}"
+        )
+    version = data.get("format_version")
+    if version != codec.version:
+        raise ValueError(
+            f"{kind}: unsupported format version {version!r} "
+            f"(supported: {codec.version})"
+        )
+    return codec.decode(data)
+
+
+def save_result(obj: Any, path: PathLike) -> Path:
+    """Write any registered result object to a JSON file."""
+    out = Path(path)
+    out.write_text(json.dumps(result_to_dict(obj), indent=2) + "\n")
+    return out
+
+
+def load_result(path: PathLike) -> Any:
+    """Read back a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _floats(values) -> List[float]:
+    return [float(v) for v in values]
+
+
+# -- built-in codecs ---------------------------------------------------------
+#
+# Registered lazily on first use: the experiment modules import solvers
+# (scipy etc.) and some of them import repro.io themselves, so eager
+# registration at module import time would create cycles.
+
+
+def _ensure_builtin_codecs() -> None:
+    global _BUILTINS_REGISTERED
+    if _BUILTINS_REGISTERED:
+        return
+    before = set(_CODECS_BY_KIND)
+    try:
+        _register_builtin_codecs()
+    except BaseException:
+        # Roll back this call's partial registrations so the next caller
+        # retries from a clean slate and sees the real import error, not a
+        # misleading "no codec registered" message.
+        for kind in set(_CODECS_BY_KIND) - before:
+            codec = _CODECS_BY_KIND.pop(kind)
+            _CODECS_BY_TYPE.pop(codec.cls, None)
+        raise
+    _BUILTINS_REGISTERED = True
+
+
+def _register_builtin_codecs() -> None:
+    from repro.core.quhe import QuHEResult
+    from repro.core.stage1 import Stage1Result
+    from repro.core.stage2 import Stage2Result
+    from repro.core.stage3 import Stage3Result
+    from repro.experiments.ablations import (
+        AblationSuite,
+        BnbAblation,
+        ConvexificationAblation,
+        TransformAblation,
+        WeightPoint,
+    )
+    from repro.experiments.dynamic import DynamicStudy, EpochResult
+    from repro.experiments.fig3_optimality import OptimalityStudy
+    from repro.experiments.fig4_convergence import ConvergenceTraces
+    from repro.experiments.fig5_comparison import (
+        Fig5Bundle,
+        MethodComparison,
+        MethodRow,
+        StageCallReport,
+    )
+    from repro.experiments.fig6_sweeps import SweepSeries, SweepSet
+    from repro.experiments.report import ReportBundle
+    from repro.experiments.tables import Stage1MethodComparison
+    from repro.pipeline import PipelineReport
+
+    register_codec(
+        "allocation",
+        Allocation,
+        lambda a: {k: v for k, v in allocation_to_dict(a).items()
+                   if k not in ("kind", "format_version")},
+        allocation_from_dict,
+    )
+    register_codec(
+        "metrics",
+        Metrics,
+        lambda m: {k: v for k, v in metrics_to_dict(m).items()
+                   if k not in ("kind", "format_version")},
+        metrics_from_dict,
+    )
+
+    register_codec(
+        "stage1_result",
+        Stage1Result,
+        lambda r: {
+            "phi": r.phi.tolist(),
+            "w": r.w.tolist(),
+            "value": float(r.value),
+            "iterations": int(r.iterations),
+            "runtime_s": float(r.runtime_s),
+            "history": _floats(r.history),
+            "converged": bool(r.converged),
+        },
+        lambda d: Stage1Result(
+            phi=np.asarray(d["phi"], dtype=float),
+            w=np.asarray(d["w"], dtype=float),
+            value=d["value"],
+            iterations=d["iterations"],
+            runtime_s=d["runtime_s"],
+            history=list(d["history"]),
+            converged=d["converged"],
+        ),
+    )
+    register_codec(
+        "stage2_result",
+        Stage2Result,
+        lambda r: {
+            "lam": [int(v) for v in r.lam],
+            "T": float(r.T),
+            "value": float(r.value),
+            "nodes_explored": int(r.nodes_explored),
+            "runtime_s": float(r.runtime_s),
+            "history": _floats(r.history),
+        },
+        lambda d: Stage2Result(
+            lam=np.asarray(d["lam"], dtype=float),
+            T=d["T"],
+            value=d["value"],
+            nodes_explored=d["nodes_explored"],
+            runtime_s=d["runtime_s"],
+            history=list(d["history"]),
+        ),
+    )
+    register_codec(
+        "stage3_result",
+        Stage3Result,
+        lambda r: {
+            "p": r.p.tolist(),
+            "b": r.b.tolist(),
+            "f_c": r.f_c.tolist(),
+            "f_s": r.f_s.tolist(),
+            "T": float(r.T),
+            "value": float(r.value),
+            "outer_iterations": int(r.outer_iterations),
+            "runtime_s": float(r.runtime_s),
+            "history": _floats(r.history),
+            "transform_gap": _floats(r.transform_gap),
+        },
+        lambda d: Stage3Result(
+            p=np.asarray(d["p"], dtype=float),
+            b=np.asarray(d["b"], dtype=float),
+            f_c=np.asarray(d["f_c"], dtype=float),
+            f_s=np.asarray(d["f_s"], dtype=float),
+            T=d["T"],
+            value=d["value"],
+            outer_iterations=d["outer_iterations"],
+            runtime_s=d["runtime_s"],
+            history=list(d["history"]),
+            transform_gap=list(d["transform_gap"]),
+        ),
+    )
+    register_codec(
+        "quhe_result",
+        QuHEResult,
+        lambda r: {
+            "allocation": allocation_to_dict(r.allocation),
+            "metrics": metrics_to_dict(r.metrics),
+            "objective_history": _floats(r.objective_history),
+            "stage1": result_to_dict(r.stage1),
+            "stage2": result_to_dict(r.stage2),
+            "stage3": result_to_dict(r.stage3),
+            "stage1_calls": int(r.stage1_calls),
+            "stage2_calls": int(r.stage2_calls),
+            "stage3_calls": int(r.stage3_calls),
+            "outer_iterations": int(r.outer_iterations),
+            "runtime_s": float(r.runtime_s),
+            "converged": bool(r.converged),
+        },
+        lambda d: QuHEResult(
+            allocation=allocation_from_dict(d["allocation"]),
+            metrics=metrics_from_dict(d["metrics"]),
+            objective_history=list(d["objective_history"]),
+            stage1=result_from_dict(d["stage1"]),
+            stage2=result_from_dict(d["stage2"]),
+            stage3=result_from_dict(d["stage3"]),
+            stage1_calls=d["stage1_calls"],
+            stage2_calls=d["stage2_calls"],
+            stage3_calls=d["stage3_calls"],
+            outer_iterations=d["outer_iterations"],
+            runtime_s=d["runtime_s"],
+            converged=d["converged"],
+        ),
+    )
+
+    register_codec(
+        "stage1_method_comparison",
+        Stage1MethodComparison,
+        lambda c: {
+            "results": {name: result_to_dict(res) for name, res in c.results.items()}
+        },
+        lambda d: Stage1MethodComparison(
+            results={name: result_from_dict(res) for name, res in d["results"].items()}
+        ),
+    )
+    register_codec(
+        "optimality_study",
+        OptimalityStudy,
+        lambda s: {
+            "values": s.values.tolist(),
+            "bin_edges": [[float(lo), float(hi)] for lo, hi in s.bin_edges],
+            "bin_counts": [int(c) for c in s.bin_counts],
+        },
+        lambda d: OptimalityStudy(
+            values=np.asarray(d["values"], dtype=float),
+            bin_edges=tuple((lo, hi) for lo, hi in d["bin_edges"]),
+            bin_counts=list(d["bin_counts"]),
+        ),
+    )
+    register_codec(
+        "convergence_traces",
+        ConvergenceTraces,
+        lambda t: {
+            "stage1_objective": _floats(t.stage1_objective),
+            "stage2_incumbent": _floats(t.stage2_incumbent),
+            "stage3_objective": _floats(t.stage3_objective),
+            "stage3_gap": _floats(t.stage3_gap),
+            "stage1_iterations": int(t.stage1_iterations),
+            "stage2_nodes": int(t.stage2_nodes),
+            "stage3_iterations": int(t.stage3_iterations),
+            "outer_iterations": int(t.outer_iterations),
+            "total_runtime_s": float(t.total_runtime_s),
+        },
+        lambda d: ConvergenceTraces(
+            stage1_objective=list(d["stage1_objective"]),
+            stage2_incumbent=list(d["stage2_incumbent"]),
+            stage3_objective=list(d["stage3_objective"]),
+            stage3_gap=list(d["stage3_gap"]),
+            stage1_iterations=d["stage1_iterations"],
+            stage2_nodes=d["stage2_nodes"],
+            stage3_iterations=d["stage3_iterations"],
+            outer_iterations=d["outer_iterations"],
+            total_runtime_s=d["total_runtime_s"],
+        ),
+    )
+    register_codec(
+        "stage_call_report",
+        StageCallReport,
+        lambda r: {
+            "stage1_calls": int(r.stage1_calls),
+            "stage2_calls": int(r.stage2_calls),
+            "stage3_calls": int(r.stage3_calls),
+            "runtime_s": float(r.runtime_s),
+        },
+        lambda d: StageCallReport(
+            stage1_calls=d["stage1_calls"],
+            stage2_calls=d["stage2_calls"],
+            stage3_calls=d["stage3_calls"],
+            runtime_s=d["runtime_s"],
+        ),
+    )
+    register_codec(
+        "method_comparison",
+        MethodComparison,
+        lambda c: {
+            "rows": [
+                {
+                    "method": r.method,
+                    "energy_j": float(r.energy_j),
+                    "delay_s": float(r.delay_s),
+                    "u_msl": float(r.u_msl),
+                    "objective": float(r.objective),
+                }
+                for r in c.rows
+            ]
+        },
+        lambda d: MethodComparison(rows=[MethodRow(**row) for row in d["rows"]]),
+    )
+    register_codec(
+        "fig5_bundle",
+        Fig5Bundle,
+        lambda b: {
+            "stage_calls": result_to_dict(b.stage_calls),
+            "stage1_methods": result_to_dict(b.stage1_methods),
+            "methods": result_to_dict(b.methods),
+        },
+        lambda d: Fig5Bundle(
+            stage_calls=result_from_dict(d["stage_calls"]),
+            stage1_methods=result_from_dict(d["stage1_methods"]),
+            methods=result_from_dict(d["methods"]),
+        ),
+    )
+    register_codec(
+        "sweep_series",
+        SweepSeries,
+        lambda s: {
+            "parameter": s.parameter,
+            "x_values": s.x_values.tolist(),
+            "objectives": {m: _floats(v) for m, v in s.objectives.items()},
+        },
+        lambda d: SweepSeries(
+            parameter=d["parameter"],
+            x_values=np.asarray(d["x_values"], dtype=float),
+            objectives={m: list(v) for m, v in d["objectives"].items()},
+        ),
+    )
+    register_codec(
+        "sweep_set",
+        SweepSet,
+        lambda s: {
+            "panels": {name: result_to_dict(series) for name, series in s.panels.items()}
+        },
+        lambda d: SweepSet(
+            panels={
+                name: result_from_dict(series) for name, series in d["panels"].items()
+            }
+        ),
+    )
+    register_codec(
+        "ablation_suite",
+        AblationSuite,
+        lambda s: {
+            "bnb": {
+                "bnb_value": float(s.bnb.bnb_value),
+                "exhaustive_value": float(s.bnb.exhaustive_value),
+                "bnb_nodes": int(s.bnb.bnb_nodes),
+                "exhaustive_nodes": int(s.bnb.exhaustive_nodes),
+                "identical_argmax": bool(s.bnb.identical_argmax),
+            },
+            "transform": {
+                "transform_value": float(s.transform.transform_value),
+                "direct_value": float(s.transform.direct_value),
+                "transform_runtime_s": float(s.transform.transform_runtime_s),
+                "direct_runtime_s": float(s.transform.direct_runtime_s),
+            },
+            "weights": [
+                {
+                    "alpha_msl": float(p.alpha_msl),
+                    "lam": [int(v) for v in p.lam],
+                    "u_msl": float(p.u_msl),
+                    "total_energy": float(p.total_energy),
+                    "objective": float(p.objective),
+                }
+                for p in s.weights
+            ],
+            "activation_threshold": float(s.activation_threshold),
+            "convexification": {
+                "log_space_value": float(s.convexification.log_space_value),
+                "raw_space_value": float(s.convexification.raw_space_value),
+                "raw_space_converged": bool(s.convexification.raw_space_converged),
+            },
+        },
+        lambda d: AblationSuite(
+            bnb=BnbAblation(**d["bnb"]),
+            transform=TransformAblation(**d["transform"]),
+            weights=[
+                WeightPoint(
+                    alpha_msl=p["alpha_msl"],
+                    lam=np.asarray(p["lam"], dtype=float),
+                    u_msl=p["u_msl"],
+                    total_energy=p["total_energy"],
+                    objective=p["objective"],
+                )
+                for p in d["weights"]
+            ],
+            activation_threshold=d["activation_threshold"],
+            convexification=ConvexificationAblation(**d["convexification"]),
+        ),
+    )
+    register_codec(
+        "dynamic_study",
+        DynamicStudy,
+        lambda s: {
+            "epochs": [
+                {
+                    "epoch": int(e.epoch),
+                    "gains": e.gains.tolist(),
+                    "adaptive_objective": float(e.adaptive_objective),
+                    "static_objective": float(e.static_objective),
+                }
+                for e in s.epochs
+            ],
+            "baseline_allocation": allocation_to_dict(s.baseline_allocation),
+        },
+        lambda d: DynamicStudy(
+            epochs=[
+                EpochResult(
+                    epoch=e["epoch"],
+                    gains=np.asarray(e["gains"], dtype=float),
+                    adaptive_objective=e["adaptive_objective"],
+                    static_objective=e["static_objective"],
+                )
+                for e in d["epochs"]
+            ],
+            baseline_allocation=allocation_from_dict(d["baseline_allocation"]),
+        ),
+    )
+    register_codec(
+        "pipeline_report",
+        PipelineReport,
+        lambda r: {
+            "client_index": int(r.client_index),
+            "qkd_key_bytes": int(r.qkd_key_bytes),
+            "uplink_bits": float(r.uplink_bits),
+            "uplink_delay_s": float(r.uplink_delay_s),
+            "uplink_energy_j": float(r.uplink_energy_j),
+            "prediction": np.asarray(r.prediction, dtype=float).tolist(),
+            "plaintext_reference": np.asarray(
+                r.plaintext_reference, dtype=float
+            ).tolist(),
+        },
+        lambda d: PipelineReport(
+            client_index=d["client_index"],
+            qkd_key_bytes=d["qkd_key_bytes"],
+            uplink_bits=d["uplink_bits"],
+            uplink_delay_s=d["uplink_delay_s"],
+            uplink_energy_j=d["uplink_energy_j"],
+            prediction=np.asarray(d["prediction"], dtype=float),
+            plaintext_reference=np.asarray(d["plaintext_reference"], dtype=float),
+        ),
+    )
+    register_codec(
+        "report_bundle",
+        ReportBundle,
+        lambda b: {
+            "seed": int(b.seed),
+            "fig3_samples": int(b.fig3_samples),
+            "stage1_methods": result_to_dict(b.stage1_methods),
+            "optimality": result_to_dict(b.optimality),
+            "convergence": result_to_dict(b.convergence),
+            "stage_calls": result_to_dict(b.stage_calls),
+            "methods": result_to_dict(b.methods),
+            "sweeps": result_to_dict(b.sweeps),
+        },
+        lambda d: ReportBundle(
+            seed=d["seed"],
+            fig3_samples=d["fig3_samples"],
+            stage1_methods=result_from_dict(d["stage1_methods"]),
+            optimality=result_from_dict(d["optimality"]),
+            convergence=result_from_dict(d["convergence"]),
+            stage_calls=result_from_dict(d["stage_calls"]),
+            methods=result_from_dict(d["methods"]),
+            sweeps=result_from_dict(d["sweeps"]),
+        ),
+    )

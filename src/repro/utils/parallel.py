@@ -1,0 +1,77 @@
+"""Ordered process-pool fan-out with graceful serial fallback.
+
+One helper, :func:`parallel_map`, generalizes the ``--workers`` plumbing
+that used to live inside the Fig.-6 sweep: independent work items are
+distributed over a :class:`~concurrent.futures.ProcessPoolExecutor` and
+results come back in submission order, identical to the serial loop.
+
+Whether the pool can be used at all is decided *up front* by test-pickling
+the function and items: anything that cannot cross a process boundary
+(closures, lambdas, locally-defined cost curves) runs serially from the
+start — no pool work is thrown away, no item executes twice, and genuine
+exceptions raised by ``fn`` propagate once instead of being mistaken for
+transport failures.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Progress callback signature: ``progress(done, total)`` after each item.
+ProgressCallback = Callable[[int, int], None]
+
+
+def _crosses_process_boundary(fn, items) -> bool:
+    """True when ``fn`` and every item can be pickled for a worker process.
+
+    Probing every item costs one extra pickle pass — microseconds per item,
+    against the tens of milliseconds each pooled work item takes — and buys
+    all-or-nothing semantics: the pool either runs the whole batch or is
+    never started, so no partial pool work is discarded and exceptions from
+    ``fn`` are never mistaken for transport failures.
+    """
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(list(items))
+        return True
+    except Exception:
+        return False
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally over a process pool.
+
+    ``workers`` of ``None``/``0``/``1`` (or a single item) runs serially,
+    as does anything that cannot be pickled across a process boundary.
+    Pool results are returned in the order of ``items`` and are identical
+    to the serial run.  ``progress`` is invoked as ``progress(done, total)``
+    after each completed item (in order).
+    """
+    total = len(items)
+    results: List[R] = []
+    if (
+        workers is not None and workers > 1 and total > 1
+        and _crosses_process_boundary(fn, items)
+    ):
+        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+            for result in pool.map(fn, items):
+                results.append(result)
+                if progress is not None:
+                    progress(len(results), total)
+        return results
+    for item in items:
+        results.append(fn(item))
+        if progress is not None:
+            progress(len(results), total)
+    return results

@@ -1,0 +1,28 @@
+"""Shared fixtures for the repro.api test suite.
+
+Scenario executions are expensive (each is a real experiment), so one
+session-scoped cache hands the same result object to every test that needs
+scenario ``name`` — always run with the scenario's ``smoke_overrides`` so
+the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import get_scenario
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="session")
+def scenario_result():
+    """``scenario_result(name)`` → cached smoke-parameter run of ``name``."""
+
+    def run(name: str):
+        if name not in _RESULTS:
+            scenario = get_scenario(name)
+            _RESULTS[name] = scenario.execute(scenario.smoke_overrides)
+        return _RESULTS[name]
+
+    return run

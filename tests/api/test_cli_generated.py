@@ -1,0 +1,120 @@
+"""Smoke tests for the registry-generated CLI surface.
+
+One smoke test per generated subcommand (plus the ``run``/``list``
+umbrella commands, ``--json`` payloads and ``--out`` artifacts).  The
+``report`` subcommand is exercised end-to-end in
+``tests/experiments/test_report.py`` and skipped here to avoid rerunning
+the full battery.
+"""
+
+import json
+
+import pytest
+
+from repro.api import REGISTRY, get_scenario
+from repro.cli import main
+
+#: Scenarios smoked here; report's CLI path is covered by test_report.py.
+SMOKED = [name for name in (s.name for s in REGISTRY) if name != "report"]
+
+
+def _smoke_args(name):
+    scenario = get_scenario(name)
+    args = ["run", name]
+    for key, value in scenario.smoke_overrides.items():
+        args += ["--set", f"{key}={value}"]
+    return args
+
+
+class TestGeneratedSubcommands:
+    """Direct subcommands exist for every scenario with flags per parameter."""
+
+    @pytest.mark.parametrize("name", SMOKED)
+    def test_subcommand_smoke(self, name, capsys):
+        scenario = get_scenario(name)
+        args = [name]
+        for key, value in scenario.smoke_overrides.items():
+            args += [f"--{key.replace('_', '-')}", str(value)]
+        assert main(args) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_flags_are_typed(self, capsys):
+        assert main(["fig3", "--samples", "2", "--seed", "1"]) == 0
+        assert "histogram" in capsys.readouterr().out
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--panel", "nonsense"])
+
+
+class TestRunUmbrella:
+    # Light scenarios only: the per-subcommand smoke above already runs all.
+    @pytest.mark.parametrize("name", ["solve", "fig3", "fig4", "dynamic", "pipeline"])
+    def test_run_json_smoke(self, name, capsys):
+        assert main(_smoke_args(name) + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format_version"] == 1
+        assert payload["kind"]
+
+    def test_unknown_set_key_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "solve", "--set", "bogus=1"])
+
+    def test_malformed_set_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "solve", "--set", "no-equals-sign"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonsense"])
+
+    def test_out_writes_run_record(self, tmp_path, capsys):
+        assert main(
+            ["run", "fig3", "--set", "samples=2", "--out", str(tmp_path)]
+        ) == 0
+        records = list(tmp_path.glob("*/record.json"))
+        assert len(records) == 1
+        data = json.loads(records[0].read_text())
+        assert data["scenario"] == "fig3"
+        assert data["params"]["samples"] == 2
+        assert data["seed"] == 2
+        assert data["result"]["kind"] == "optimality_study"
+
+
+class TestSeedPlumbing:
+    def test_subcommand_without_seed_uses_scenario_default(self, capsys):
+        """No --seed anywhere → the scenario default (2), deterministically."""
+        assert main(["fig3", "--samples", "2", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["fig3", "--samples", "2", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert main(["fig3", "--samples", "2", "--seed", "2", "--json"]) == 0
+        explicit = json.loads(capsys.readouterr().out)
+        assert first == second == explicit
+
+    def test_global_seed_alias_still_works(self, capsys):
+        """``repro --seed 5 fig3`` behaves like ``--set seed=5``."""
+        assert main(["--seed", "1", "run", "fig3", "--set", "samples=2",
+                     "--json"]) == 0
+        aliased = json.loads(capsys.readouterr().out)
+        assert main(["run", "fig3", "--set", "samples=2", "--set", "seed=1",
+                     "--json"]) == 0
+        explicit = json.loads(capsys.readouterr().out)
+        assert aliased == explicit
+
+    def test_per_scenario_seed_wins_over_global(self, capsys):
+        assert main(["--seed", "4", "fig3", "--samples", "2", "--seed", "1",
+                     "--json"]) == 0
+        per_scenario = json.loads(capsys.readouterr().out)
+        assert main(["fig3", "--samples", "2", "--seed", "1", "--json"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert per_scenario == reference
+
+
+class TestList:
+    def test_lists_every_scenario_and_params(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for scenario in REGISTRY:
+            assert scenario.name in out
+        assert "--set panel=" in out

@@ -1,0 +1,184 @@
+"""Tests for SolverService: fingerprinting, caching, batching, artifacts."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import RunRecord, SolverService, config_fingerprint, run_scenario
+from repro.api.service import FingerprintError
+from repro.compute.cost_models import CostModel, f_eval_paper
+from repro.core.config import paper_config
+from repro.utils.parallel import parallel_map
+
+
+def _closure_cost_config(seed=2):
+    """A config whose cost curve is a local closure (no stable identity)."""
+    def eval_cycles(lam):
+        return f_eval_paper(lam)
+
+    base = paper_config(seed=seed)
+    return dataclasses.replace(
+        base, cost_model=dataclasses.replace(base.cost_model, eval_cycles=eval_cycles)
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_identical_configs(self):
+        assert config_fingerprint(paper_config(seed=3)) == config_fingerprint(
+            paper_config(seed=3)
+        )
+
+    def test_differs_across_seeds(self):
+        assert config_fingerprint(paper_config(seed=3)) != config_fingerprint(
+            paper_config(seed=4)
+        )
+
+    def test_sensitive_to_modified_budgets(self, typical_cfg):
+        modified = typical_cfg.with_total_bandwidth(2e7)
+        assert config_fingerprint(typical_cfg) != config_fingerprint(modified)
+
+    def test_closure_cost_curve_refused(self):
+        """Closures have no stable identity — never hash a memory address."""
+        with pytest.raises(FingerprintError, match="no stable identity"):
+            config_fingerprint(_closure_cost_config())
+
+    def test_unserializable_component_raises_fingerprint_error(self):
+        """Duck-typed components degrade to FingerprintError, not TypeError."""
+        class Duck:
+            pass
+
+        with pytest.raises(FingerprintError, match="uncached"):
+            config_fingerprint(Duck())
+
+
+class TestCache:
+    def test_cache_hit_returns_identical_object(self, typical_cfg):
+        service = SolverService()
+        first = service.solve(typical_cfg)
+        second = service.solve(typical_cfg)
+        assert second is first
+        info = service.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_equivalent_config_instance_hits(self):
+        """A freshly built but identical config hits the same cache entry."""
+        service = SolverService()
+        first = service.solve(paper_config(seed=2))
+        second = service.solve(paper_config(seed=2))
+        assert second is first
+
+    def test_warm_start_bypasses_cache(self, typical_cfg):
+        service = SolverService()
+        baseline = service.solve(typical_cfg)
+        warm = service.solve(typical_cfg, initial=baseline.allocation)
+        assert warm is not baseline
+        assert service.cache_info()["size"] == 1
+
+    def test_unfingerprintable_config_solved_without_caching(self):
+        service = SolverService()
+        cfg = _closure_cost_config()
+        result = service.solve(cfg)
+        assert result.converged
+        assert service.cache_info()["size"] == 0
+        assert service.solve(cfg) is not result  # re-solved, never cached
+
+    def test_solve_many_mixes_cacheable_and_uncacheable(self):
+        service = SolverService()
+        configs = [paper_config(seed=2), _closure_cost_config(), paper_config(seed=2)]
+        results = service.solve_many(configs)
+        assert results[0] is results[2]  # deduplicated via fingerprint
+        assert service.cache_info()["size"] == 1  # closure config not cached
+        assert results[1].objective == pytest.approx(results[0].objective, rel=1e-6)
+
+    def test_lru_eviction(self):
+        service = SolverService(cache_size=1)
+        service.solve(paper_config(seed=2))
+        service.solve(paper_config(seed=3))
+        assert service.cache_info()["size"] == 1
+        # seed-2 was evicted: solving it again is a miss.
+        before = service.cache_info()["misses"]
+        service.solve(paper_config(seed=2))
+        assert service.cache_info()["misses"] == before + 1
+
+
+class TestSolveMany:
+    @pytest.fixture(scope="class")
+    def configs(self):
+        return [paper_config(seed=s) for s in (2, 3, 2)]
+
+    def test_parallel_identical_to_serial(self, configs):
+        serial = SolverService().solve_many(configs, workers=1)
+        pooled = SolverService().solve_many(configs, workers=2)
+        for a, b in zip(serial, pooled):
+            assert a.objective == pytest.approx(b.objective, rel=1e-12)
+            assert np.allclose(a.allocation.phi, b.allocation.phi)
+            assert np.allclose(a.allocation.b, b.allocation.b)
+
+    def test_duplicates_solved_once_and_shared(self, configs):
+        service = SolverService()
+        results = service.solve_many(configs)
+        assert results[0] is results[2]
+        assert service.cache_info()["size"] == 2
+
+    def test_cached_entries_skip_solving(self, configs):
+        service = SolverService()
+        first = service.solve(configs[0])
+        results = service.solve_many(configs)
+        assert results[0] is first
+
+    def test_progress_reaches_total(self, configs):
+        ticks = []
+        SolverService().solve_many(
+            configs, progress=lambda done, total: ticks.append((done, total))
+        )
+        assert ticks[-1] == (len(configs), len(configs))
+        done_values = [d for d, _ in ticks]
+        assert done_values == sorted(done_values)
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        assert parallel_map(str, [3, 1, 2], workers=2) == ["3", "1", "2"]
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        offset = 10
+        result = parallel_map(lambda x: x + offset, [1, 2, 3], workers=2)
+        assert result == [11, 12, 13]
+
+    def test_progress_serial(self):
+        ticks = []
+        parallel_map(str, [1, 2], progress=lambda d, t: ticks.append((d, t)))
+        assert ticks == [(1, 2), (2, 2)]
+
+
+class TestRunRecords:
+    def test_record_contains_params_seed_result_timings(self, tmp_path):
+        record = run_scenario("fig3", {"samples": 2, "seed": 1})
+        assert record.scenario == "fig3"
+        assert record.seed == 1
+        assert record.params["samples"] == 2
+        assert record.runtime_s > 0
+        payload = record.to_dict()
+        assert payload["result"]["kind"] == "optimality_study"
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        record = run_scenario("fig3", {"samples": 2, "seed": 1})
+        target = record.save(tmp_path)
+        assert (target / "record.json").exists()
+        assert (target / "result.json").exists()
+        loaded = RunRecord.load(target)
+        assert loaded.scenario == record.scenario
+        assert loaded.params == record.params
+        assert np.allclose(loaded.result.values, record.result.values)
+
+    def test_out_dir_plumbing(self, tmp_path):
+        record = run_scenario("fig3", {"samples": 2}, out_dir=str(tmp_path))
+        assert (tmp_path / record.run_id / "record.json").exists()
+
+    def test_identical_runs_get_distinct_run_ids(self, tmp_path):
+        """Same scenario + params within one second must not overwrite."""
+        first = run_scenario("fig3", {"samples": 2}, out_dir=str(tmp_path))
+        second = run_scenario("fig3", {"samples": 2}, out_dir=str(tmp_path))
+        assert first.run_id != second.run_id
+        assert len(list(tmp_path.glob("*/record.json"))) == 2

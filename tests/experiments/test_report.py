@@ -35,10 +35,26 @@ class TestReport:
         assert "server_cpu:" in report_text
 
     def test_cli_report_to_file(self, tmp_path, capsys):
+        """--output creates parent dirs and emits JSON artifacts alongside."""
+        import json
+
         from repro.cli import main
 
-        out_file = tmp_path / "report.md"
+        out_file = tmp_path / "nested" / "dir" / "report.md"
         assert main(["--seed", "2", "report", "--samples", "2",
                      "--output", str(out_file)]) == 0
         assert out_file.exists()
         assert "QuHE reproduction report" in out_file.read_text()
+        for section, kind in (
+            ("tables", "stage1_method_comparison"),
+            ("fig3", "optimality_study"),
+            ("fig4", "convergence_traces"),
+            ("fig5_stage_calls", "stage_call_report"),
+            ("fig5_methods", "method_comparison"),
+            ("fig6", "sweep_set"),
+        ):
+            artifact = out_file.with_name(f"report.{section}.json")
+            assert artifact.exists(), section
+            payload = json.loads(artifact.read_text())
+            assert payload["kind"] == kind
+            assert payload["format_version"] == 1

@@ -10,8 +10,14 @@ from repro.io import (
     allocation_from_dict,
     allocation_to_dict,
     load_allocation,
+    load_result,
+    metrics_from_dict,
     metrics_to_dict,
+    registered_kinds,
+    result_from_dict,
+    result_to_dict,
     save_allocation,
+    save_result,
 )
 
 
@@ -53,6 +59,56 @@ class TestAllocationRoundtrip:
     def test_lam_serialized_as_ints(self, quhe_result):
         data = allocation_to_dict(quhe_result.allocation)
         assert all(isinstance(v, int) for v in data["lam"])
+
+
+class TestResultCodecs:
+    """The generic codec layer added for the scenario registry."""
+
+    def test_every_experiment_kind_registered(self):
+        kinds = registered_kinds()
+        for expected in (
+            "allocation", "metrics", "quhe_result", "stage1_result",
+            "stage1_method_comparison", "optimality_study",
+            "convergence_traces", "stage_call_report", "method_comparison",
+            "fig5_bundle", "sweep_series", "sweep_set", "ablation_suite",
+            "dynamic_study", "pipeline_report", "report_bundle",
+        ):
+            assert expected in kinds
+
+    def test_metrics_roundtrip(self, quhe_result):
+        payload = result_to_dict(quhe_result.metrics)
+        restored = result_from_dict(payload)
+        assert restored.objective == pytest.approx(quhe_result.metrics.objective)
+        assert np.allclose(restored.tr_delay, quhe_result.metrics.tr_delay)
+
+    def test_quhe_result_roundtrip(self, quhe_result):
+        payload = result_to_dict(quhe_result)
+        assert payload["kind"] == "quhe_result"
+        restored = result_from_dict(payload)
+        assert restored.objective == pytest.approx(quhe_result.objective)
+        assert restored.converged == quhe_result.converged
+        assert restored.stage2.nodes_explored == quhe_result.stage2.nodes_explored
+        assert np.allclose(restored.stage1.phi, quhe_result.stage1.phi)
+        assert result_to_dict(restored) == payload
+
+    def test_file_roundtrip(self, quhe_result, tmp_path):
+        path = save_result(quhe_result, tmp_path / "result.json")
+        restored = load_result(path)
+        assert restored.objective == pytest.approx(quhe_result.objective)
+
+    def test_unregistered_type_rejected(self):
+        with pytest.raises(TypeError, match="no codec"):
+            result_to_dict(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown result kind"):
+            result_from_dict({"kind": "nonsense", "format_version": 1})
+
+    def test_wrong_version_rejected(self, quhe_result):
+        payload = result_to_dict(quhe_result)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
 
 
 class TestValidation:
