@@ -1,0 +1,77 @@
+"""Discrete-event engine throughput guards.
+
+The simulator's value rests on cheap events: `docs/simulation.md` promises
+a kernel that sustains tens of thousands of events per wall-clock second.
+The smoke guard enforces the ≥10k events/sec floor on the standard
+``sim-keyrate`` smoke workload; the full bench prints the throughput
+profile across workloads (clean, demand-loaded, disrupted, adaptive).
+
+Run: ``pytest benchmarks/test_sim_throughput.py -m smoke -s``
+"""
+
+import pytest
+
+from repro.core.config import paper_config
+from repro.sim import QuantumNetworkSimulation, SimParams
+
+#: CI floor: the engine must clear this on the smoke workload.
+MIN_EVENTS_PER_SECOND = 10_000
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_config(seed=2)
+
+
+@pytest.mark.smoke
+def test_engine_clears_10k_events_per_second(config, service):
+    result = QuantumNetworkSimulation(
+        config, SimParams(duration_s=30.0, record_trace=False), seed=2,
+        service=service,
+    ).run()
+    assert result.events_processed > 10_000
+    assert result.events_per_second >= MIN_EVENTS_PER_SECOND, (
+        f"engine throughput regressed: {result.events_per_second:,.0f} "
+        f"events/s < {MIN_EVENTS_PER_SECOND:,}"
+    )
+
+
+@pytest.mark.smoke
+def test_trace_recording_overhead_tolerable(config, service):
+    """The determinism audit must not halve throughput."""
+    traced = QuantumNetworkSimulation(
+        config, SimParams(duration_s=30.0, record_trace=True), seed=2,
+        service=service,
+    ).run()
+    assert traced.events_per_second >= MIN_EVENTS_PER_SECOND / 2
+
+
+@pytest.mark.bench
+def test_throughput_profile(config, service, capsys):
+    workloads = {
+        "clean": SimParams(duration_s=120.0, record_trace=False),
+        "demand": SimParams(
+            duration_s=120.0, demand_factor=0.9, record_trace=False
+        ),
+        "disrupted": SimParams(
+            duration_s=120.0, demand_factor=0.9, outage_rate=0.05,
+            outage_duration_s=20.0, record_trace=False,
+        ),
+        "adaptive": SimParams(
+            duration_s=120.0, demand_factor=0.9, outage_rate=0.05,
+            outage_duration_s=20.0, fading_interval_s=30.0,
+            reopt_interval_s=30.0, record_trace=False,
+        ),
+    }
+    with capsys.disabled():
+        print()
+        for name, params in workloads.items():
+            result = QuantumNetworkSimulation(
+                config, params, seed=2, service=service
+            ).run()
+            print(
+                f"{name:>10s}: {result.events_processed:>7d} events "
+                f"in {result.wall_time_s:6.2f}s -> "
+                f"{result.events_per_second:>9,.0f} events/s"
+            )
+            assert result.events_per_second >= MIN_EVENTS_PER_SECOND

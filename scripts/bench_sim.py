@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Discrete-event simulator throughput snapshot → ``BENCH_sim.json``.
+
+Times :class:`repro.sim.QuantumNetworkSimulation` end to end on the paper
+topology across workloads of increasing machinery:
+
+* ``sim_clean`` — generation + swapping + monitoring only,
+* ``sim_demand`` — plus transciphering demand draws,
+* ``sim_disrupted`` — plus link outages/recoveries,
+* ``sim_adaptive`` — plus fading epochs and mid-run re-optimization
+  (solver time included, so this is the end-to-end adaptive figure),
+* ``sim_traced`` — the clean workload with the determinism audit trace on.
+
+Each result records events processed and events/sec (as ``ops_per_second``
+with one op = one event), in the shared :mod:`repro.utils.bench` schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim.py             # default horizon
+    PYTHONPATH=src python scripts/bench_sim.py --duration 60
+    PYTHONPATH=src python scripts/bench_sim.py --output my.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.service import SolverService  # noqa: E402
+from repro.core.config import paper_config  # noqa: E402
+from repro.sim import QuantumNetworkSimulation, SimParams  # noqa: E402
+from repro.utils.bench import BenchResult, write_results  # noqa: E402
+
+
+def workloads(duration: float):
+    base = dict(duration_s=duration, record_trace=False)
+    yield "sim_clean", SimParams(**base)
+    yield "sim_demand", SimParams(**base, demand_factor=0.9)
+    yield "sim_disrupted", SimParams(
+        **base, demand_factor=0.9, outage_rate=0.05, outage_duration_s=20.0
+    )
+    yield "sim_adaptive", SimParams(
+        **base,
+        demand_factor=0.9,
+        outage_rate=0.05,
+        outage_duration_s=20.0,
+        fading_interval_s=30.0,
+        reopt_interval_s=30.0,
+    )
+    yield "sim_traced", SimParams(duration_s=duration, record_trace=True)
+
+
+def run_benchmarks(duration: float, seed: int):
+    service = SolverService()
+    config = paper_config(seed=seed)
+    service.solve(config)  # warm the solver cache outside the timings
+    for op, params in workloads(duration):
+        result = QuantumNetworkSimulation(
+            config, params, seed=seed, service=service
+        ).run()
+        yield BenchResult(
+            op=op,
+            backend="event-heap",
+            params={
+                "duration_s": params.duration_s,
+                "seed": seed,
+                "events": result.events_processed,
+                "pairs_delivered": sum(result.pairs_delivered),
+                "outages": result.outage_count,
+                "reopts": len(result.reopt_times),
+            },
+            reps=result.events_processed,
+            seconds_per_op=result.wall_time_s / max(1, result.events_processed),
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated horizon per workload (s)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--output", type=str, default="BENCH_sim.json")
+    args = parser.parse_args()
+
+    results = []
+    for result in run_benchmarks(args.duration, args.seed):
+        print(result)
+        results.append(result)
+    out = write_results(args.output, results)
+    floor = min(r.ops_per_second for r in results)
+    print(f"wrote {out} (cpu_count={os.cpu_count()}, "
+          f"slowest workload {floor:,.0f} events/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Render ``docs/scenarios.md`` from the live scenario registry.
+
+The catalog page is *generated*, never hand-edited: every scenario name,
+description and :class:`~repro.api.registry.ParamSpec` (type, default,
+choices, help) comes from :func:`repro.api.catalog.render_scenario_docs`,
+the same metadata ``repro list`` prints — so the documentation cannot
+drift from the code.  CI runs ``--check`` and fails on any diff.
+
+Usage::
+
+    python scripts/gen_scenario_docs.py            # (re)write docs/scenarios.md
+    python scripts/gen_scenario_docs.py --check    # exit 1 if out of date
+    python scripts/gen_scenario_docs.py --output other.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUTPUT = REPO_ROOT / "docs" / "scenarios.md"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"destination markdown file (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="do not write; exit 1 if the file differs from a fresh render",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.api.catalog import render_scenario_docs
+
+    rendered = render_scenario_docs() + "\n"
+    if args.check:
+        current = args.output.read_text() if args.output.exists() else ""
+        if current != rendered:
+            print(
+                f"{args.output} is out of date with the scenario registry; "
+                "regenerate with: python scripts/gen_scenario_docs.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.output} is in sync with the scenario registry")
+        return 0
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(rendered)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,30 @@ _RUN_SEQUENCE = count()
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One scenario execution: parameters, result, and timings."""
+    """One scenario execution: parameters, result, and timings.
+
+    Produced by :func:`~repro.api.scenarios.run_scenario` (or
+    :func:`record_run`); the fully-bound parameters always include the
+    seed, and the result serializes through the :mod:`repro.io` codecs:
+
+    >>> from repro.api import RunRecord, run_scenario
+    >>> record = run_scenario("solve", {"seed": 2})
+    >>> record.scenario, record.seed, record.params["seed"]
+    ('solve', 2, 2)
+    >>> record.result_payload()["kind"]
+    'quhe_result'
+
+    ``save``/``load`` round-trip the record through a run directory:
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     run_dir = record.save(tmp)
+    ...     restored = RunRecord.load(run_dir)
+    >>> restored.run_id == record.run_id
+    True
+    >>> restored.result.converged
+    True
+    """
 
     scenario: str
     params: Dict[str, Any]

@@ -1,0 +1,131 @@
+"""Scenario catalog: one structured view of the registry for every surface.
+
+``repro list`` and ``scripts/gen_scenario_docs.py`` must never disagree
+about what a scenario is called, what it does, or what its parameters
+mean — so both render from :func:`scenario_catalog`, a plain-data snapshot
+of the registry.  The generated ``docs/scenarios.md`` is checked against
+the live registry in CI (the docs-sync job fails on drift).
+
+>>> from repro.api.catalog import scenario_catalog
+>>> entry = next(e for e in scenario_catalog() if e["name"] == "solve")
+>>> isinstance(entry["description"], str) and len(entry["description"]) > 0
+True
+>>> [p["name"] for p in entry["params"]]
+['seed']
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["render_scenario_docs", "render_scenario_list", "scenario_catalog"]
+
+
+def _type_name(spec_type: Any) -> str:
+    return getattr(spec_type, "__name__", str(spec_type))
+
+
+def scenario_catalog() -> List[Dict[str, Any]]:
+    """Every registered scenario as a plain dictionary, registration order.
+
+    Keys: ``name``, ``aliases``, ``description`` (the one-line help), and
+    ``params`` — a list of ``{name, type, default, choices, help}``.
+    """
+    # Imported via the package attribute, not the submodule: under pytest's
+    # importlib mode a doctest run may re-exec registry.py into a fresh
+    # (empty) module instance, while repro.api always holds the registry
+    # the built-in scenarios registered into.
+    from repro.api import REGISTRY
+
+    catalog: List[Dict[str, Any]] = []
+    for scenario in REGISTRY:
+        catalog.append({
+            "name": scenario.name,
+            "aliases": list(scenario.aliases),
+            "description": scenario.help,
+            "params": [
+                {
+                    "name": spec.name,
+                    "type": _type_name(spec.type),
+                    "default": spec.default,
+                    "choices": None if spec.choices is None else list(spec.choices),
+                    "help": spec.help,
+                }
+                for spec in scenario.params
+            ],
+        })
+    return catalog
+
+
+def render_scenario_list(*, verbose: bool = True) -> str:
+    """The ``repro list`` text: every scenario's description (+ parameters).
+
+    ``verbose=False`` prints one ``name: description`` line per scenario;
+    the default adds an indented ``--set`` line per parameter.
+    """
+    lines: List[str] = []
+    for entry in scenario_catalog():
+        names = entry["name"]
+        if entry["aliases"]:
+            names += f" ({', '.join(entry['aliases'])})"
+        lines.append(f"{names}: {entry['description']}")
+        if not verbose:
+            continue
+        for param in entry["params"]:
+            choice = f" choices={param['choices']}" if param["choices"] else ""
+            lines.append(
+                f"    --set {param['name']}=<{param['type']}>  "
+                f"default={param['default']!r}{choice}  {param['help']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_scenario_docs() -> str:
+    """``docs/scenarios.md``: the full catalog as markdown.
+
+    Deterministic (registration order, no timestamps) so CI can diff the
+    committed file against a fresh render.
+    """
+    lines = [
+        "# Scenario catalog",
+        "",
+        "<!-- GENERATED FILE - DO NOT EDIT.",
+        "     Regenerate with: python scripts/gen_scenario_docs.py -->",
+        "",
+        "Every experiment the platform can run, rendered from the live",
+        "scenario registry (`repro.api.registry.REGISTRY`).  Run any of",
+        "them with:",
+        "",
+        "```console",
+        "$ python -m repro run <name> [--set param=value ...] [--json] [--out DIR]",
+        "```",
+        "",
+        "or directly as `python -m repro <name> [--param value ...]`.",
+        "`repro list` prints this same catalog from the same metadata.",
+        "",
+    ]
+    for entry in scenario_catalog():
+        lines.append(f"## `{entry['name']}`")
+        lines.append("")
+        if entry["aliases"]:
+            aliased = ", ".join(f"`{a}`" for a in entry["aliases"])
+            lines.append(f"*Aliases: {aliased}*")
+            lines.append("")
+        lines.append(entry["description"])
+        lines.append("")
+        if entry["params"]:
+            lines.append("| parameter | type | default | description |")
+            lines.append("|---|---|---|---|")
+            for param in entry["params"]:
+                description = param["help"] or ""
+                if param["choices"]:
+                    rendered = ", ".join(f"`{c}`" for c in param["choices"])
+                    description = f"{description} (choices: {rendered})".strip()
+                lines.append(
+                    f"| `{param['name']}` | {param['type']} | "
+                    f"`{param['default']!r}` | {description} |"
+                )
+        else:
+            lines.append("*(no parameters)*")
+        lines.append("")
+    return "\n".join(lines)

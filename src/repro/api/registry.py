@@ -222,7 +222,30 @@ REGISTRY = ScenarioRegistry()
 
 
 def register_scenario(scenario: Scenario) -> Scenario:
-    """Register ``scenario`` in the global registry (returns it unchanged)."""
+    """Register ``scenario`` in the global registry (returns it unchanged).
+
+    A scenario bundles a typed parameter spec with a run function; binding
+    applies defaults, parses strings through each spec, and rejects unknown
+    keys.  (The example uses a private :class:`ScenarioRegistry` — the
+    global :data:`REGISTRY` behaves identically but feeds the generated
+    CLI, so demo scenarios don't belong in it.)
+
+    >>> registry = ScenarioRegistry()
+    >>> demo = registry.register(Scenario(
+    ...     name="double", help="double a number",
+    ...     params=(ParamSpec("x", int, 21, help="the input"),),
+    ...     run=lambda x: 2 * x, render=str))
+    >>> demo.execute()
+    42
+    >>> demo.execute({"x": "5"})   # CLI strings parse through the spec
+    10
+    >>> registry.get("double").param_names
+    ['x']
+    >>> demo.execute({"y": 1})
+    Traceback (most recent call last):
+        ...
+    ValueError: scenario 'double': unknown parameter(s) ['y']; valid: ['x']
+    """
     return REGISTRY.register(scenario)
 
 

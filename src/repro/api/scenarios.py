@@ -307,6 +307,116 @@ register_scenario(Scenario(
 ))
 
 
+# -- discrete-event simulation -----------------------------------------------
+
+
+_SIM_SAMPLE_DT = ParamSpec("sample_dt", float, 1.0,
+                           help="time-series sampling interval (s)")
+_SIM_DISRUPTION = (
+    ParamSpec("outage_rate", float, 0.02,
+              help="network-wide link outage rate (outages/s)"),
+    ParamSpec("outage_duration", float, 30.0, help="mean outage length (s)"),
+    ParamSpec("demand_factor", float, 0.9,
+              help="offered key demand as a fraction of the allocated key rate"),
+)
+
+
+def _run_sim_keyrate(seed, duration, sample_dt, demand_factor):
+    from repro.experiments.simulation import run_keyrate_sim
+
+    return run_keyrate_sim(
+        seed=seed,
+        duration_s=duration,
+        sample_dt=sample_dt,
+        demand_factor=demand_factor,
+        service=SERVICE,
+    )
+
+
+register_scenario(Scenario(
+    name="sim-keyrate",
+    help="discrete-event validation of the analytic key rates (clean network)",
+    params=(
+        _SEED,
+        ParamSpec("duration", float, 120.0, help="simulated horizon (s)"),
+        _SIM_SAMPLE_DT,
+        ParamSpec("demand_factor", float, 0.0,
+                  help="offered key demand as a fraction of the allocated "
+                       "key rate (0 disables demand)"),
+    ),
+    run=_run_sim_keyrate,
+    render=lambda result: result.render(),
+    smoke_overrides={"duration": 20.0},
+))
+
+
+def _run_sim_outage(seed, duration, outage_rate, outage_duration,
+                    demand_factor, sample_dt):
+    from repro.experiments.simulation import run_outage_sim
+
+    return run_outage_sim(
+        seed=seed,
+        duration_s=duration,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration,
+        demand_factor=demand_factor,
+        sample_dt=sample_dt,
+        service=SERVICE,
+    )
+
+
+register_scenario(Scenario(
+    name="sim-outage",
+    help="link outages + transciphering demand: buffer depletion and shortfall",
+    params=(
+        _SEED,
+        ParamSpec("duration", float, 300.0, help="simulated horizon (s)"),
+        *_SIM_DISRUPTION,
+        _SIM_SAMPLE_DT,
+    ),
+    run=_run_sim_outage,
+    render=lambda result: result.render(),
+    smoke_overrides={"duration": 40.0},
+))
+
+
+def _run_sim_adaptive(seed, duration, reopt_interval, fading_interval,
+                      outage_rate, outage_duration, demand_factor, sample_dt):
+    from repro.experiments.simulation import run_adaptive_sim
+
+    return run_adaptive_sim(
+        seed=seed,
+        duration_s=duration,
+        reopt_interval_s=reopt_interval,
+        fading_interval_s=fading_interval,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration,
+        demand_factor=demand_factor,
+        sample_dt=sample_dt,
+        service=SERVICE,
+    )
+
+
+register_scenario(Scenario(
+    name="sim-adaptive",
+    help="mid-simulation re-optimization vs frozen allocation (adaptation gain)",
+    params=(
+        _SEED,
+        ParamSpec("duration", float, 300.0, help="simulated horizon (s)"),
+        ParamSpec("reopt_interval", float, 60.0,
+                  help="re-optimization cadence (s); disruptions also trigger"),
+        ParamSpec("fading_interval", float, 60.0,
+                  help="block-fading epoch length (s)"),
+        *_SIM_DISRUPTION,
+        _SIM_SAMPLE_DT,
+    ),
+    run=_run_sim_adaptive,
+    render=lambda study: study.render(),
+    smoke_overrides={"duration": 60.0, "reopt_interval": 20.0,
+                     "fading_interval": 20.0},
+))
+
+
 # -- pipeline ----------------------------------------------------------------
 
 

@@ -118,6 +118,19 @@ def config_fingerprint(config: SystemConfig) -> str:
     Raises :class:`FingerprintError` when the config holds anything without
     a stable serializable identity (closures, duck-typed components); the
     service then solves it uncached instead of crashing.
+
+    Two structurally identical configurations fingerprint identically;
+    any changed constant (here: the channel seed) changes the digest:
+
+    >>> from repro.core.config import paper_config
+    >>> config_fingerprint(paper_config(seed=2)) == config_fingerprint(
+    ...     paper_config(seed=2))
+    True
+    >>> config_fingerprint(paper_config(seed=2)) == config_fingerprint(
+    ...     paper_config(seed=3))
+    False
+    >>> len(config_fingerprint(paper_config(seed=2)))
+    64
     """
     try:
         blob = json.dumps(canonical_config_dict(config), sort_keys=True)
@@ -185,6 +198,19 @@ class SolverService:
         A custom ``initial`` allocation bypasses the cache in both
         directions: the warm start can change the trajectory, so its result
         neither reads from nor populates the fingerprint cache.
+
+        Re-solving a fingerprint-identical config returns the cached
+        result object without touching the solver:
+
+        >>> from repro.core.config import paper_config
+        >>> service = SolverService()
+        >>> result = service.solve(paper_config(seed=2))
+        >>> result.converged
+        True
+        >>> service.solve(paper_config(seed=2)) is result
+        True
+        >>> service.cache_info()
+        {'hits': 1, 'misses': 1, 'size': 1}
         """
         if initial is not None:
             return QuHE(config).solve(initial)
@@ -215,6 +241,22 @@ class SolverService:
         run.  Fingerprint-identical configs are solved once; cached entries
         skip the pool entirely.  ``progress(done, total)`` counts *input*
         configs as their results become available.
+
+        Duplicates in the batch map to one solve and one shared result
+        object, and the progress callback ends on exactly ``(total,
+        total)``:
+
+        >>> from repro.core.config import paper_config
+        >>> service = SolverService()
+        >>> configs = [paper_config(seed=2), paper_config(seed=2),
+        ...            paper_config(seed=3)]
+        >>> ticks = []
+        >>> results = service.solve_many(
+        ...     configs, progress=lambda done, total: ticks.append((done, total)))
+        >>> len(results), results[0] is results[1]
+        (3, True)
+        >>> ticks[-1]
+        (3, 3)
         """
         keys: List[str] = []
         cacheable: List[bool] = []

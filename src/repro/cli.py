@@ -79,7 +79,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_output_options(run)
 
-    sub.add_parser("list", help="list registered scenarios and their parameters")
+    lister = sub.add_parser(
+        "list", help="list registered scenarios and their parameters"
+    )
+    lister.add_argument(
+        "--brief", action="store_true",
+        help="one 'name: description' line per scenario, no parameters",
+    )
 
     for scenario in REGISTRY:
         direct = sub.add_parser(
@@ -109,31 +115,17 @@ def _parse_set_overrides(scenario, pairs: List[str]) -> Dict[str, Any]:
     return overrides
 
 
-def _render_scenario_list() -> str:
-    from repro.api import REGISTRY
-
-    lines = []
-    for scenario in REGISTRY:
-        names = scenario.name
-        if scenario.aliases:
-            names += f" ({', '.join(scenario.aliases)})"
-        lines.append(f"{names}: {scenario.help}")
-        for spec in scenario.params:
-            choice = f" choices={list(spec.choices)}" if spec.choices else ""
-            lines.append(
-                f"    --set {spec.name}=<{spec.type.__name__}>  "
-                f"default={spec.default!r}{choice}  {spec.help}"
-            )
-    return "\n".join(lines) + "\n"
-
-
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        print(_render_scenario_list(), end="")
+        # Same metadata as docs/scenarios.md (see repro.api.catalog): names,
+        # one-line descriptions, and — unless --brief — every parameter.
+        from repro.api.catalog import render_scenario_list
+
+        print(render_scenario_list(verbose=not args.brief), end="")
         return 0
 
     from repro.api import get_scenario, run_scenario

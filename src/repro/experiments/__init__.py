@@ -14,6 +14,8 @@ Each module mirrors one artefact:
   p_max, f_c^max, f_total for all four methods).
 * :mod:`repro.experiments.ablations` / :mod:`repro.experiments.dynamic` —
   the beyond-the-paper studies (DESIGN.md §7, block-fading adaptation).
+* :mod:`repro.experiments.simulation` — discrete-event time-domain studies
+  on :mod:`repro.sim` (``sim-keyrate``, ``sim-outage``, ``sim-adaptive``).
 * :mod:`repro.experiments.report` — the one-shot markdown report bundling
   everything above.
 
@@ -60,6 +62,11 @@ from repro.experiments.ablations import (
     weight_sensitivity,
 )
 from repro.experiments.dynamic import DynamicStudy, EpochResult, run_dynamic_study
+from repro.experiments.simulation import (
+    run_adaptive_sim,
+    run_keyrate_sim,
+    run_outage_sim,
+)
 from repro.experiments.report import (
     ReportBundle,
     collect_report,
@@ -92,8 +99,11 @@ __all__ = [
     "render_report",
     "report_artifacts",
     "run_ablation_suite",
+    "run_adaptive_sim",
     "run_convergence",
     "run_dynamic_study",
+    "run_keyrate_sim",
+    "run_outage_sim",
     "run_fig5_bundle",
     "run_method_comparison",
     "run_optimality_study",

@@ -1,0 +1,57 @@
+"""repro.sim — discrete-event quantum network simulator.
+
+The optimization layer answers *"what is the best static allocation?"*;
+this package answers *"what happens over time?"*: entanglement generation
+latency, key-buffer depletion, link outages, fading epochs, and the value
+of re-optimizing mid-run.
+
+Layers (see ``docs/simulation.md``):
+
+* :mod:`repro.sim.engine` — generic discrete-event kernel: event heap,
+  simulation clock, :class:`~repro.sim.engine.Entity` /
+  :class:`~repro.sim.engine.Process` base classes, named deterministic RNG
+  streams, event-trace digests;
+* :mod:`repro.sim.processes` — quantum-network processes: per-link
+  entanglement sources (β_l / Werner models), swapping into per-route key
+  buffers, transciphering demand, disruptions, fading, adaptation hooks;
+* :mod:`repro.sim.qnetwork` — the orchestrator binding a
+  :class:`~repro.core.config.SystemConfig` + solver allocation to the
+  process layer, including mid-simulation ``SolverService`` re-invocation;
+* :mod:`repro.sim.result` — :class:`~repro.sim.result.SimulationResult` /
+  :class:`~repro.sim.result.AdaptiveSimStudy`, registered with the
+  :mod:`repro.io` codec registry.
+
+Quick start::
+
+    from repro.core.config import paper_config
+    from repro.sim import QuantumNetworkSimulation, SimParams
+
+    sim = QuantumNetworkSimulation(
+        paper_config(seed=2),
+        SimParams(duration_s=120.0, demand_factor=0.8, outage_rate=0.02),
+        seed=7,
+    )
+    result = sim.run()
+    print(result.render())
+"""
+
+from repro.sim.engine import Entity, Event, Process, RngStreams, Simulator
+from repro.sim.qnetwork import (
+    QuantumNetworkSimulation,
+    SimParams,
+    run_adaptive_study,
+)
+from repro.sim.result import AdaptiveSimStudy, SimulationResult
+
+__all__ = [
+    "AdaptiveSimStudy",
+    "Entity",
+    "Event",
+    "Process",
+    "QuantumNetworkSimulation",
+    "RngStreams",
+    "SimParams",
+    "SimulationResult",
+    "Simulator",
+    "run_adaptive_study",
+]

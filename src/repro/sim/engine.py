@@ -1,0 +1,313 @@
+"""Discrete-event simulation core: clock, event heap, entities, RNG streams.
+
+The optimization layer (:mod:`repro.core`) treats the system as a static
+snapshot; this engine adds *time*.  It is a classic discrete-event kernel in
+the SimQN/SeQUeNCe mould — a binary heap of timestamped events, a simulation
+clock that jumps from event to event, and self-scheduling processes — kept
+deliberately small so a single event costs microseconds (see
+``benchmarks/test_sim_throughput.py``).
+
+Determinism contract
+--------------------
+Runs are reproducible bit for bit given a seed:
+
+* **Ordering** — events are totally ordered by ``(time, priority, seq)``
+  where ``seq`` is the scheduling sequence number, so simultaneous events
+  fire in a deterministic order (FIFO among equals) independent of hash
+  seeds or dict iteration.
+* **Randomness** — every stochastic process draws from a *named* stream
+  (:meth:`Simulator.stream`).  Streams are derived from the simulation seed
+  and the stream name only (via :class:`numpy.random.SeedSequence` spawn
+  keys), so adding a new process or reordering start-up cannot perturb the
+  draws of existing processes.
+* **Audit** — with ``record_trace=True`` the simulator keeps an event trace
+  and a SHA-256 :meth:`~Simulator.trace_digest` over ``(time, tag)`` pairs;
+  two runs are identical iff their digests match (asserted in
+  ``tests/sim/test_engine.py``).
+
+See ``docs/simulation.md`` for the event model and a worked example of
+adding a process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import struct
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Event", "Entity", "Process", "RngStreams", "Simulator"]
+
+
+class Event:
+    """One scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at`, never directly.  :meth:`cancel` marks the
+    event dead; the heap skips cancelled events on pop (lazy deletion).
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "tag", "cancelled")
+
+    def __init__(
+        self, time: float, priority: int, seq: int, fn: Callable[[], None], tag: str
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.tag = tag
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6g}, tag={self.tag!r}{state})"
+
+
+class RngStreams:
+    """Named deterministic random streams derived from one seed.
+
+    Each stream is an independent :class:`numpy.random.Generator` seeded by
+    ``SeedSequence(seed, spawn_key=(crc32(name),))`` — a pure function of
+    ``(seed, name)``.  Two simulations with the same seed give every
+    like-named process identical randomness regardless of how many *other*
+    streams exist or the order they were first touched.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created on first use, then cached)."""
+        gen = self._streams.get(name)
+        if gen is None:
+            key = zlib.crc32(name.encode("utf-8"))
+            sequence = np.random.SeedSequence(entropy=self.seed, spawn_key=(key,))
+            gen = np.random.default_rng(sequence)
+            self._streams[name] = gen
+        return gen
+
+
+class Entity:
+    """Anything that lives inside a simulation (a link, a buffer, a monitor).
+
+    Entities are attached with :meth:`Simulator.add`, which sets
+    :attr:`sim`; :meth:`start` fires once when the simulation first runs.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sim: "Simulator" = None  # type: ignore[assignment]  # set by Simulator.add
+
+    def start(self) -> None:
+        """Hook called once at simulation start (override as needed)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Process(Entity):
+    """An entity that drives itself: schedule next step, fire, repeat.
+
+    Subclasses implement :meth:`next_delay` (seconds until the next step, or
+    ``None`` to stop) and :meth:`step` (the action).  :meth:`pause` /
+    :meth:`resume` model service interruptions — e.g. a link outage stops an
+    entanglement source — using an epoch token so that events scheduled
+    before the pause become inert instead of firing stale work.
+    """
+
+    #: Heap priority of the process's own step events (lower fires first
+    #: among same-time events); subclasses override to order phases within
+    #: a timestamp (e.g. adapt < physics < demand < monitor).
+    priority = 0
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.active = True
+        self._epoch = 0
+
+    # -- subclass API ---------------------------------------------------------
+
+    def next_delay(self) -> Optional[float]:
+        """Seconds until the next :meth:`step`; ``None`` ends the process."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """One unit of work at the scheduled time."""
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._arm()
+
+    def pause(self) -> None:
+        """Suspend the process; pending events become inert."""
+        if self.active:
+            self.active = False
+            self._epoch += 1
+
+    def resume(self) -> None:
+        """Reactivate a paused process and schedule its next step."""
+        if not self.active:
+            self.active = True
+            self._epoch += 1
+            self._arm()
+
+    def _arm(self) -> None:
+        delay = self.next_delay()
+        if delay is None:
+            return
+        epoch = self._epoch
+        self.sim.schedule(
+            delay, lambda: self._fire(epoch), priority=self.priority, tag=self.name
+        )
+
+    def _fire(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.active:
+            return
+        self.step()
+        self._arm()
+
+
+class Simulator:
+    """The discrete-event kernel: clock + heap + entities + RNG streams.
+
+    Typical use::
+
+        sim = Simulator(seed=7)
+        sim.add(MyProcess("source"))
+        sim.schedule(10.0, lambda: print("one-shot at t=10"), tag="demo")
+        sim.run(until=60.0)
+
+    ``run`` may be called repeatedly with increasing horizons; the clock
+    never moves backwards.
+    """
+
+    def __init__(
+        self, *, seed: int = 0, start_time: float = 0.0, record_trace: bool = False
+    ) -> None:
+        self.seed = int(seed)
+        self.streams = RngStreams(seed)
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._entities: List[Entity] = []
+        self._started = 0  # entities already start()ed
+        self.events_processed = 0
+        self.events_scheduled = 0
+        self._trace: Optional[List[Tuple[float, str]]] = [] if record_trace else None
+        self._trace_hash = hashlib.sha256() if record_trace else None
+
+    # -- clock & randomness ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The named deterministic random stream (see :class:`RngStreams`)."""
+        return self.streams.stream(name)
+
+    # -- entities -------------------------------------------------------------
+
+    def add(self, entity: Entity) -> Any:
+        """Attach an entity; its :meth:`~Entity.start` runs at next ``run``."""
+        entity.sim = self
+        self._entities.append(entity)
+        return entity
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self, delay: float, fn: Callable[[], None], *, priority: int = 0, tag: str = ""
+    ) -> Event:
+        """Schedule ``fn`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, fn, priority=priority, tag=tag)
+
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], *, priority: int = 0, tag: str = ""
+    ) -> Event:
+        """Schedule ``fn`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now={self._now}")
+        event = Event(float(time), int(priority), next(self._seq), fn, tag)
+        heapq.heappush(self._heap, event)
+        self.events_scheduled += 1
+        return event
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until: float) -> int:
+        """Process every event with ``time <= until``; returns the count.
+
+        The clock finishes exactly at ``until`` (even if the last event was
+        earlier), so periodic monitors see a full final interval.
+        """
+        if until < self._now:
+            raise ValueError(f"cannot run to {until} < now={self._now}")
+        while self._started < len(self._entities):
+            entity = self._entities[self._started]
+            self._started += 1
+            entity.start()
+        heap = self._heap
+        before = self.events_processed
+        trace = self._trace
+        trace_hash = self._trace_hash
+        while heap and heap[0].time <= until:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            if trace is not None:
+                trace.append((event.time, event.tag))
+                trace_hash.update(struct.pack("<d", event.time))
+                trace_hash.update(event.tag.encode("utf-8"))
+            event.fn()
+        self._now = float(until)
+        return self.events_processed - before
+
+    # -- audit ----------------------------------------------------------------
+
+    @property
+    def trace(self) -> List[Tuple[float, str]]:
+        """``(time, tag)`` pairs of processed events (``record_trace`` only)."""
+        if self._trace is None:
+            raise RuntimeError("trace recording is off; pass record_trace=True")
+        return list(self._trace)
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the processed-event trace; '' when tracing is off.
+
+        Two runs of the same simulation are identical iff their digests
+        match — the determinism tests rely on exactly this.
+        """
+        if self._trace_hash is None:
+            return ""
+        return self._trace_hash.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Simulator(t={self._now:.6g}, pending={len(self._heap)}, "
+            f"processed={self.events_processed})"
+        )

@@ -1,0 +1,456 @@
+"""Quantum-network processes layered on the discrete-event engine.
+
+Each class models one physical or operational mechanism of the paper's
+QKD/HE co-design, time-resolved:
+
+* :class:`EntanglementSource` — per-link generation attempts at rate
+  ``β_l`` succeeding with probability ``1 - w_l`` (so successes form the
+  Poisson process of capacity ``c_l = β_l (1 - w_l)``, paper Eq. 3);
+* :class:`RouteBuffers` — entanglement swapping along the Table-III routes
+  (one pair from every constituent link per end-to-end pair) feeding
+  per-route secret-key buffers at ``F_skf(ϖ_n)`` bits per delivered pair
+  (paper Eqs. 4-5);
+* :class:`DemandProcess` — transciphering key demand draining the buffers,
+  with unmet demand recorded as shortfall;
+* :class:`DisruptionProcess` / :class:`FadingProcess` — link outages with
+  exponential holding times, and block-fading epochs re-drawing the
+  per-client channel multipliers;
+* :class:`AdaptationProcess` — periodic (and disruption-triggered)
+  re-optimization hook, used by the orchestrator to re-invoke
+  :class:`~repro.api.service.SolverService` mid-simulation;
+* :class:`MonitorProcess` — fixed-interval time-series sampling.
+
+All processes draw from named :class:`~repro.sim.engine.RngStreams`.  The
+``disruption`` and ``fading`` streams never depend on the allocation, so
+two same-seed simulations see the identical outage schedule and fading
+epochs even when their *policies* differ — the basis for fair
+adaptive-vs-static comparisons.  (Generation streams do diverge once a
+re-optimization changes ``w_l``: the same uniform draw crosses different
+success thresholds; that residual Poisson noise is why the orchestrator
+also integrates the analytic ``expected_key_bits``.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.topology import QKDNetwork
+from repro.quantum.werner import end_to_end_werner, secret_key_fraction
+from repro.sim.engine import Entity, Process
+from repro.wireless.pathloss import rayleigh_power_gain
+
+__all__ = [
+    "AdaptationProcess",
+    "AllocationState",
+    "DemandProcess",
+    "DisruptionProcess",
+    "EntanglementSource",
+    "FadingProcess",
+    "MonitorProcess",
+    "RouteBuffers",
+]
+
+#: Event priorities: within one timestamp, re-optimization applies first,
+#: then physical events, then demand draws, then monitoring samples.
+PRIORITY_ADAPT = -10
+PRIORITY_PHYSICS = 0
+PRIORITY_DEMAND = 10
+PRIORITY_MONITOR = 20
+
+
+class AllocationState:
+    """The live resource allocation the processes read (and adaptation writes).
+
+    Derived, per link ``l``: the success probability ``1 - w_l`` of a
+    generation attempt and the conditional probability that a successful
+    pair is assigned to each route crossing the link (``φ_n / c_l``, the
+    route's share of the link's capacity).  Per route ``n``: the secret-key
+    fraction ``F_skf(ϖ_n)`` credited per delivered end-to-end pair.
+    """
+
+    def __init__(self, network: QKDNetwork, phi: Sequence[float], w: Sequence[float]):
+        self.network = network
+        num_links = network.num_links
+        #: routes crossing each link, as (route_index, slot_on_route) pairs.
+        self._link_routes: List[List[Tuple[int, int]]] = [[] for _ in range(num_links)]
+        for n, route in enumerate(network.routes):
+            for slot, link_index in enumerate(route.link_indices):
+                self._link_routes[link_index].append((n, slot))
+        self.phi = np.zeros(network.num_routes)
+        self.w = np.ones(num_links)
+        self.success_prob: List[float] = [0.0] * num_links
+        #: per link: parallel lists (cumulative thresholds, (route, slot)).
+        self.assignment: List[Tuple[List[float], List[Tuple[int, int]]]] = [
+            ([], []) for _ in range(num_links)
+        ]
+        self.skf: List[float] = [0.0] * network.num_routes
+        self.update(phi, w)
+
+    def update(self, phi: Sequence[float], w: Sequence[float]) -> None:
+        """Install a new allocation; recomputes all derived tables."""
+        phi = np.asarray(phi, dtype=float)
+        w = np.asarray(w, dtype=float)
+        net = self.network
+        if phi.shape != (net.num_routes,) or w.shape != (net.num_links,):
+            raise ValueError(
+                f"allocation shapes {phi.shape}/{w.shape} do not match the "
+                f"network ({net.num_routes} routes, {net.num_links} links)"
+            )
+        self.phi = phi
+        self.w = w
+        betas = net.betas
+        for l in range(net.num_links):
+            self.success_prob[l] = max(0.0, min(1.0, 1.0 - float(w[l])))
+            capacity = betas[l] * self.success_prob[l]
+            thresholds: List[float] = []
+            targets: List[Tuple[int, int]] = []
+            if capacity > 0.0:
+                acc = 0.0
+                for n, slot in self._link_routes[l]:
+                    share = float(phi[n]) / capacity
+                    if share <= 0.0:
+                        continue
+                    acc = min(1.0, acc + share)
+                    thresholds.append(acc)
+                    targets.append((n, slot))
+            self.assignment[l] = (thresholds, targets)
+        for n, route in enumerate(net.routes):
+            varpi = end_to_end_werner(w, route.link_indices)
+            self.skf[n] = float(secret_key_fraction(varpi))
+
+    def key_rates(self) -> List[float]:
+        """Analytic steady-state key rate ``φ_n · F_skf(ϖ_n)`` per route."""
+        return [float(p) * s for p, s in zip(self.phi, self.skf)]
+
+
+class RouteBuffers(Entity):
+    """Swapping bookkeeping and per-route secret-key buffers.
+
+    Each route holds one pending-pair counter per constituent link, capped
+    at ``pending_cap`` (finite quantum memory: surplus pairs on one link
+    decohere rather than queue forever).  When every counter is positive,
+    swapping consumes one pair per link and delivers one end-to-end pair,
+    crediting ``F_skf(ϖ_n)`` secret bits to the route's key buffer.
+    """
+
+    def __init__(self, state: AllocationState, *, pending_cap: int = 32) -> None:
+        super().__init__("buffers")
+        if pending_cap < 1:
+            raise ValueError("pending_cap must be >= 1")
+        self.state = state
+        self.pending_cap = int(pending_cap)
+        net = state.network
+        self.pending: List[List[int]] = [
+            [0] * route.hop_count for route in net.routes
+        ]
+        self.key_bits = [0.0] * net.num_routes
+        self.pairs_delivered = [0] * net.num_routes
+        self.delivered_bits = [0.0] * net.num_routes
+        self.pairs_dropped = [0] * net.num_routes
+        self.demand_bits = [0.0] * net.num_routes
+        self.served_bits = [0.0] * net.num_routes
+        self.shortfall_bits = [0.0] * net.num_routes
+
+    def on_pair(self, route_index: int, slot: int) -> None:
+        """A link pair was assigned to ``route_index`` at position ``slot``."""
+        pending = self.pending[route_index]
+        if pending[slot] >= self.pending_cap:
+            self.pairs_dropped[route_index] += 1
+            return
+        pending[slot] += 1
+        while min(pending) > 0:
+            for i in range(len(pending)):
+                pending[i] -= 1
+            bits = self.state.skf[route_index]
+            self.pairs_delivered[route_index] += 1
+            self.delivered_bits[route_index] += bits
+            self.key_bits[route_index] += bits
+
+    def consume(self, route_index: int, bits: float) -> float:
+        """Draw up to ``bits`` from a route's key buffer; returns the served
+        amount and accounts demand/served/shortfall."""
+        available = self.key_bits[route_index]
+        served = bits if bits <= available else available
+        self.key_bits[route_index] = available - served
+        self.demand_bits[route_index] += bits
+        self.served_bits[route_index] += served
+        self.shortfall_bits[route_index] += bits - served
+        return served
+
+
+class EntanglementSource(Process):
+    """One link's entanglement generation: attempts at rate ``β_l``.
+
+    Attempt inter-arrival times are exponential with mean ``1/β_l``; each
+    attempt succeeds with probability ``1 - w_l`` (read live from the
+    :class:`AllocationState`, so re-optimization immediately retunes the
+    link).  Successful pairs are assigned to a route by its capacity share
+    or discarded as surplus.  Outages :meth:`~repro.sim.engine.Process.pause`
+    the source.
+    """
+
+    priority = PRIORITY_PHYSICS
+
+    def __init__(
+        self, link_index: int, beta: float, state: AllocationState, buffers: RouteBuffers
+    ) -> None:
+        super().__init__(f"gen.link{link_index + 1}")
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.link_index = link_index
+        self.beta = float(beta)
+        self.state = state
+        self.buffers = buffers
+        self.attempts = 0
+        self.pairs_generated = 0
+
+    def start(self) -> None:
+        self._rng = self.sim.stream(self.name)
+        super().start()
+
+    def next_delay(self) -> float:
+        return self._rng.exponential(1.0 / self.beta)
+
+    def step(self) -> None:
+        self.attempts += 1
+        l = self.link_index
+        if self._rng.random() >= self.state.success_prob[l]:
+            return
+        self.pairs_generated += 1
+        thresholds, targets = self.state.assignment[l]
+        if not thresholds:
+            return
+        u = self._rng.random()
+        for threshold, (route_index, slot) in zip(thresholds, targets):
+            if u < threshold:
+                self.buffers.on_pair(route_index, slot)
+                return
+        # u beyond the allocated shares: surplus pair, discarded.
+
+
+class DemandProcess(Process):
+    """Transciphering key demand draining the per-route buffers.
+
+    The offered load is exogenous and fixed at construction (``base_rate``
+    bits/s per route, typically ``demand_factor × φ_n F_skf(ϖ_n)`` of the
+    *initial* allocation), optionally modulated by the fading multiplier —
+    so competing policies face byte-identical demand.
+    """
+
+    priority = PRIORITY_DEMAND
+
+    def __init__(
+        self,
+        buffers: RouteBuffers,
+        base_rate: Sequence[float],
+        *,
+        interval_s: float = 0.5,
+    ) -> None:
+        super().__init__("demand")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.buffers = buffers
+        self.base_rate = [float(r) for r in base_rate]
+        self.interval_s = float(interval_s)
+        #: per-route demand multiplier, written by :class:`FadingProcess`.
+        self.multiplier = [1.0] * len(self.base_rate)
+
+    def next_delay(self) -> float:
+        return self.interval_s
+
+    def step(self) -> None:
+        dt = self.interval_s
+        for n, rate in enumerate(self.base_rate):
+            need = rate * self.multiplier[n] * dt
+            if need > 0.0:
+                self.buffers.consume(n, need)
+
+
+class DisruptionProcess(Process):
+    """Random link outages with exponential inter-outage and holding times.
+
+    Outages strike uniformly among currently-up links that carry at least
+    one route; the struck link's :class:`EntanglementSource` is paused until
+    the recovery event fires.  ``on_change(link_index, is_up)`` notifies the
+    orchestrator (e.g. to trigger re-optimization).
+    """
+
+    priority = PRIORITY_PHYSICS
+
+    def __init__(
+        self,
+        sources: Sequence[EntanglementSource],
+        state: AllocationState,
+        *,
+        outage_rate: float,
+        mean_outage_s: float,
+        on_change: Optional[Callable[[int, bool], None]] = None,
+    ) -> None:
+        super().__init__("disruption")
+        if outage_rate <= 0:
+            raise ValueError("outage_rate must be positive")
+        if mean_outage_s <= 0:
+            raise ValueError("mean_outage_s must be positive")
+        self.sources = list(sources)
+        self.state = state
+        self.outage_rate = float(outage_rate)
+        self.mean_outage_s = float(mean_outage_s)
+        self.on_change = on_change
+        self.link_up = [True] * len(self.sources)
+        #: completed and in-flight outages as [link_id, t_down, t_up].
+        self.outages: List[List[float]] = []
+        incidence = state.network.incidence
+        self._loaded = [bool(incidence[l].sum() > 0) for l in range(len(self.sources))]
+
+    def start(self) -> None:
+        self._rng = self.sim.stream("disruption")
+        super().start()
+
+    def next_delay(self) -> float:
+        return self._rng.exponential(1.0 / self.outage_rate)
+
+    def step(self) -> None:
+        candidates = [
+            l for l, up in enumerate(self.link_up) if up and self._loaded[l]
+        ]
+        if not candidates:
+            return
+        l = candidates[int(self._rng.integers(len(candidates)))]
+        duration = self._rng.exponential(self.mean_outage_s)
+        t_down = self.sim.now
+        self.link_up[l] = False
+        self.sources[l].pause()
+        self.outages.append([float(l + 1), float(t_down), float(t_down + duration)])
+        record = self.outages[-1]
+        if self.on_change is not None:
+            self.on_change(l, False)
+
+        def recover() -> None:
+            record[2] = float(self.sim.now)
+            self.link_up[l] = True
+            self.sources[l].resume()
+            if self.on_change is not None:
+                self.on_change(l, True)
+
+        self.sim.schedule(duration, recover, tag=f"recover.link{l + 1}")
+
+
+class FadingProcess(Process):
+    """Block-fading epochs: redraw unit-mean Rayleigh power multipliers.
+
+    Each epoch redraws one multiplier per client route (the small-scale
+    component around the fixed large-scale gain, as in
+    :mod:`repro.experiments.dynamic`), scales the demand accordingly, and
+    notifies the orchestrator so adaptive policies can re-optimize.
+    """
+
+    priority = PRIORITY_PHYSICS
+
+    def __init__(
+        self,
+        num_routes: int,
+        *,
+        interval_s: float,
+        demand: Optional[DemandProcess] = None,
+        on_change: Optional[Callable[[], None]] = None,
+    ) -> None:
+        super().__init__("fading")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.num_routes = int(num_routes)
+        self.interval_s = float(interval_s)
+        self.demand = demand
+        self.on_change = on_change
+        self.multiplier = np.ones(num_routes)
+        self.epoch = 0
+
+    def start(self) -> None:
+        self._rng = self.sim.stream("fading")
+        super().start()
+
+    def next_delay(self) -> float:
+        return self.interval_s
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.multiplier = rayleigh_power_gain(self._rng, size=self.num_routes)
+        if self.demand is not None:
+            self.demand.multiplier = [float(m) for m in self.multiplier]
+        if self.on_change is not None:
+            self.on_change()
+
+
+class AdaptationProcess(Process):
+    """Periodic re-optimization: re-invoke the solver mid-simulation.
+
+    ``reoptimize()`` is the orchestrator's callback (it builds the current
+    configuration — fading multipliers, degraded outage links — and pushes
+    the new allocation into the :class:`AllocationState`).  Besides the
+    fixed cadence, :meth:`request` triggers an immediate re-optimization
+    (used on outage/recovery and fading-epoch events), de-duplicated per
+    timestamp.
+    """
+
+    priority = PRIORITY_ADAPT
+
+    def __init__(self, reoptimize: Callable[[], None], *, interval_s: float) -> None:
+        super().__init__("adapt")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.reoptimize = reoptimize
+        self.interval_s = float(interval_s)
+        self.reopt_times: List[float] = []
+        self._last_time: Optional[float] = None
+
+    def next_delay(self) -> float:
+        return self.interval_s
+
+    def step(self) -> None:
+        self._run_once()
+
+    def request(self) -> None:
+        """Schedule an immediate re-optimization (at the current time)."""
+        self.sim.schedule(0.0, self._run_once, priority=self.priority, tag="adapt")
+
+    def _run_once(self) -> None:
+        if self._last_time == self.sim.now:
+            return
+        self._last_time = self.sim.now
+        self.reopt_times.append(self.sim.now)
+        self.reoptimize()
+
+
+class MonitorProcess(Process):
+    """Fixed-interval sampler building the result's time series."""
+
+    priority = PRIORITY_MONITOR
+
+    def __init__(self, buffers: RouteBuffers, *, sample_dt: float) -> None:
+        super().__init__("monitor")
+        if sample_dt <= 0:
+            raise ValueError("sample_dt must be positive")
+        self.buffers = buffers
+        self.sample_dt = float(sample_dt)
+        self.sample_times: List[float] = []
+        self.buffer_series: List[List[float]] = []      # [sample][route]
+        self.delivered_series: List[List[float]] = []   # cumulative bits
+        self.shortfall_series: List[List[float]] = []   # cumulative bits
+
+    def start(self) -> None:
+        self._sample()  # t = 0 baseline
+        super().start()
+
+    def next_delay(self) -> float:
+        return self.sample_dt
+
+    def step(self) -> None:
+        self._sample()
+
+    def _sample(self) -> None:
+        b = self.buffers
+        self.sample_times.append(self.sim.now)
+        self.buffer_series.append(list(b.key_bits))
+        self.delivered_series.append(list(b.delivered_bits))
+        self.shortfall_series.append(list(b.shortfall_bits))

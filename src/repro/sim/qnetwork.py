@@ -1,0 +1,326 @@
+"""Orchestrator: wire a :class:`~repro.core.config.SystemConfig` into the
+discrete-event engine and run it.
+
+:class:`QuantumNetworkSimulation` solves the static problem once through
+:class:`~repro.api.service.SolverService` (sharing its fingerprint cache),
+installs the resulting ``(φ, w)`` allocation into the process layer, and
+simulates the network in time: per-link entanglement generation, swapping
+into per-route key buffers, transciphering demand, scheduled disruptions
+and — optionally — mid-simulation re-optimization.
+
+The adaptive re-optimization path models the operational loop the paper's
+static formulation cannot: on every re-optimization the orchestrator builds
+a :class:`SystemConfig` reflecting the *current* world (fading multipliers
+on the channel gains; down links with their ``β`` collapsed by
+``outage_beta_factor``) and re-invokes the solver, so routes crossing a dead
+link fall back to their minimum rates and the freed shared-link capacity is
+re-spent on healthy routes.
+
+:func:`run_adaptive_study` runs the adaptive and frozen policies over
+byte-identical randomness (same seed, same named RNG streams) and returns
+an :class:`~repro.sim.result.AdaptiveSimStudy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.quantum.topology import QKDNetwork
+from repro.sim.engine import Simulator
+from repro.sim.processes import (
+    AdaptationProcess,
+    AllocationState,
+    DemandProcess,
+    DisruptionProcess,
+    EntanglementSource,
+    FadingProcess,
+    MonitorProcess,
+    RouteBuffers,
+)
+from repro.sim.result import AdaptiveSimStudy, SimulationResult
+
+__all__ = ["QuantumNetworkSimulation", "SimParams", "run_adaptive_study"]
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Knobs of one simulation run (all times in simulated seconds)."""
+
+    #: simulated horizon
+    duration_s: float = 60.0
+    #: time-series sampling interval
+    sample_dt: float = 1.0
+    #: offered key demand as a fraction of each route's allocated key rate
+    #: (0 disables the demand model)
+    demand_factor: float = 0.0
+    #: demand draw interval
+    demand_dt: float = 0.5
+    #: network-wide link outage rate (outages per second; 0 disables)
+    outage_rate: float = 0.0
+    #: mean outage holding time
+    outage_duration_s: float = 20.0
+    #: block-fading epoch length (0 disables fading)
+    fading_interval_s: float = 0.0
+    #: re-optimization cadence (0 = static policy, never re-solve)
+    reopt_interval_s: float = 0.0
+    #: also re-optimize immediately on outage/recovery and fading epochs
+    reopt_on_events: bool = True
+    #: per-(route, link) pending-pair memory (finite quantum memory)
+    pending_cap: int = 32
+    #: β multiplier applied to down links in the re-optimization config;
+    #: small but non-zero so the minimum-rate and fidelity constraints stay
+    #: feasible (0.15 is the empirical single-outage feasibility floor on
+    #: the SURFnet topology; solver failures fall back to the previous
+    #: allocation either way)
+    outage_beta_factor: float = 0.25
+    #: record the event trace (enables ``trace_digest``; cheap)
+    record_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.sample_dt <= 0:
+            raise ValueError("sample_dt must be positive")
+        if self.demand_factor < 0:
+            raise ValueError("demand_factor must be non-negative")
+        if not 0 < self.outage_beta_factor <= 1:
+            raise ValueError("outage_beta_factor must be in (0, 1]")
+
+
+class QuantumNetworkSimulation:
+    """One configured simulation, ready to :meth:`run`."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        params: SimParams = SimParams(),
+        *,
+        seed: int = 0,
+        service: Optional["SolverService"] = None,
+    ) -> None:
+        from repro.api.service import SolverService
+
+        self.config = config
+        self.params = params
+        self.seed = int(seed)
+        self.service = service if service is not None else SolverService()
+
+        baseline = self.service.solve(config)
+        phi0 = np.asarray(baseline.allocation.phi, dtype=float)
+        w0 = np.asarray(baseline.allocation.w, dtype=float)
+
+        self.sim = Simulator(seed=self.seed, record_trace=params.record_trace)
+        self.state = AllocationState(config.network, phi0, w0)
+        self.buffers = self.sim.add(
+            RouteBuffers(self.state, pending_cap=params.pending_cap)
+        )
+        self.sources: List[EntanglementSource] = [
+            self.sim.add(
+                EntanglementSource(l, link.beta, self.state, self.buffers)
+            )
+            for l, link in enumerate(config.network.links)
+        ]
+
+        self._initial_phi = [float(v) for v in phi0]
+        self._initial_key_rate = self.state.key_rates()
+        self._demand_rate = [
+            params.demand_factor * rate for rate in self._initial_key_rate
+        ]
+        self.demand: Optional[DemandProcess] = None
+        if params.demand_factor > 0:
+            self.demand = self.sim.add(
+                DemandProcess(
+                    self.buffers, self._demand_rate, interval_s=params.demand_dt
+                )
+            )
+
+        self.adaptation: Optional[AdaptationProcess] = None
+        if params.reopt_interval_s > 0:
+            self.adaptation = self.sim.add(
+                AdaptationProcess(
+                    self._reoptimize, interval_s=params.reopt_interval_s
+                )
+            )
+
+        self.disruption: Optional[DisruptionProcess] = None
+        if params.outage_rate > 0:
+            self.disruption = self.sim.add(
+                DisruptionProcess(
+                    self.sources,
+                    self.state,
+                    outage_rate=params.outage_rate,
+                    mean_outage_s=params.outage_duration_s,
+                    on_change=self._on_link_change,
+                )
+            )
+
+        self.fading: Optional[FadingProcess] = None
+        if params.fading_interval_s > 0:
+            self.fading = self.sim.add(
+                FadingProcess(
+                    config.num_clients,
+                    interval_s=params.fading_interval_s,
+                    demand=self.demand,
+                    on_change=self._on_fading_change,
+                )
+            )
+
+        self.monitor = self.sim.add(
+            MonitorProcess(self.buffers, sample_dt=params.sample_dt)
+        )
+        self.reopt_failures = 0
+
+        # Expected-key-bits integral: ∫ Σ_{alive routes} φ_n F_skf(ϖ_n) dt,
+        # accrued piecewise at every allocation / link-state change.  It is
+        # the Poisson-noise-free view of the same quantity the event loop
+        # samples, so adaptive-vs-static deltas are exact, not ±√N noisy.
+        self._route_links = [r.link_indices for r in config.network.routes]
+        self._link_up = [True] * config.network.num_links
+        self._expected_bits = 0.0
+        self._expected_last_t = 0.0
+
+    # -- adaptation plumbing --------------------------------------------------
+
+    def _accrue_expected(self) -> None:
+        """Integrate the analytic key rate up to now with the current state."""
+        now = self.sim.now
+        if now > self._expected_last_t:
+            rate = 0.0
+            for n, link_indices in enumerate(self._route_links):
+                if all(self._link_up[l] for l in link_indices):
+                    rate += float(self.state.phi[n]) * self.state.skf[n]
+            self._expected_bits += rate * (now - self._expected_last_t)
+        self._expected_last_t = now
+
+    def _on_link_change(self, link_index: int, is_up: bool) -> None:
+        self._accrue_expected()
+        self._link_up[link_index] = is_up
+        if self.adaptation is not None and self.params.reopt_on_events:
+            self.adaptation.request()
+
+    def _on_fading_change(self) -> None:
+        if self.adaptation is not None and self.params.reopt_on_events:
+            self.adaptation.request()
+
+    def current_config(self) -> SystemConfig:
+        """The world as the solver should see it *now*.
+
+        Channel gains carry the current fading multipliers; links that are
+        down keep ``β · outage_beta_factor`` — collapsed capacity rather
+        than zero, so the minimum-rate constraints stay feasible and the
+        solver parks affected routes at ``φ_min`` instead of failing.
+        """
+        config = self.config
+        gains = np.asarray(config.channel_gains, dtype=float)
+        if self.fading is not None:
+            gains = gains * np.asarray(self.fading.multiplier, dtype=float)
+        network = config.network
+        if self.disruption is not None and not all(self.disruption.link_up):
+            links = [
+                link
+                if self.disruption.link_up[l]
+                else dataclasses.replace(
+                    link, beta=link.beta * self.params.outage_beta_factor
+                )
+                for l, link in enumerate(network.links)
+            ]
+            network = QKDNetwork(
+                links, network.routes, key_center=network.key_center
+            )
+        return dataclasses.replace(config, network=network, channel_gains=gains)
+
+    def _reoptimize(self) -> None:
+        config = self.current_config()
+        try:
+            result = self.service.solve(config)
+        except Exception:
+            # A transient world (e.g. heavily degraded network) the solver
+            # cannot handle keeps the previous allocation in force; config
+            # construction stays outside the catch so its bugs surface.
+            self.reopt_failures += 1
+            return
+        self._accrue_expected()
+        self.state.update(result.allocation.phi, result.allocation.w)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate the configured horizon and assemble the result."""
+        params = self.params
+        start = time.perf_counter()
+        self.sim.run(until=params.duration_s)
+        wall = time.perf_counter() - start
+        self._accrue_expected()  # close the final segment at t = duration
+        monitor = self.monitor
+        buffers = self.buffers
+        outages = []
+        if self.disruption is not None:
+            outages = [
+                [l, t_down, min(t_up, params.duration_s)]
+                for l, t_down, t_up in self.disruption.outages
+            ]
+        reopt_times = (
+            list(self.adaptation.reopt_times) if self.adaptation is not None else []
+        )
+        return SimulationResult(
+            duration_s=params.duration_s,
+            seed=self.seed,
+            allocated_phi=list(self._initial_phi),
+            allocated_key_rate=list(self._initial_key_rate),
+            demand_rate=list(self._demand_rate),
+            sample_times=list(monitor.sample_times),
+            buffer_bits=[list(row) for row in monitor.buffer_series],
+            delivered_bits_series=[list(row) for row in monitor.delivered_series],
+            shortfall_bits_series=[list(row) for row in monitor.shortfall_series],
+            pairs_generated=[s.pairs_generated for s in self.sources],
+            pairs_delivered=list(buffers.pairs_delivered),
+            pairs_dropped=list(buffers.pairs_dropped),
+            delivered_bits=list(buffers.delivered_bits),
+            demand_bits=list(buffers.demand_bits),
+            served_bits=list(buffers.served_bits),
+            shortfall_bits=list(buffers.shortfall_bits),
+            expected_key_bits=self._expected_bits,
+            outages=outages,
+            reopt_times=reopt_times,
+            reopt_failures=self.reopt_failures,
+            events_processed=self.sim.events_processed,
+            wall_time_s=wall,
+            trace_digest=self.sim.trace_digest(),
+        )
+
+
+def run_adaptive_study(
+    config: SystemConfig,
+    params: SimParams,
+    *,
+    seed: int = 0,
+    service: Optional["SolverService"] = None,
+) -> AdaptiveSimStudy:
+    """Adaptive vs static policy over a shared disruption trajectory.
+
+    Both runs use the same seed, so the policy-independent streams —
+    outage schedule and fading epochs — are identical draw for draw; only
+    the policy differs (the static run never re-solves).  Generation noise
+    diverges once the adaptive policy changes an allocation, so compare
+    policies on ``expected_gain_bits`` (exact) rather than the empirical
+    delivered-bits delta (±√N Poisson noise).
+    """
+    if params.reopt_interval_s <= 0:
+        raise ValueError("adaptive study needs reopt_interval_s > 0")
+    from repro.api.service import SolverService
+
+    service = service if service is not None else SolverService()
+    adaptive = QuantumNetworkSimulation(
+        config, params, seed=seed, service=service
+    ).run()
+    static_params = dataclasses.replace(params, reopt_interval_s=0.0)
+    static = QuantumNetworkSimulation(
+        config, static_params, seed=seed, service=service
+    ).run()
+    return AdaptiveSimStudy(adaptive=adaptive, static=static)

@@ -1,0 +1,253 @@
+"""Result objects of the discrete-event simulator.
+
+:class:`SimulationResult` is the durable artifact of one simulation run —
+time series of key-buffer levels, delivered key bits and demand shortfall,
+plus outage/re-optimization logs and engine counters.  It round-trips
+through the versioned :mod:`repro.io` codec registry (kind
+``simulation_result``), so ``repro run sim-outage --json`` and
+:class:`~repro.api.artifacts.RunRecord` artifacts work like every other
+scenario.
+
+:class:`AdaptiveSimStudy` pairs two runs (re-optimizing vs frozen
+allocation) over byte-identical disruption/fading/demand randomness and
+reports the adaptation gain.
+
+``wall_time_s`` (and the derived ``events_per_second``) are the only
+non-deterministic fields; determinism tests compare
+:meth:`SimulationResult.deterministic_payload`, which excludes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.tables import format_table
+
+__all__ = ["AdaptiveSimStudy", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Per-route lists are indexed by 0-based route index (route ``n`` serves
+    client ``n``); per-link lists by 0-based link index.  Series are
+    ``[sample][route]`` aligned with ``sample_times``.
+    """
+
+    duration_s: float
+    seed: int
+    #: allocation in force at t=0 (the solver's answer for the clean network)
+    allocated_phi: List[float]
+    #: analytic steady-state key rate φ_n·F_skf(ϖ_n) at t=0 (bits/s)
+    allocated_key_rate: List[float]
+    #: exogenous offered key demand per route (bits/s; 0 = no demand model)
+    demand_rate: List[float]
+    sample_times: List[float]
+    buffer_bits: List[List[float]]
+    delivered_bits_series: List[List[float]]
+    shortfall_bits_series: List[List[float]]
+    pairs_generated: List[int]
+    pairs_delivered: List[int]
+    pairs_dropped: List[int]
+    delivered_bits: List[float]
+    demand_bits: List[float]
+    served_bits: List[float]
+    shortfall_bits: List[float]
+    #: analytic ∫ Σ_{alive routes} φ_n F_skf(ϖ_n) dt over the horizon — the
+    #: Poisson-noise-free expectation of ``total_key_bits`` under the
+    #: policy's allocation trajectory and the realized outage schedule
+    expected_key_bits: float
+    #: outage log: [link_id, t_down, t_up] (t_up clamped to sim end)
+    outages: List[List[float]]
+    reopt_times: List[float]
+    reopt_failures: int
+    events_processed: int
+    wall_time_s: float
+    trace_digest: str
+
+    # -- scalar summaries -----------------------------------------------------
+
+    @property
+    def num_routes(self) -> int:
+        return len(self.allocated_phi)
+
+    @property
+    def total_key_bits(self) -> float:
+        """Secret bits delivered across all routes over the horizon."""
+        return float(sum(self.delivered_bits))
+
+    @property
+    def total_demand_bits(self) -> float:
+        return float(sum(self.demand_bits))
+
+    @property
+    def total_served_bits(self) -> float:
+        return float(sum(self.served_bits))
+
+    @property
+    def total_shortfall_bits(self) -> float:
+        """Demand that found an empty key buffer (outage losses)."""
+        return float(sum(self.shortfall_bits))
+
+    @property
+    def served_fraction(self) -> float:
+        """Fraction of offered demand served (1.0 when no demand model)."""
+        demand = self.total_demand_bits
+        return 1.0 if demand == 0 else self.total_served_bits / demand
+
+    @property
+    def delivered_key_rate(self) -> List[float]:
+        """Empirical per-route key rate over the horizon (bits/s)."""
+        return [bits / self.duration_s for bits in self.delivered_bits]
+
+    @property
+    def events_per_second(self) -> float:
+        """Engine throughput: events processed per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return self.events_processed / self.wall_time_s
+
+    @property
+    def outage_count(self) -> int:
+        return len(self.outages)
+
+    @property
+    def outage_seconds(self) -> float:
+        """Total link-down time accumulated across all outages."""
+        return float(sum(min(t_up, self.duration_s) - t_down
+                         for _, t_down, t_up in self.outages))
+
+    def deterministic_payload(self) -> Dict:
+        """The :mod:`repro.io` payload minus wall-clock-dependent fields.
+
+        Two runs with the same seed and parameters produce equal
+        deterministic payloads (and equal ``trace_digest``); this is the
+        object the seed-determinism tests compare.
+        """
+        from repro.io import result_to_dict
+
+        payload = result_to_dict(self)
+        payload.pop("wall_time_s", None)
+        return payload
+
+    def render(self) -> str:
+        rows = []
+        for n in range(self.num_routes):
+            rows.append([
+                n + 1,
+                f"{self.allocated_phi[n]:.3f}",
+                f"{self.allocated_key_rate[n]:.3f}",
+                f"{self.delivered_key_rate[n]:.3f}",
+                f"{self.buffer_bits[-1][n]:.1f}" if self.buffer_bits else "-",
+                f"{self.shortfall_bits[n]:.1f}",
+            ])
+        table = format_table(
+            ["route", "phi", "key rate (alloc)", "key rate (sim)",
+             "buffer (bits)", "shortfall (bits)"],
+            rows,
+            title=f"simulated {self.duration_s:g}s, seed={self.seed}",
+        )
+        lines = [
+            table,
+            f"pairs delivered: {sum(self.pairs_delivered)} "
+            f"(generated {sum(self.pairs_generated)}, "
+            f"dropped {sum(self.pairs_dropped)})",
+            f"key bits delivered: {self.total_key_bits:.1f} "
+            f"(expected {self.expected_key_bits:.1f})",
+        ]
+        if self.total_demand_bits > 0:
+            lines.append(
+                f"demand served: {self.total_served_bits:.1f} / "
+                f"{self.total_demand_bits:.1f} bits "
+                f"({100 * self.served_fraction:.1f}%)"
+            )
+        if self.outages:
+            spans = ", ".join(
+                f"link {int(l)} [{d:.1f}, {min(u, self.duration_s):.1f}]"
+                for l, d, u in self.outages
+            )
+            lines.append(
+                f"outages ({self.outage_count}, {self.outage_seconds:.1f}s down): {spans}"
+            )
+        if self.reopt_times:
+            lines.append(
+                f"re-optimizations: {len(self.reopt_times)} "
+                f"(failures: {self.reopt_failures})"
+            )
+        lines.append(
+            f"events: {self.events_processed} "
+            f"({self.events_per_second:,.0f} events/s wall)"
+        )
+        return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class AdaptiveSimStudy:
+    """Adaptive (re-optimizing) vs static policy on identical randomness."""
+
+    adaptive: SimulationResult
+    static: SimulationResult
+
+    @property
+    def key_bits_gain(self) -> float:
+        """Extra secret bits delivered by re-optimizing mid-simulation.
+
+        Empirical (one sample path); ±√N Poisson noise can dominate over
+        short horizons — :attr:`expected_gain_bits` is the exact view.
+        """
+        return self.adaptive.total_key_bits - self.static.total_key_bits
+
+    @property
+    def expected_gain_bits(self) -> float:
+        """Noise-free adaptation gain: the difference of the analytic
+        ``expected_key_bits`` integrals over the shared outage schedule."""
+        return self.adaptive.expected_key_bits - self.static.expected_key_bits
+
+    @property
+    def expected_gain_fraction(self) -> float:
+        """Expected gain relative to the static policy's expected bits."""
+        base = self.static.expected_key_bits
+        return 0.0 if base == 0 else self.expected_gain_bits / base
+
+    @property
+    def shortfall_reduction_bits(self) -> float:
+        """Demand shortfall avoided by the adaptive policy."""
+        return self.static.total_shortfall_bits - self.adaptive.total_shortfall_bits
+
+    @property
+    def served_fraction_gain(self) -> float:
+        return self.adaptive.served_fraction - self.static.served_fraction
+
+    @property
+    def reopt_count(self) -> int:
+        return len(self.adaptive.reopt_times)
+
+    def render(self) -> str:
+        rows = [
+            ["expected key bits",
+             f"{self.adaptive.expected_key_bits:.1f}",
+             f"{self.static.expected_key_bits:.1f}",
+             f"{self.expected_gain_bits:+.1f} "
+             f"({100 * self.expected_gain_fraction:+.2f}%)"],
+            ["key bits delivered",
+             f"{self.adaptive.total_key_bits:.1f}",
+             f"{self.static.total_key_bits:.1f}",
+             f"{self.key_bits_gain:+.1f}"],
+            ["shortfall (bits)",
+             f"{self.adaptive.total_shortfall_bits:.1f}",
+             f"{self.static.total_shortfall_bits:.1f}",
+             f"{-self.shortfall_reduction_bits:+.1f}"],
+            ["served fraction",
+             f"{self.adaptive.served_fraction:.4f}",
+             f"{self.static.served_fraction:.4f}",
+             f"{self.served_fraction_gain:+.4f}"],
+        ]
+        table = format_table(
+            ["metric", "adaptive", "static", "delta"],
+            rows,
+            title=f"adaptation study ({self.reopt_count} re-optimizations, "
+                  f"{self.adaptive.outage_count} outages)",
+        )
+        return table + "\n" + self.adaptive.render()

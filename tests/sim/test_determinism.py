@@ -1,0 +1,82 @@
+"""Seed determinism: the contract docs/simulation.md promises."""
+
+import pytest
+
+from repro.api.service import SolverService
+from repro.core.config import paper_config
+from repro.sim import QuantumNetworkSimulation, SimParams, run_adaptive_study
+
+
+@pytest.fixture(scope="module")
+def config():
+    return paper_config(seed=2)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return SolverService()
+
+
+DISRUPTED = SimParams(
+    duration_s=60.0,
+    demand_factor=0.9,
+    outage_rate=0.05,
+    outage_duration_s=20.0,
+    fading_interval_s=15.0,
+)
+
+
+def _run(config, service, seed, params=DISRUPTED):
+    return QuantumNetworkSimulation(
+        config, params, seed=seed, service=service
+    ).run()
+
+
+class TestSeedDeterminism:
+    def test_same_seed_identical_trace_and_result(self, config, service):
+        first = _run(config, service, seed=13)
+        second = _run(config, service, seed=13)
+        assert first.trace_digest == second.trace_digest
+        assert first.deterministic_payload() == second.deterministic_payload()
+
+    def test_different_seed_differs(self, config, service):
+        first = _run(config, service, seed=13)
+        other = _run(config, service, seed=14)
+        assert first.trace_digest != other.trace_digest
+        assert first.deterministic_payload() != other.deterministic_payload()
+
+    def test_wall_time_excluded_from_deterministic_payload(
+        self, config, service
+    ):
+        payload = _run(config, service, seed=13).deterministic_payload()
+        assert "wall_time_s" not in payload
+        assert payload["kind"] == "simulation_result"
+
+    def test_adaptive_study_deterministic(self, config, service):
+        params = SimParams(
+            duration_s=40.0,
+            demand_factor=0.9,
+            outage_rate=0.05,
+            outage_duration_s=15.0,
+            fading_interval_s=10.0,
+            reopt_interval_s=10.0,
+        )
+        a = run_adaptive_study(config, params, seed=21, service=service)
+        b = run_adaptive_study(config, params, seed=21, service=service)
+        assert a.adaptive.trace_digest == b.adaptive.trace_digest
+        assert a.static.trace_digest == b.static.trace_digest
+        assert a.expected_gain_bits == b.expected_gain_bits
+
+    def test_policies_share_disruption_and_fading_randomness(
+        self, config, service
+    ):
+        """Fair comparison: both policies see the same outage schedule."""
+        params = SimParams(
+            duration_s=80.0,
+            outage_rate=0.05,
+            outage_duration_s=20.0,
+            reopt_interval_s=20.0,
+        )
+        study = run_adaptive_study(config, params, seed=23, service=service)
+        assert study.adaptive.outage_count >= 1
+        assert study.adaptive.outages == study.static.outages

@@ -1,0 +1,200 @@
+"""The discrete-event kernel: ordering, processes, RNG streams."""
+
+import pytest
+
+from repro.sim.engine import Process, RngStreams, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run(until=10.0)
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 10.0
+        assert sim.events_processed == 3
+
+    def test_simultaneous_events_fifo_within_priority(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run(until=1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_orders_same_time_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("late"), priority=10)
+        sim.schedule(1.0, lambda: fired.append("early"), priority=-10)
+        sim.schedule(1.0, lambda: fired.append("mid"))
+        sim.run(until=1.0)
+        assert fired == ["early", "mid", "late"]
+
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("x"))
+        sim.run(until=4.0)
+        assert fired == []
+        sim.run(until=6.0)
+        assert fired == ["x"]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_schedule_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError, match="cannot schedule"):
+            sim.schedule_at(2.0, lambda: None)
+
+    def test_clock_never_runs_backwards(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(ValueError, match="cannot run"):
+            sim.run(until=3.0)
+
+
+class _Ticker(Process):
+    """Fixed-interval process counting its own steps."""
+
+    def __init__(self, name="ticker", interval=1.0):
+        super().__init__(name)
+        self.interval = interval
+        self.steps = []
+
+    def next_delay(self):
+        return self.interval
+
+    def step(self):
+        self.steps.append(self.sim.now)
+
+
+class TestProcess:
+    def test_process_self_schedules(self):
+        sim = Simulator()
+        ticker = sim.add(_Ticker(interval=2.0))
+        sim.run(until=7.0)
+        assert ticker.steps == [2.0, 4.0, 6.0]
+
+    def test_pause_makes_pending_events_inert(self):
+        sim = Simulator()
+        ticker = sim.add(_Ticker(interval=2.0))
+        sim.run(until=3.0)          # stepped at t=2, next armed for t=4
+        ticker.pause()
+        sim.run(until=10.0)
+        assert ticker.steps == [2.0]
+
+    def test_resume_rearms_from_now(self):
+        sim = Simulator()
+        ticker = sim.add(_Ticker(interval=2.0))
+        sim.run(until=3.0)
+        ticker.pause()
+        sim.run(until=5.0)
+        ticker.resume()
+        sim.run(until=8.0)
+        assert ticker.steps == [2.0, 7.0]   # resumed at t=5, interval 2
+
+    def test_none_delay_ends_process(self):
+        class OneShot(Process):
+            def __init__(self):
+                super().__init__("oneshot")
+                self.count = 0
+
+            def next_delay(self):
+                return 1.0 if self.count == 0 else None
+
+            def step(self):
+                self.count += 1
+
+        sim = Simulator()
+        proc = sim.add(OneShot())
+        sim.run(until=10.0)
+        assert proc.count == 1
+
+    def test_entities_added_after_run_start_on_next_run(self):
+        sim = Simulator()
+        sim.run(until=1.0)
+        ticker = sim.add(_Ticker(interval=1.0))
+        sim.run(until=3.5)
+        assert ticker.steps == [2.0, 3.0]
+
+
+class TestRngStreams:
+    def test_same_seed_same_name_same_draws(self):
+        a = RngStreams(7).stream("gen.link1")
+        b = RngStreams(7).stream("gen.link1")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("gen.link1").random(5)
+        b = streams.stream("gen.link2").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(7).stream("fading").random(5)
+        b = RngStreams(8).stream("fading").random(5)
+        assert a.tolist() != b.tolist()
+
+    def test_stream_isolation_from_creation_order(self):
+        """Touching extra streams must not perturb an existing stream."""
+        lone = RngStreams(3)
+        crowded = RngStreams(3)
+        for name in ("a", "b", "c"):
+            crowded.stream(name)
+        assert (
+            lone.stream("disruption").random(8).tolist()
+            == crowded.stream("disruption").random(8).tolist()
+        )
+
+    def test_stream_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+
+class TestTrace:
+    def test_trace_records_time_and_tag(self):
+        sim = Simulator(record_trace=True)
+        sim.schedule(1.0, lambda: None, tag="one")
+        sim.schedule(2.0, lambda: None, tag="two")
+        sim.run(until=5.0)
+        assert sim.trace == [(1.0, "one"), (2.0, "two")]
+        assert len(sim.trace_digest()) == 64
+
+    def test_trace_off_by_default(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert sim.trace_digest() == ""
+        with pytest.raises(RuntimeError, match="trace recording is off"):
+            sim.trace

@@ -1,0 +1,107 @@
+"""The sim-* scenarios: registry integration, codecs, CLI end-to-end."""
+
+import json
+
+import pytest
+
+from repro.api import get_scenario
+from repro.cli import main
+from repro.io import (
+    registered_kinds,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    load_result,
+)
+from repro.sim.result import AdaptiveSimStudy, SimulationResult
+
+
+@pytest.fixture(scope="module")
+def keyrate_result():
+    return get_scenario("sim-keyrate").execute({"duration": 20.0})
+
+
+@pytest.fixture(scope="module")
+def adaptive_study():
+    return get_scenario("sim-adaptive").execute({
+        "duration": 40.0,
+        "reopt_interval": 15.0,
+        "fading_interval": 15.0,
+    })
+
+
+class TestRegistryIntegration:
+    def test_sim_scenarios_registered(self):
+        for name in ("sim-keyrate", "sim-outage", "sim-adaptive"):
+            scenario = get_scenario(name)
+            assert scenario.help
+            assert "seed" in scenario.param_names
+
+    def test_keyrate_scenario_returns_simulation_result(self, keyrate_result):
+        assert isinstance(keyrate_result, SimulationResult)
+        assert keyrate_result.duration_s == 20.0
+        assert keyrate_result.total_key_bits > 0
+        assert get_scenario("sim-keyrate").render(keyrate_result)
+
+    def test_adaptive_scenario_returns_study(self, adaptive_study):
+        assert isinstance(adaptive_study, AdaptiveSimStudy)
+        assert adaptive_study.reopt_count >= 2
+        assert adaptive_study.static.reopt_times == []
+        assert get_scenario("sim-adaptive").render(adaptive_study)
+
+
+class TestCodecs:
+    def test_kinds_registered(self):
+        kinds = registered_kinds()
+        assert "simulation_result" in kinds
+        assert "adaptive_sim_study" in kinds
+
+    def test_simulation_result_roundtrip(self, keyrate_result):
+        payload = result_to_dict(keyrate_result)
+        assert payload["kind"] == "simulation_result"
+        assert payload["format_version"] == 1
+        restored = result_from_dict(json.loads(json.dumps(payload)))
+        assert restored == keyrate_result
+
+    def test_adaptive_study_roundtrip(self, adaptive_study):
+        payload = result_to_dict(adaptive_study)
+        assert payload["kind"] == "adaptive_sim_study"
+        restored = result_from_dict(json.loads(json.dumps(payload)))
+        assert restored == adaptive_study
+        assert restored.expected_gain_bits == adaptive_study.expected_gain_bits
+
+    def test_file_roundtrip(self, keyrate_result, tmp_path):
+        path = save_result(keyrate_result, tmp_path / "sim.json")
+        assert load_result(path) == keyrate_result
+
+
+class TestCli:
+    def test_run_sim_outage_json_end_to_end(self, capsys):
+        """The acceptance-criterion path: repro run sim-outage --json."""
+        assert main([
+            "run", "sim-outage", "--set", "duration=30", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "simulation_result"
+        restored = result_from_dict(payload)
+        assert restored.duration_s == 30.0
+        assert restored.events_processed > 10_000
+
+    def test_run_sim_adaptive_out_writes_record(self, tmp_path, capsys):
+        assert main([
+            "run", "sim-adaptive",
+            "--set", "duration=30",
+            "--set", "reopt_interval=10",
+            "--set", "fading_interval=10",
+            "--out", str(tmp_path),
+        ]) == 0
+        records = list(tmp_path.glob("*/record.json"))
+        assert len(records) == 1
+        data = json.loads(records[0].read_text())
+        assert data["scenario"] == "sim-adaptive"
+        assert data["result"]["kind"] == "adaptive_sim_study"
+
+    def test_list_includes_sim_descriptions(self, capsys):
+        assert main(["list", "--brief"]) == 0
+        out = capsys.readouterr().out
+        assert "sim-outage: link outages + transciphering demand" in out
