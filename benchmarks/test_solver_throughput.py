@@ -57,14 +57,41 @@ def test_cache_hit_is_fast_and_identical(typical_cfg, capsys):
 
 
 @pytest.mark.smoke
-def test_solve_many_pooled_identical_to_serial(sweep_configs):
-    serial = SolverService().solve_many(sweep_configs, workers=1, use_cache=False)
-    pooled = SolverService().solve_many(sweep_configs, workers=2, use_cache=False)
-    for a, b in zip(serial, pooled):
+def test_solve_many_backends_identical_to_serial(sweep_configs):
+    serial = SolverService().solve_many(
+        sweep_configs, backend="serial", use_cache=False
+    )
+    # The pool backend runs the same scalar code in worker processes
+    # (bit-identical); the batched backend shares the scalar Stage-3 core
+    # and agrees within the 1e-9 equivalence contract.
+    pooled = SolverService().solve_many(
+        sweep_configs, backend="pool", workers=2, use_cache=False
+    )
+    batched = SolverService().solve_many(
+        sweep_configs, backend="batched", use_cache=False
+    )
+    for a, b, c in zip(serial, pooled, batched):
         assert a.objective == pytest.approx(b.objective, rel=1e-12)
-        assert np.allclose(a.allocation.phi, b.allocation.phi)
-        assert np.allclose(a.allocation.b, b.allocation.b)
-        assert np.allclose(a.allocation.f_s, b.allocation.f_s)
+        assert abs(a.objective - c.objective) <= 1e-9
+        assert np.array_equal(a.allocation.lam, c.allocation.lam)
+        for other in (b, c):
+            assert np.allclose(a.allocation.phi, other.allocation.phi)
+            assert np.allclose(a.allocation.b, other.allocation.b)
+            assert np.allclose(a.allocation.f_s, other.allocation.f_s)
+
+
+@pytest.mark.smoke
+def test_auto_backend_avoids_pool_on_small_machines(sweep_configs, monkeypatch):
+    """The 1-core pool regression: workers>1 must not force a pool."""
+    import repro.api.service as service_module
+
+    monkeypatch.setattr(service_module.os, "cpu_count", lambda: 1)
+    service = SolverService()
+    service.solve_many(sweep_configs[:2], workers=2, use_cache=False)
+    assert service.last_backend == "batched"
+    monkeypatch.setattr(service_module.os, "cpu_count", lambda: 8)
+    service.solve_many(sweep_configs[:2], workers=2, use_cache=False)
+    assert service.last_backend == "pool"
 
 
 @pytest.mark.bench

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Batched-solver throughput snapshot → ``BENCH_batch.json``.
+
+Measures the ISSUE-4 acceptance quantity: the vectorized ``batched``
+backend against the serial scalar path on the Fig.-6(a) bandwidth sweep,
+one config per sweep point, all on a single process.  Equivalence
+(objective within 1e-9, identical λ) is asserted before any timing so the
+speedup never comes from solving a different problem.
+
+Also records how the batched backend scales with K (per-config seconds at
+K = 1 / 4 / 16 / 64) and the Stage-1 dedup effect.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_batch.py               # full grid
+    PYTHONPATH=src python scripts/bench_batch.py --quick       # small grid
+    PYTHONPATH=src python scripts/bench_batch.py --check       # enforce floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api.service import SolverService  # noqa: E402
+from repro.core.batched import BatchedQuHE  # noqa: E402
+from repro.core.config import paper_config  # noqa: E402
+from repro.core.quhe import QuHE  # noqa: E402
+from repro.utils.bench import (  # noqa: E402
+    BenchResult,
+    Floor,
+    run_check,
+    write_results,
+)
+
+#: ISSUE-4 acceptance: batched ≥ 5× the serial scalar path on the full
+#: 16-point sweep.  The --quick 8-point batch amortizes less and runs on
+#: noisier CI machines, so it gets a softer floor.
+FLOORS = (
+    Floor(
+        op="fig6_bandwidth_sweep",
+        backend="batched",
+        min_ratio=5.0,
+        min_ratio_vs="fig6_bandwidth_sweep_serial",
+    ),
+)
+QUICK_FLOORS = (
+    Floor(
+        op="fig6_bandwidth_sweep",
+        backend="batched",
+        min_ratio=2.5,
+        min_ratio_vs="fig6_bandwidth_sweep_serial",
+    ),
+)
+
+
+def sweep_configs(points: int, seed: int = 2):
+    base = paper_config(seed=seed)
+    return [
+        base.with_total_bandwidth(float(v))
+        for v in np.linspace(0.5e7, 1.5e7, points)
+    ]
+
+
+def bench_sweep(points: int, seed: int):
+    configs = sweep_configs(points, seed)
+    # Correctness first: the batched backend must match the scalar solver.
+    serial_results = [QuHE(cfg).solve() for cfg in configs]
+    batched_results = BatchedQuHE().solve_batch(configs)
+    for a, b in zip(serial_results, batched_results):
+        assert abs(a.objective - b.objective) <= 1e-9, "batched diverged"
+        assert np.array_equal(a.allocation.lam, b.allocation.lam)
+
+    start = time.perf_counter()
+    for cfg in configs:
+        QuHE(cfg).solve()
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    BatchedQuHE().solve_batch(configs)
+    batched_s = time.perf_counter() - start
+
+    params = {"batch": points, "seed": seed, "cpu_count": os.cpu_count()}
+    yield BenchResult(
+        op="fig6_bandwidth_sweep",
+        backend="serial",
+        params=params,
+        reps=points,
+        seconds_per_op=serial_s / points,
+    )
+    # The serial total rides along under its own op name so the ratio floor
+    # can reference it directly.
+    yield BenchResult(
+        op="fig6_bandwidth_sweep_serial",
+        backend="scalar-loop",
+        params=params,
+        reps=points,
+        seconds_per_op=serial_s / points,
+    )
+    yield BenchResult(
+        op="fig6_bandwidth_sweep",
+        backend="batched",
+        params={**params, "speedup_vs_serial": serial_s / batched_s},
+        reps=points,
+        seconds_per_op=batched_s / points,
+    )
+
+
+def bench_scaling(seed: int, sizes=(1, 4, 16, 64)):
+    base = paper_config(seed=seed)
+    for k in sizes:
+        configs = [
+            base.with_total_bandwidth(float(v))
+            for v in np.linspace(0.5e7, 1.5e7, k)
+        ]
+        solver = BatchedQuHE()
+        solver.solve_batch(configs[:1])  # warm numpy / stage-1 cache cold
+        start = time.perf_counter()
+        BatchedQuHE().solve_batch(configs)
+        elapsed = time.perf_counter() - start
+        yield BenchResult(
+            op="batched_scaling",
+            backend=f"K={k}",
+            params={"batch": k, "seed": seed},
+            reps=k,
+            seconds_per_op=elapsed / k,
+        )
+
+
+def bench_service_cache(seed: int):
+    configs = sweep_configs(8, seed)
+    service = SolverService(cache_size=128)
+    service.solve_many(configs, backend="batched")
+    start = time.perf_counter()
+    service.solve_many(configs, backend="batched")
+    elapsed = time.perf_counter() - start
+    yield BenchResult(
+        op="solve_many_warm_cache",
+        backend="batched",
+        params={"batch": len(configs), "seed": seed},
+        reps=len(configs),
+        seconds_per_op=elapsed / len(configs),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_batch.json")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="8-point sweep, no scaling grid")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
+    args = parser.parse_args(argv)
+
+    results: list[BenchResult] = []
+    points = 8 if args.quick else 16
+    for res in bench_sweep(points, args.seed):
+        results.append(res)
+        print(res)
+    if not args.quick:
+        for res in bench_scaling(args.seed):
+            results.append(res)
+            print(res)
+    for res in bench_service_cache(args.seed):
+        results.append(res)
+        print(res)
+
+    by_backend = {
+        r.backend: r for r in results if r.op == "fig6_bandwidth_sweep"
+    }
+    speedup = (
+        by_backend["serial"].seconds_per_op
+        / by_backend["batched"].seconds_per_op
+    )
+    print(f"\nbatched vs serial scalar: {speedup:.2f}x "
+          f"({os.cpu_count()} cpu)")
+
+    out = write_results(args.output, results)
+    print(f"wrote {out}")
+    if args.check:
+        return run_check(results, QUICK_FLOORS if args.quick else FLOORS)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,27 @@ from repro.crypto.ckks import CKKSContext  # noqa: E402
 from repro.crypto.ntt import find_ntt_primes  # noqa: E402
 from repro.crypto.poly import PolyRing  # noqa: E402
 from repro.crypto.rns import RNSPolyRing  # noqa: E402
-from repro.utils.bench import BenchResult, time_op, write_results  # noqa: E402
+from repro.utils.bench import (  # noqa: E402
+    BenchResult,
+    Floor,
+    run_check,
+    time_op,
+    write_results,
+)
+
+#: --check floor: the RNS ring must stay well ahead of the big-int ring
+#: at the paper's n=4096 (see BENCH_crypto.json for the trajectory).
+FLOORS = (
+    Floor(op="ring_mul", backend="rns", min_ratio=10.0,
+          min_ratio_vs="ring_mul", min_ratio_vs_backend="reference",
+          params={"n": 4096}),
+)
+#: --quick skips n=4096, so its floor guards the largest quick degree.
+QUICK_FLOORS = (
+    Floor(op="ring_mul", backend="rns", min_ratio=4.0,
+          min_ratio_vs="ring_mul", min_ratio_vs_backend="reference",
+          params={"n": 1024}),
+)
 
 
 def bench_ring_mul(degree: int, prime_bits: int, num_primes: int, *, reference_cap: int):
@@ -78,6 +98,8 @@ def bench_ckks(degree: int, depth: int):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_crypto.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
     parser.add_argument(
         "--quick", action="store_true",
         help="small grid only (skips n=4096 and the reference ring there)",
@@ -109,6 +131,8 @@ def main(argv=None) -> int:
 
     out = write_results(args.output, results)
     print(f"\nwrote {out}")
+    if args.check:
+        return run_check(results, QUICK_FLOORS if args.quick else FLOORS)
     return 0
 
 

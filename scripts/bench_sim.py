@@ -33,7 +33,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.api.service import SolverService  # noqa: E402
 from repro.core.config import paper_config  # noqa: E402
 from repro.sim import QuantumNetworkSimulation, SimParams  # noqa: E402
-from repro.utils.bench import BenchResult, write_results  # noqa: E402
+from repro.utils.bench import BenchResult, Floor, run_check, write_results  # noqa: E402
+
+#: --check floors: the engine must clear the CI smoke throughput on the
+#: clean workload (mirrors benchmarks/test_sim_throughput.py).
+FLOORS = (Floor(op="sim_clean", min_ops_per_second=10_000.0),)
 
 
 def workloads(duration: float):
@@ -84,6 +88,8 @@ def main() -> int:
                         help="simulated horizon per workload (s)")
     parser.add_argument("--seed", type=int, default=2)
     parser.add_argument("--output", type=str, default="BENCH_sim.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
     args = parser.parse_args()
 
     results = []
@@ -94,6 +100,8 @@ def main() -> int:
     floor = min(r.ops_per_second for r in results)
     print(f"wrote {out} (cpu_count={os.cpu_count()}, "
           f"slowest workload {floor:,.0f} events/s)")
+    if args.check:
+        return run_check(results, FLOORS)
     return 0
 
 

@@ -35,7 +35,26 @@ import numpy as np  # noqa: E402
 from repro.api.service import SolverService, config_fingerprint  # noqa: E402
 from repro.core.config import paper_config  # noqa: E402
 from repro.experiments.fig6_sweeps import PAPER_SWEEPS  # noqa: E402
-from repro.utils.bench import BenchResult, time_op, write_results  # noqa: E402
+from repro.utils.bench import (  # noqa: E402
+    BenchResult,
+    Floor,
+    run_check,
+    time_op,
+    write_results,
+)
+
+#: --check floors: a cache hit must dominate a cold solve, and the batched
+#: backend must dominate the serial loop on the sweep batch.
+FLOORS = (
+    Floor(op="solve_cached", min_ratio=5.0, min_ratio_vs="solve_cold"),
+    Floor(
+        op="solve_many_fig6_bandwidth",
+        backend="batched",
+        min_ratio=2.5,
+        min_ratio_vs="solve_many_fig6_bandwidth",
+        min_ratio_vs_backend="serial",
+    ),
+)
 
 
 def sweep_configs(seed: int = 2):
@@ -66,19 +85,26 @@ def bench_single(seed: int = 2):
 
 def bench_solve_many(worker_grid, seed: int = 2):
     configs = sweep_configs(seed)
-    reference = SolverService().solve_many(configs, workers=1, use_cache=False)
-    for workers in worker_grid:
+    reference = SolverService().solve_many(
+        configs, backend="serial", use_cache=False
+    )
+    runs = [("serial", {"backend": "serial"}), ("batched", {"backend": "batched"})]
+    runs += [
+        (f"pool-workers={w}", {"backend": "pool", "workers": w})
+        for w in worker_grid
+    ]
+    for label, kwargs in runs:
         service = SolverService()
         start = time.perf_counter()
-        results = service.solve_many(configs, workers=workers, use_cache=False)
+        results = service.solve_many(configs, use_cache=False, **kwargs)
         elapsed = time.perf_counter() - start
         for a, b in zip(reference, results):
-            assert np.isclose(a.objective, b.objective), (
-                f"workers={workers} diverged from serial"
+            assert abs(a.objective - b.objective) <= 1e-9, (
+                f"{label} diverged from serial"
             )
         yield BenchResult(
             op="solve_many_fig6_bandwidth",
-            backend=f"workers={workers}",
+            backend=label,
             params={"batch": len(configs), "seed": seed,
                     "cpu_count": os.cpu_count()},
             reps=1,
@@ -90,31 +116,35 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_solver.json")
     parser.add_argument("--quick", action="store_true",
-                        help="workers 1 and 2 only")
+                        help="pool at 2 workers only")
     parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
     args = parser.parse_args(argv)
 
     results: list[BenchResult] = []
     for res in bench_single(seed=args.seed):
         results.append(res)
         print(res)
-    worker_grid = (1, 2) if args.quick else (1, 2, 4)
+    worker_grid = (2,) if args.quick else (2, 4)
     for res in bench_solve_many(worker_grid, seed=args.seed):
         results.append(res)
         print(res)
 
-    by_workers = {
+    by_backend = {
         r.backend: r.seconds_per_op
         for r in results if r.op == "solve_many_fig6_bandwidth"
     }
-    serial = by_workers.get("workers=1")
+    serial = by_backend.get("serial")
     if serial:
-        for backend, sec in sorted(by_workers.items()):
+        for backend, sec in sorted(by_backend.items()):
             print(f"solve_many {backend}: {serial / sec:.2f}x vs serial "
                   f"({os.cpu_count()} cpu)")
 
     out = write_results(args.output, results)
     print(f"\nwrote {out}")
+    if args.check:
+        return run_check(results, FLOORS)
     return 0
 
 

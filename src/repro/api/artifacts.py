@@ -77,6 +77,9 @@ class RunRecord:
     started_at: str
     runtime_s: float
     run_id: str = ""
+    #: Concrete solver backend the run used for batch solves ("batched",
+    #: "pool" or "serial"), or None when the scenario never batch-solved.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.run_id:
@@ -108,6 +111,7 @@ class RunRecord:
             "seed": self.seed,
             "started_at": self.started_at,
             "runtime_s": self.runtime_s,
+            "backend": self.backend,
             "result": self.result_payload(),
         }
 
@@ -142,12 +146,26 @@ class RunRecord:
             started_at=data["started_at"],
             runtime_s=float(data["runtime_s"]),
             run_id=data["run_id"],
+            backend=data.get("backend"),
         )
 
 
-def record_run(scenario_name: str, params: Dict[str, Any], run) -> RunRecord:
-    """Execute ``run(**params)`` and wrap the outcome in a :class:`RunRecord`."""
+def record_run(
+    scenario_name: str,
+    params: Dict[str, Any],
+    run,
+    *,
+    backend_probe=None,
+) -> RunRecord:
+    """Execute ``run(**params)`` and wrap the outcome in a :class:`RunRecord`.
+
+    ``backend_probe`` is an optional zero-argument callable queried *after*
+    the run for the concrete solver backend it used (the scenario layer
+    passes :meth:`SolverService.consume_last_backend`).
+    """
     started_at = time.strftime("%Y%m%dT%H%M%S")
+    if backend_probe is not None:
+        backend_probe()  # clear any stale value from a previous run
     start = time.perf_counter()
     result = run(**params)
     runtime = time.perf_counter() - start
@@ -157,4 +175,5 @@ def record_run(scenario_name: str, params: Dict[str, Any], run) -> RunRecord:
         result=result,
         started_at=started_at,
         runtime_s=runtime,
+        backend=backend_probe() if backend_probe is not None else None,
     )

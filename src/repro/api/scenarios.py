@@ -53,7 +53,12 @@ def run_scenario(
     """
     scenario = get_scenario(name)
     params = scenario.bind(overrides)
-    record = record_run(scenario.name, params, scenario.run)
+    record = record_run(
+        scenario.name,
+        params,
+        scenario.run,
+        backend_probe=SERVICE.consume_last_backend,
+    )
     if out_dir:
         record.save(out_dir)
     return record
@@ -233,11 +238,25 @@ register_scenario(Scenario(
 # -- fig6 --------------------------------------------------------------------
 
 
-def _run_fig6(seed, panel, workers):
+#: Batch-solver backend selector shared by the sweep-shaped scenarios.
+_BACKEND = ParamSpec(
+    "backend", str, "auto",
+    choices=("auto", "batched", "pool", "serial"),
+    help="batch solver backend (auto = batched on <=2 cores)",
+)
+
+
+def _run_fig6(seed, panel, workers, backend):
     from repro.experiments.fig6_sweeps import PANEL_ORDER, run_panels
 
     panels = PANEL_ORDER if panel == "all" else (panel,)
-    return run_panels(paper_config(seed=seed), panels=panels, workers=workers)
+    return run_panels(
+        paper_config(seed=seed),
+        panels=panels,
+        workers=workers,
+        backend=backend,
+        service=SERVICE,
+    )
 
 
 register_scenario(Scenario(
@@ -252,6 +271,7 @@ register_scenario(Scenario(
         ),
         ParamSpec("workers", int, 1,
                   help="fan sweep points out over N worker processes"),
+        _BACKEND,
     ),
     run=_run_fig6,
     render=lambda sweep_set: sweep_set.render(),
@@ -262,16 +282,18 @@ register_scenario(Scenario(
 # -- ablations ---------------------------------------------------------------
 
 
-def _run_ablations(seed):
+def _run_ablations(seed, backend):
     from repro.experiments.ablations import run_ablation_suite
 
-    return run_ablation_suite(paper_config(seed=seed))
+    return run_ablation_suite(
+        paper_config(seed=seed), backend=backend, service=SERVICE
+    )
 
 
 register_scenario(Scenario(
     name="ablations",
     help="DESIGN.md §7 ablations: B&B pruning, transform vs direct, weights",
-    params=(_SEED,),
+    params=(_SEED, _BACKEND),
     run=_run_ablations,
     render=lambda suite: suite.render(),
 ))
@@ -280,10 +302,16 @@ register_scenario(Scenario(
 # -- dynamic -----------------------------------------------------------------
 
 
-def _run_dynamic(seed, epochs):
+def _run_dynamic(seed, epochs, backend):
     from repro.experiments.dynamic import run_dynamic_study
 
-    return run_dynamic_study(paper_config(seed=seed), num_epochs=epochs, seed=seed)
+    return run_dynamic_study(
+        paper_config(seed=seed),
+        num_epochs=epochs,
+        seed=seed,
+        backend=backend,
+        service=SERVICE,
+    )
 
 
 def _render_dynamic(study) -> str:
@@ -300,7 +328,11 @@ def _render_dynamic(study) -> str:
 register_scenario(Scenario(
     name="dynamic",
     help="block-fading adaptation study (adaptive vs static policy)",
-    params=(_SEED, ParamSpec("epochs", int, 5, help="fading epochs to simulate")),
+    params=(
+        _SEED,
+        ParamSpec("epochs", int, 5, help="fading epochs to simulate"),
+        _BACKEND,
+    ),
     run=_run_dynamic,
     render=_render_dynamic,
     smoke_overrides={"epochs": 2},

@@ -33,12 +33,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from collections import Counter, OrderedDict
 from itertools import accumulate
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batched import BatchedQuHE
 from repro.core.config import SystemConfig
 from repro.core.quhe import QuHE, QuHEResult
 from repro.core.solution import Allocation
@@ -50,7 +52,33 @@ __all__ = [
     "SolverService",
     "config_fingerprint",
     "canonical_config_dict",
+    "resolve_backend",
 ]
+
+#: Recognised ``solve_many`` backends (besides the "auto" selector).
+BACKENDS = ("batched", "pool", "serial")
+
+
+def resolve_backend(backend: str, workers: Optional[int]) -> str:
+    """Map a requested backend (possibly ``"auto"``) to a concrete one.
+
+    ``auto`` picks the vectorized in-process batch on machines with ≤ 2
+    cores — where a process pool is pure overhead (fork + pickle + import
+    cost with no parallelism to buy; see ``BENCH_solver.json``'s
+    ``workers=2`` row on a 1-core container) — and otherwise honours a
+    ``workers > 1`` request with the pool.  Without a worker request the
+    batched backend wins on any core count: one process, no serialization.
+    """
+    if backend != "auto":
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{('auto',) + BACKENDS}"
+            )
+        return backend
+    if workers is not None and workers > 1 and (os.cpu_count() or 1) > 2:
+        return "pool"
+    return "batched"
 
 
 class FingerprintError(ValueError):
@@ -147,6 +175,12 @@ def _solve_config(config: SystemConfig) -> QuHEResult:
     return QuHE(config).solve()
 
 
+def _solve_config_warm(task) -> QuHEResult:
+    """A (config, initial-allocation) solve, picklable for process pools."""
+    config, initial = task
+    return QuHE(config).solve(initial)
+
+
 class SolverService:
     """Front-door to QuHE with result caching and batch fan-out."""
 
@@ -157,6 +191,17 @@ class SolverService:
         self._cache: "OrderedDict[str, QuHEResult]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        #: The concrete backend used by the most recent :meth:`solve_many`
+        #: (recorded into :class:`~repro.api.artifacts.RunRecord`).
+        self.last_backend: Optional[str] = None
+        # Persistent batch solver: its Stage-1 dedup cache survives across
+        # calls, so repeated sweeps over one network skip the convex solve.
+        self._batched = BatchedQuHE()
+
+    def consume_last_backend(self) -> Optional[str]:
+        """Return and clear the backend chosen by the last batch solve."""
+        backend, self.last_backend = self.last_backend, None
+        return backend
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -231,16 +276,27 @@ class SolverService:
         self,
         configs: Sequence[SystemConfig],
         *,
+        backend: str = "auto",
         workers: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         use_cache: bool = True,
+        initials: Optional[Sequence[Optional[Allocation]]] = None,
     ) -> List[QuHEResult]:
-        """Solve a batch of configurations, optionally over ``workers`` processes.
+        """Solve a batch of configurations through the chosen backend.
 
-        Results come back in input order and are identical to the serial
-        run.  Fingerprint-identical configs are solved once; cached entries
-        skip the pool entirely.  ``progress(done, total)`` counts *input*
-        configs as their results become available.
+        ``backend`` is one of ``"batched"`` (stack all pending configs into
+        one vectorized :class:`~repro.core.batched.BatchedQuHE` pass),
+        ``"pool"`` (fan out over ``workers`` processes), ``"serial"`` (plain
+        loop), or ``"auto"`` — which picks ``batched`` on machines with ≤ 2
+        cores (where a pool is pure overhead) and otherwise honours a
+        ``workers > 1`` request with the pool.  The concrete choice is
+        recorded in :attr:`last_backend`.
+
+        Results come back in input order; the batched backend agrees with
+        the serial loop within 1e-9 on the objective (identical λ), the
+        pool bit-for-bit.  Fingerprint-identical configs are solved once;
+        cached entries skip the solve entirely.  ``progress(done, total)``
+        counts *input* configs as their results become available.
 
         Duplicates in the batch map to one solve and one shared result
         object, and the progress callback ends on exactly ``(total,
@@ -257,10 +313,32 @@ class SolverService:
         (3, True)
         >>> ticks[-1]
         (3, 3)
+        >>> service.last_backend in ("batched", "pool", "serial")
+        True
         """
+        chosen = resolve_backend(backend, workers)
+        if chosen == "pool":
+            # An explicit pool request without a worker count means "use the
+            # machine"; if that still yields no parallelism the run is
+            # serial and must be recorded as such.
+            if workers is None or workers < 2:
+                workers = os.cpu_count() or 1
+            if workers < 2:
+                chosen = "serial"
+        self.last_backend = chosen
+        if initials is None:
+            initials = [None] * len(configs)
+        elif len(initials) != len(configs):
+            raise ValueError("initials must align with configs")
         keys: List[str] = []
         cacheable: List[bool] = []
         for i, cfg in enumerate(configs):
+            if initials[i] is not None:
+                # Warm starts can change the trajectory, so (as in solve())
+                # they bypass the fingerprint cache in both directions.
+                keys.append(f"__warm_{i}__")
+                cacheable.append(False)
+                continue
             try:
                 keys.append(config_fingerprint(cfg))
                 cacheable.append(True)
@@ -283,7 +361,7 @@ class SolverService:
             else:
                 queued.add(key)
                 pending.append(i)
-        # Cached (and their duplicate) items are "done" before the pool starts.
+        # Cached (and their duplicate) items are "done" before solving starts.
         done = sum(counts[key] for key in results)
         if progress is not None and done:
             progress(done, total)
@@ -296,12 +374,27 @@ class SolverService:
                 if progress is not None:
                     progress(done + ticks[completed - 1], total)
 
-            solved = parallel_map(
-                _solve_config,
-                [configs[i] for i in pending],
-                workers=workers,
-                progress=_tick,
-            )
+            pending_configs = [configs[i] for i in pending]
+            pending_initials = [initials[i] for i in pending]
+            if chosen == "batched":
+                solved = self._batched.solve_batch(
+                    pending_configs, initials=pending_initials
+                )
+                _tick(len(pending), len(pending))
+            elif any(initial is not None for initial in pending_initials):
+                solved = parallel_map(
+                    _solve_config_warm,
+                    list(zip(pending_configs, pending_initials)),
+                    workers=workers if chosen == "pool" else None,
+                    progress=_tick,
+                )
+            else:
+                solved = parallel_map(
+                    _solve_config,
+                    pending_configs,
+                    workers=workers if chosen == "pool" else None,
+                    progress=_tick,
+                )
             for i, result in zip(pending, solved):
                 results[keys[i]] = result
                 if use_cache and cacheable[i]:

@@ -60,7 +60,18 @@ class Stage3Result:
 
 
 class Stage3Solver:
-    """Fractional-programming alternation for Problem P6 (Eq. 28)."""
+    """Fractional-programming alternation for Problem P6 (Eq. 28).
+
+    Two interchangeable inner engines solve the convex subproblem:
+
+    * ``inner="ipm"`` (default) — the batched log-barrier Newton core of
+      :mod:`repro.core.stage3_ipm`, run here with a batch of one.  This is
+      the same code path the batched solver uses for K configs at once, so
+      scalar and batched results agree by construction.
+    * ``inner="slsqp"`` — the legacy SciPy SLSQP formulation, kept as an
+      independent reference implementation (the ablation suite and the
+      equivalence tests compare against it).
+    """
 
     def __init__(
         self,
@@ -68,10 +79,14 @@ class Stage3Solver:
         *,
         max_outer_iterations: int = 40,
         max_inner_iterations: int = 300,
+        inner: str = "ipm",
     ) -> None:
+        if inner not in ("ipm", "slsqp"):
+            raise ValueError(f"unknown inner engine {inner!r}")
         self.config = config
         self.max_outer_iterations = int(max_outer_iterations)
         self.max_inner_iterations = int(max_inner_iterations)
+        self.inner = inner
 
     # -- objective pieces -------------------------------------------------------
 
@@ -225,6 +240,47 @@ class Stage3Solver:
 
     def solve(self, alloc: Allocation) -> Stage3Result:
         """Alternate the Eq. 25 z-update with the convex solve until converged."""
+        if self.inner == "ipm":
+            return self._solve_ipm(alloc)
+        return self._solve_slsqp(alloc)
+
+    def _solve_ipm(self, alloc: Allocation) -> Stage3Result:
+        """Run the shared batched core with a batch of one."""
+        from repro.core.stage3_ipm import (
+            solve_stage3_batch,
+            stack_stage3_constants,
+        )
+
+        cfg = self.config
+        start = time.perf_counter()
+        constants = stack_stage3_constants([cfg])
+        cycles = cfg.server_cycle_demand(alloc.lam)
+        result = solve_stage3_batch(
+            constants,
+            cycles[None, :],
+            alloc.p[None, :],
+            alloc.b[None, :],
+            alloc.f_c[None, :],
+            alloc.f_s[None, :],
+            max_outer_iterations=self.max_outer_iterations,
+        )
+        runtime = time.perf_counter() - start
+        return Stage3Result(
+            p=result.p[0],
+            b=result.b[0],
+            f_c=result.f_c[0],
+            f_s=result.f_s[0],
+            T=float(result.T[0]),
+            value=float(result.value[0]),
+            outer_iterations=int(result.outer_iterations[0]),
+            runtime_s=runtime,
+            history=result.histories[0],
+            transform_gap=result.transform_gaps[0],
+            converged=bool(result.converged[0]),
+        )
+
+    def _solve_slsqp(self, alloc: Allocation) -> Stage3Result:
+        """The legacy SciPy SLSQP alternation (reference implementation)."""
         cfg = self.config
         n = cfg.num_clients
         cycles = cfg.server_cycle_demand(alloc.lam)

@@ -1,0 +1,713 @@
+"""Batched Stage-3 core: Alg. 3 vectorized over a leading config axis.
+
+The Stage-3 subproblem (Problem P6, Eq. 28 — the convex program obtained
+from P5 by the quadratic transform at fixed ``z``) is solved here by a
+log-barrier interior-point Newton method written entirely in NumPy, with
+every quantity carrying a leading batch axis of ``K`` independent
+configurations.  One Newton step therefore advances *all* configs at once:
+the Hessian assembly, the batched ``(K, 4n+1, 4n+1)`` linear solves and the
+backtracking line searches are single vectorized passes, so the per-config
+cost of a batch shrinks roughly as ``1/K`` until BLAS dominates.
+
+The scalar :class:`~repro.core.stage3.Stage3Solver` delegates to this module
+with ``K = 1``, so the batched and scalar paths execute the *same*
+floating-point algorithm — the foundation of the batched ≡ scalar
+equivalence contract (``tests/core/test_batched.py``): any future change to
+the math changes both sides identically.
+
+Alg. 3 structure: the quadratic-transform weights ``z`` enter only the
+*objective* — every constraint (delay epigraph, budgets, boxes) is
+z-independent.  The solver exploits this Dinkelbach-style: the barrier path
+is climbed once, for the initial ``z``, and each subsequent alternation
+round (closed-form Eq. 25 ``z`` update → re-center) warm-starts from the
+previous central point at the final barrier weight, where a handful of
+Newton steps suffice.  Every round still ends at the exact optimum of its
+fixed-``z`` subproblem (to the ``m/t`` duality-gap tolerance), so the
+recorded objective history keeps the monotone-improvement property of the
+alternation and the transform gap traces tightness exactly as in the
+scalar SLSQP formulation.  Rounds terminate per config: a config freezes
+once its P5 objective moves by less than its own ε, and the remaining
+configs continue on a shrinking active set.
+
+Problem structure exploited by the Hessian assembly:
+
+* the objective and the per-client delay constraint couple only the
+  variables of one client (a 4×4 block over ``(p_n, b_n, f_c_n, f_s_n)``
+  plus the shared ``T`` column),
+* the bandwidth/CPU budget constraints are linear (rank-one barrier terms
+  over the ``b`` / ``f_s`` slices),
+* box bounds contribute only to the diagonal,
+
+so the full matrix is assembled with vectorized scatters — no Python loop
+over clients or constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Internal unit scales shared with :mod:`repro.core.stage3` (SI = scaled × S).
+B_SCALE = 1e6   # bandwidth in MHz
+F_SCALE = 1e9   # frequencies in GHz
+T_SCALE = 1e3   # delay bound in ks
+
+_LN2 = float(np.log(2.0))
+
+#: Barrier-path parameters.  ``_MU`` is the t-multiplier between centering
+#: stages; the duality gap of the final stage is ``m / t_final`` per config.
+_MU = 60.0
+_T0_MIN, _T0_MAX = 1.0, 1e7
+#: Newton decrement targets: loose while climbing the path, tight at the
+#: final barrier weight (where the reported optima live).
+_NEWTON_TOL_PATH = 1e-7
+_NEWTON_TOL_FINAL = 1e-11
+_MAX_NEWTON = 60
+_MAX_BACKTRACK = 45
+_ARMIJO = 0.25
+
+
+@dataclass(frozen=True)
+class Stage3Constants:
+    """Per-batch constants of the Stage-3 block, stacked ``(K, n)`` / ``(K, 1)``.
+
+    Built once per batch by :func:`stack_stage3_constants`; ``cycles`` (which
+    depends on the Stage-2 ``λ``) is passed per solve instead.
+    """
+
+    d_tr: np.ndarray        # (K, n) upload bits
+    gains: np.ndarray       # (K, n) channel gains
+    noise_psd: np.ndarray   # (K, 1)
+    kappa_c: np.ndarray     # (K, n) client switched capacitance
+    enc_cycles: np.ndarray  # (K, n) encryption cycles
+    kappa_s: np.ndarray     # (K, 1) server switched capacitance
+    p_max: np.ndarray       # (K, n)
+    fc_max: np.ndarray      # (K, n)
+    b_total: np.ndarray     # (K, 1)
+    fs_total: np.ndarray    # (K, 1)
+    alpha_e: np.ndarray     # (K, 1)
+    alpha_t: np.ndarray     # (K, 1)
+    tolerance: np.ndarray   # (K,)  solution accuracy ε per config
+
+    @property
+    def batch(self) -> int:
+        return self.d_tr.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.d_tr.shape[1]
+
+    def subset(self, index: np.ndarray) -> "Stage3Constants":
+        """The constants of the configs selected by an index array."""
+        return Stage3Constants(
+            **{
+                name: getattr(self, name)[index]
+                for name in self.__dataclass_fields__
+            }
+        )
+
+
+def stack_stage3_constants(configs: Sequence) -> Stage3Constants:
+    """Stack the Stage-3 constants of ``configs`` (equal ``num_clients``)."""
+    n = {cfg.num_clients for cfg in configs}
+    if len(n) != 1:
+        raise ValueError(f"configs must share num_clients, got {sorted(n)}")
+    return Stage3Constants(
+        d_tr=np.stack([cfg.upload_bits for cfg in configs]).astype(float),
+        gains=np.stack([cfg.channel_gains for cfg in configs]).astype(float),
+        noise_psd=np.array([[cfg.noise_psd] for cfg in configs], dtype=float),
+        kappa_c=np.stack([cfg.client_capacitance for cfg in configs]).astype(float),
+        enc_cycles=np.stack([cfg.encryption_cycles for cfg in configs]).astype(float),
+        kappa_s=np.array(
+            [[cfg.server.switched_capacitance] for cfg in configs], dtype=float
+        ),
+        p_max=np.stack([cfg.max_power for cfg in configs]).astype(float),
+        fc_max=np.stack([cfg.client_max_frequency for cfg in configs]).astype(float),
+        b_total=np.array(
+            [[cfg.server.total_bandwidth_hz] for cfg in configs], dtype=float
+        ),
+        fs_total=np.array(
+            [[cfg.server.total_frequency_hz] for cfg in configs], dtype=float
+        ),
+        alpha_e=np.array([[cfg.alpha_e] for cfg in configs], dtype=float),
+        alpha_t=np.array([[cfg.alpha_t] for cfg in configs], dtype=float),
+        tolerance=np.array([cfg.tolerance for cfg in configs], dtype=float),
+    )
+
+
+@dataclass
+class Stage3BatchResult:
+    """Outcome of the batched Alg. 3 for every config in the batch."""
+
+    p: np.ndarray           # (K, n)
+    b: np.ndarray           # (K, n)
+    f_c: np.ndarray         # (K, n)
+    f_s: np.ndarray         # (K, n)
+    T: np.ndarray           # (K,) exact max delay (Eq. 23 tightening)
+    value: np.ndarray       # (K,) final P5 objective
+    outer_iterations: np.ndarray      # (K,) int
+    converged: np.ndarray             # (K,) bool
+    histories: List[List[float]] = field(default_factory=list)       # per config
+    transform_gaps: List[List[float]] = field(default_factory=list)  # per config
+
+
+# -- elementary pieces ---------------------------------------------------------
+
+
+def _rates(con: Stage3Constants, p: np.ndarray, b: np.ndarray) -> np.ndarray:
+    snr = p * con.gains / (con.noise_psd * b)
+    return b * np.log2(1.0 + snr)
+
+
+def _delays(con: Stage3Constants, cycles, p, b, f_c, f_s) -> np.ndarray:
+    r = _rates(con, p, b)
+    return con.enc_cycles / f_c + con.d_tr / r + cycles / f_s
+
+
+def _p5_value(con: Stage3Constants, cycles, p, b, f_c, f_s) -> np.ndarray:
+    """The (maximisation) Problem-P5 objective per config, T = max delay."""
+    r = _rates(con, p, b)
+    e = (
+        con.kappa_c * con.enc_cycles * f_c**2
+        + con.kappa_s * cycles * f_s**2
+        + p * con.d_tr / r
+    )
+    delays = con.enc_cycles / f_c + con.d_tr / r + cycles / f_s
+    return -(
+        con.alpha_e[:, 0] * np.sum(e, axis=-1)
+        + con.alpha_t[:, 0] * np.max(delays, axis=-1)
+    )
+
+
+def strict_interior_start(con: Stage3Constants, cycles, p, b, f_c, f_s):
+    """Clip an allocation into the strict interior of the feasible set.
+
+    Mirrors the legacy SLSQP preparation (clip to boxes, rescale into the
+    budgets) and then pulls every quantity strictly inside — the barrier
+    needs positive slack on every constraint, bounds included.
+    """
+    p = np.clip(p, 1.0001e-4 * con.p_max, (1.0 - 1e-7) * con.p_max)
+    b = np.clip(b, 1.0001e-3 * B_SCALE, None)
+    scale_b = np.sum(b, axis=-1, keepdims=True) / (0.995 * con.b_total)
+    b = b / np.maximum(scale_b, 1.0)
+    f_c = np.clip(f_c, 1.0001e-3 * F_SCALE, (1.0 - 1e-7) * con.fc_max)
+    f_s = np.clip(f_s, 1.0001e-3 * F_SCALE, None)
+    scale_f = np.sum(f_s, axis=-1, keepdims=True) / (0.995 * con.fs_total)
+    f_s = f_s / np.maximum(scale_f, 1.0)
+    delays = _delays(con, cycles, p, b, f_c, f_s)
+    t = np.max(delays, axis=-1) * (1.0 + 1e-6) + 1e-9
+    return p, b, f_c, f_s, t
+
+
+# -- the barrier solver --------------------------------------------------------
+
+
+class _Subproblem:
+    """One batched instance of Problem P6; ``z`` is updated between rounds."""
+
+    def __init__(self, con: Stage3Constants, cycles: np.ndarray, z: np.ndarray):
+        self.con = con
+        self.cycles = np.asarray(cycles, dtype=float)
+        self.z = np.asarray(z, dtype=float)
+        k, n = con.batch, con.n
+        self.k, self.n = k, n
+        self.dim = 4 * n + 1
+        # Variable bounds in scaled space (+inf = unbounded above).
+        lb = np.empty((k, self.dim))
+        ub = np.empty((k, self.dim))
+        lb[:, 0:n] = 1e-4 * con.p_max
+        ub[:, 0:n] = con.p_max
+        lb[:, n:2 * n] = 1e-3
+        ub[:, n:2 * n] = con.b_total / B_SCALE
+        lb[:, 2 * n:3 * n] = 1e-3
+        ub[:, 2 * n:3 * n] = con.fc_max / F_SCALE
+        lb[:, 3 * n:4 * n] = 1e-3
+        ub[:, 3 * n:4 * n] = con.fs_total / F_SCALE
+        lb[:, 4 * n] = 0.0
+        ub[:, 4 * n] = np.inf
+        self.lb, self.ub = lb, ub
+        self._ub_finite = np.isfinite(ub)
+        self._ub_safe = np.where(self._ub_finite, ub, 0.0)
+        self.m = n + 2 + 2 * self.dim - 1  # constraint count (T unbounded above)
+        # Scatter indices for the per-client 4×4 coupling blocks.
+        cols = np.arange(n)
+        self._idx4 = np.stack([cols, cols + n, cols + 2 * n, cols + 3 * n], axis=1)
+        self._rows4 = self._idx4[:, :, None]
+        self._cols4 = self._idx4[:, None, :]
+        self._diag = np.arange(self.dim)
+        # Constants reused every evaluation.
+        self._c_snr = con.gains / con.noise_psd  # g/N0
+        self._enc_e_coeff = con.kappa_c * con.enc_cycles
+        self._cmp_e_coeff = con.kappa_s * self.cycles
+
+    def select(self, index: np.ndarray) -> "_Subproblem":
+        """A sub-batch view (used when configs converge at different rounds)."""
+        return _Subproblem(
+            self.con.subset(index), self.cycles[index], self.z[index]
+        )
+
+    # -- packing ---------------------------------------------------------------
+
+    def split(self, x: np.ndarray):
+        n = self.n
+        return (
+            x[:, 0:n],
+            x[:, n:2 * n] * B_SCALE,
+            x[:, 2 * n:3 * n] * F_SCALE,
+            x[:, 3 * n:4 * n] * F_SCALE,
+            x[:, 4 * n] * T_SCALE,
+        )
+
+    def pack(self, p, b, f_c, f_s, t) -> np.ndarray:
+        return np.concatenate(
+            [p, b / B_SCALE, f_c / F_SCALE, f_s / F_SCALE, t[:, None] / T_SCALE],
+            axis=1,
+        )
+
+    # -- shared evaluation ------------------------------------------------------
+
+    def _state(self, x: np.ndarray) -> dict:
+        """Everything the barrier value *and* its derivatives share at ``x``.
+
+        One code path for the slacks guarantees the line-search acceptance
+        test and the Newton assembly agree bit for bit on which points are
+        interior — the constraint slacks here shrink to ``~m/t`` so even
+        one-ulp disagreements between two formulas would matter.
+        """
+        con, n = self.con, self.n
+        p, b, f_c, f_s, t = self.split(x)
+        c = self._c_snr
+        s = p * c / b
+        onep = 1.0 + s
+        r = b * np.log2(onep)
+        inv_r = 1.0 / r
+        f_tr = (p * con.d_tr) ** 2 * self.z + 0.25 * inv_r**2 / self.z
+        e = self._enc_e_coeff * f_c**2 + self._cmp_e_coeff * f_s**2 + f_tr
+        f0 = con.alpha_e[:, 0] * np.sum(e, axis=-1) + con.alpha_t[:, 0] * t
+        delays = con.enc_cycles / f_c + con.d_tr * inv_r + self.cycles / f_s
+        sigma = (t[:, None] - delays) / T_SCALE
+        s_b = con.b_total[:, 0] / B_SCALE - np.sum(x[:, n:2 * n], axis=-1)
+        s_f = con.fs_total[:, 0] / F_SCALE - np.sum(x[:, 3 * n:4 * n], axis=-1)
+        lo = x - self.lb
+        hi = np.where(self._ub_finite, self._ub_safe - x, 1.0)
+        return {
+            "p": p, "b": b, "f_c": f_c, "f_s": f_s, "t": t,
+            "s": s, "onep": onep, "r": r, "inv_r": inv_r,
+            "f0": f0, "sigma": sigma, "s_b": s_b, "s_f": s_f,
+            "lo": lo, "hi": hi,
+        }
+
+    def objective(self, x: np.ndarray) -> np.ndarray:
+        return self._state(x)["f0"]
+
+    def min_slack(self, x: np.ndarray) -> np.ndarray:
+        """Smallest constraint slack per config (scaled units)."""
+        state = self._state(x)
+        return np.minimum.reduce(
+            [
+                np.min(state["sigma"], axis=-1),
+                state["s_b"],
+                state["s_f"],
+                np.min(state["lo"], axis=-1),
+                np.min(
+                    np.where(self._ub_finite, state["hi"], np.inf), axis=-1
+                ),
+            ]
+        )
+
+    def _barrier_from_state(
+        self, state: dict, t_barrier: np.ndarray
+    ) -> np.ndarray:
+        """``t·f0 + φ`` per config; +inf outside the domain."""
+        sigma, s_b, s_f = state["sigma"], state["s_b"], state["s_f"]
+        lo, hi = state["lo"], state["hi"]
+        bad = (
+            np.any(sigma <= 0, axis=-1)
+            | (s_b <= 0)
+            | (s_f <= 0)
+            | np.any(lo <= 0, axis=-1)
+            | np.any(hi <= 0, axis=-1)
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            phi = (
+                -np.sum(np.log(np.maximum(sigma, 1e-300)), axis=-1)
+                - np.log(np.maximum(s_b, 1e-300))
+                - np.log(np.maximum(s_f, 1e-300))
+                - np.sum(np.log(np.maximum(lo, 1e-300)), axis=-1)
+                - np.sum(np.log(np.maximum(hi, 1e-300)), axis=-1)
+            )
+        return np.where(bad, np.inf, t_barrier * state["f0"] + phi)
+
+    def barrier_value(self, x: np.ndarray, t_barrier: np.ndarray) -> np.ndarray:
+        return self._barrier_from_state(self._state(x), t_barrier)
+
+    # -- Newton machinery -------------------------------------------------------
+
+    def gradient_and_hessian(self, state: dict, t_barrier: np.ndarray):
+        """Batched barrier gradient (K, dim) and Hessian (K, dim, dim).
+
+        ``state`` must come from :meth:`_state` at an interior point (every
+        slack positive), which the caller guarantees via the line search.
+        """
+        con, n, dim = self.con, self.n, self.dim
+        p, b, f_c, f_s = state["p"], state["b"], state["f_c"], state["f_s"]
+        s, onep, inv_r = state["s"], state["onep"], state["inv_r"]
+        k = p.shape[0]
+        z = self.z
+        ae = con.alpha_e  # (K, 1)
+        tb = t_barrier[:, None]  # (K, 1)
+
+        # First/second partials of the Shannon rate wrt natural (p, b).
+        c = self._c_snr
+        r_p = c / (_LN2 * onep)
+        r_b = np.log2(onep) - s / (onep * _LN2)
+        common = 1.0 / (_LN2 * b * onep**2)
+        r_pp = -(c**2) * common
+        r_pb = c * s * common
+        r_bb = -(s**2) * common
+        rb_s = r_b * B_SCALE  # first derivative wrt scaled b~
+
+        grad = np.zeros((k, dim))
+        hess = np.zeros((k, dim, dim))
+        ar = self._diag
+
+        # ---- objective (x t_barrier) -----------------------------------------
+        q_p = -0.5 * inv_r**3 / z       # d(1/(4 r^2 z))/dr
+        q_pp = 1.5 * inv_r**4 / z       # second derivative wrt r
+        d2z = con.d_tr**2 * z
+        grad[:, 0:n] = tb * ae * (2.0 * d2z * p + q_p * r_p)
+        grad[:, n:2 * n] = tb * ae * q_p * rb_s
+        grad[:, 2 * n:3 * n] = tb * ae * 2.0 * self._enc_e_coeff * f_c * F_SCALE
+        grad[:, 3 * n:4 * n] = tb * ae * 2.0 * self._cmp_e_coeff * f_s * F_SCALE
+        grad[:, 4 * n] = t_barrier * con.alpha_t[:, 0] * T_SCALE
+
+        # Per-client (p, b) curvature of the objective: q''*grad_r grad_r^T + q'*Hr.
+        o_pp = tb * ae * (2.0 * d2z + q_pp * r_p**2 + q_p * r_pp)
+        o_pb = tb * ae * (q_pp * r_p * rb_s + q_p * r_pb * B_SCALE)
+        o_bb = tb * ae * (q_pp * rb_s**2 + q_p * r_bb * B_SCALE**2)
+        # Diagonal objective curvature of f_c / f_s.
+        o_cc = tb * ae * 2.0 * self._enc_e_coeff * F_SCALE**2
+        o_ss = tb * ae * 2.0 * self._cmp_e_coeff * F_SCALE**2
+
+        # ---- delay-constraint barriers ---------------------------------------
+        sigma = state["sigma"]
+        inv_sig = 1.0 / sigma
+        inv_sig2 = inv_sig**2
+        # grad sigma_n in scaled coordinates (the T component is exactly 1).
+        dr2 = con.d_tr * inv_r**2
+        u_p = dr2 * r_p / T_SCALE
+        u_b = dr2 * rb_s / T_SCALE
+        u_c = (con.enc_cycles / f_c**2) * (F_SCALE / T_SCALE)
+        u_s = (self.cycles / f_s**2) * (F_SCALE / T_SCALE)
+        # Gradient: -sum_n grad sigma_n / sigma_n.
+        grad[:, 0:n] -= u_p * inv_sig
+        grad[:, n:2 * n] -= u_b * inv_sig
+        grad[:, 2 * n:3 * n] -= u_c * inv_sig
+        grad[:, 3 * n:4 * n] -= u_s * inv_sig
+        grad[:, 4 * n] -= np.sum(inv_sig, axis=-1)
+
+        # Curvature -H_sigma/sigma (block-diagonal per client, no T row): the
+        # d/r term contributes (-2d/r^3 grad_r grad_r^T + d/r^2 Hr)/T_SCALE,
+        # the f_c / f_s terms -2C/f^3 S_F^2/T_SCALE on the diagonal.
+        dr3 = 2.0 * con.d_tr * inv_r**3
+        hs_pp = (-dr3 * r_p**2 + dr2 * r_pp) / T_SCALE
+        hs_pb = (-dr3 * r_p * rb_s + dr2 * r_pb * B_SCALE) / T_SCALE
+        hs_bb = (-dr3 * rb_s**2 + dr2 * r_bb * B_SCALE**2) / T_SCALE
+        hs_cc = -2.0 * con.enc_cycles / f_c**3 * (F_SCALE**2 / T_SCALE)
+        hs_ss = -2.0 * self.cycles / f_s**3 * (F_SCALE**2 / T_SCALE)
+
+        # Assemble per-client 4x4 blocks:
+        #   (1/sigma^2) v v^T - (1/sigma) H_sigma + objective (p, b) block.
+        v = np.stack([u_p, u_b, u_c, u_s], axis=-1)              # (K, n, 4)
+        block = inv_sig2[..., None, None] * (v[..., :, None] * v[..., None, :])
+        pb = o_pb - inv_sig * hs_pb
+        block[..., 0, 0] += o_pp - inv_sig * hs_pp
+        block[..., 0, 1] += pb
+        block[..., 1, 0] += pb
+        block[..., 1, 1] += o_bb - inv_sig * hs_bb
+        block[..., 2, 2] += o_cc - inv_sig * hs_cc
+        block[..., 3, 3] += o_ss - inv_sig * hs_ss
+        idx4 = self._idx4  # (n, 4)
+        hess[:, self._rows4, self._cols4] += block
+        # T row/column of the rank-one barrier terms (v_T = 1).
+        tcol = inv_sig2[..., None] * v                           # (K, n, 4)
+        hess[:, idx4, 4 * n] += tcol
+        hess[:, 4 * n, idx4] += tcol
+        hess[:, 4 * n, 4 * n] += np.sum(inv_sig2, axis=-1)
+
+        # ---- budget barriers (linear -> rank-one) -----------------------------
+        inv_sb = 1.0 / state["s_b"]
+        inv_sf = 1.0 / state["s_f"]
+        grad[:, n:2 * n] += inv_sb[:, None]
+        grad[:, 3 * n:4 * n] += inv_sf[:, None]
+        hess[:, n:2 * n, n:2 * n] += (inv_sb**2)[:, None, None]
+        hess[:, 3 * n:4 * n, 3 * n:4 * n] += (inv_sf**2)[:, None, None]
+
+        # ---- box-bound barriers ----------------------------------------------
+        lo = state["lo"]
+        grad -= 1.0 / lo
+        hess[:, ar, ar] += 1.0 / lo**2
+        inv_hi = np.where(self._ub_finite, 1.0 / state["hi"], 0.0)
+        grad += inv_hi
+        hess[:, ar, ar] += inv_hi**2
+        return grad, hess
+
+    def newton(
+        self,
+        x: np.ndarray,
+        t_barrier: np.ndarray,
+        *,
+        tol=_NEWTON_TOL_FINAL,
+        max_iterations: int = _MAX_NEWTON,
+    ) -> np.ndarray:
+        """Batched damped Newton to the central point of ``t_barrier``.
+
+        ``tol`` is the Newton-decrement stopping target, scalar or per
+        config — the path stages use a loose target, the final stage a
+        tight one.
+        """
+        k = x.shape[0]
+        tol = np.broadcast_to(np.asarray(tol, dtype=float), (k,))
+        active = np.ones(k, dtype=bool)
+        stall = np.zeros(k, dtype=int)
+        state = self._state(x)
+        value = self._barrier_from_state(state, t_barrier)
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            for _ in range(max_iterations):
+                value_before = value
+                grad, hess = self.gradient_and_hessian(state, t_barrier)
+                step = _solve_spd(hess, -grad)
+                gdot = np.einsum("ki,ki->k", grad, step)
+                active = active & (-0.5 * gdot > tol)
+                if not np.any(active):
+                    break
+                # Backtracking line search on the barrier (Armijo bound).
+                alpha = np.where(active, 1.0, 0.0)
+                accepted = ~active
+                for _ in range(_MAX_BACKTRACK):
+                    trial = x + alpha[:, None] * step
+                    trial_state = self._state(trial)
+                    trial_value = self._barrier_from_state(trial_state, t_barrier)
+                    ok = trial_value <= value + _ARMIJO * alpha * gdot
+                    if np.all(ok):
+                        # Inactive configs took a zero step, so a wholesale
+                        # swap is exact for them too.
+                        x, value, state = trial, trial_value, trial_state
+                        accepted = ok
+                        break
+                    newly = ok & ~accepted
+                    if np.any(newly):
+                        mask = newly[:, None]
+                        x = np.where(mask, trial, x)
+                        value = np.where(newly, trial_value, value)
+                        for key, arr in state.items():
+                            new = trial_state[key]
+                            state[key] = np.where(
+                                newly.reshape((-1,) + (1,) * (new.ndim - 1)),
+                                new,
+                                arr,
+                            )
+                        accepted |= ok
+                    if np.all(accepted):
+                        break
+                    alpha = np.where(accepted, 0.0, alpha * 0.5)
+                # Configs whose line search found no acceptable step are
+                # done, and so are configs making only float64-noise progress
+                # twice in a row — near the cancellation limit of the slack
+                # subtraction no better point is representable.
+                progress = value_before - value
+                tiny = progress <= 1e-10 * (1.0 + np.abs(value))
+                stall = np.where(tiny, stall + 1, 0)
+                active &= accepted & (stall < 2)
+                if not np.any(active):
+                    break
+        return x
+
+
+def _solve_spd(hess: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Batched SPD solve with a ridge fallback for near-singular members."""
+    try:
+        return np.linalg.solve(hess, rhs[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        pass
+    dim = hess.shape[-1]
+    eye = np.eye(dim)
+    ridge = 1e-12 * np.maximum(
+        np.abs(np.diagonal(hess, axis1=-2, axis2=-1)).max(axis=-1), 1.0
+    )
+    for _ in range(8):
+        try:
+            return np.linalg.solve(
+                hess + ridge[:, None, None] * eye, rhs[..., None]
+            )[..., 0]
+        except np.linalg.LinAlgError:
+            ridge = ridge * 100.0
+    raise np.linalg.LinAlgError("stage-3 Newton system is singular")
+
+
+# -- the batched Alg. 3 alternation -------------------------------------------
+
+
+def solve_stage3_batch(
+    con: Stage3Constants,
+    cycles: np.ndarray,
+    p0: np.ndarray,
+    b0: np.ndarray,
+    fc0: np.ndarray,
+    fs0: np.ndarray,
+    *,
+    max_outer_iterations: int = 40,
+    gap_tol: Optional[np.ndarray] = None,
+) -> Stage3BatchResult:
+    """Run Alg. 3 (z-update ↔ convex solve) for every config in the batch.
+
+    Each outer round performs the closed-form Eq. 25 ``z`` update at the
+    current point and then solves the fixed-``z`` subproblem to its final
+    duality gap by climbing the central path.  Rounds after the first
+    warm-start the climb: the barrier weight is backed off in proportion to
+    the previous round's objective movement (a small pending ``z`` move only
+    needs a short climb; a large one restarts coarse), which sidesteps the
+    near-zero-slack crawl of re-centering a boundary-hugging iterate.  The
+    recorded history therefore has exactly the legacy alternation semantics:
+    one entry per subproblem solved to tolerance, monotone up to solver
+    noise.  A config freezes once two consecutive rounds agree within its
+    own ε; the rest continue on a shrinking active set.
+    """
+    k = con.batch
+    cycles = np.asarray(cycles, dtype=float)
+    p, b, f_c, f_s, t = strict_interior_start(con, cycles, p0, b0, fc0, fs0)
+    if gap_tol is None:
+        # Inner accuracy well below the outer ε (and below the 1e-6-relative
+        # monotonicity budget of the recorded history), scaled to the
+        # objective's magnitude so large-valued configs do not over-iterate.
+        scale = np.maximum(
+            1.0, np.abs(_p5_value(con, cycles, p, b, f_c, f_s))
+        )
+        gap_tol = np.minimum(1e-7 * scale, con.tolerance * 1e-2)
+    else:
+        gap_tol = np.broadcast_to(np.asarray(gap_tol, dtype=float), (k,)).copy()
+    histories: List[List[float]] = [[] for _ in range(k)]
+    gaps: List[List[float]] = [[] for _ in range(k)]
+    outer_iters = np.zeros(k, dtype=int)
+    converged = np.zeros(k, dtype=bool)
+    final_value = np.full(k, -np.inf)
+    active_idx = np.arange(k)
+
+    r_now = _rates(con, p, b)
+    problem = _Subproblem(con, cycles, 1.0 / (2.0 * p * con.d_tr * r_now))
+    x = problem.pack(p, b, f_c, f_s, t)
+    t_final = problem.m / gap_tol
+    # Seeding ``previous`` with the start-point value makes the first round's
+    # improvement meaningful, so round 2 warm-starts instead of re-climbing
+    # cold (and a start that is already a fixed point converges in 1 round).
+    previous = np.full(k, -np.inf)
+    previous[:] = _p5_value(con, cycles, p, b, f_c, f_s)
+    # Round 1 climbs cold from the t0 = m/|f0| rule; warm rounds re-enter
+    # the path at the weight whose central slacks match the inflated start.
+    f0 = np.abs(problem.objective(x))
+    t_barrier = np.minimum(
+        np.clip(problem.m / np.maximum(f0, 1e-6), _T0_MIN, _T0_MAX), t_final
+    )
+
+    for _ in range(max_outer_iterations):
+        tol_now = problem.con.tolerance
+        x_start = x
+        # Climb the central path at fixed z until every config is final.
+        while True:
+            at_final = t_barrier >= t_final
+            x = problem.newton(
+                x,
+                t_barrier,
+                tol=np.where(at_final, _NEWTON_TOL_FINAL, _NEWTON_TOL_PATH),
+            )
+            if np.all(at_final):
+                break
+            t_barrier = np.minimum(t_barrier * _MU, t_final)
+
+        p_a, b_a, fc_a, fs_a, _ = problem.split(x)
+        value = _p5_value(problem.con, problem.cycles, p_a, b_a, fc_a, fs_a)
+        # Transform tightness (the Fig. 4(d) analogue) at this round's z.
+        r_new = _rates(problem.con, p_a, b_a)
+        f_tr = (p_a * problem.con.d_tr) ** 2 * problem.z + 1.0 / (
+            4.0 * r_new**2 * problem.z
+        )
+        gap_now = np.sum(np.abs(p_a * problem.con.d_tr / r_new - f_tr), axis=-1)
+        p[active_idx], b[active_idx] = p_a, b_a
+        f_c[active_idx], f_s[active_idx] = fc_a, fs_a
+        outer_iters[active_idx] += 1
+        for j, idx in enumerate(active_idx):
+            histories[idx].append(float(value[j]))
+            gaps[idx].append(float(gap_now[j]))
+        final_value[active_idx] = value
+        improvement = np.abs(value - previous[active_idx])
+        done = improvement <= tol_now
+        converged[active_idx[done]] = True
+        previous[active_idx] = value
+        if np.all(done):
+            break
+        move = np.max(
+            np.abs(x - x_start) / np.maximum(np.abs(x_start), 1e-2), axis=-1
+        )
+        if np.any(done):
+            keep = ~done
+            active_idx = active_idx[keep]
+            problem = problem.select(keep)
+            x = x[keep]
+            t_final = t_final[keep]
+            move = move[keep]
+            p_a, b_a, r_new = p_a[keep], b_a[keep], r_new[keep]
+            fc_a, fs_a = fc_a[keep], fs_a[keep]
+        # Eq. 25: closed-form z update at the new point for the next round.
+        problem.z = 1.0 / (2.0 * p_a * problem.con.d_tr * r_new)
+        # Slack inflation: the round ended hugging its active constraints
+        # (slacks ~ m/t_final), and the z update moves the optimum by a
+        # finite distance — re-centering from near-zero slacks would crawl
+        # (each damped step only doubles a slack).  Pull every variable off
+        # its bound and lift T in proportion to the observed per-round
+        # movement, which lands within a few Newton steps of the coarse
+        # warm-start center.
+        sub = problem.con
+        slack_before = problem.min_slack(x)
+        gamma = np.clip(0.5 * move, 3e-5, 1e-2)[:, None]
+        p_i = np.clip(p_a, (1.0 + gamma) * 1e-4 * sub.p_max, (1.0 - gamma) * sub.p_max)
+        b_i = np.clip(b_a, (1.0 + gamma) * 1e-3 * B_SCALE, None)
+        over_b = np.sum(b_i, axis=-1, keepdims=True) / ((1.0 - gamma) * sub.b_total)
+        b_i = b_i / np.maximum(over_b, 1.0)
+        fc_i = np.clip(
+            fc_a, (1.0 + gamma) * 1e-3 * F_SCALE, (1.0 - gamma) * sub.fc_max
+        )
+        fs_i = np.clip(fs_a, (1.0 + gamma) * 1e-3 * F_SCALE, None)
+        over_f = np.sum(fs_i, axis=-1, keepdims=True) / ((1.0 - gamma) * sub.fs_total)
+        fs_i = fs_i / np.maximum(over_f, 1.0)
+        delays = _delays(sub, problem.cycles, p_i, b_i, fc_i, fs_i)
+        t_i = np.max(delays, axis=-1) * (1.0 + gamma[:, 0]) + 1e-9
+        x = problem.pack(p_i, b_i, fc_i, fs_i, t_i)
+        # Re-enter the path at the weight whose central slacks match the
+        # inflated point: centered slacks scale as 1/t, so dividing the
+        # final weight by the inflation ratio is the natural re-entry.
+        slack_after = problem.min_slack(x)
+        t_barrier = np.clip(
+            t_final * slack_before / np.maximum(slack_after, 1e-300),
+            # Never restart more than a few stages below the final weight —
+            # a config at the float64 cancellation limit reports absurdly
+            # small slacks that would otherwise force a full cold climb.
+            t_final / _MU**3,
+            t_final,
+        )
+
+    # Eq. 23-style tightening: report T as the exact max delay.
+    t_report = np.max(_delays(con, cycles, p, b, f_c, f_s), axis=-1)
+    return Stage3BatchResult(
+        p=p,
+        b=b,
+        f_c=f_c,
+        f_s=f_s,
+        T=t_report,
+        value=final_value,
+        outer_iterations=outer_iters,
+        converged=converged,
+        histories=histories,
+        transform_gaps=gaps,
+    )

@@ -17,7 +17,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -103,22 +103,31 @@ class WeightPoint:
 def weight_sensitivity(
     config: SystemConfig,
     alpha_msl_values: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    *,
+    backend: str = "auto",
+    service: Optional["SolverService"] = None,
 ) -> List[WeightPoint]:
-    """Sweep α_msl and record the λ profile QuHE selects at each value."""
-    points: List[WeightPoint] = []
-    for alpha in alpha_msl_values:
-        cfg = replace(config, alpha_msl=float(alpha))
-        result = QuHE(cfg).solve()
-        points.append(
-            WeightPoint(
-                alpha_msl=float(alpha),
-                lam=result.allocation.lam.copy(),
-                u_msl=result.metrics.u_msl,
-                total_energy=result.metrics.total_energy,
-                objective=result.objective,
-            )
+    """Sweep α_msl and record the λ profile QuHE selects at each value.
+
+    The sweep points are independent, so they run as one
+    :meth:`~repro.api.service.SolverService.solve_many` batch — vectorized
+    on small machines, pooled or serial on request.
+    """
+    from repro.api.service import SolverService
+
+    cfgs = [replace(config, alpha_msl=float(alpha)) for alpha in alpha_msl_values]
+    svc = service if service is not None else SolverService()
+    results = svc.solve_many(cfgs, backend=backend)
+    return [
+        WeightPoint(
+            alpha_msl=float(alpha),
+            lam=result.allocation.lam.copy(),
+            u_msl=result.metrics.u_msl,
+            total_energy=result.metrics.total_energy,
+            objective=result.objective,
         )
-    return points
+        for alpha, result in zip(alpha_msl_values, results)
+    ]
 
 
 def msl_activation_threshold(points: Sequence[WeightPoint]) -> float:
@@ -173,10 +182,17 @@ def run_ablation_suite(
     config: SystemConfig,
     *,
     alpha_msl_values: Sequence[float] = (0.01, 0.05, 0.1),
+    backend: str = "auto",
+    service: Optional["SolverService"] = None,
 ) -> AblationSuite:
     """Run every ablation on ``config`` (from QuHE's own starting point)."""
     alloc = QuHE(config).initial_allocation()
-    points = weight_sensitivity(config, alpha_msl_values=alpha_msl_values)
+    points = weight_sensitivity(
+        config,
+        alpha_msl_values=alpha_msl_values,
+        backend=backend,
+        service=service,
+    )
     return AblationSuite(
         bnb=bnb_vs_exhaustive(config, alloc),
         transform=transform_vs_direct(config, alloc),

@@ -18,7 +18,7 @@ verifies as a by-product.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -69,47 +69,71 @@ def run_dynamic_study(
     *,
     num_epochs: int = 5,
     seed: SeedLike = 0,
+    backend: str = "auto",
+    service: Optional["SolverService"] = None,
 ) -> DynamicStudy:
     """Simulate ``num_epochs`` of block fading over ``config``'s placements.
 
     The large-scale component of each gain is held fixed (clients do not
     move); Rayleigh fading is redrawn per epoch.  Epoch 0 uses the config's
     own gains and defines the static policy.
+
+    The fading draws do not depend on the solves, so every epoch's config
+    is known upfront and the adaptive re-optimizations form one
+    :meth:`~repro.api.service.SolverService.solve_many` batch (the default
+    on small machines).  ``backend="serial"`` instead re-solves epoch by
+    epoch, warm-starting each solve from the previous allocation — the
+    operational loop a deployment would run; both reach the same optima
+    within solver tolerance.
     """
+    from repro.api.service import SolverService, resolve_backend
+
     if num_epochs < 1:
         raise ValueError("need at least one epoch")
     rng = as_generator(seed)
     baseline = QuHE(config).solve()
     static_alloc = baseline.allocation
+    # Epoch configs are deterministic given the seed, independent of solves.
+    epoch_configs: List[SystemConfig] = [config]
+    for _ in range(1, num_epochs):
+        # Redraw the small-scale component around the same large-scale
+        # level (unit-mean Rayleigh leaves the mean gain unchanged).
+        fading = rayleigh_power_gain(rng, size=config.num_clients)
+        epoch_configs.append(
+            replace(config, channel_gains=config.channel_gains * fading)
+        )
+    chosen = resolve_backend(backend, None)
+    adaptive: List[Tuple[float, Allocation]] = [
+        (baseline.objective, static_alloc)  # the epoch-0 adaptive policy
+    ]
+    if chosen == "serial":
+        previous: Allocation = static_alloc
+        for cfg in epoch_configs[1:]:
+            result = QuHE(cfg).solve(previous.with_updates(T=None))
+            adaptive.append((result.objective, result.allocation))
+            previous = result.allocation
+    elif num_epochs > 1:
+        # All epochs warm-start from the epoch-0 optimum: the alternation
+        # improves monotonically from there, so adaptive ≥ static holds per
+        # epoch by construction, and the solves batch (no serial chain).
+        svc = service if service is not None else SolverService()
+        warm = static_alloc.with_updates(T=None)
+        for result in svc.solve_many(
+            epoch_configs[1:],
+            backend=chosen,
+            initials=[warm] * (num_epochs - 1),
+        ):
+            adaptive.append((result.objective, result.allocation))
     epochs: List[EpochResult] = []
-    previous: Optional[Allocation] = static_alloc
-    for epoch in range(num_epochs):
-        if epoch == 0:
-            cfg = config
-        else:
-            # Redraw the small-scale component around the same large-scale
-            # level (unit-mean Rayleigh leaves the mean gain unchanged).
-            fading = rayleigh_power_gain(rng, size=config.num_clients)
-            cfg = replace(config, channel_gains=config.channel_gains * fading)
-        if epoch == 0:
-            # The baseline solve *is* the adaptive policy on epoch 0.
-            adaptive_objective = baseline.objective
-            adaptive_alloc = static_alloc
-        else:
-            solver = QuHE(cfg)
-            warm = previous.with_updates(T=None) if previous is not None else None
-            result = solver.solve(warm)
-            adaptive_objective = result.objective
-            adaptive_alloc = result.allocation
+    for epoch, cfg in enumerate(epoch_configs):
         problem = QuHEProblem(cfg)
         static_metrics = problem.metrics(static_alloc.with_updates(T=None))
         epochs.append(
             EpochResult(
                 epoch=epoch,
                 gains=np.asarray(cfg.channel_gains, dtype=float),
-                adaptive_objective=adaptive_objective,
+                adaptive_objective=adaptive[epoch][0],
                 static_objective=static_metrics.objective,
             )
         )
-        previous = adaptive_alloc
     return DynamicStudy(epochs=epochs, baseline_allocation=static_alloc)

@@ -25,7 +25,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.baselines import average_allocation, occr_baseline, olaa_baseline
+from repro.core.baselines import (
+    average_allocation,
+    baselines_batch,
+    occr_baseline,
+    olaa_baseline,
+)
 from repro.core.config import SystemConfig
 from repro.core.quhe import QuHE
 from repro.core.stage1 import Stage1Result, Stage1Solver
@@ -96,13 +101,23 @@ def sweep(
     values: Optional[Sequence[float]] = None,
     stage1_result: Optional[Stage1Result] = None,
     workers: Optional[int] = None,
+    backend: str = "auto",
+    service: Optional["SolverService"] = None,
 ) -> SweepSeries:
     """Run one Fig.-6 panel: all four methods across the parameter grid.
 
-    ``workers`` > 1 distributes the (independent) sweep points over a
-    process pool; results are identical to the serial run — the grid order
-    is preserved and every point shares the same Stage-1 solution.
+    The sweep points form one batch: with the (default-on-small-machines)
+    ``batched`` backend the QuHE solves run as a single vectorized pass
+    through :meth:`~repro.api.service.SolverService.solve_many` and the
+    OCCR Stage-3 solves through :func:`~repro.core.baselines.baselines_batch`
+    — one Stage-3 price for the whole grid instead of one per point.
+    ``backend="pool"`` (or ``auto`` with ``workers > 1`` on a multi-core
+    machine) restores the per-point process fan-out; ``"serial"`` the plain
+    loop.  All backends agree within solver tolerance and preserve grid
+    order; every point shares the same Stage-1 solution.
     """
+    from repro.api.service import SolverService, resolve_backend
+
     if parameter not in _MODIFIERS:
         raise ValueError(
             f"unknown sweep parameter {parameter!r}; choose from {sorted(_MODIFIERS)}"
@@ -111,9 +126,26 @@ def sweep(
         PAPER_SWEEPS[parameter] if values is None else values, dtype=float
     )
     s1 = stage1_result or Stage1Solver(config).solve()
+    chosen = resolve_backend(backend, workers)
+    if chosen == "batched":
+        cfgs = [_MODIFIERS[parameter](config, float(v)) for v in grid]
+        svc = service if service is not None else SolverService()
+        quhe_results = svc.solve_many(cfgs, backend="batched")
+        base = baselines_batch(cfgs, stage1_results=[s1] * len(cfgs))
+        objectives: Dict[str, List[float]] = {
+            "AA": [b["AA"].objective for b in base],
+            "OLAA": [b["OLAA"].objective for b in base],
+            "OCCR": [b["OCCR"].objective for b in base],
+            "QuHE": [r.objective for r in quhe_results],
+        }
+        return SweepSeries(
+            parameter=parameter, x_values=grid, objectives=objectives
+        )
     tasks = [(parameter, float(v), config, s1) for v in grid]
-    per_point = parallel_map(_solve_point, tasks, workers=workers)
-    objectives: Dict[str, List[float]] = {
+    per_point = parallel_map(
+        _solve_point, tasks, workers=workers if chosen == "pool" else None
+    )
+    objectives = {
         m: [point[m] for point in per_point] for m in ("AA", "OLAA", "OCCR", "QuHE")
     }
     return SweepSeries(parameter=parameter, x_values=grid, objectives=objectives)
@@ -139,13 +171,22 @@ def run_panels(
     *,
     panels: Sequence[str] = PANEL_ORDER,
     workers: Optional[int] = None,
+    backend: str = "auto",
     stage1_result: Optional[Stage1Result] = None,
+    service: Optional["SolverService"] = None,
 ) -> SweepSet:
     """Run the requested Fig.-6 panels with one shared Stage-1 solution."""
     s1 = stage1_result or Stage1Solver(config).solve()
     return SweepSet(
         panels={
-            name: sweep(name, config, stage1_result=s1, workers=workers)
+            name: sweep(
+                name,
+                config,
+                stage1_result=s1,
+                workers=workers,
+                backend=backend,
+                service=service,
+            )
             for name in panels
         }
     )

@@ -81,6 +81,12 @@ class SimParams:
     outage_beta_factor: float = 0.25
     #: record the event trace (enables ``trace_digest``; cheap)
     record_trace: bool = True
+    #: batch solver backend for mid-simulation re-optimizations
+    #: (see :meth:`repro.api.service.SolverService.solve_many`)
+    reopt_backend: str = "auto"
+    #: when links are down, also solve the candidate recovered worlds in
+    #: the same batch so the next recovery re-optimization is a cache hit
+    prefetch_recoveries: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -114,6 +120,13 @@ class QuantumNetworkSimulation:
         baseline = self.service.solve(config)
         phi0 = np.asarray(baseline.allocation.phi, dtype=float)
         w0 = np.asarray(baseline.allocation.w, dtype=float)
+        #: fixed warm start for every re-optimization solve: the baseline
+        #: optimum (the alternation re-converges in a couple of rounds from
+        #: it), kept constant so each solve is a pure function of its config
+        self._warm_start = baseline.allocation.with_updates(T=None)
+        #: per-simulation memo of re-optimization results by config
+        #: fingerprint (see _reoptimize for the determinism rationale)
+        self._reopt_memo = {}
 
         self.sim = Simulator(seed=self.seed, record_trace=params.record_trace)
         self.state = AllocationState(config.network, phi0, w0)
@@ -208,23 +221,27 @@ class QuantumNetworkSimulation:
         if self.adaptation is not None and self.params.reopt_on_events:
             self.adaptation.request()
 
-    def current_config(self) -> SystemConfig:
+    def current_config(self, link_up: Optional[List[bool]] = None) -> SystemConfig:
         """The world as the solver should see it *now*.
 
         Channel gains carry the current fading multipliers; links that are
         down keep ``β · outage_beta_factor`` — collapsed capacity rather
         than zero, so the minimum-rate constraints stay feasible and the
         solver parks affected routes at ``φ_min`` instead of failing.
+        ``link_up`` overrides the live link state (used to construct the
+        candidate worlds the re-optimizer prefetches).
         """
         config = self.config
         gains = np.asarray(config.channel_gains, dtype=float)
         if self.fading is not None:
             gains = gains * np.asarray(self.fading.multiplier, dtype=float)
         network = config.network
-        if self.disruption is not None and not all(self.disruption.link_up):
+        if link_up is None:
+            link_up = list(self.disruption.link_up) if self.disruption else []
+        if link_up and not all(link_up):
             links = [
                 link
-                if self.disruption.link_up[l]
+                if link_up[l]
                 else dataclasses.replace(
                     link, beta=link.beta * self.params.outage_beta_factor
                 )
@@ -235,16 +252,99 @@ class QuantumNetworkSimulation:
             )
         return dataclasses.replace(config, network=network, channel_gains=gains)
 
+    def _candidate_configs(self) -> List[SystemConfig]:
+        """The current world plus its most likely successors.
+
+        The first candidate is always the world to apply.  When links are
+        down and recovery prefetching is on, the worlds in which one of
+        them has recovered (and the all-up world) ride along in the same
+        batch: they share the vectorized solve and land in this
+        simulation's re-optimization memo, turning the next
+        recovery-triggered re-optimization into a lookup.
+        """
+        candidates = [self.current_config()]
+        if (
+            self.params.prefetch_recoveries
+            and self.disruption is not None
+            and not all(self.disruption.link_up)
+        ):
+            link_up = list(self.disruption.link_up)
+            down = [l for l, up in enumerate(link_up) if not up]
+            for l in down[:3]:  # bound the prefetch cost on outage storms
+                restored = list(link_up)
+                restored[l] = True
+                candidates.append(self.current_config(link_up=restored))
+            if len(down) > 1:
+                candidates.append(
+                    self.current_config(link_up=[True] * len(link_up))
+                )
+        return candidates
+
     def _reoptimize(self) -> None:
-        config = self.current_config()
-        try:
-            result = self.service.solve(config)
-        except Exception:
-            # A transient world (e.g. heavily degraded network) the solver
-            # cannot handle keeps the previous allocation in force; config
-            # construction stays outside the catch so its bugs surface.
-            self.reopt_failures += 1
-            return
+        from repro.api.service import FingerprintError, config_fingerprint
+
+        candidates = self._candidate_configs()
+        # Every re-optimization solve warm-starts from the *baseline*
+        # allocation (a couple of alternation rounds instead of a cold
+        # solve) and is memoized per simulation instance.  Each memo entry
+        # is therefore a pure function of its config — independent of the
+        # shared service cache and of other runs — so same-seed runs stay
+        # byte-identical even when they share a SolverService.  Prefetched
+        # recovery candidates ride in the same batch and turn the next
+        # recovery-triggered re-optimization into a memo lookup.
+        keys = []
+        for cfg in candidates:
+            try:
+                keys.append(config_fingerprint(cfg))
+            except FingerprintError:
+                keys.append(None)
+        pending = [
+            i
+            for i, key in enumerate(keys)
+            if key is None or key not in self._reopt_memo
+        ]
+        if pending:
+            try:
+                solved = self.service.solve_many(
+                    [candidates[i] for i in pending],
+                    backend=self.params.reopt_backend,
+                    initials=[self._warm_start] * len(pending),
+                )
+            except Exception:
+                # A batch can die on a speculative candidate; the current
+                # world alone decides whether this re-optimization counts
+                # as failed.
+                if keys[0] is None or keys[0] not in self._reopt_memo:
+                    try:
+                        solved_current = self.service.solve_many(
+                            candidates[:1],
+                            backend=self.params.reopt_backend,
+                            initials=[self._warm_start],
+                        )
+                    except Exception:
+                        # A transient world (e.g. heavily degraded network)
+                        # the solver cannot handle keeps the previous
+                        # allocation in force; config construction stays
+                        # outside the catch so its bugs surface.
+                        self.reopt_failures += 1
+                        return
+                    if keys[0] is not None:
+                        self._reopt_memo[keys[0]] = solved_current[0]
+                    result = solved_current[0]
+                    self._apply_reopt(result)
+                    return
+            else:
+                for i, res in zip(pending, solved):
+                    if keys[i] is not None:
+                        self._reopt_memo[keys[i]] = res
+        result = (
+            self._reopt_memo[keys[0]]
+            if keys[0] is not None
+            else solved[pending.index(0)]
+        )
+        self._apply_reopt(result)
+
+    def _apply_reopt(self, result) -> None:
         self._accrue_expected()
         self.state.update(result.allocation.phi, result.allocation.w)
 

@@ -115,3 +115,108 @@ def write_results(path: str | Path, results: Iterable[BenchResult]) -> Path:
 def load_results(path: str | Path) -> List[Dict[str, Any]]:
     """Read back the ``results`` list of a report written by write_results."""
     return json.loads(Path(path).read_text())["results"]
+
+
+# -- floor checking (the shared ``--check`` mode of scripts/bench_*.py) --------
+
+
+@dataclass(frozen=True)
+class Floor:
+    """A performance floor on one benchmark op.
+
+    ``min_ops_per_second`` guards throughput ops; ``min_ratio_vs`` guards a
+    relative speedup: the op must be at least ``min_ratio`` times faster
+    (lower ``seconds_per_op``) than the op named ``min_ratio_vs`` in the
+    same result set.  ``backend`` narrows the match when one op is recorded
+    under several backends.
+    """
+
+    op: str
+    backend: str | None = None
+    min_ops_per_second: float | None = None
+    min_ratio: float | None = None
+    min_ratio_vs: str | None = None
+    min_ratio_vs_backend: str | None = None
+    #: optional params subset a result must carry to be governed/referenced
+    #: (e.g. ``{"n": 4096}`` to floor only the paper-sized ring)
+    params: Any = None
+
+    def _matches(self, result: BenchResult) -> bool:
+        return (
+            result.op == self.op
+            and (self.backend is None or result.backend == self.backend)
+            and self._params_match(result)
+        )
+
+    def _params_match(self, result: BenchResult) -> bool:
+        if not self.params:
+            return True
+        return all(result.params.get(k) == v for k, v in self.params.items())
+
+    def violations(self, results: List[BenchResult]) -> List[str]:
+        mine = [r for r in results if self._matches(r)]
+        if not mine:
+            return [f"floor on {self.op!r}: op missing from the results"]
+        problems: List[str] = []
+        for result in mine:
+            if (
+                self.min_ops_per_second is not None
+                and result.ops_per_second < self.min_ops_per_second
+            ):
+                problems.append(
+                    f"{result.op} [{result.backend}]: "
+                    f"{result.ops_per_second:.1f} op/s below the "
+                    f"{self.min_ops_per_second:.1f} op/s floor"
+                )
+            if self.min_ratio is not None and self.min_ratio_vs is not None:
+                reference = [
+                    r
+                    for r in results
+                    if r.op == self.min_ratio_vs
+                    and (
+                        self.min_ratio_vs_backend is None
+                        or r.backend == self.min_ratio_vs_backend
+                    )
+                    and self._params_match(r)
+                ]
+                if not reference:
+                    problems.append(
+                        f"floor on {self.op!r}: reference op "
+                        f"{self.min_ratio_vs!r} missing"
+                    )
+                    continue
+                base = min(r.seconds_per_op for r in reference)
+                ratio = base / result.seconds_per_op
+                if ratio < self.min_ratio:
+                    problems.append(
+                        f"{result.op} [{result.backend}]: only {ratio:.2f}x "
+                        f"faster than {self.min_ratio_vs} "
+                        f"(floor {self.min_ratio:.2f}x)"
+                    )
+        return problems
+
+
+def check_floors(
+    results: Iterable[BenchResult], floors: Iterable[Floor]
+) -> List[str]:
+    """All floor violations over ``results`` (empty list = pass)."""
+    result_list = list(results)
+    problems: List[str] = []
+    for floor in floors:
+        problems.extend(floor.violations(result_list))
+    return problems
+
+
+def run_check(results: Iterable[BenchResult], floors: Iterable[Floor]) -> int:
+    """Print violations and return a process exit code (0 = floors hold).
+
+    The shared ``--check`` implementation for the ``scripts/bench_*.py``
+    family: run the benchmark, then ``sys.exit(run_check(results, FLOORS))``.
+    """
+    problems = check_floors(results, floors)
+    if problems:
+        for problem in problems:
+            print(f"FLOOR VIOLATION: {problem}")
+        return 1
+    print("all performance floors hold")
+    return 0
