@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Campaign-engine throughput snapshot → ``BENCH_campaign.json``.
+
+Measures the ISSUE-5 acceptance quantity: a 2-axis × 8-seed ``sim-keyrate``
+campaign through :class:`~repro.campaign.runner.CampaignRunner` (canonical
+batched baseline prefetch + shared service cache + artifact persistence)
+against the *naive* baseline — one isolated scenario run per cell, each
+with a fresh :class:`~repro.api.service.SolverService`, exactly what N
+separate ``repro run sim-keyrate`` invocations would cost.
+
+Also records the resume fast path (a completed campaign re-run only loads
+artifacts) and the per-cell aggregate cost.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_campaign.py            # full grid
+    PYTHONPATH=src python scripts/bench_campaign.py --quick    # smaller grid
+    PYTHONPATH=src python scripts/bench_campaign.py --check    # enforce floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.service import SolverService  # noqa: E402
+from repro.campaign import CampaignRunner, CampaignSpec  # noqa: E402
+from repro.experiments.simulation import run_keyrate_sim  # noqa: E402
+from repro.utils.bench import (  # noqa: E402
+    BenchResult,
+    Floor,
+    run_check,
+    write_results,
+)
+
+#: ISSUE-5 acceptance: campaign ≥ 3× naive per-cell serial runs at 1 core.
+FLOORS = (
+    Floor(
+        op="campaign_keyrate_grid",
+        backend="campaign",
+        min_ratio=3.0,
+        min_ratio_vs="campaign_keyrate_grid",
+        min_ratio_vs_backend="naive-per-cell",
+    ),
+)
+#: The --quick grid amortizes the batched prefetch over fewer cells and
+#: runs on noisier CI machines, so it gets a softer floor.
+QUICK_FLOORS = (
+    Floor(
+        op="campaign_keyrate_grid",
+        backend="campaign",
+        min_ratio=2.0,
+        min_ratio_vs="campaign_keyrate_grid",
+        min_ratio_vs_backend="naive-per-cell",
+    ),
+)
+
+
+def bench_spec(*, seeds: int, quick: bool) -> CampaignSpec:
+    return CampaignSpec(
+        name="bench-keyrate",
+        scenario="sim-keyrate",
+        axes={
+            "demand_factor": [0.0, 0.6],
+            "duration": [6.0, 9.0] if quick else [6.0, 9.0, 12.0],
+        },
+        seeds=tuple(range(seeds)),
+    )
+
+
+def bench_campaign(spec: CampaignSpec):
+    cells = spec.cells()
+    params = {
+        "cells": len(cells),
+        "points": spec.num_points,
+        "seeds": len(spec.seeds),
+        "cpu_count": os.cpu_count(),
+    }
+
+    # Naive baseline: every cell is an isolated scenario run with a fresh
+    # service — a cold scalar solve per cell, no sharing, no artifacts.
+    start = time.perf_counter()
+    for cell in cells:
+        run_keyrate_sim(
+            seed=cell.params["seed"],
+            duration_s=cell.params["duration"],
+            demand_factor=cell.params["demand_factor"],
+            sample_dt=cell.params["sample_dt"],
+            service=SolverService(),
+        )
+    naive_s = time.perf_counter() - start
+    yield BenchResult(
+        op="campaign_keyrate_grid",
+        backend="naive-per-cell",
+        params=params,
+        reps=len(cells),
+        seconds_per_op=naive_s / len(cells),
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = Path(tmp) / "campaign"
+        start = time.perf_counter()
+        result = CampaignRunner(spec, out_dir=out_dir).run()
+        campaign_s = time.perf_counter() - start
+        assert result.complete, "campaign did not complete"
+        yield BenchResult(
+            op="campaign_keyrate_grid",
+            backend="campaign",
+            params={**params, "speedup_vs_naive": naive_s / campaign_s},
+            reps=len(cells),
+            seconds_per_op=campaign_s / len(cells),
+        )
+
+        # Resume fast path: nothing pending, cells load from disk.
+        start = time.perf_counter()
+        resumed = CampaignRunner(spec, out_dir=out_dir).run()
+        resume_s = time.perf_counter() - start
+        assert resumed.cells_completed == len(cells)
+        yield BenchResult(
+            op="campaign_resume_noop",
+            backend="campaign",
+            params=params,
+            reps=len(cells),
+            seconds_per_op=resume_s / len(cells),
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_campaign.json")
+    parser.add_argument("--seeds", type=int, default=8,
+                        help="replications per grid point")
+    parser.add_argument("--quick", action="store_true",
+                        help="2x2 grid instead of 2x3")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
+    args = parser.parse_args(argv)
+
+    spec = bench_spec(seeds=args.seeds, quick=args.quick)
+    # Warm the process (imports, numpy dispatch) outside the timed region.
+    run_keyrate_sim(seed=10_000, duration_s=2.0, service=SolverService())
+
+    results = []
+    for res in bench_campaign(spec):
+        results.append(res)
+        print(res)
+
+    by_backend = {
+        r.backend: r for r in results if r.op == "campaign_keyrate_grid"
+    }
+    speedup = (
+        by_backend["naive-per-cell"].seconds_per_op
+        / by_backend["campaign"].seconds_per_op
+    )
+    print(f"\ncampaign vs naive per-cell: {speedup:.2f}x "
+          f"({os.cpu_count()} cpu)")
+
+    out = write_results(args.output, results)
+    print(f"wrote {out}")
+    if args.check:
+        return run_check(results, QUICK_FLOORS if args.quick else FLOORS)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

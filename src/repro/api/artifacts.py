@@ -115,13 +115,17 @@ class RunRecord:
             "result": self.result_payload(),
         }
 
-    def save(self, run_dir: PathLike) -> Path:
-        """Write ``record.json`` + ``result.json`` under ``run_dir/run_id/``.
+    def save(self, run_dir: PathLike, *, dirname: Optional[str] = None) -> Path:
+        """Write ``record.json`` + ``result.json`` under ``run_dir/<dirname>/``.
+
+        ``dirname`` defaults to :attr:`run_id` (unique per execution).  The
+        campaign runner passes a *stable* cell id instead, so a resumed
+        campaign finds — and skips — cells a killed run already wrote.
 
         Returns the created directory.  Parent directories are created as
         needed.
         """
-        target = Path(run_dir) / self.run_id
+        target = Path(run_dir) / (dirname if dirname is not None else self.run_id)
         target.mkdir(parents=True, exist_ok=True)
         payload = self.to_dict()
         (target / RECORD_FILENAME).write_text(json.dumps(payload, indent=2) + "\n")

@@ -494,6 +494,37 @@ register_scenario(Scenario(
 ))
 
 
+# -- campaign ----------------------------------------------------------------
+
+
+def _run_campaign(seed, spec, dir, resume):
+    from repro.campaign import demo_spec, load_spec, run_campaign
+
+    campaign_spec = load_spec(spec) if spec else demo_spec(seed_base=seed)
+    return run_campaign(campaign_spec, out_dir=dir or None, resume=resume)
+
+
+register_scenario(Scenario(
+    name="campaign",
+    help="replicated many-seed study: scenario x parameter grid x R seeds, "
+         "resumable, with streaming statistics (see docs/campaigns.md)",
+    params=(
+        ParamSpec("seed", int, 2,
+                  help="base seed of the built-in demo campaign (ignored "
+                       "when spec= names a spec file)"),
+        ParamSpec("spec", str, "",
+                  help="path to a campaign spec JSON (empty = built-in demo)"),
+        ParamSpec("dir", str, "",
+                  help="artifact directory for resumable cell records "
+                       "(empty = in-memory only)"),
+        ParamSpec("resume", bool, True,
+                  help="skip cells already persisted under dir="),
+    ),
+    run=_run_campaign,
+    render=lambda result: result.render(),
+))
+
+
 # -- report ------------------------------------------------------------------
 
 

@@ -212,6 +212,25 @@ class SolverService:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    def prime(self, config: SystemConfig, result: QuHEResult) -> str:
+        """Install ``result`` as the cached solve of ``config``.
+
+        The campaign runner solves its cells' baseline configurations in
+        *canonical batches* (fixed composition derived from the campaign
+        manifest, independent of cache state) so a resumed campaign
+        reproduces an uninterrupted run bit for bit; ``prime`` then makes
+        those canonical results the ones every subsequent
+        :meth:`solve` of the same configuration returns.  Overwrites any
+        existing entry and counts as neither hit nor miss.  Returns the
+        fingerprint under which the result was cached.
+
+        Raises :class:`FingerprintError` for unfingerprintable configs
+        (nothing can be primed for a config the cache cannot key).
+        """
+        key = config_fingerprint(config)
+        self._cache_put(key, result)
+        return key
+
     def _cache_get(self, key: str) -> Optional[QuHEResult]:
         result = self._cache.get(key)
         if result is not None:
@@ -377,10 +396,22 @@ class SolverService:
             pending_configs = [configs[i] for i in pending]
             pending_initials = [initials[i] for i in pending]
             if chosen == "batched":
+                # Per-config ticks, not one callback for the whole batch:
+                # shape groups may complete out of pending order, so count
+                # each config's duplicates as *its* result appears instead
+                # of assuming pending-order completion like the pool path.
+                state = {"done": done}
+
+                def _on_config(position: int) -> None:
+                    state["done"] += counts[keys[pending[position]]]
+                    if progress is not None:
+                        progress(state["done"], total)
+
                 solved = self._batched.solve_batch(
-                    pending_configs, initials=pending_initials
+                    pending_configs,
+                    initials=pending_initials,
+                    on_config=_on_config if progress is not None else None,
                 )
-                _tick(len(pending), len(pending))
             elif any(initial is not None for initial in pending_initials):
                 solved = parallel_map(
                     _solve_config_warm,

@@ -1,0 +1,77 @@
+"""Scalar metric extraction: result object → {metric name: float}.
+
+The campaign aggregator needs a flat, deterministic mapping of metric
+names to scalars for every cell result.  Extraction is layered:
+
+1. result types that know their own campaign view expose
+   ``scalar_metrics()`` (e.g. :class:`~repro.sim.result.SimulationResult`);
+2. :class:`~repro.core.quhe.QuHEResult` gets a hand-picked view of its
+   metrics block;
+3. anything else falls back to a scan of its :mod:`repro.io` payload's
+   top-level scalar fields.
+
+Wall-clock quantities (``runtime_s``, ``wall_time_s``, …) are *always*
+excluded: campaign aggregates must be pure functions of (parameters,
+seed) so a resumed campaign reproduces an uninterrupted run's
+``campaign_result`` byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["scalar_metrics"]
+
+#: Payload keys never aggregated: wall-clock measurements vary between
+#: executions and would break resume byte-identity.
+_NONDETERMINISTIC_MARKERS = ("runtime", "wall_time", "timestamp")
+
+
+def _is_wall_clock(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _NONDETERMINISTIC_MARKERS)
+
+
+def _payload_scan(result: Any) -> Dict[str, float]:
+    """Fallback: every deterministic top-level scalar of the io payload."""
+    from repro.io import result_to_dict
+
+    payload = result_to_dict(result)
+    metrics: Dict[str, float] = {}
+    for key, value in payload.items():
+        if key in ("kind", "format_version", "seed") or _is_wall_clock(key):
+            continue
+        if isinstance(value, bool):
+            metrics[key] = float(value)
+        elif isinstance(value, (int, float)):
+            metrics[key] = float(value)
+    return metrics
+
+
+def scalar_metrics(result: Any) -> Dict[str, float]:
+    """Deterministic scalar metrics of one cell result, name-sorted.
+
+    Raises :class:`TypeError` (via the codec registry) for objects without
+    a registered codec — a campaign cell result must be persistable anyway.
+    """
+    from repro.core.quhe import QuHEResult
+
+    if hasattr(result, "scalar_metrics"):
+        metrics = dict(result.scalar_metrics())
+    elif isinstance(result, QuHEResult):
+        m = result.metrics
+        metrics = {
+            "objective": float(m.objective),
+            "u_qkd": float(m.u_qkd),
+            "u_msl": float(m.u_msl),
+            "total_delay_s": float(m.total_delay),
+            "total_energy_j": float(m.total_energy),
+            "outer_iterations": float(result.outer_iterations),
+            "converged": float(result.converged),
+        }
+    else:
+        metrics = _payload_scan(result)
+    dropped = [name for name in metrics if _is_wall_clock(name)]
+    for name in dropped:
+        del metrics[name]
+    return dict(sorted(metrics.items()))

@@ -19,6 +19,13 @@ Surfaces
     Direct subcommands (``solve``, ``table5``, ``table6``, ``fig3``-``fig6``,
     ``ablations``, ``dynamic``, ``pipeline``, ``report``), kept for
     compatibility — ``python -m repro fig6 --panel bandwidth`` still works.
+``repro campaign [run [SPEC] | status DIR | resume DIR | report DIR]``
+    The Monte Carlo campaign family (replicated many-seed studies, see
+    ``docs/campaigns.md``): ``run`` executes a spec (resuming by default
+    when ``--dir`` holds a partial campaign), ``status`` shows completed vs
+    pending cells, ``resume`` continues a killed campaign, ``report``
+    re-aggregates persisted cells and can write a CI-band markdown report.
+    Bare ``repro campaign`` runs the built-in demo campaign.
 
 Examples::
 
@@ -33,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 _RUN_HELP = "run any registered scenario by name (see 'repro list')"
@@ -87,7 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="one 'name: description' line per scenario, no parameters",
     )
 
+    _add_campaign_family(sub)
+
     for scenario in REGISTRY:
+        if scenario.name == "campaign":
+            # The campaign scenario is driven by the hand-written verb
+            # family above (and remains reachable as `repro run campaign`).
+            continue
         direct = sub.add_parser(
             scenario.name, aliases=list(scenario.aliases), help=scenario.help
         )
@@ -102,6 +116,87 @@ def _build_parser() -> argparse.ArgumentParser:
             )
         _add_output_options(direct)
     return parser
+
+
+def _add_campaign_family(sub) -> None:
+    """The ``repro campaign run|status|resume|report`` verb family."""
+    campaign = sub.add_parser(
+        "campaign",
+        help="replicated many-seed studies: run/status/resume/report "
+             "(bare `repro campaign` runs the built-in demo)",
+    )
+    verbs = campaign.add_subparsers(dest="verb")
+
+    run = verbs.add_parser(
+        "run", help="execute a campaign spec (resumes a partial --dir)"
+    )
+    run.add_argument("spec", nargs="?", default="",
+                     help="campaign spec JSON path (empty = built-in demo)")
+    run.add_argument("--dir", default="",
+                     help="artifact directory (enables kill/resume)")
+    run.add_argument("--fresh", action="store_true",
+                     help="re-execute cells even when artifacts exist")
+    run.add_argument("--json", action="store_true",
+                     help="print the campaign_result payload")
+
+    status = verbs.add_parser("status", help="completed vs pending cells")
+    status.add_argument("dir", help="campaign artifact directory")
+
+    resume = verbs.add_parser(
+        "resume", help="continue a killed campaign from its directory"
+    )
+    resume.add_argument("dir", help="campaign artifact directory")
+    resume.add_argument("--json", action="store_true",
+                        help="print the campaign_result payload")
+
+    report = verbs.add_parser(
+        "report", help="re-aggregate persisted cells; optionally write "
+                       "a CI-band markdown report"
+    )
+    report.add_argument("dir", help="campaign artifact directory")
+    report.add_argument("--output", default="",
+                        help="write the markdown report here")
+    report.add_argument("--json", action="store_true",
+                        help="print the campaign_result payload")
+
+
+def _campaign_main(args) -> int:
+    from repro import io as repro_io
+    from repro.campaign import campaign_report, campaign_status, resume_campaign
+
+    verb = args.verb or "run"
+    if verb == "run":
+        from repro.api import run_scenario
+
+        overrides = {
+            "spec": getattr(args, "spec", ""),
+            "dir": getattr(args, "dir", ""),
+            "resume": not getattr(args, "fresh", False),
+        }
+        record = run_scenario("campaign", overrides)
+        result = record.result
+    elif verb == "status":
+        print(campaign_status(args.dir).render(), end="")
+        return 0
+    elif verb == "resume":
+        result = resume_campaign(args.dir)
+    else:  # report
+        result = campaign_report(args.dir)
+        output = getattr(args, "output", "")
+        if output:
+            from repro.experiments.report import render_campaign_report
+
+            out = Path(output)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(render_campaign_report(result))
+            print(f"campaign report written to {out}", file=sys.stderr)
+            if not getattr(args, "json", False):
+                return 0
+    if getattr(args, "json", False):
+        print(json.dumps(repro_io.result_to_dict(result), indent=2))
+    else:
+        print(result.render(), end="")
+    return 0
 
 
 def _parse_set_overrides(scenario, pairs: List[str]) -> Dict[str, Any]:
@@ -127,6 +222,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(render_scenario_list(verbose=not args.brief), end="")
         return 0
+
+    if args.command == "campaign":
+        return _campaign_main(args)
 
     from repro.api import get_scenario, run_scenario
 

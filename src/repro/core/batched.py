@@ -32,7 +32,7 @@ solved as one batch; results always come back in input order.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -89,8 +89,17 @@ class BatchedQuHE:
         self,
         configs: Sequence[SystemConfig],
         initials: Optional[Sequence[Optional[Allocation]]] = None,
+        *,
+        on_config: Optional[Callable[[int], None]] = None,
     ) -> List[QuHEResult]:
-        """Solve every config; results come back in input order."""
+        """Solve every config; results come back in input order.
+
+        ``on_config(index)`` fires once per input config, with its batch
+        index, as soon as its result exists — i.e. when the shape group it
+        belongs to completes.  Groups finish in first-appearance order, so
+        callers get per-config completion ticks rather than one callback
+        for the whole batch (see ``SolverService.solve_many`` progress).
+        """
         if initials is None:
             initials = [None] * len(configs)
         if len(initials) != len(configs):
@@ -107,6 +116,8 @@ class BatchedQuHE:
             )
             for i, result in zip(indices, group_results):
                 results[i] = result
+                if on_config is not None:
+                    on_config(i)
         return results  # type: ignore[return-value]
 
     # -- group solve ------------------------------------------------------------

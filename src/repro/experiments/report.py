@@ -160,6 +160,85 @@ def report_artifacts(bundle: ReportBundle) -> Dict[str, Dict]:
     }
 
 
+# -- campaign report: CI-aware figure variants --------------------------------
+#
+# Campaign aggregates carry replication statistics, so their figures show
+# shaded 95% confidence bands instead of the single-seed point estimates
+# the classic report prints.  Rendering is text/markdown like everything
+# else: one band strip per grid point, normalized across the metric.
+
+
+def _band_strip(lo: float, mean: float, hi: float,
+                axis_lo: float, axis_hi: float, width: int = 32) -> str:
+    """One grid point's CI band on a shared axis: ``···[═══o═══]···``."""
+    span = axis_hi - axis_lo
+    if span <= 0 or width < 3:
+        return "o".center(width, "·")
+
+    def col(value: float) -> int:
+        frac = (value - axis_lo) / span
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    cells = ["·"] * width
+    for i in range(col(lo), col(hi) + 1):
+        cells[i] = "═"
+    cells[col(mean)] = "o"
+    return "".join(cells)
+
+
+def render_campaign_report(result) -> str:
+    """Markdown report of a campaign with shaded-band figures.
+
+    For every aggregated metric: a table of per-grid-point mean ± 95% CI
+    (Student-t over the seed replications) and an aligned text band strip —
+    the campaign counterpart of the classic report's point estimates.
+    """
+    out = io.StringIO()
+    axis_names = list(result.axes)
+    print(f"# Campaign report: {result.name}", file=out)
+    print(
+        f"\nScenario `{result.scenario}`, "
+        f"{len(result.points)} grid points x {result.replications} seed "
+        f"replications ({result.cells_completed}/{result.cells_total} cells"
+        + ("" if result.complete else ", **incomplete**") + ").",
+        file=out,
+    )
+    if result.base:
+        fixed = ", ".join(f"`{k}={v!r}`" for k, v in result.base.items())
+        print(f"\nFixed parameters: {fixed}.", file=out)
+    for metric in result.metric_names:
+        rows = [
+            (point, point.metrics[metric])
+            for point in result.points
+            if metric in point.metrics
+        ]
+        if not rows:
+            continue
+        axis_lo = min(s["mean"] - s["ci95"] for _, s in rows)
+        axis_hi = max(s["mean"] + s["ci95"] for _, s in rows)
+        print(f"\n## `{metric}`\n", file=out)
+        header = " | ".join(axis_names) if axis_names else "point"
+        print(f"| {header} | mean | 95% CI | band |", file=out)
+        print("|" + "---|" * (max(len(axis_names), 1) + 3), file=out)
+        for point, stats in rows:
+            labels = (
+                " | ".join(f"`{point.params[a]!r}`" for a in axis_names)
+                if axis_names else "-"
+            )
+            strip = _band_strip(
+                stats["mean"] - stats["ci95"],
+                stats["mean"],
+                stats["mean"] + stats["ci95"],
+                axis_lo, axis_hi,
+            )
+            print(
+                f"| {labels} | {stats['mean']:.6g} | ±{stats['ci95']:.3g} "
+                f"| `{strip}` |",
+                file=out,
+            )
+    return out.getvalue()
+
+
 def generate_report(
     *,
     seed: int = 2,

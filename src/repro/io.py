@@ -751,6 +751,50 @@ def _register_builtin_codecs() -> None:
             static=result_from_dict(d["static"]),
         ),
     )
+    from repro.campaign.result import CampaignResult, GridPointAggregate
+
+    register_codec(
+        "campaign_result",
+        CampaignResult,
+        lambda r: {
+            "name": r.name,
+            "scenario": r.scenario,
+            "base": dict(r.base),
+            "axes": {name: list(values) for name, values in r.axes.items()},
+            "seeds": [int(s) for s in r.seeds],
+            "backend": r.backend,
+            "cells_total": int(r.cells_total),
+            "cells_completed": int(r.cells_completed),
+            "points": [
+                {
+                    "params": dict(p.params),
+                    "metrics": {
+                        name: {k: v for k, v in stats.items()}
+                        for name, stats in p.metrics.items()
+                    },
+                }
+                for p in r.points
+            ],
+        },
+        lambda d: CampaignResult(
+            name=d["name"],
+            scenario=d["scenario"],
+            base=dict(d["base"]),
+            axes={name: list(values) for name, values in d["axes"].items()},
+            seeds=[int(s) for s in d["seeds"]],
+            backend=d["backend"],
+            cells_total=d["cells_total"],
+            cells_completed=d["cells_completed"],
+            points=[
+                GridPointAggregate(
+                    params=dict(p["params"]),
+                    metrics={name: dict(stats)
+                             for name, stats in p["metrics"].items()},
+                )
+                for p in d["points"]
+            ],
+        ),
+    )
     register_codec(
         "report_bundle",
         ReportBundle,

@@ -119,6 +119,30 @@ class SimulationResult:
         return float(sum(min(t_up, self.duration_s) - t_down
                          for _, t_down, t_up in self.outages))
 
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Campaign-aggregatable scalars (deterministic for a fixed seed).
+
+        Excludes wall-clock fields: two executions of the same (params,
+        seed) cell must report identical metrics (see
+        :mod:`repro.campaign.metrics`).
+        """
+        return {
+            "total_key_bits": self.total_key_bits,
+            "expected_key_bits": float(self.expected_key_bits),
+            "total_demand_bits": self.total_demand_bits,
+            "total_served_bits": self.total_served_bits,
+            "total_shortfall_bits": self.total_shortfall_bits,
+            "served_fraction": self.served_fraction,
+            "pairs_generated": float(sum(self.pairs_generated)),
+            "pairs_delivered": float(sum(self.pairs_delivered)),
+            "pairs_dropped": float(sum(self.pairs_dropped)),
+            "outage_count": float(self.outage_count),
+            "outage_seconds": self.outage_seconds,
+            "reopt_count": float(len(self.reopt_times)),
+            "reopt_failures": float(self.reopt_failures),
+            "events_processed": float(self.events_processed),
+        }
+
     def deterministic_payload(self) -> Dict:
         """The :mod:`repro.io` payload minus wall-clock-dependent fields.
 
@@ -223,6 +247,22 @@ class AdaptiveSimStudy:
     @property
     def reopt_count(self) -> int:
         return len(self.adaptive.reopt_times)
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Campaign-aggregatable scalars of the adaptive-vs-static pair."""
+        return {
+            "expected_gain_bits": self.expected_gain_bits,
+            "expected_gain_fraction": self.expected_gain_fraction,
+            "key_bits_gain": self.key_bits_gain,
+            "shortfall_reduction_bits": self.shortfall_reduction_bits,
+            "served_fraction_gain": self.served_fraction_gain,
+            "adaptive_expected_key_bits": float(self.adaptive.expected_key_bits),
+            "static_expected_key_bits": float(self.static.expected_key_bits),
+            "adaptive_served_fraction": self.adaptive.served_fraction,
+            "static_served_fraction": self.static.served_fraction,
+            "outage_count": float(self.adaptive.outage_count),
+            "reopt_count": float(self.reopt_count),
+        }
 
     def render(self) -> str:
         rows = [

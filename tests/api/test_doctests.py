@@ -15,6 +15,7 @@ import repro.api.catalog
 import repro.api.registry
 import repro.api.service
 import repro.io
+import repro.utils.stats
 
 MODULES = [
     repro.api.registry,
@@ -22,6 +23,7 @@ MODULES = [
     repro.api.artifacts,
     repro.api.catalog,
     repro.io,
+    repro.utils.stats,
 ]
 
 

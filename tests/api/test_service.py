@@ -142,6 +142,61 @@ class TestSolveMany:
         done_values = [d for d, _ in ticks]
         assert done_values == sorted(done_values)
 
+    def test_batched_progress_fires_per_config(self):
+        """The batched backend must tick per input config, not once for
+        the whole batch (or once per shape group)."""
+        configs = [paper_config(seed=s) for s in (2, 3, 4)]
+        ticks = []
+        service = SolverService()
+        service.solve_many(
+            configs,
+            backend="batched",
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        assert service.last_backend == "batched"
+        assert ticks == [(1, 3), (2, 3), (3, 3)]
+
+    def test_batched_progress_counts_duplicates_and_cache_hits(self):
+        """Duplicates and pre-cached configs count toward done on the tick
+        of the config that owns them; the final tick is (total, total)."""
+        service = SolverService()
+        a, b = paper_config(seed=2), paper_config(seed=3)
+        service.solve(a)  # pre-cache a
+        ticks = []
+        service.solve_many(
+            [a, b, a, b],
+            backend="batched",
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        # a (and its duplicate) are done before solving starts; b's solve
+        # then completes b and its duplicate in one per-config tick.
+        assert ticks[0] == (2, 4)
+        assert ticks[-1] == (4, 4)
+
+    def test_batched_progress_across_shape_groups(self):
+        """A ragged batch spans shape groups; ticks stay per-config and
+        monotonic, ending exactly at (total, total)."""
+        from repro.quantum.topology import QKDNetwork
+
+        small = QKDNetwork.from_edge_list(
+            [("KC", "A", 8.0)], ["A"], key_center="KC"
+        )
+        configs = [
+            paper_config(seed=2),
+            paper_config(seed=5, network=small),
+            paper_config(seed=3),
+        ]
+        ticks = []
+        SolverService().solve_many(
+            configs,
+            backend="batched",
+            progress=lambda done, total: ticks.append((done, total)),
+        )
+        assert len(ticks) == 3
+        assert ticks[-1] == (3, 3)
+        done_values = [d for d, _ in ticks]
+        assert done_values == sorted(done_values)
+
 
 class TestParallelMap:
     def test_order_preserved(self):

@@ -1,0 +1,100 @@
+"""The ``repro campaign run|status|resume|report`` CLI family."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def spec_path(tmp_path_factory):
+    spec = CampaignSpec(
+        name="cli-t",
+        scenario="sim-keyrate",
+        base={"duration": 4.0},
+        seeds=(2, 3),
+    )
+    path = tmp_path_factory.mktemp("cli") / "spec.json"
+    spec.save(path)
+    return path
+
+
+class TestRunVerb:
+    def test_run_spec_with_dir(self, spec_path, tmp_path, capsys):
+        out_dir = tmp_path / "c"
+        assert main(["campaign", "run", str(spec_path),
+                     "--dir", str(out_dir)]) == 0
+        assert "cli-t" in capsys.readouterr().out
+        assert (out_dir / "campaign.json").exists()
+        assert (out_dir / "aggregate.json").exists()
+
+    def test_run_json_payload(self, spec_path, tmp_path, capsys):
+        assert main(["campaign", "run", str(spec_path),
+                     "--dir", str(tmp_path / "c"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign_result"
+        assert payload["cells_completed"] == 2
+
+    def test_bare_campaign_runs_demo(self, capsys):
+        assert main(["campaign"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_run_via_registry_umbrella(self, spec_path, capsys):
+        """`repro run campaign --set spec=...` works like any scenario."""
+        assert main(["run", "campaign", "--set", f"spec={spec_path}",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign_result"
+        assert payload["name"] == "cli-t"
+
+
+class TestStatusResumeReport:
+    @pytest.fixture()
+    def partial_dir(self, spec_path, tmp_path):
+        spec = CampaignSpec.from_dict(json.loads(spec_path.read_text()))
+        out_dir = tmp_path / "partial"
+        CampaignRunner(spec, out_dir=out_dir).run(max_cells=1)
+        return out_dir
+
+    def test_status(self, partial_dir, capsys):
+        assert main(["campaign", "status", str(partial_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 cells complete" in out
+        assert "pending" in out
+
+    def test_resume_completes(self, partial_dir, capsys):
+        assert main(["campaign", "resume", str(partial_dir)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(partial_dir)]) == 0
+        assert "2/2 cells complete" in capsys.readouterr().out
+
+    def test_report_writes_markdown(self, partial_dir, tmp_path, capsys):
+        report = tmp_path / "out" / "report.md"
+        assert main(["campaign", "report", str(partial_dir),
+                     "--output", str(report)]) == 0
+        assert report.exists()
+        text = report.read_text()
+        assert text.startswith("# Campaign report: cli-t")
+        assert "95% CI" in text
+        assert "incomplete" in text  # partial campaign flagged
+
+    def test_report_output_and_json_compose(self, partial_dir, tmp_path, capsys):
+        """--output writes the file AND --json still prints the payload
+        (the file notice goes to stderr so stdout stays pipeable)."""
+        report = tmp_path / "report.md"
+        assert main(["campaign", "report", str(partial_dir),
+                     "--output", str(report), "--json"]) == 0
+        captured = capsys.readouterr()
+        assert report.exists()
+        payload = json.loads(captured.out)
+        assert payload["kind"] == "campaign_result"
+        assert "written to" in captured.err
+
+    def test_report_json(self, partial_dir, capsys):
+        assert main(["campaign", "report", str(partial_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "campaign_result"
+        assert payload["cells_completed"] == 1
+        assert payload["cells_total"] == 2

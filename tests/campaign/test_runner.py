@@ -1,0 +1,241 @@
+"""Campaign runner: persistence, resume, aggregation, byte-identity."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    campaign_report,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.runner import AGGREGATE_FILENAME, MANIFEST_FILENAME
+from repro.io import result_from_dict, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return CampaignSpec(
+        name="runner-t",
+        scenario="sim-keyrate",
+        base={"duration": 5.0},
+        axes={"demand_factor": [0.0, 0.6]},
+        seeds=(2, 3),
+    )
+
+
+@pytest.fixture(scope="module")
+def completed_dir(spec, tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("campaign") / "full"
+    CampaignRunner(spec, out_dir=out_dir).run()
+    return out_dir
+
+
+class TestArtifacts:
+    def test_layout(self, spec, completed_dir):
+        assert (completed_dir / MANIFEST_FILENAME).exists()
+        assert (completed_dir / AGGREGATE_FILENAME).exists()
+        for cell in spec.cells():
+            cell_dir = completed_dir / "cells" / cell.cell_id
+            assert (cell_dir / "record.json").exists()
+            assert (cell_dir / "result.json").exists()
+
+    def test_manifest_contents(self, spec, completed_dir):
+        manifest = json.loads((completed_dir / MANIFEST_FILENAME).read_text())
+        assert manifest["kind"] == "campaign_manifest"
+        assert manifest["spec"]["name"] == spec.name
+        assert [c["id"] for c in manifest["cells"]] == [
+            c.cell_id for c in spec.cells()
+        ]
+
+    def test_cell_records_carry_params_and_seed(self, spec, completed_dir):
+        cell = spec.cells()[0]
+        record = json.loads(
+            (completed_dir / "cells" / cell.cell_id / "record.json").read_text()
+        )
+        assert record["scenario"] == "sim-keyrate"
+        assert record["params"] == cell.params
+        assert record["seed"] == cell.seed
+        assert record["result"]["kind"] == "simulation_result"
+
+    def test_aggregate_is_a_campaign_result_payload(self, completed_dir):
+        payload = json.loads((completed_dir / AGGREGATE_FILENAME).read_text())
+        assert payload["kind"] == "campaign_result"
+        restored = result_from_dict(payload)
+        assert restored.complete
+        assert result_to_dict(restored) == payload
+
+    def test_mixing_campaigns_in_one_dir_rejected(self, spec, completed_dir):
+        other = CampaignSpec(
+            name="other", scenario="sim-keyrate", seeds=(2,),
+            base={"duration": 4.0},
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignRunner(other, out_dir=completed_dir).run()
+
+
+class TestAggregation:
+    def test_grid_and_replication_counts(self, spec, completed_dir):
+        result = campaign_report(completed_dir)
+        assert result.cells_total == result.cells_completed == 4
+        assert len(result.points) == 2
+        for point in result.points:
+            for stats in point.metrics.values():
+                assert stats["count"] == 2
+
+    def test_means_match_cell_metrics(self, spec, completed_dir):
+        """The streamed mean equals the plain average of the cell values."""
+        from repro.api.artifacts import RunRecord
+        from repro.campaign.metrics import scalar_metrics
+
+        result = campaign_report(completed_dir)
+        cells = spec.cells()
+        point0 = [c for c in cells if c.point == 0]
+        values = [
+            scalar_metrics(
+                RunRecord.load(completed_dir / "cells" / c.cell_id).result
+            )["total_key_bits"]
+            for c in point0
+        ]
+        expected = sum(values) / len(values)
+        assert result.points[0].metrics["total_key_bits"]["mean"] == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_wall_clock_metrics_excluded(self, completed_dir):
+        result = campaign_report(completed_dir)
+        for name in result.metric_names:
+            assert "wall" not in name and "runtime" not in name
+
+    def test_metric_filter(self, tmp_path):
+        spec = CampaignSpec(
+            name="filtered", scenario="sim-keyrate", seeds=(2,),
+            base={"duration": 4.0}, metrics=("total_key_bits",),
+        )
+        result = CampaignRunner(spec, out_dir=tmp_path / "f").run()
+        assert result.metric_names == ["total_key_bits"]
+
+    def test_metric_filter_typo_fails_loudly(self, tmp_path):
+        """A filter matching nothing must raise (naming what exists), not
+        emit a metric-less aggregate after all the cell compute."""
+        spec = CampaignSpec(
+            name="typo", scenario="sim-keyrate", seeds=(2,),
+            base={"duration": 4.0}, metrics=("total_keybits",),
+        )
+        with pytest.raises(ValueError, match="total_key_bits"):
+            CampaignRunner(spec, out_dir=tmp_path / "t").run()
+
+    def test_band_accessors(self, completed_dir):
+        point = campaign_report(completed_dir).points[0]
+        lo, hi = point.band("total_key_bits")
+        mean = point.mean("total_key_bits")
+        assert lo <= mean <= hi
+        assert hi - mean == pytest.approx(point.ci95("total_key_bits"))
+
+
+class TestResume:
+    def test_kill_and_resume_byte_identical(self, spec, completed_dir, tmp_path):
+        """The ISSUE-5 acceptance property at test scale: a campaign killed
+        mid-flight and resumed must write the same aggregate bytes as an
+        uninterrupted run."""
+        killed = tmp_path / "killed"
+        partial = CampaignRunner(spec, out_dir=killed).run(max_cells=2)
+        assert partial.cells_completed == 2
+        assert not partial.complete
+
+        status = campaign_status(killed)
+        assert status.cells_completed == 2
+        assert len(status.pending_cell_ids) == 2
+
+        resumed = resume_campaign(killed)
+        assert resumed.complete
+        assert (killed / AGGREGATE_FILENAME).read_bytes() == (
+            completed_dir / AGGREGATE_FILENAME
+        ).read_bytes()
+
+    def test_resume_skips_completed_cells(self, spec, completed_dir):
+        """Re-running a complete campaign must not re-execute any cell."""
+        before = {
+            p: p.stat().st_mtime_ns
+            for p in (completed_dir / "cells").rglob("record.json")
+        }
+        result = CampaignRunner(spec, out_dir=completed_dir).run()
+        assert result.complete
+        after = {
+            p: p.stat().st_mtime_ns
+            for p in (completed_dir / "cells").rglob("record.json")
+        }
+        assert before == after
+
+    def test_corrupt_cell_artifact_reruns(self, spec, tmp_path):
+        out_dir = tmp_path / "corrupt"
+        CampaignRunner(spec, out_dir=out_dir).run()
+        victim = spec.cells()[1]
+        record = out_dir / "cells" / victim.cell_id / "record.json"
+        record.write_text('{"kind": "run_record", "truncated')  # killed mid-write
+        runner = CampaignRunner(spec, out_dir=out_dir)
+        status = runner.status()
+        assert status.pending_cell_ids == [victim.cell_id]
+        result = runner.run()
+        assert result.complete
+        assert json.loads(record.read_text())["scenario"] == "sim-keyrate"
+
+    def test_fresh_reexecutes_everything(self, spec, tmp_path):
+        out_dir = tmp_path / "fresh"
+        CampaignRunner(spec, out_dir=out_dir).run()
+        before = {
+            p: p.stat().st_mtime_ns
+            for p in (out_dir / "cells").rglob("record.json")
+        }
+        CampaignRunner(spec, out_dir=out_dir).run(resume=False)
+        after = {
+            p: p.stat().st_mtime_ns
+            for p in (out_dir / "cells").rglob("record.json")
+        }
+        assert set(before) == set(after)
+        assert all(after[p] > before[p] for p in before)
+
+
+class TestInMemory:
+    def test_run_without_out_dir(self):
+        spec = CampaignSpec(
+            name="mem", scenario="sim-keyrate", seeds=(2,),
+            base={"duration": 4.0},
+        )
+        result = run_campaign(spec)
+        assert result.complete
+        assert result.cells_total == 1
+
+    def test_progress_callback_counts_cells(self, tmp_path):
+        spec = CampaignSpec(
+            name="prog", scenario="sim-keyrate", seeds=(2, 3),
+            base={"duration": 4.0},
+        )
+        ticks = []
+        run_campaign(spec, out_dir=tmp_path / "p",
+                     progress=lambda done, total: ticks.append((done, total)))
+        assert ticks == [(1, 2), (2, 2)]
+        # resuming ticks through loaded cells too
+        ticks.clear()
+        run_campaign(spec, out_dir=tmp_path / "p",
+                     progress=lambda done, total: ticks.append((done, total)))
+        assert ticks == [(1, 2), (2, 2)]
+
+
+class TestDirectoryHelpers:
+    def test_status_on_non_campaign_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="not a campaign"):
+            campaign_status(tmp_path)
+
+    def test_render_status(self, completed_dir):
+        text = campaign_status(completed_dir).render()
+        assert "4/4" in text and "complete" in text
+
+    def test_render_result(self, completed_dir):
+        text = campaign_report(completed_dir).render()
+        assert "total_key_bits" in text
+        assert "ci95" in text

@@ -72,6 +72,7 @@ class TestResultCodecs:
             "convergence_traces", "stage_call_report", "method_comparison",
             "fig5_bundle", "sweep_series", "sweep_set", "ablation_suite",
             "dynamic_study", "pipeline_report", "report_bundle",
+            "simulation_result", "adaptive_sim_study", "campaign_result",
         ):
             assert expected in kinds
 
