@@ -25,7 +25,9 @@ from itertools import count
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro import faults as _faults
 from repro import io as repro_io
+from repro.errors import ArtifactError
 
 PathLike = Union[str, Path]
 
@@ -124,34 +126,67 @@ class RunRecord:
 
         Returns the created directory.  Parent directories are created as
         needed.
+
+        Both files are written atomically (tmp + fsync + ``os.replace``
+        via :func:`repro.io.atomic_write_text`), and ``result.json`` lands
+        *before* ``record.json``: ``load`` keys on ``record.json``, so its
+        presence must imply a complete run directory — the old order left a
+        window where a crash produced a loadable-looking record next to a
+        missing result.
         """
         target = Path(run_dir) / (dirname if dirname is not None else self.run_id)
         target.mkdir(parents=True, exist_ok=True)
         payload = self.to_dict()
-        (target / RECORD_FILENAME).write_text(json.dumps(payload, indent=2) + "\n")
-        (target / RESULT_FILENAME).write_text(
-            json.dumps(payload["result"], indent=2) + "\n"
+        repro_io.atomic_write_text(
+            target / RESULT_FILENAME, json.dumps(payload["result"], indent=2) + "\n"
+        )
+        repro_io.atomic_write_text(
+            target / RECORD_FILENAME, json.dumps(payload, indent=2) + "\n"
         )
         return target
 
     @classmethod
     def load(cls, path: PathLike) -> "RunRecord":
-        """Read a record back from a run directory (or its ``record.json``)."""
+        """Read a record back from a run directory (or its ``record.json``).
+
+        Corrupt records — truncated or zero-byte JSON, a payload of the
+        wrong kind, an undecodable result — raise
+        :class:`~repro.errors.ArtifactError` naming the offending file, so
+        one bad cell inside a large campaign is locatable from the message
+        alone.  A missing file stays ``FileNotFoundError`` (absence and
+        corruption are different failures).
+        """
         source = Path(path)
         if source.is_dir():
             source = source / RECORD_FILENAME
-        data = json.loads(source.read_text())
-        if data.get("kind") != "run_record":
-            raise ValueError(f"{source}: not a run record (kind={data.get('kind')!r})")
-        return cls(
-            scenario=data["scenario"],
-            params=dict(data["params"]),
-            result=repro_io.result_from_dict(data["result"]),
-            started_at=data["started_at"],
-            runtime_s=float(data["runtime_s"]),
-            run_id=data["run_id"],
-            backend=data.get("backend"),
-        )
+        _faults.fire("artifact.read")
+        text = source.read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            detail = "zero-byte file" if not text else f"invalid JSON ({exc})"
+            raise ArtifactError(
+                f"{source}: corrupt run record: {detail}", path=str(source)
+            ) from exc
+        if not isinstance(data, dict) or data.get("kind") != "run_record":
+            kind = data.get("kind") if isinstance(data, dict) else type(data).__name__
+            raise ArtifactError(
+                f"{source}: not a run record (kind={kind!r})", path=str(source)
+            )
+        try:
+            return cls(
+                scenario=data["scenario"],
+                params=dict(data["params"]),
+                result=repro_io.result_from_dict(data["result"]),
+                started_at=data["started_at"],
+                runtime_s=float(data["runtime_s"]),
+                run_id=data["run_id"],
+                backend=data.get("backend"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(
+                f"{source}: undecodable run record: {exc!r}", path=str(source)
+            ) from exc
 
 
 def record_run(

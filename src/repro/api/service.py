@@ -40,10 +40,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.core.batched import BatchedQuHE
 from repro.core.config import SystemConfig
 from repro.core.quhe import QuHE, QuHEResult
 from repro.core.solution import Allocation
+from repro.errors import SolverError
 from repro.quantum.topology import QKDNetwork
 from repro.utils.parallel import ProgressCallback, parallel_map
 
@@ -170,15 +172,47 @@ def config_fingerprint(config: SystemConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def _degraded_solve(
+    config: SystemConfig, initial: Optional[Allocation] = None
+) -> QuHEResult:
+    """The graceful-degradation path: re-solve with the SLSQP reference.
+
+    Invoked when the primary IPM inner engine raises
+    :class:`~repro.errors.SolverError` (singular Newton system, non-finite
+    objective, or an injected fault).  The scalar SLSQP formulation is an
+    independent implementation of the same convex subproblem, so a sweep
+    survives one pathological configuration; the result is marked
+    ``degraded=True`` so artifacts and reports show which path produced it.
+    """
+    from repro.core.stage3 import Stage3Solver
+
+    solver = QuHE(config, stage3_solver=Stage3Solver(config, inner="slsqp"))
+    return dataclasses.replace(solver.solve(initial), degraded=True)
+
+
 def _solve_config(config: SystemConfig) -> QuHEResult:
-    """One full QuHE solve (module-level: picklable for process pools)."""
-    return QuHE(config).solve()
+    """One full QuHE solve (module-level: picklable for process pools).
+
+    This is the ``worker.solve`` fault seam (it executes inside pool worker
+    processes for the pool backend, in-process otherwise), and the seat of
+    solver degradation: an IPM :class:`~repro.errors.SolverError` falls back
+    to :func:`_degraded_solve` instead of crashing the sweep.
+    """
+    _faults.fire("worker.solve")
+    try:
+        return QuHE(config).solve()
+    except SolverError:
+        return _degraded_solve(config)
 
 
 def _solve_config_warm(task) -> QuHEResult:
     """A (config, initial-allocation) solve, picklable for process pools."""
     config, initial = task
-    return QuHE(config).solve(initial)
+    _faults.fire("worker.solve")
+    try:
+        return QuHE(config).solve(initial)
+    except SolverError:
+        return _degraded_solve(config, initial)
 
 
 class SolverService:
@@ -277,7 +311,10 @@ class SolverService:
         {'hits': 1, 'misses': 1, 'size': 1}
         """
         if initial is not None:
-            return QuHE(config).solve(initial)
+            try:
+                return QuHE(config).solve(initial)
+            except SolverError:
+                return _degraded_solve(config, initial)
         try:
             key = config_fingerprint(config)
         except FingerprintError:
@@ -407,11 +444,24 @@ class SolverService:
                     if progress is not None:
                         progress(state["done"], total)
 
-                solved = self._batched.solve_batch(
-                    pending_configs,
-                    initials=pending_initials,
-                    on_config=_on_config if progress is not None else None,
-                )
+                try:
+                    solved = self._batched.solve_batch(
+                        pending_configs,
+                        initials=pending_initials,
+                        on_config=_on_config if progress is not None else None,
+                    )
+                except SolverError:
+                    # One pathological config poisons the whole vectorized
+                    # pass; re-solve the pending set per config so healthy
+                    # members complete on the primary path and only the
+                    # failing one takes the degraded fallback.
+                    solved = [
+                        _solve_config(cfg) if init is None
+                        else _solve_config_warm((cfg, init))
+                        for cfg, init in zip(pending_configs, pending_initials)
+                    ]
+                    if progress is not None:
+                        progress(total, total)
             elif any(initial is not None for initial in pending_initials):
                 solved = parallel_map(
                     _solve_config_warm,

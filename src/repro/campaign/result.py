@@ -64,10 +64,17 @@ class CampaignResult:
     cells_total: int
     cells_completed: int
     points: List[GridPointAggregate] = field(default_factory=list)
+    #: cells quarantined after exhausting their retry budget — reported as a
+    #: hole in the study, never silently dropped
+    cells_failed: int = 0
+    #: quarantined cell ids, manifest order (artifact dirs under
+    #: ``cells_failed/<cell_id>/`` hold each one's exception chain)
+    failed_cell_ids: List[str] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
-        return self.cells_completed == self.cells_total
+        """Every cell accounted for: aggregated, or explicitly quarantined."""
+        return self.cells_completed + self.cells_failed == self.cells_total
 
     @property
     def metric_names(self) -> List[str]:
@@ -93,8 +100,17 @@ class CampaignResult:
             f"campaign {self.name!r}: scenario={self.scenario} "
             f"{len(self.points)} grid points x {self.replications} seeds "
             f"({self.cells_completed}/{self.cells_total} cells"
+            + (f", {self.cells_failed} QUARANTINED" if self.cells_failed else "")
             + ("" if self.complete else ", INCOMPLETE") + ")"
         ]
+        if self.failed_cell_ids:
+            preview = ", ".join(self.failed_cell_ids[:6])
+            if len(self.failed_cell_ids) > 6:
+                preview += f", … ({len(self.failed_cell_ids)} total)"
+            lines.append(
+                f"quarantined cells (see cells_failed/<id>/error.json): "
+                f"{preview}"
+            )
         axis_names = list(self.axes)
         for metric in self.metric_names:
             rows = []
@@ -122,6 +138,8 @@ class CampaignResult:
 def aggregate_cells(
     spec: CampaignSpec,
     completed: Iterable[Tuple[Cell, Any]],
+    *,
+    failed: Iterable[str] = (),
 ) -> CampaignResult:
     """Fold completed ``(cell, result)`` pairs into a :class:`CampaignResult`.
 
@@ -129,9 +147,13 @@ def aggregate_cells(
     is deterministic, so equal cell results — however they were produced —
     give byte-identical aggregate payloads.  Cells of partially-replicated
     grid points still aggregate (with their smaller ``count``); grid points
-    with no completed cells are omitted.
+    with no completed cells are omitted.  ``failed`` lists the quarantined
+    cell ids (manifest order): they are reported on the result, never
+    silently dropped, and their grid points aggregate from the surviving
+    replications.
     """
     grid = spec.grid_points()
+    failed_ids = list(failed)
     accumulators: Dict[int, Dict[str, StreamingStats]] = {}
     seen = 0
     last_index = -1
@@ -178,4 +200,6 @@ def aggregate_cells(
         cells_total=spec.num_cells,
         cells_completed=seen,
         points=points,
+        cells_failed=len(failed_ids),
+        failed_cell_ids=failed_ids,
     )

@@ -27,20 +27,33 @@ Artifact layout (``out_dir``)::
     cells/<cell_id>/
         record.json          # RunRecord: params + seed + timings + result
         result.json          # bare repro.io payload
+    cells_failed/<cell_id>/
+        error.json           # exception chain of a quarantined cell
     aggregate.json           # campaign_result payload (rewritten per run)
+
+Failure semantics (``docs/robustness.md``): every cell gets
+``spec.max_retries`` attempts (artifact saves additionally retry transient
+IO under a short backoff); a cell that exhausts its budget is *quarantined*
+— its exception chain lands in ``cells_failed/<cell_id>/error.json``, the
+campaign keeps running, and both ``status`` and ``aggregate.json`` report
+the hole.  A later resume re-attempts quarantined cells and clears their
+quarantine entry on success.
 """
 
 from __future__ import annotations
 
 import json
-import os
-from dataclasses import dataclass
+import shutil
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro import faults as _faults
 from repro.api.artifacts import RECORD_FILENAME, RunRecord, record_run
 from repro.campaign.result import CampaignResult, aggregate_cells
 from repro.campaign.spec import CampaignSpec, Cell, load_spec
+from repro.io import atomic_write_text
+from repro.utils.retry import RetryPolicy, retry_call
 
 PathLike = Union[str, Path]
 
@@ -56,6 +69,12 @@ __all__ = [
 MANIFEST_FILENAME = "campaign.json"
 AGGREGATE_FILENAME = "aggregate.json"
 CELLS_DIRNAME = "cells"
+FAILED_DIRNAME = "cells_failed"
+ERROR_FILENAME = "error.json"
+
+#: Backoff for artifact writes hit by transient IO errors: short, because a
+#: torn write on a local filesystem either clears immediately or never.
+_SAVE_RETRY = dict(max_attempts=3, base_s=0.01, cap_s=0.05)
 
 #: Scenarios whose baseline configuration is ``paper_config(seed=seed)``:
 #: their cells' solves can be prefetched as one canonical batch.  Other
@@ -75,10 +94,26 @@ def _baseline_config(scenario: str, params: Dict[str, Any]):
 
 
 def _write_json(path: Path, payload: Dict[str, Any]) -> None:
-    """Atomic-enough JSON write: temp file + rename within the directory."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(json.dumps(payload, indent=2) + "\n")
-    os.replace(tmp, path)
+    """Durable JSON write (tmp + fsync + replace), retried on transient IO."""
+    text = json.dumps(payload, indent=2) + "\n"
+    retry_call(
+        atomic_write_text, path, text,
+        policy=RetryPolicy(**_SAVE_RETRY), what=f"write {path.name}",
+    )
+
+
+def _exception_chain(exc: BaseException) -> List[Dict[str, str]]:
+    """The ``raise … from …`` chain as JSON-ready ``{type, message}`` rows."""
+    chain: List[Dict[str, str]] = []
+    seen: set = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(
+            {"type": type(current).__name__, "message": str(current)}
+        )
+        current = current.__cause__ or current.__context__
+    return chain
 
 
 @dataclass(frozen=True)
@@ -90,6 +125,9 @@ class CampaignStatus:
     cells_total: int
     cells_completed: int
     pending_cell_ids: List[str]
+    #: pending cells that are additionally quarantined (a subset of
+    #: ``pending_cell_ids``: a resume re-attempts them)
+    failed_cell_ids: List[str] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -100,6 +138,14 @@ class CampaignStatus:
             f"campaign {self.name!r} ({self.scenario}): "
             f"{self.cells_completed}/{self.cells_total} cells complete"
         ]
+        if self.failed_cell_ids:
+            preview = ", ".join(self.failed_cell_ids[:6])
+            if len(self.failed_cell_ids) > 6:
+                preview += f", … ({len(self.failed_cell_ids)} quarantined)"
+            lines.append(
+                f"quarantined ({FAILED_DIRNAME}/<id>/{ERROR_FILENAME}): "
+                f"{preview}"
+            )
         if self.pending_cell_ids:
             preview = ", ".join(self.pending_cell_ids[:6])
             if len(self.pending_cell_ids) > 6:
@@ -152,6 +198,9 @@ class CampaignRunner:
         self._solved_chunks: set = set()
         #: in-memory results of cells executed (or loaded) this run
         self._results: Dict[int, Any] = {}
+        #: cells quarantined this run (index -> final exception), for
+        #: in-memory campaigns (``out_dir=None``) where no error.json exists
+        self._failed: Dict[int, BaseException] = {}
 
     # -- canonical batches ----------------------------------------------------
 
@@ -256,7 +305,60 @@ class CampaignRunner:
 
     def _save_cell(self, cell: Cell, record: RunRecord) -> None:
         if self.out_dir is not None:
-            record.save(self.out_dir / CELLS_DIRNAME, dirname=cell.cell_id)
+            retry_call(
+                record.save, self.out_dir / CELLS_DIRNAME,
+                dirname=cell.cell_id,
+                policy=RetryPolicy(**_SAVE_RETRY),
+                what=f"save cell {cell.cell_id}",
+            )
+
+    # -- quarantine -----------------------------------------------------------
+
+    def _quarantine_dir(self, cell: Cell) -> Optional[Path]:
+        if self.out_dir is None:
+            return None
+        return self.out_dir / FAILED_DIRNAME / cell.cell_id
+
+    def _quarantine_cell(
+        self, cell: Cell, exc: BaseException, attempts: int
+    ) -> None:
+        """Record a cell's terminal failure and move on with the campaign."""
+        self._failed[cell.index] = exc
+        target = self._quarantine_dir(cell)
+        if target is None:
+            return
+        target.mkdir(parents=True, exist_ok=True)
+        _write_json(target / ERROR_FILENAME, {
+            "kind": "campaign_cell_failure",
+            "format_version": 1,
+            "cell_id": cell.cell_id,
+            "index": cell.index,
+            "scenario": cell.scenario,
+            "params": cell.params,
+            "attempts": attempts,
+            "error_chain": _exception_chain(exc),
+        })
+
+    def _clear_quarantine(self, cell: Cell) -> None:
+        self._failed.pop(cell.index, None)
+        target = self._quarantine_dir(cell)
+        if target is not None and target.exists():
+            shutil.rmtree(target, ignore_errors=True)
+
+    def cell_failed(self, cell: Cell) -> bool:
+        """Quarantined (this run, or by a previous run) and not completed."""
+        if self.cell_complete(cell):
+            return False
+        if cell.index in self._failed:
+            return True
+        target = self._quarantine_dir(cell)
+        return target is not None and (target / ERROR_FILENAME).exists()
+
+    def failed_cells(self) -> List[str]:
+        """Quarantined-and-incomplete cell ids, manifest order."""
+        return [
+            cell.cell_id for cell in self.manifest if self.cell_failed(cell)
+        ]
 
     def _write_manifest(self) -> None:
         if self.out_dir is None:
@@ -274,7 +376,13 @@ class CampaignRunner:
             ],
         }
         if path.exists():
-            existing = json.loads(path.read_text())
+            try:
+                existing = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                # A torn manifest (crash mid-write before atomic writes, or
+                # an injected fault) carries no identity to compare against;
+                # rewriting it is the only way forward.
+                existing = {"spec": payload["spec"]}
             if existing.get("spec") != payload["spec"]:
                 raise ValueError(
                     f"{path}: directory already holds a different campaign "
@@ -303,6 +411,7 @@ class CampaignRunner:
             cells_total=len(self.manifest),
             cells_completed=len(self.manifest) - len(pending),
             pending_cell_ids=pending,
+            failed_cell_ids=self.failed_cells(),
         )
 
     def _execute_cell(self, cell: Cell) -> RunRecord:
@@ -315,6 +424,30 @@ class CampaignRunner:
             scenario.run,
             backend_probe=self.service.consume_last_backend,
         )
+
+    def _attempt_cell(
+        self, cell: Cell
+    ) -> Tuple[Optional[RunRecord], Optional[BaseException]]:
+        """Run + persist one cell under its retry budget.
+
+        Each attempt passes the ``campaign.cell`` fault seam first, then
+        executes and saves.  Any exception (a genuine scenario failure, an
+        injected fault, a save that exhausted its own IO retries) consumes
+        one attempt; after ``spec.max_retries`` failures the final
+        exception is returned for quarantine instead of raised.
+        """
+        last: Optional[BaseException] = None
+        for _ in range(self.spec.max_retries):
+            try:
+                _faults.fire("campaign.cell")
+                record = self._execute_cell(cell)
+                self._save_cell(cell, record)
+                return record, None
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - quarantined with chain
+                last = exc
+        return None, last
 
     def run(
         self,
@@ -354,10 +487,13 @@ class CampaignRunner:
             for cell in pending:
                 if max_cells is not None and executed >= max_cells:
                     break
-                record = self._execute_cell(cell)
-                self._save_cell(cell, record)
-                self._results[cell.index] = record.result
+                record, failure = self._attempt_cell(cell)
                 executed += 1
+                if record is None:
+                    self._quarantine_cell(cell, failure, self.spec.max_retries)
+                    continue
+                self._clear_quarantine(cell)
+                self._results[cell.index] = record.result
                 done += 1
                 if progress is not None:
                     progress(done, total)
@@ -366,7 +502,12 @@ class CampaignRunner:
         return result
 
     def aggregate(self) -> CampaignResult:
-        """Fold every completed cell (memory or disk) in manifest order."""
+        """Fold every completed cell (memory or disk) in manifest order.
+
+        Quarantined cells are the reported hole: they appear in
+        ``cells_failed``/``failed_cell_ids`` on the result, never silently
+        vanish from the statistics.
+        """
         completed: List[Tuple[Cell, Any]] = []
         for cell in self.manifest:
             result = self._results.get(cell.index)
@@ -374,7 +515,9 @@ class CampaignRunner:
                 result = self.load_cell(cell)
             if result is not None:
                 completed.append((cell, result))
-        return aggregate_cells(self.spec, completed)
+        return aggregate_cells(
+            self.spec, completed, failed=self.failed_cells()
+        )
 
 
 # -- directory-level helpers (the CLI verbs) ----------------------------------

@@ -85,12 +85,16 @@ class CampaignSpec:
     chunk_size: int = DEFAULT_CHUNK_SIZE
     #: restrict aggregation to these metrics (empty = every scalar metric)
     metrics: Tuple[str, ...] = ()
+    #: attempts each cell gets before it is quarantined to ``cells_failed/``
+    max_retries: int = 2
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("campaign name must be non-empty")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
         if not self.seeds:
             raise ValueError("campaign needs at least one replication seed")
         if len(set(self.seeds)) != len(self.seeds):
@@ -194,6 +198,7 @@ class CampaignSpec:
             "backend": self.backend,
             "chunk_size": self.chunk_size,
             "metrics": list(self.metrics),
+            "max_retries": self.max_retries,
         }
 
     @classmethod
@@ -205,7 +210,7 @@ class CampaignSpec:
         list pins the seeds directly.
         """
         known = {"name", "scenario", "base", "axes", "seeds", "seed_base",
-                 "backend", "chunk_size", "metrics"}
+                 "backend", "chunk_size", "metrics", "max_retries"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -227,6 +232,7 @@ class CampaignSpec:
             backend=data.get("backend", "auto"),
             chunk_size=int(data.get("chunk_size", DEFAULT_CHUNK_SIZE)),
             metrics=tuple(data.get("metrics", ())),
+            max_retries=int(data.get("max_retries", 2)),
         )
 
     def save(self, path: PathLike) -> Path:

@@ -76,6 +76,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the scenario's seed parameter (compatibility alias for "
              "--set seed=N / the per-scenario --seed flag)",
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="print full tracebacks on failure instead of the one-line "
+             "classified error",
+    )
+    parser.add_argument(
+        "--faults", default="", metavar="PLAN",
+        help="activate a deterministic fault-injection plan (inline JSON or "
+             "a plan file path; see docs/robustness.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help=_RUN_HELP)
@@ -200,20 +210,55 @@ def _campaign_main(args) -> int:
 
 
 def _parse_set_overrides(scenario, pairs: List[str]) -> Dict[str, Any]:
-    """``--set key=value`` strings → typed parameter overrides."""
+    """``--set key=value`` strings → typed parameter overrides.
+
+    ``--set faults=PLAN`` is reserved: it is not a scenario parameter but
+    the per-invocation switch for the fault-injection layer — the plan is
+    installed (and exported to subprocess workers) as a side effect and
+    never reaches the scenario.
+    """
     overrides: Dict[str, Any] = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
         if not sep:
             raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        if key == "faults":
+            from repro import faults
+
+            faults.install(faults.load_plan(value))
+            continue
         overrides[key] = scenario.param(key).parse(value)
     return overrides
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Failures exit with the :mod:`repro.errors` taxonomy code for their
+    class (configuration 2, solver 3, artifact 4, worker 5, deadline 6,
+    transient IO 7, retry exhausted 8, injected fault 9; unclassified 1)
+    and a one-line ``repro: <Type>: <message>`` on stderr — the full
+    traceback only appears under ``--debug``.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except Exception as exc:  # noqa: BLE001 - classified for the exit code
+        if getattr(args, "debug", False):
+            raise
+        from repro.errors import exit_code_for
+
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
+    """Route a parsed invocation (the fallible part of :func:`main`)."""
+    if getattr(args, "faults", ""):
+        from repro import faults
+
+        faults.install(faults.load_plan(args.faults))
 
     if args.command == "list":
         # Same metadata as docs/scenarios.md (see repro.api.catalog): names,
@@ -252,8 +297,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario.bind(overrides)  # surface parameter errors as usage errors
     except ValueError as exc:
         parser.error(str(exc))
-    # Execution errors are real failures, not usage mistakes: let them
-    # propagate with their traceback instead of an argparse usage banner.
+    # Execution errors are real failures, not usage mistakes: main() maps
+    # them to their taxonomy exit code (traceback under --debug) instead of
+    # an argparse usage banner.
     record = run_scenario(name, overrides)
 
     if args.json:

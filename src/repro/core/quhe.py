@@ -43,6 +43,11 @@ class QuHEResult:
     outer_iterations: int
     runtime_s: float
     converged: bool
+    #: True when the primary IPM inner engine failed and this result came
+    #: from the scalar SLSQP reference fallback (see
+    #: :meth:`repro.api.service.SolverService.solve`) — trustworthy, but
+    #: produced by the degraded path and flagged as such in artifacts.
+    degraded: bool = False
 
     @property
     def objective(self) -> float:

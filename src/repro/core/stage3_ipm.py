@@ -49,6 +49,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults as _faults
+from repro.errors import SolverError
+
 #: Internal unit scales shared with :mod:`repro.core.stage3` (SI = scaled × S).
 B_SCALE = 1e6   # bandwidth in MHz
 F_SCALE = 1e9   # frequencies in GHz
@@ -542,9 +545,12 @@ def _solve_spd(hess: np.ndarray, rhs: np.ndarray) -> np.ndarray:
             return np.linalg.solve(
                 hess + ridge[:, None, None] * eye, rhs[..., None]
             )[..., 0]
-        except np.linalg.LinAlgError:
+        except np.linalg.LinAlgError as exc:
             ridge = ridge * 100.0
-    raise np.linalg.LinAlgError("stage-3 Newton system is singular")
+            last = exc
+    raise SolverError(
+        "stage-3 Newton system is singular after ridge escalation"
+    ) from last
 
 
 # -- the batched Alg. 3 alternation -------------------------------------------
@@ -575,6 +581,12 @@ def solve_stage3_batch(
     noise.  A config freezes once two consecutive rounds agree within its
     own ε; the rest continue on a shrinking active set.
     """
+    # The ``solver.stage3`` fault seam: a ``solver_fail`` rule raises
+    # SolverError here (exercising the SLSQP degradation fallback); a
+    # ``nan`` rule poisons this batch's final objective so the finite
+    # guard at the exit fires instead — both deterministic under the plan.
+    rule = _faults.fire("solver.stage3")
+    nan_poison = rule is not None and rule.kind == "nan"
     k = con.batch
     cycles = np.asarray(cycles, dtype=float)
     p, b, f_c, f_s, t = strict_interior_start(con, cycles, p0, b0, fc0, fs0)
@@ -697,6 +709,17 @@ def solve_stage3_batch(
             t_final,
         )
 
+    if nan_poison:
+        final_value = np.full_like(final_value, np.nan)
+    # A non-finite objective means the optimizer diverged (or was poisoned
+    # by the fault layer); surface it as a classified failure instead of
+    # letting NaN propagate silently into metrics and aggregates.
+    if not np.all(np.isfinite(final_value)):
+        bad = np.flatnonzero(~np.isfinite(final_value))
+        raise SolverError(
+            f"stage-3 produced a non-finite objective for batch member(s) "
+            f"{bad.tolist()}"
+        )
     # Eq. 23-style tightening: report T as the exact max delay.
     t_report = np.max(_delays(con, cycles, p, b, f_c, f_s), axis=-1)
     return Stage3BatchResult(

@@ -1,0 +1,161 @@
+"""Error taxonomy: every failure the platform can survive has a name.
+
+The hardening layers (``repro.faults``, ``repro.utils.retry``, the campaign
+quarantine, the CLI exit-code discipline) all speak this vocabulary:
+
+* **classification** — retry logic keys on :class:`TransientError` (worth
+  another attempt) vs everything else (a genuine defect, fail fast);
+* **attribution** — :class:`WorkerError` and :class:`ArtifactError` carry
+  the failing item / path so a crash deep inside a 10k-cell campaign names
+  its cause instead of surfacing a bare ``KeyError``;
+* **exit codes** — ``python -m repro`` maps each class to a distinct
+  nonzero code (see :func:`exit_code_for`), so scripts and CI can branch on
+  *why* a run failed without parsing stderr.
+
+Exit-code map (0 = success, 1 = unclassified, 2 = usage/configuration):
+
+==========================  ====
+:class:`ConfigurationError`    2
+:class:`SolverError`           3
+:class:`ArtifactError`         4
+:class:`WorkerError`           5
+:class:`DeadlineExceeded`      6
+:class:`TransientIOError`      7
+:class:`RetryExhausted`        8
+:class:`FaultInjected`         9
+==========================  ====
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TransientError",
+    "SolverError",
+    "ArtifactError",
+    "WorkerError",
+    "DeadlineExceeded",
+    "TransientIOError",
+    "RetryExhausted",
+    "FaultInjected",
+    "EXIT_UNCLASSIFIED",
+    "exit_code_for",
+]
+
+#: Exit code for exceptions outside the taxonomy.
+EXIT_UNCLASSIFIED = 1
+
+
+class ReproError(Exception):
+    """Base of the taxonomy; every subclass owns a distinct exit code."""
+
+    exit_code: int = EXIT_UNCLASSIFIED
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Bad parameters, malformed specs, impossible requests (usage-class)."""
+
+    exit_code = 2
+
+
+class TransientError(ReproError):
+    """A failure expected to clear on retry (the retryable marker class)."""
+
+    exit_code = 1
+
+
+class SolverError(ReproError, ArithmeticError):
+    """The optimizer failed: singular Newton system, NaN objective, …
+
+    :meth:`repro.api.service.SolverService.solve` catches this and falls
+    back to the scalar SLSQP reference path (marking the result
+    ``degraded=True``) instead of crashing the sweep.
+    """
+
+    exit_code = 3
+
+
+class ArtifactError(ReproError, ValueError):
+    """A persisted artifact is unreadable: truncated, wrong kind, empty.
+
+    Always names the offending path so a corrupt cell in a large campaign
+    is locatable from the message alone.
+    """
+
+    exit_code = 4
+
+    def __init__(self, message: str, *, path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class WorkerError(ReproError):
+    """A pool worker failed; carries the failing item's index/fingerprint."""
+
+    exit_code = 5
+
+    def __init__(
+        self, message: str, *, index: Optional[int] = None,
+        item: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.item = item
+
+
+class DeadlineExceeded(TransientError, TimeoutError):
+    """An attempt outlived its watchdog deadline (hung worker, stuck IO)."""
+
+    exit_code = 6
+
+
+class TransientIOError(TransientError, OSError):
+    """An IO operation failed in a way that a bounded retry may clear."""
+
+    exit_code = 7
+
+
+class RetryExhausted(ReproError):
+    """Every allowed attempt failed; ``__cause__`` chains the last error."""
+
+    exit_code = 8
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class FaultInjected(ReproError):
+    """An exception deliberately raised by :mod:`repro.faults`.
+
+    Chaos tests assert on this class to distinguish injected failures from
+    genuine defects uncovered while the fault plan was active.
+    """
+
+    exit_code = 9
+
+    def __init__(self, message: str, *, seam: str = "") -> None:
+        super().__init__(message)
+        self.seam = seam
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The process exit code for ``exc`` (taxonomy-aware, 1 otherwise).
+
+    >>> exit_code_for(SolverError("singular"))
+    3
+    >>> exit_code_for(ArtifactError("bad", path="x.json"))
+    4
+    >>> exit_code_for(RuntimeError("unclassified"))
+    1
+    """
+    if isinstance(exc, ReproError):
+        return exc.exit_code
+    if isinstance(exc, FileNotFoundError):
+        # Missing artifacts surface as the artifact class even when raised
+        # by pathlib before our wrappers get a chance to classify them.
+        return ArtifactError.exit_code
+    return EXIT_UNCLASSIFIED

@@ -25,17 +25,60 @@ Two layers:
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Type, Union
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.core.solution import Allocation, Metrics
+from repro.errors import ArtifactError, TransientIOError
 
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Durably write ``text`` to ``path``: tmp + flush + fsync + ``os.replace``.
+
+    The temp file lives in the target's directory so the final rename is a
+    same-filesystem atomic replace — a reader never observes a partial file,
+    and a crash mid-write leaves the previous content (or nothing) intact.
+
+    This is also the ``artifact.write`` fault seam: under an active
+    :mod:`repro.faults` plan a ``torn_write``/``truncate`` rule deliberately
+    leaves a corrupt file at ``path`` (bypassing the atomic dance, the way a
+    legacy non-atomic writer would after a crash) and raises
+    :class:`~repro.errors.TransientIOError` so hardened callers retry.
+    """
+    target = Path(path)
+    rule = _faults.fire("artifact.write")
+    if rule is not None and rule.kind in ("torn_write", "truncate"):
+        torn = "" if rule.kind == "truncate" else text[: max(1, len(text) // 2)]
+        target.write_text(torn)
+        raise TransientIOError(
+            f"injected {rule.kind} while writing {target}"
+        )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
 
 
 def allocation_to_dict(alloc: Allocation) -> Dict:
@@ -263,15 +306,38 @@ def result_from_dict(data: Dict) -> Any:
 
 
 def save_result(obj: Any, path: PathLike) -> Path:
-    """Write any registered result object to a JSON file."""
-    out = Path(path)
-    out.write_text(json.dumps(result_to_dict(obj), indent=2) + "\n")
-    return out
+    """Write any registered result object to a JSON file (atomically)."""
+    return atomic_write_text(path, json.dumps(result_to_dict(obj), indent=2) + "\n")
 
 
 def load_result(path: PathLike) -> Any:
-    """Read back a result written by :func:`save_result`."""
-    return result_from_dict(json.loads(Path(path).read_text()))
+    """Read back a result written by :func:`save_result`.
+
+    Corrupt artifacts (truncated JSON, zero-byte files, wrong-kind payloads)
+    raise :class:`~repro.errors.ArtifactError` naming the offending path.
+    """
+    source = Path(path)
+    try:
+        text = source.read_text()
+    except FileNotFoundError:
+        raise
+    except OSError as exc:
+        raise ArtifactError(
+            f"{source}: unreadable result artifact: {exc}", path=str(source)
+        ) from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        detail = "zero-byte file" if not text else f"invalid JSON ({exc})"
+        raise ArtifactError(
+            f"{source}: corrupt result artifact: {detail}", path=str(source)
+        ) from exc
+    try:
+        return result_from_dict(payload)
+    except ValueError as exc:
+        raise ArtifactError(
+            f"{source}: {exc}", path=str(source)
+        ) from exc
 
 
 # -- helpers -----------------------------------------------------------------
@@ -434,6 +500,7 @@ def _register_builtin_codecs() -> None:
             "outer_iterations": int(r.outer_iterations),
             "runtime_s": float(r.runtime_s),
             "converged": bool(r.converged),
+            "degraded": bool(r.degraded),
         },
         lambda d: QuHEResult(
             allocation=allocation_from_dict(d["allocation"]),
@@ -448,6 +515,9 @@ def _register_builtin_codecs() -> None:
             outer_iterations=d["outer_iterations"],
             runtime_s=d["runtime_s"],
             converged=d["converged"],
+            # Absent in pre-robustness artifacts: same format version, the
+            # primary path was the only path then.
+            degraded=d.get("degraded", False),
         ),
     )
 
@@ -765,6 +835,8 @@ def _register_builtin_codecs() -> None:
             "backend": r.backend,
             "cells_total": int(r.cells_total),
             "cells_completed": int(r.cells_completed),
+            "cells_failed": int(r.cells_failed),
+            "failed_cell_ids": [str(c) for c in r.failed_cell_ids],
             "points": [
                 {
                     "params": dict(p.params),
@@ -785,6 +857,10 @@ def _register_builtin_codecs() -> None:
             backend=d["backend"],
             cells_total=d["cells_total"],
             cells_completed=d["cells_completed"],
+            # Absent in pre-quarantine artifacts: no cell could fail
+            # survivably then, so zero is the faithful reading.
+            cells_failed=d.get("cells_failed", 0),
+            failed_cell_ids=list(d.get("failed_cell_ids", [])),
             points=[
                 GridPointAggregate(
                     params=dict(p["params"]),
@@ -794,6 +870,12 @@ def _register_builtin_codecs() -> None:
                 for p in d["points"]
             ],
         ),
+    )
+    register_codec(
+        "fault_plan",
+        _faults.FaultPlan,
+        lambda p: p.to_dict(),
+        _faults.FaultPlan.from_dict,
     )
     register_codec(
         "report_bundle",

@@ -40,6 +40,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import faults as _faults
+
 __all__ = ["Event", "Entity", "Process", "RngStreams", "Simulator"]
 
 
@@ -265,6 +267,7 @@ class Simulator:
         """
         if until < self._now:
             raise ValueError(f"cannot run to {until} < now={self._now}")
+        self._inject_storm(until)
         while self._started < len(self._entities):
             entity = self._entities[self._started]
             self._started += 1
@@ -286,6 +289,29 @@ class Simulator:
             event.fn()
         self._now = float(until)
         return self.events_processed - before
+
+    def _inject_storm(self, until: float) -> None:
+        """The ``sim.storm`` fault seam: a deterministic no-op event burst.
+
+        A ``storm`` rule floods the heap with ``count`` inert events spread
+        over ``span_s`` seconds (default: the whole run window), drawn from
+        the dedicated ``faults.storm`` named stream — so the burst is
+        reproducible under the plan and, by the named-stream discipline,
+        cannot perturb any model process's own draws.  The storm *does*
+        enter the event trace (tag ``fault.storm``): digests under a plan
+        differ from clean digests, equally deterministically.
+        """
+        rule = _faults.fire("sim.storm")
+        if rule is None or rule.kind != "storm" or rule.count <= 0:
+            return
+        span = rule.span_s if rule.span_s > 0 else max(until - self._now, 0.0)
+        offsets = np.sort(self.stream("faults.storm").random(rule.count))
+        for offset in offsets:
+            self.schedule_at(
+                self._now + float(offset) * span,
+                lambda: None,
+                tag="fault.storm",
+            )
 
     # -- audit ----------------------------------------------------------------
 

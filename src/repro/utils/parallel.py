@@ -1,4 +1,4 @@
-"""Ordered process-pool fan-out with graceful serial fallback.
+"""Ordered process-pool fan-out with watchdogs and graceful serial fallback.
 
 One helper, :func:`parallel_map`, generalizes the ``--workers`` plumbing
 that used to live inside the Fig.-6 sweep: independent work items are
@@ -11,13 +11,31 @@ the function and items: anything that cannot cross a process boundary
 start — no pool work is thrown away, no item executes twice, and genuine
 exceptions raised by ``fn`` propagate once instead of being mistaken for
 transport failures.
+
+Hardening (see ``docs/robustness.md``):
+
+* **attribution** — an exception raised by ``fn`` for item *i* is wrapped
+  in :class:`~repro.errors.WorkerError` carrying the index and a short
+  fingerprint of the item (``raise … from exc`` keeps the original as
+  ``__cause__``), so one bad config in a 10k-item sweep names itself;
+* **watchdog** — ``timeout_s`` bounds each item's wait; a hung worker
+  surfaces as :class:`~repro.errors.DeadlineExceeded` instead of stalling
+  the sweep forever;
+* **re-dispatch** — a worker process that dies (``BrokenProcessPool``: OOM
+  kill, segfault, an injected ``kind="crash"`` fault) or times out does not
+  lose its items: the pool is torn down and every unfinished item re-runs
+  serially in this process, preserving exactly-once *results* (an item may
+  execute more than once, so ``fn`` must be pure — which solver calls are).
 """
 
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.errors import DeadlineExceeded, WorkerError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -43,12 +61,34 @@ def _crosses_process_boundary(fn, items) -> bool:
         return False
 
 
+def _fingerprint(item) -> str:
+    """A short, log-safe description of a work item for error attribution."""
+    text = repr(item)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _attributed(fn: Callable[[T], R], item: T, index: int) -> R:
+    """Run ``fn(item)``, wrapping any failure with the item's identity."""
+    try:
+        return fn(item)
+    except (WorkerError, DeadlineExceeded):
+        raise
+    except Exception as exc:
+        raise WorkerError(
+            f"item {index} ({_fingerprint(item)}) failed: "
+            f"{type(exc).__name__}: {exc}",
+            index=index,
+            item=_fingerprint(item),
+        ) from exc
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     *,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally over a process pool.
 
@@ -57,6 +97,14 @@ def parallel_map(
     Pool results are returned in the order of ``items`` and are identical
     to the serial run.  ``progress`` is invoked as ``progress(done, total)``
     after each completed item (in order).
+
+    ``timeout_s`` is the pooled-path watchdog: the per-item budget each
+    future is awaited under.  Items lost to a worker crash or timeout are
+    transparently re-dispatched serially in this process; if the serial
+    retry *also* times out nothing can save the item and
+    :class:`~repro.errors.DeadlineExceeded` propagates — except there is no
+    serial preemption, so a serial retry only fails by raising, surfacing
+    as :class:`~repro.errors.WorkerError` with the item's index.
     """
     total = len(items)
     results: List[R] = []
@@ -64,14 +112,54 @@ def parallel_map(
         workers is not None and workers > 1 and total > 1
         and _crosses_process_boundary(fn, items)
     ):
-        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-            for result in pool.map(fn, items):
-                results.append(result)
-                if progress is not None:
-                    progress(len(results), total)
-        return results
-    for item in items:
-        results.append(fn(item))
+        done: Dict[int, R] = {}
+        lost: List[int] = []
+        pool = ProcessPoolExecutor(max_workers=min(workers, total))
+        try:
+            futures = {
+                index: pool.submit(fn, item) for index, item in enumerate(items)
+            }
+            pool_broken = False
+            for index in range(total):
+                if pool_broken:
+                    lost.append(index)
+                    continue
+                try:
+                    done[index] = futures[index].result(timeout=timeout_s)
+                except BrokenProcessPool:
+                    # The worker holding this item died; every item not yet
+                    # finished is now unrecoverable from this pool.
+                    lost.append(index)
+                    pool_broken = True
+                except FutureTimeout:
+                    # Watchdog fired: the worker is hung, not dead.  Give
+                    # up on the whole pool (we cannot evict one worker) and
+                    # re-dispatch everything unfinished.
+                    lost.append(index)
+                    pool_broken = True
+                except Exception as exc:
+                    raise _attribution_error(exc, index, items[index]) from exc
+                else:
+                    if progress is not None:
+                        progress(len(done), total)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        for index in lost:
+            done[index] = _attributed(fn, items[index], index)
+            if progress is not None:
+                progress(len(done), total)
+        return [done[index] for index in range(total)]
+    for index, item in enumerate(items):
+        results.append(_attributed(fn, item, index))
         if progress is not None:
             progress(len(results), total)
     return results
+
+
+def _attribution_error(exc: Exception, index: int, item) -> WorkerError:
+    return WorkerError(
+        f"item {index} ({_fingerprint(item)}) failed: "
+        f"{type(exc).__name__}: {exc}",
+        index=index,
+        item=_fingerprint(item),
+    )

@@ -1,0 +1,142 @@
+"""Bounded retries with decorrelated-jitter backoff and deadlines.
+
+One retry idiom for every hardened seam (artifact IO, campaign cells, pool
+dispatch) instead of ad-hoc loops: :func:`retry_call` retries *transient*
+failures (the :class:`repro.errors.TransientError` branch of the taxonomy,
+plus ``OSError`` by default) a bounded number of times, sleeping a
+decorrelated-jitter backoff between attempts::
+
+    sleep_n = min(cap, uniform(base, 3 * sleep_{n-1}))
+
+(the AWS-architecture-blog variant: successive sleeps decorrelate from each
+other rather than marching a fixed exponential ladder, which de-synchronises
+colliding retriers).  Non-transient errors propagate immediately — a genuine
+defect must fail fast, not burn the retry budget.
+
+Both the sleep function and the RNG are injectable so tests run instantly
+and deterministically::
+
+    policy = RetryPolicy(max_attempts=4, rng=random.Random(0), sleep=lambda s: None)
+    value = retry_call(flaky, policy=policy)
+
+A :class:`Deadline` gives per-attempt (or whole-call) time budgets; crossing
+one raises :class:`repro.errors.DeadlineExceeded`, which is itself transient
+— a caller holding a retry policy may re-dispatch the work elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.errors import DeadlineExceeded, RetryExhausted, TransientError
+
+__all__ = ["Deadline", "RetryPolicy", "retry_call"]
+
+
+@dataclass
+class Deadline:
+    """A wall-clock budget; :meth:`check` raises once it is spent.
+
+    ``clock`` is injectable (tests pass a fake); production uses
+    ``time.monotonic``.
+    """
+
+    budget_s: float
+    clock: Callable[[], float] = time.monotonic
+    _started: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Deadline":
+        self._started = self.clock()
+        return self
+
+    def remaining(self) -> float:
+        if self._started is None:
+            self.start()
+        return self.budget_s - (self.clock() - self._started)
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "operation") -> None:
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget_s:g}s deadline"
+            )
+
+
+@dataclass
+class RetryPolicy:
+    """How many attempts, which errors qualify, how long to sleep between.
+
+    ``retry_on`` defaults to the transient branch of the taxonomy plus raw
+    ``OSError`` (filesystem hiccups raised before our wrappers classify
+    them).  ``sleep`` and ``rng`` are injectable for deterministic tests.
+    """
+
+    max_attempts: int = 3
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    retry_on: Tuple[Type[BaseException], ...] = (TransientError, OSError)
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=random.Random)
+    #: optional per-attempt budget; expiry counts as a transient failure
+    attempt_budget_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_s < 0 or self.cap_s < self.base_s:
+            raise ValueError("need 0 <= base_s <= cap_s")
+
+    def backoff_s(self, previous_s: float) -> float:
+        """Next sleep: ``min(cap, uniform(base, 3 * previous))``."""
+        upper = max(self.base_s, 3.0 * previous_s)
+        return min(self.cap_s, self.rng.uniform(self.base_s, upper))
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+
+def retry_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    policy: Optional[RetryPolicy] = None,
+    what: Optional[str] = None,
+    **kwargs: Any,
+) -> Any:
+    """Call ``fn(*args, **kwargs)`` under ``policy``.
+
+    Raises :class:`repro.errors.RetryExhausted` (chaining the final attempt's
+    exception as ``__cause__``) when every attempt fails retryably; a
+    non-retryable exception propagates untouched from whichever attempt
+    raised it.
+    """
+    policy = policy or RetryPolicy()
+    label = what or getattr(fn, "__name__", "call")
+    previous_sleep = policy.base_s
+    last_exc: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        deadline = (
+            Deadline(policy.attempt_budget_s).start()
+            if policy.attempt_budget_s is not None
+            else None
+        )
+        try:
+            result = fn(*args, **kwargs)
+            if deadline is not None:
+                deadline.check(label)
+            return result
+        except BaseException as exc:  # noqa: BLE001 - classified just below
+            if not policy.is_retryable(exc):
+                raise
+            last_exc = exc
+        if attempt < policy.max_attempts:
+            previous_sleep = policy.backoff_s(previous_sleep)
+            policy.sleep(previous_sleep)
+    raise RetryExhausted(
+        f"{label} failed after {policy.max_attempts} attempt(s): {last_exc}",
+        attempts=policy.max_attempts,
+    ) from last_exc

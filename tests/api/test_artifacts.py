@@ -1,0 +1,169 @@
+"""Corrupt-artifact handling and durable-write ordering for RunRecords."""
+
+import json
+
+import pytest
+
+from repro import faults, io as repro_io
+from repro.api.artifacts import (
+    RECORD_FILENAME,
+    RESULT_FILENAME,
+    RunRecord,
+)
+from repro.errors import ArtifactError, TransientIOError
+from repro.faults import FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def record(quhe_result):
+    return RunRecord(
+        scenario="solve",
+        params={"seed": 2},
+        result=quhe_result,
+        started_at="20260808T000000",
+        runtime_s=0.25,
+    )
+
+
+@pytest.fixture()
+def run_dir(record, tmp_path):
+    return record.save(tmp_path)
+
+
+class TestSaveOrdering:
+    def test_result_lands_before_record(self, record, tmp_path, monkeypatch):
+        order = []
+        real = repro_io.atomic_write_text
+
+        def spy(path, text):
+            order.append(path.name)
+            return real(path, text)
+
+        monkeypatch.setattr(repro_io, "atomic_write_text", spy)
+        record.save(tmp_path / "ordered")
+        assert order == [RESULT_FILENAME, RECORD_FILENAME]
+
+    def test_no_temp_files_left_behind(self, run_dir):
+        names = {p.name for p in run_dir.iterdir()}
+        assert names == {RECORD_FILENAME, RESULT_FILENAME}
+
+
+class TestCorruptRunRecords:
+    def test_truncated_json(self, run_dir):
+        target = run_dir / RECORD_FILENAME
+        target.write_text(target.read_text()[:40])
+        with pytest.raises(ArtifactError, match="corrupt run record") as err:
+            RunRecord.load(run_dir)
+        assert str(target) in str(err.value)
+        assert err.value.path == str(target)
+
+    def test_zero_byte_file(self, run_dir):
+        (run_dir / RECORD_FILENAME).write_text("")
+        with pytest.raises(ArtifactError, match="zero-byte file"):
+            RunRecord.load(run_dir)
+
+    def test_wrong_kind(self, run_dir):
+        (run_dir / RECORD_FILENAME).write_text(
+            json.dumps({"kind": "quhe_result"})
+        )
+        with pytest.raises(ArtifactError,
+                           match="not a run record .kind='quhe_result'"):
+            RunRecord.load(run_dir)
+
+    def test_non_object_payload(self, run_dir):
+        (run_dir / RECORD_FILENAME).write_text("[1, 2, 3]")
+        with pytest.raises(ArtifactError, match="not a run record"):
+            RunRecord.load(run_dir)
+
+    def test_undecodable_result_payload(self, run_dir):
+        target = run_dir / RECORD_FILENAME
+        data = json.loads(target.read_text())
+        data["result"] = {"kind": "no_such_kind"}
+        target.write_text(json.dumps(data))
+        with pytest.raises(ArtifactError, match="undecodable run record"):
+            RunRecord.load(run_dir)
+
+    def test_missing_record_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunRecord.load(tmp_path)
+
+    def test_intact_record_roundtrips(self, record, run_dir):
+        restored = RunRecord.load(run_dir)
+        assert restored.run_id == record.run_id
+        assert restored.result.converged == record.result.converged
+
+
+class TestCorruptResultArtifacts:
+    def test_truncated_result_json(self, quhe_result, tmp_path):
+        path = tmp_path / "result.json"
+        repro_io.save_result(quhe_result, path)
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(ArtifactError, match="corrupt result artifact"):
+            repro_io.load_result(path)
+
+    def test_zero_byte_result(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ArtifactError, match="zero-byte file") as err:
+            repro_io.load_result(path)
+        assert str(path) in str(err.value)
+
+    def test_unknown_kind_payload(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"kind": "alien", "format_version": 1}))
+        with pytest.raises(ArtifactError, match="unknown result kind"):
+            repro_io.load_result(path)
+
+    def test_version_mismatch(self, quhe_result, tmp_path):
+        path = tmp_path / "future.json"
+        payload = repro_io.result_to_dict(quhe_result)
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ArtifactError, match="unsupported format version"):
+            repro_io.load_result(path)
+
+    def test_missing_result_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            repro_io.load_result(tmp_path / "absent.json")
+
+
+class TestAtomicWriteFaultSeam:
+    def test_torn_write_leaves_corrupt_file_and_raises(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        text = '{"kind": "x"}'
+        plan = FaultPlan(rules=(
+            FaultRule(seam="artifact.write", kind="torn_write"),))
+        with plan.activate():
+            with pytest.raises(TransientIOError, match="torn_write"):
+                repro_io.atomic_write_text(path, text)
+            # The torn file is on disk (half the payload) — exactly the
+            # mess a crash mid-write would leave without atomic writes.
+            assert path.read_text() == text[: len(text) // 2]
+            # Retry succeeds once the rule's max_fires budget is spent.
+            repro_io.atomic_write_text(path, text)
+            assert json.loads(path.read_text()) == {"kind": "x"}
+
+    def test_truncate_leaves_zero_byte_file(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        plan = FaultPlan(rules=(
+            FaultRule(seam="artifact.write", kind="truncate"),))
+        with plan.activate():
+            with pytest.raises(TransientIOError, match="truncate"):
+                repro_io.atomic_write_text(path, "payload")
+        assert path.read_text() == ""
+
+    def test_read_seam_fires_on_load(self, record, run_dir):
+        plan = FaultPlan(rules=(
+            FaultRule(seam="artifact.read", kind="io_error"),))
+        with plan.activate():
+            with pytest.raises(TransientIOError):
+                RunRecord.load(run_dir)
+            # Budget spent: the record is untouched and loads fine.
+            assert RunRecord.load(run_dir).run_id == record.run_id

@@ -1,0 +1,218 @@
+"""Chaos suite: campaigns under fault matrices, storms, and degradation.
+
+Run with ``pytest -m chaos`` (the CI chaos job adds ``--timeout`` from
+pytest-timeout as a hang backstop; locally the tests are fast and
+deterministic without it).  The load-bearing claims, per docs/robustness.md:
+
+* a campaign executed under a fault matrix quarantines what it must, keeps
+  running, **reports** every hole — and a fault-free resume converges to an
+  ``aggregate.json`` byte-identical to a never-faulted run;
+* transient artifact faults are absorbed entirely by the retry layer (no
+  quarantine, same bytes);
+* injected event storms are deterministic — same plan, same trace digest —
+  and clean golden digests stay green around them;
+* an injected Stage-3 failure degrades to the scalar fallback
+  (``degraded=True``) instead of crashing, with the objective intact.
+
+Byte-identity matrices deliberately avoid ``solver_fail``/``nan`` rules:
+degradation switches the solve to SLSQP, whose last-ulp numerics differ
+from the IPM path, so degraded results are asserted separately.
+"""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.campaign import (
+    campaign_status,
+    demo_spec,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.runner import ERROR_FILENAME, FAILED_DIRNAME
+from repro.faults import FaultPlan, FaultRule
+from repro.sim.engine import Simulator
+
+pytestmark = pytest.mark.chaos
+
+AGGREGATE = "aggregate.json"
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    from repro.api.scenarios import SERVICE
+
+    SERVICE.clear_cache()
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def clean_aggregate_bytes(tmp_path_factory):
+    """The never-faulted demo campaign's aggregate.json, byte for byte."""
+    out = tmp_path_factory.mktemp("clean-campaign")
+    faults.clear()
+    result = run_campaign(demo_spec(), out_dir=out)
+    assert result.complete and result.cells_failed == 0
+    return (out / AGGREGATE).read_bytes()
+
+
+def _fault_matrix(seed: int) -> FaultPlan:
+    """A mixed matrix, safe for byte-identity (no solver-numerics faults).
+
+    ``max_fires`` budgets are chosen so recovery is guaranteed: artifact
+    writes get 3 attempts per file (``_SAVE_RETRY``), so a rule firing at
+    most twice can delay but never exhaust a write; cell-level raises can
+    at worst quarantine cells, which the fault-free resume then heals.
+    """
+    return FaultPlan(seed=seed, rules=(
+        FaultRule(seam="campaign.cell", kind="raise", probability=0.6,
+                  max_fires=3),
+        FaultRule(seam="campaign.cell", kind="hang", delay_s=0.01,
+                  probability=0.3, max_fires=1),
+        FaultRule(seam="artifact.write", kind="torn_write", probability=0.3,
+                  max_fires=2),
+        FaultRule(seam="artifact.write", kind="io_error", probability=0.2,
+                  max_fires=2),
+    ))
+
+
+class TestFaultMatrixResume:
+    @pytest.mark.parametrize("fault_seed", [0, 1, 2])
+    def test_resume_is_byte_identical(self, fault_seed, tmp_path,
+                                      clean_aggregate_bytes):
+        out = tmp_path / "faulted"
+        with _fault_matrix(fault_seed).activate():
+            result = run_campaign(demo_spec(), out_dir=out)
+        # Whatever the matrix did, the campaign ran to the end and every
+        # hole is reported, never dropped.
+        assert result.cells_completed + result.cells_failed == \
+            result.cells_total
+        assert len(result.failed_cell_ids) == result.cells_failed
+        for cell_id in result.failed_cell_ids:
+            assert (out / FAILED_DIRNAME / cell_id / ERROR_FILENAME).exists()
+
+        resumed = resume_campaign(out)
+        assert resumed.complete and resumed.cells_failed == 0
+        assert (out / AGGREGATE).read_bytes() == clean_aggregate_bytes
+        # Healed quarantine entries are gone.
+        failed_dir = out / FAILED_DIRNAME
+        assert not failed_dir.exists() or not any(failed_dir.iterdir())
+        status = campaign_status(out)
+        assert status.complete and not status.failed_cell_ids
+
+    def test_transient_io_absorbed_without_quarantine(
+            self, tmp_path, clean_aggregate_bytes):
+        out = tmp_path / "transient"
+        plan = FaultPlan(seed=5, rules=(
+            FaultRule(seam="artifact.write", kind="io_error", max_fires=2),))
+        with plan.activate():
+            result = run_campaign(demo_spec(), out_dir=out)
+        # The retry layer ate both injected failures; nothing surfaced.
+        assert result.complete and result.cells_failed == 0
+        assert (out / AGGREGATE).read_bytes() == clean_aggregate_bytes
+
+
+class TestQuarantineContract:
+    def test_persistent_failure_is_quarantined_and_reported(self, tmp_path):
+        out = tmp_path / "quarantined"
+        spec = demo_spec()
+        # Deterministic: the first cell's whole retry budget
+        # (max_retries=2) fails; every later attempt is clean.
+        plan = FaultPlan(rules=(
+            FaultRule(seam="campaign.cell", kind="raise",
+                      max_fires=spec.max_retries),))
+        with plan.activate():
+            result = run_campaign(spec, out_dir=out)
+        assert result.cells_failed == 1
+        assert result.cells_completed == result.cells_total - 1
+        assert result.complete  # completed + quarantined covers the manifest
+        assert "QUARANTINED" in result.render()
+
+        cell_id = result.failed_cell_ids[0]
+        payload = json.loads(
+            (out / FAILED_DIRNAME / cell_id / ERROR_FILENAME).read_text()
+        )
+        assert payload["kind"] == "campaign_cell_failure"
+        assert payload["cell_id"] == cell_id
+        assert payload["attempts"] == spec.max_retries
+        assert payload["error_chain"][0]["type"] == "FaultInjected"
+
+        # The hole is visible in every reporting surface.
+        status = campaign_status(out)
+        assert status.failed_cell_ids == [cell_id]
+        assert "quarantined" in status.render()
+        aggregate = json.loads((out / AGGREGATE).read_text())
+        assert aggregate["cells_failed"] == 1
+        assert aggregate["failed_cell_ids"] == [cell_id]
+
+        # A fault-free resume heals the cell.
+        resumed = resume_campaign(out)
+        assert resumed.cells_failed == 0 and resumed.complete
+
+
+class TestStormDeterminism:
+    def _digest(self, plan=None):
+        sim = Simulator(seed=7, record_trace=True)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None, tag="model")
+        if plan is not None:
+            with plan.activate():
+                sim.run(until=10.0)
+        else:
+            sim.run(until=10.0)
+        return sim.trace_digest(), sim.events_processed
+
+    def _storm_plan(self):
+        return FaultPlan(seed=3, rules=(
+            FaultRule(seam="sim.storm", kind="storm", count=25),))
+
+    def test_same_plan_same_digest(self):
+        first = self._digest(self._storm_plan())
+        second = self._digest(self._storm_plan())
+        assert first == second
+        assert first[1] == 3 + 25  # model events + storm burst
+
+    def test_storm_differs_from_clean_deterministically(self):
+        clean, storm = self._digest(), self._digest(self._storm_plan())
+        assert clean != storm
+
+    def test_golden_digests_stay_green_around_chaos(self):
+        # Clean digests are identical before and after a storm run: plan
+        # activation never leaks into fault-free simulations.
+        before = self._digest()
+        self._digest(self._storm_plan())
+        after = self._digest()
+        assert before == after
+
+
+class TestSolverDegradation:
+    def _baseline(self):
+        from repro.core.config import paper_config
+        from repro.api.service import SolverService
+
+        return SolverService(), paper_config(seed=2)
+
+    def test_injected_stage3_failure_degrades_not_crashes(self):
+        service, config = self._baseline()
+        reference = service.solve(config, use_cache=False)
+        plan = FaultPlan(rules=(
+            FaultRule(seam="solver.stage3", kind="solver_fail"),))
+        with plan.activate():
+            result = service.solve(config, use_cache=False)
+        assert result.degraded and not reference.degraded
+        assert result.converged
+        # The scalar fallback lands on the same optimum (looser tolerance:
+        # SLSQP and the IPM agree to ~1e-6 relative, not to the last ulp).
+        assert result.objective == pytest.approx(
+            reference.objective, rel=1e-4)
+
+    def test_nan_poison_degrades_via_finite_guard(self):
+        service, config = self._baseline()
+        plan = FaultPlan(rules=(
+            FaultRule(seam="solver.stage3", kind="nan"),))
+        with plan.activate():
+            result = service.solve(config, use_cache=False)
+        assert result.degraded and result.converged

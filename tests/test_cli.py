@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import faults
 from repro.cli import main
+from repro.errors import ConfigurationError, FaultInjected
 
 
 class TestCLI:
@@ -40,3 +42,59 @@ class TestCLI:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+_RAISE_PLAN = '{"seed": 1, "rules": [{"seam": "worker.solve", "kind": "raise"}]}'
+
+
+class TestCLIFailurePaths:
+    """Exit-code discipline: each taxonomy class maps to a distinct code."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leaked_plan(self):
+        # A warm service cache would satisfy `solve` without ever reaching
+        # the worker.solve seam; chaos paths need the cold path.
+        from repro.api.scenarios import SERVICE
+
+        SERVICE.clear_cache()
+        faults.clear()
+        yield
+        faults.clear()
+
+    def test_missing_campaign_dir_exits_4(self, tmp_path, capsys):
+        code = main(["campaign", "status", str(tmp_path / "nowhere")])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("repro: FileNotFoundError:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_bad_fault_plan_exits_2(self, capsys):
+        assert main(["--faults", "{not json", "solve"]) == 2
+        assert "repro: ConfigurationError:" in capsys.readouterr().err
+
+    def test_injected_fault_exits_9(self, capsys):
+        code = main(["--faults", _RAISE_PLAN, "solve", "--seed", "2"])
+        assert code == 9
+        assert "repro: FaultInjected:" in capsys.readouterr().err
+
+    def test_debug_raises_instead_of_exit_code(self):
+        with pytest.raises(FaultInjected):
+            main(["--debug", "--faults", _RAISE_PLAN, "solve", "--seed", "2"])
+
+    def test_debug_raises_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            main(["--debug", "--faults", "{not json", "solve"])
+
+    def test_set_faults_intercepted_not_passed_to_scenario(self, capsys):
+        # `--set faults=PLAN` must install the plan, not hit the scenario's
+        # parameter table (solve has no 'faults' parameter).
+        code = main([
+            "run", "solve", "--set", f"faults={_RAISE_PLAN}",
+            "--set", "seed=2",
+        ])
+        assert code == 9
+        assert "FaultInjected" in capsys.readouterr().err
+
+    def test_faultfree_run_still_exits_0(self, capsys):
+        assert main(["solve", "--seed", "2"]) == 0
+        assert "converged=True" in capsys.readouterr().out

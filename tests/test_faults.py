@@ -1,0 +1,248 @@
+"""Tests for the deterministic fault-injection layer (repro.faults)."""
+
+import json
+
+import pytest
+
+from repro import faults, io as repro_io
+from repro.errors import (
+    ConfigurationError,
+    FaultInjected,
+    SolverError,
+    TransientIOError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test leaves the process fault-free (module state + env)."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultRule(seam="worker.solve", kind="explode")
+
+    def test_empty_seam_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty seam"):
+            FaultRule(seam="", kind="raise")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultRule(seam="s", kind="raise", probability=1.5)
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(seam="s", kind="raise", max_fires=-1)
+        with pytest.raises(ConfigurationError):
+            FaultRule(seam="s", kind="raise", after=-1)
+
+    def test_dict_roundtrip(self):
+        rule = FaultRule(seam="sim.storm", kind="storm", count=40, span_s=2.0)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fault rule"):
+            FaultRule.from_dict({"seam": "s", "kind": "raise", "frequency": 2})
+
+
+class TestFaultPlan:
+    def test_dict_roundtrip(self):
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(seam="campaign.cell", kind="raise", probability=0.5),
+            FaultRule(seam="artifact.write", kind="torn_write", max_fires=0),
+        ))
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_io_codec_roundtrip(self):
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(seam="worker.solve", kind="crash", after=2),))
+        payload = repro_io.result_to_dict(plan)
+        assert payload["kind"] == "fault_plan"
+        assert repro_io.result_from_dict(payload) == plan
+
+    def test_rules_list_normalized_to_tuple(self):
+        plan = FaultPlan(seed=0, rules=[FaultRule(seam="s", kind="raise")])
+        assert isinstance(plan.rules, tuple)
+
+    def test_from_dict_tolerates_codec_envelope_keys(self):
+        plan = FaultPlan(seed=1)
+        data = {**plan.to_dict(), "kind": "fault_plan", "format_version": 1}
+        assert FaultPlan.from_dict(data) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            FaultPlan.from_dict({"seed": 1, "chaos": True})
+
+
+class TestLoadPlan:
+    def test_from_mapping(self):
+        plan = load = faults.load_plan({"seed": 5})
+        assert load == FaultPlan(seed=5) and plan.rules == ()
+
+    def test_from_inline_json(self):
+        plan = faults.load_plan(
+            '{"seed": 2, "rules": [{"seam": "worker.solve", "kind": "raise"}]}'
+        )
+        assert plan.seed == 2 and plan.rules[0].seam == "worker.solve"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        original = FaultPlan(seed=9, rules=(
+            FaultRule(seam="artifact.read", kind="io_error"),))
+        path.write_text(original.to_json())
+        assert faults.load_plan(str(path)) == original
+
+    def test_invalid_inline_json(self):
+        with pytest.raises(ConfigurationError, match="invalid inline"):
+            faults.load_plan("{not json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            faults.load_plan(str(tmp_path / "absent.json"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2")
+        with pytest.raises(ConfigurationError, match="invalid fault plan"):
+            faults.load_plan(str(path))
+
+
+class TestDeterminism:
+    def _hits(self, injector, seam, n):
+        return [injector.draw(seam) is not None for _ in range(n)]
+
+    def test_same_plan_same_schedule(self):
+        plan = FaultPlan(seed=11, rules=(
+            FaultRule(seam="s", kind="raise", probability=0.4, max_fires=0),))
+        first = self._hits(FaultInjector(plan), "s", 50)
+        second = self._hits(FaultInjector(plan), "s", 50)
+        assert first == second
+        assert any(first) and not all(first)  # p=0.4 over 50 hits
+
+    def test_seed_changes_schedule(self):
+        mk = lambda seed: FaultPlan(seed=seed, rules=(
+            FaultRule(seam="s", kind="raise", probability=0.4, max_fires=0),))
+        a = self._hits(FaultInjector(mk(1)), "s", 50)
+        b = self._hits(FaultInjector(mk(2)), "s", 50)
+        assert a != b
+
+    def test_exhausted_rule_still_consumes_draws(self):
+        # Rule 1 exhausting max_fires must not shift rule 2's schedule:
+        # compare against a plan where rule 1 (same index) never fires.
+        probe = FaultRule(seam="s", kind="io_error", probability=0.4,
+                          max_fires=0)
+        with_burst = FaultPlan(seed=5, rules=(
+            FaultRule(seam="s", kind="raise", probability=1.0, max_fires=2),
+            probe,
+        ))
+        without = FaultPlan(seed=5, rules=(
+            FaultRule(seam="s", kind="raise", probability=0.0, max_fires=2),
+            probe,
+        ))
+        def probe_fires(plan):
+            injector = FaultInjector(plan)
+            fires = []
+            for _ in range(30):
+                rule = injector.draw("s")
+                fires.append(rule is not None and rule.kind == "io_error")
+            return fires
+        a, b = probe_fires(with_burst), probe_fires(without)
+        # Drop the two hits rule 1 claims (first-match-wins masks the probe
+        # there); everywhere else the probe's schedule must be untouched.
+        assert [x for i, x in enumerate(a) if i >= 2] == b[2:]
+
+    def test_max_fires_budget(self):
+        plan = FaultPlan(rules=(FaultRule(seam="s", kind="raise",
+                                          max_fires=2),))
+        injector = FaultInjector(plan)
+        hits = [injector.draw("s") for _ in range(5)]
+        assert [r is not None for r in hits] == [True, True, False, False,
+                                                 False]
+        assert injector.fire_counts() == {"s": 2}
+
+    def test_after_phases_fault_in(self):
+        plan = FaultPlan(rules=(FaultRule(seam="s", kind="raise", after=3),))
+        injector = FaultInjector(plan)
+        hits = [injector.draw("s") is not None for _ in range(5)]
+        assert hits == [False, False, False, True, False]
+
+    def test_other_seams_untouched(self):
+        plan = FaultPlan(rules=(FaultRule(seam="s", kind="raise"),))
+        assert FaultInjector(plan).draw("other") is None
+
+
+class TestFire:
+    def test_noop_without_plan(self):
+        assert faults.active() is None
+        assert faults.fire("worker.solve") is None
+
+    def test_raise_kind(self):
+        with FaultPlan(rules=(
+                FaultRule(seam="s", kind="raise"),)).activate():
+            with pytest.raises(FaultInjected) as err:
+                faults.fire("s")
+            assert err.value.seam == "s"
+
+    def test_io_error_kind(self):
+        with FaultPlan(rules=(
+                FaultRule(seam="s", kind="io_error"),)).activate():
+            with pytest.raises(TransientIOError):
+                faults.fire("s")
+
+    def test_solver_fail_kind(self):
+        with FaultPlan(rules=(
+                FaultRule(seam="s", kind="solver_fail"),)).activate():
+            with pytest.raises(SolverError):
+                faults.fire("s")
+
+    def test_hang_kind_sleeps_and_returns_none(self):
+        with FaultPlan(rules=(FaultRule(seam="s", kind="hang",
+                                        delay_s=0.0),)).activate():
+            assert faults.fire("s") is None
+
+    def test_data_kinds_returned_to_seam(self):
+        with FaultPlan(rules=(FaultRule(seam="s", kind="torn_write"),
+                              )).activate():
+            rule = faults.fire("s")
+            assert rule is not None and rule.kind == "torn_write"
+
+    def test_activate_clears_on_exit(self):
+        import os
+
+        plan = FaultPlan(rules=(FaultRule(seam="s", kind="raise"),))
+        with plan.activate():
+            assert faults.active() is not None
+            assert os.environ.get(faults.ENV_VAR) == plan.to_json()
+        assert faults.active() is None
+        assert faults.ENV_VAR not in os.environ
+
+
+class TestEnvPropagation:
+    def test_install_exports_env(self, monkeypatch):
+        plan = FaultPlan(seed=4, rules=(FaultRule(seam="s", kind="raise"),))
+        faults.install(plan)
+        import os
+
+        assert json.loads(os.environ[faults.ENV_VAR]) == plan.to_dict()
+
+    def test_worker_lazy_install_from_env(self, monkeypatch):
+        # Simulate a fresh worker: no module-level injector, plan only in
+        # the environment (as install() in the parent would leave it).
+        plan = FaultPlan(seed=4, rules=(FaultRule(seam="s", kind="raise"),))
+        faults.clear()
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        injector = faults.active()
+        assert injector is not None and injector.plan == plan
+        with pytest.raises(FaultInjected):
+            faults.fire("s")
+
+    def test_malformed_env_plan_ignored(self, monkeypatch):
+        faults.clear()
+        monkeypatch.setenv(faults.ENV_VAR, "{broken")
+        assert faults.active() is None
+        assert faults.fire("s") is None

@@ -1,0 +1,133 @@
+"""Hardened parallel_map: attribution, watchdog, crash re-dispatch."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import WorkerError
+from repro.faults import CRASH_EXIT_STATUS, FaultPlan, FaultRule
+from repro.utils.parallel import parallel_map
+
+
+def _in_worker() -> bool:
+    """True inside a pool worker process (False in the test process)."""
+    return multiprocessing.parent_process() is not None
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad item {x}")
+    return x
+
+
+def _crash_in_worker(x):
+    # Kills the *worker* process only; the serial re-dispatch in the main
+    # process takes the normal path and recovers the item.
+    if x == 3 and _in_worker():
+        os._exit(CRASH_EXIT_STATUS)
+    return 2 * x
+
+
+def _hang_in_worker(x):
+    if x == 1 and _in_worker():
+        time.sleep(1.0)
+    return 2 * x
+
+
+def _solve_seam(x):
+    faults.fire("worker.solve")
+    return 2 * x
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestAttribution:
+    def test_serial_failure_names_item(self):
+        with pytest.raises(WorkerError) as err:
+            parallel_map(_fail_on_three, [0, 1, 2, 3, 4])
+        assert err.value.index == 3
+        assert err.value.item == "3"
+        assert "item 3" in str(err.value) and "ValueError" in str(err.value)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_pool_failure_names_item(self):
+        with pytest.raises(WorkerError) as err:
+            parallel_map(_fail_on_three, [0, 1, 2, 3, 4], workers=2)
+        assert err.value.index == 3
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_long_item_fingerprint_truncated(self):
+        def fail(item):
+            raise ValueError("boom")
+
+        with pytest.raises(WorkerError) as err:
+            parallel_map(fail, [list(range(200))])
+        assert len(err.value.item) <= 120
+        assert err.value.item.endswith("...")
+
+    def test_worker_error_not_double_wrapped(self):
+        def raises_worker_error(x):
+            raise WorkerError("already attributed", index=7)
+
+        with pytest.raises(WorkerError) as err:
+            parallel_map(raises_worker_error, [0])
+        assert err.value.index == 7
+
+
+class TestCrashRedispatch:
+    def test_worker_death_recovered_serially(self):
+        items = list(range(6))
+        results = parallel_map(_crash_in_worker, items, workers=2)
+        assert results == [2 * x for x in items]
+
+    def test_progress_reaches_total_despite_crash(self):
+        seen = []
+        items = list(range(5))
+        parallel_map(_crash_in_worker, items, workers=2,
+                     progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (5, 5)
+
+    def test_injected_crash_fault_recovered(self, monkeypatch):
+        # The plan reaches pool workers via REPRO_FAULTS; each worker's
+        # first pass through the worker.solve seam kills it.  The main
+        # process must see no injector (workers parse the env themselves)
+        # or the serial re-dispatch would crash the test process too.
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(seam="worker.solve", kind="crash"),))
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_json())
+        monkeypatch.setattr(faults, "_INJECTOR", None)
+        monkeypatch.setattr(faults, "_ENV_SEEN", plan.to_json())
+        items = list(range(4))
+        assert parallel_map(_solve_seam, items, workers=2) == [
+            2 * x for x in items
+        ]
+
+
+class TestWatchdog:
+    def test_hung_worker_redispatched(self):
+        items = [0, 1, 2, 3]
+        start = time.monotonic()
+        results = parallel_map(_hang_in_worker, items, workers=2,
+                               timeout_s=0.15)
+        assert results == [2 * x for x in items]
+        # The watchdog must fire well before the 1s injected hang.
+        assert time.monotonic() - start < 5.0
+
+
+class TestSerialEquivalence:
+    def test_pool_matches_serial(self):
+        items = list(range(8))
+        assert parallel_map(_double, items, workers=3) == \
+            parallel_map(_double, items)

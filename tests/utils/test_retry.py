@@ -1,0 +1,129 @@
+"""Tests for bounded retries, decorrelated-jitter backoff, and deadlines."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceeded,
+    RetryExhausted,
+    TransientIOError,
+)
+from repro.utils.retry import Deadline, RetryPolicy, retry_call
+
+
+def _policy(**overrides):
+    """Instant, deterministic policy for tests (no real sleeping)."""
+    defaults = dict(rng=random.Random(0), sleep=lambda s: None)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_s=1.0, cap_s=0.5)
+
+    def test_backoff_within_decorrelated_jitter_band(self):
+        policy = _policy(base_s=0.05, cap_s=2.0)
+        previous = policy.base_s
+        for _ in range(100):
+            nxt = policy.backoff_s(previous)
+            assert policy.base_s <= nxt <= min(policy.cap_s, 3.0 * previous)
+            previous = nxt
+
+    def test_backoff_capped(self):
+        policy = _policy(base_s=0.05, cap_s=0.1)
+        assert all(policy.backoff_s(10.0) <= 0.1 for _ in range(20))
+
+    def test_backoff_deterministic_under_seeded_rng(self):
+        a = [_policy().backoff_s(0.05) for _ in range(5)]
+        b = [_policy().backoff_s(0.05) for _ in range(5)]
+        assert a == b
+
+    def test_is_retryable_defaults(self):
+        policy = _policy()
+        assert policy.is_retryable(TransientIOError("x"))
+        assert policy.is_retryable(OSError("x"))
+        assert policy.is_retryable(DeadlineExceeded("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+
+class TestRetryCall:
+    def test_success_passthrough(self):
+        assert retry_call(lambda: 42, policy=_policy()) == 42
+
+    def test_retries_transient_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientIOError("torn")
+            return "ok"
+
+        assert retry_call(flaky, policy=_policy(max_attempts=3)) == "ok"
+        assert len(calls) == 3
+
+    def test_exhaustion_raises_with_cause_chain(self):
+        def always_torn():
+            raise TransientIOError("torn write")
+
+        with pytest.raises(RetryExhausted) as err:
+            retry_call(always_torn, policy=_policy(max_attempts=3),
+                       what="write x.json")
+        assert err.value.attempts == 3
+        assert "write x.json" in str(err.value)
+        assert isinstance(err.value.__cause__, TransientIOError)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("genuine defect")
+
+        with pytest.raises(ValueError, match="genuine defect"):
+            retry_call(broken, policy=_policy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_sleeps_between_attempts_only(self):
+        sleeps = []
+
+        def always_torn():
+            raise TransientIOError("x")
+
+        with pytest.raises(RetryExhausted):
+            retry_call(always_torn,
+                       policy=_policy(max_attempts=3, sleep=sleeps.append))
+        assert len(sleeps) == 2  # no sleep after the final attempt
+
+    def test_arguments_forwarded(self):
+        assert retry_call(lambda a, b=0: a + b, 2, b=3,
+                          policy=_policy()) == 5
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0]).start()
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert not deadline.expired()
+        now[0] = 1.5
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded, match="solve.*1s deadline"):
+            deadline.check("solve")
+
+    def test_check_passes_inside_budget(self):
+        deadline = Deadline(60.0).start()
+        deadline.check("fast op")  # must not raise
+
+    def test_deadline_exceeded_is_transient(self):
+        # A crossed deadline is retry-eligible: the caller may re-dispatch.
+        assert _policy().is_retryable(DeadlineExceeded("hung"))
+
+    def test_attempt_budget_inside_budget_passes(self):
+        policy = _policy(max_attempts=2, attempt_budget_s=60.0)
+        assert retry_call(lambda: "ok", policy=policy) == "ok"
