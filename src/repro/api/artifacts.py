@@ -82,6 +82,10 @@ class RunRecord:
     #: Concrete solver backend the run used for batch solves ("batched",
     #: "pool" or "serial"), or None when the scenario never batch-solved.
     backend: Optional[str] = None
+    #: Solver-cache activity attributable to this run (hit/miss/coalesced
+    #: deltas of :meth:`SolverService.cache_info`), or None when no cache
+    #: probe was supplied.
+    cache_stats: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         if not self.run_id:
@@ -114,6 +118,7 @@ class RunRecord:
             "started_at": self.started_at,
             "runtime_s": self.runtime_s,
             "backend": self.backend,
+            "cache_stats": self.cache_stats,
             "result": self.result_payload(),
         }
 
@@ -182,6 +187,7 @@ class RunRecord:
                 runtime_s=float(data["runtime_s"]),
                 run_id=data["run_id"],
                 backend=data.get("backend"),
+                cache_stats=data.get("cache_stats"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ArtifactError(
@@ -195,19 +201,31 @@ def record_run(
     run,
     *,
     backend_probe=None,
+    cache_probe=None,
 ) -> RunRecord:
     """Execute ``run(**params)`` and wrap the outcome in a :class:`RunRecord`.
 
     ``backend_probe`` is an optional zero-argument callable queried *after*
     the run for the concrete solver backend it used (the scenario layer
-    passes :meth:`SolverService.consume_last_backend`).
+    passes :meth:`SolverService.consume_last_backend`).  ``cache_probe`` is
+    an optional zero-argument callable returning monotonic cache counters
+    (:meth:`SolverService.cache_info`); it is sampled before and after the
+    run and the record stores the per-run delta.
     """
     started_at = time.strftime("%Y%m%dT%H%M%S")
     if backend_probe is not None:
         backend_probe()  # clear any stale value from a previous run
+    cache_before = dict(cache_probe()) if cache_probe is not None else None
     start = time.perf_counter()
     result = run(**params)
     runtime = time.perf_counter() - start
+    cache_stats = None
+    if cache_probe is not None and cache_before is not None:
+        cache_after = cache_probe()
+        cache_stats = {
+            key: int(cache_after.get(key, 0)) - int(cache_before.get(key, 0))
+            for key in ("hits", "misses", "coalesced")
+        }
     return RunRecord(
         scenario=scenario_name,
         params=dict(params),
@@ -215,4 +233,5 @@ def record_run(
         started_at=started_at,
         runtime_s=runtime,
         backend=backend_probe() if backend_probe is not None else None,
+        cache_stats=cache_stats,
     )

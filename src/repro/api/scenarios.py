@@ -58,6 +58,7 @@ def run_scenario(
         params,
         scenario.run,
         backend_probe=SERVICE.consume_last_backend,
+        cache_probe=SERVICE.cache_info,
     )
     if out_dir:
         record.save(out_dir)
@@ -522,6 +523,53 @@ register_scenario(Scenario(
     ),
     run=_run_campaign,
     render=lambda result: result.render(),
+))
+
+
+# -- serve-bench -------------------------------------------------------------
+
+
+def _run_serve_bench(seed, clients, duration, distinct, max_batch,
+                     max_wait_ms, max_queue, coalesce, use_cache, connections):
+    from repro.serve.bench import run_serve_bench
+
+    return run_serve_bench(
+        seed=seed,
+        clients=clients,
+        duration=duration,
+        distinct=distinct,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        max_queue=max_queue,
+        coalesce=coalesce,
+        use_cache=use_cache,
+        connections=connections or None,
+    )
+
+
+register_scenario(Scenario(
+    name="serve-bench",
+    help="closed-loop load test of the allocation daemon (see docs/serving.md)",
+    params=(
+        _SEED,
+        ParamSpec("clients", int, 64, help="closed-loop logical clients"),
+        ParamSpec("duration", float, 2.0, help="measured window (s)"),
+        ParamSpec("distinct", int, 4, help="distinct config specs in the mix"),
+        ParamSpec("max_batch", int, 16, help="daemon micro-batch size cap"),
+        ParamSpec("max_wait_ms", float, 2.0,
+                  help="daemon micro-batch linger before a partial batch"),
+        ParamSpec("max_queue", int, 1024,
+                  help="daemon admission queue bound (overflow is shed)"),
+        ParamSpec("coalesce", bool, True,
+                  help="merge concurrent identical-fingerprint requests"),
+        ParamSpec("use_cache", bool, True,
+                  help="let requests hit the daemon's result cache"),
+        ParamSpec("connections", int, 0,
+                  help="client connections to multiplex over (0 = auto)"),
+    ),
+    run=_run_serve_bench,
+    render=lambda result: result.render(),
+    smoke_overrides={"clients": 8, "duration": 0.3, "distinct": 2},
 ))
 
 

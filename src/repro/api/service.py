@@ -34,6 +34,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from collections import Counter, OrderedDict
 from itertools import accumulate
 from typing import Any, Dict, List, Optional, Sequence
@@ -51,6 +52,7 @@ from repro.utils.parallel import ProgressCallback, parallel_map
 
 __all__ = [
     "FingerprintError",
+    "LRUResultCache",
     "SolverService",
     "config_fingerprint",
     "canonical_config_dict",
@@ -215,16 +217,72 @@ def _solve_config_warm(task) -> QuHEResult:
         return _degraded_solve(config, initial)
 
 
-class SolverService:
-    """Front-door to QuHE with result caching and batch fan-out."""
+class LRUResultCache:
+    """The default in-memory result-cache backend: a bounded LRU dict.
 
-    def __init__(self, *, cache_size: int = 64) -> None:
+    This is the reference implementation of the pluggable cache-backend
+    protocol :class:`SolverService` speaks — three methods plus a
+    ``capacity`` attribute::
+
+        get(key) -> Optional[QuHEResult]   # None on miss
+        put(key, result) -> None           # may evict
+        clear() -> None
+        len(backend) -> int                # current entry count
+
+    Alternative backends (e.g. the sqlite-backed
+    :class:`repro.serve.cache.SqliteResultCache`, shared across worker
+    processes) plug into ``SolverService(cache=...)`` unchanged.  Backends
+    need not be thread-safe: the service serializes access under its own
+    lock.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, QuHEResult]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[QuHEResult]:
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+        return result
+
+    def put(self, key: str, result: QuHEResult) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SolverService:
+    """Front-door to QuHE with result caching and batch fan-out.
+
+    ``cache`` swaps the result-cache backend (any object with the
+    :class:`LRUResultCache` protocol); by default an in-memory LRU of
+    ``cache_size`` entries.  All cache access — :meth:`solve` lookups,
+    :meth:`prime`, counter updates — is serialized under one reentrant
+    lock, so a service instance may be shared between an event loop and
+    pool/executor callbacks (the ``repro serve`` daemon does exactly that).
+    """
+
+    def __init__(self, *, cache_size: int = 64, cache: Optional[Any] = None) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
-        self.cache_size = int(cache_size)
-        self._cache: "OrderedDict[str, QuHEResult]" = OrderedDict()
+        self._cache = cache if cache is not None else LRUResultCache(cache_size)
+        self.cache_size = int(getattr(self._cache, "capacity", cache_size))
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
+        self._coalesced = 0
         #: The concrete backend used by the most recent :meth:`solve_many`
         #: (recorded into :class:`~repro.api.artifacts.RunRecord`).
         self.last_backend: Optional[str] = None
@@ -239,12 +297,41 @@ class SolverService:
 
     # -- cache plumbing -----------------------------------------------------
 
+    @property
+    def cache_backend(self) -> Any:
+        """The live cache backend (default: :class:`LRUResultCache`)."""
+        return self._cache
+
     def cache_info(self) -> Dict[str, int]:
-        """``{"hits": ..., "misses": ..., "size": ...}`` counters."""
-        return {"hits": self._hits, "misses": self._misses, "size": len(self._cache)}
+        """``{"hits", "misses", "coalesced", "size"}`` counters.
+
+        ``coalesced`` counts requests that piggy-backed on another identical
+        solve instead of running their own: duplicate configs inside one
+        :meth:`solve_many` batch, plus any in-flight merges an outer serving
+        layer reports via :meth:`note_coalesced`.
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "coalesced": self._coalesced,
+                "size": len(self._cache),
+            }
+
+    def note_coalesced(self, n: int = 1) -> None:
+        """Record ``n`` requests served by piggy-backing on an in-flight solve.
+
+        Called by serving layers (``repro.serve``) that merge concurrent
+        identical requests *before* they reach the solver, so the
+        ``coalesced`` counter reflects every avoided solve regardless of
+        which layer avoided it.
+        """
+        with self._lock:
+            self._coalesced += int(n)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def prime(self, config: SystemConfig, result: QuHEResult) -> str:
         """Install ``result`` as the cached solve of ``config``.
@@ -262,25 +349,32 @@ class SolverService:
         (nothing can be primed for a config the cache cannot key).
         """
         key = config_fingerprint(config)
-        self._cache_put(key, result)
+        with self._lock:
+            self._cache.put(key, result)
         return key
 
+    def cache_lookup(self, key: str) -> Optional[QuHEResult]:
+        """Probe the result cache by fingerprint (counts a hit or miss).
+
+        The public face of the cache for serving layers that compute the
+        fingerprint themselves (the ``repro serve`` daemon resolves specs to
+        fingerprints once and reuses them for coalescing, cache probes and
+        batching).
+        """
+        return self._cache_get(key)
+
     def _cache_get(self, key: str) -> Optional[QuHEResult]:
-        result = self._cache.get(key)
-        if result is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-        else:
-            self._misses += 1
-        return result
+        with self._lock:
+            result = self._cache.get(key)
+            if result is not None:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return result
 
     def _cache_put(self, key: str, result: QuHEResult) -> None:
-        if self.cache_size == 0:
-            return
-        self._cache[key] = result
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache.put(key, result)
 
     # -- solving ------------------------------------------------------------
 
@@ -308,7 +402,7 @@ class SolverService:
         >>> service.solve(paper_config(seed=2)) is result
         True
         >>> service.cache_info()
-        {'hits': 1, 'misses': 1, 'size': 1}
+        {'hits': 1, 'misses': 1, 'coalesced': 0, 'size': 1}
         """
         if initial is not None:
             try:
@@ -405,6 +499,12 @@ class SolverService:
                 cacheable.append(False)
         total = len(configs)
         counts = Counter(keys)
+        # Duplicate fingerprints inside one batch share a single solve; count
+        # them as coalesced requests (the serve daemon adds its own in-flight
+        # merges on top via note_coalesced).
+        duplicates = total - len(counts)
+        if duplicates:
+            self.note_coalesced(duplicates)
         results: Dict[str, QuHEResult] = {}
         pending: List[int] = []  # first input index of each unsolved unique key
         queued = set()

@@ -26,6 +26,11 @@ Surfaces
     pending cells, ``resume`` continues a killed campaign, ``report``
     re-aggregates persisted cells and can write a CI-band markdown report.
     Bare ``repro campaign`` runs the built-in demo campaign.
+``repro serve [--socket PATH | --host H --port P] [...]``
+    Run the allocation daemon (:mod:`repro.serve`, see ``docs/serving.md``)
+    in the foreground until interrupted; ``repro serve --status`` queries a
+    running daemon's counters over the same socket instead.  Load-test an
+    embedded daemon with ``repro serve-bench``.
 
 Examples::
 
@@ -106,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     _add_campaign_family(sub)
+    _add_serve_command(sub)
 
     for scenario in REGISTRY:
         if scenario.name == "campaign":
@@ -168,6 +174,85 @@ def _add_campaign_family(sub) -> None:
                         help="write the markdown report here")
     report.add_argument("--json", action="store_true",
                         help="print the campaign_result payload")
+
+
+def _add_serve_command(sub) -> None:
+    """The hand-written ``repro serve`` daemon command (not a scenario)."""
+    serve = sub.add_parser(
+        "serve",
+        help="run the allocation daemon in the foreground "
+             "(--status queries a running one; see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (ignored with --socket)")
+    serve.add_argument("--port", type=int, default=7723,
+                       help="TCP port (0 = ephemeral, printed on stderr)")
+    serve.add_argument("--socket", default="", metavar="PATH",
+                       help="serve on a unix socket instead of TCP")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="micro-batch size cap per backend solve")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="linger before dispatching a partial micro-batch")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="admission queue bound; overflow is shed "
+                            "with a ServerOverloaded error response")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable merging of concurrent identical requests")
+    serve.add_argument("--cache-db", default="", metavar="PATH",
+                       help="sqlite result-cache path shared across "
+                            "processes (empty = per-process in-memory LRU)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity (entries)")
+    serve.add_argument("--status", action="store_true",
+                       help="query a running daemon's stats (JSON) and exit")
+
+
+def _serve_main(args) -> int:
+    import asyncio
+
+    from repro.serve import AllocationServer, ServeRequest, ServeSettings
+
+    if args.status:
+        from repro.serve import request_once
+
+        response = request_once(
+            ServeRequest(id="cli-status", op="stats"),
+            socket_path=args.socket, host=args.host, port=args.port,
+        ).raise_for_error()
+        print(json.dumps(response.stats, indent=2, sort_keys=True))
+        return 0
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        coalesce=not args.no_coalesce,
+        cache_db=args.cache_db,
+        cache_capacity=args.cache_size,
+    )
+    server = AllocationServer(settings)
+
+    async def _run() -> None:
+        await server.start()
+        where = (
+            args.socket
+            if args.socket
+            else "%s:%d" % server.address
+        )
+        print(f"repro serve: listening on {where}", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shut down", file=sys.stderr)
+    return 0
 
 
 def _campaign_main(args) -> int:
@@ -270,6 +355,9 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
 
     if args.command == "campaign":
         return _campaign_main(args)
+
+    if args.command == "serve":
+        return _serve_main(args)
 
     from repro.api import get_scenario, run_scenario
 

@@ -23,6 +23,7 @@ Exit-code map (0 = success, 1 = unclassified, 2 = usage/configuration):
 :class:`TransientIOError`      7
 :class:`RetryExhausted`        8
 :class:`FaultInjected`         9
+:class:`ServerOverloaded`     10
 ==========================  ====
 """
 
@@ -41,6 +42,7 @@ __all__ = [
     "TransientIOError",
     "RetryExhausted",
     "FaultInjected",
+    "ServerOverloaded",
     "EXIT_UNCLASSIFIED",
     "exit_code_for",
 ]
@@ -140,6 +142,24 @@ class FaultInjected(ReproError):
     def __init__(self, message: str, *, seam: str = "") -> None:
         super().__init__(message)
         self.seam = seam
+
+
+class ServerOverloaded(TransientError):
+    """The allocation daemon shed this request (bounded queue full).
+
+    The ``repro.serve`` admission queue is bounded; when it is full the
+    server rejects new work with a structured 503-style response instead of
+    queueing unboundedly.  Transient by definition: the client should retry
+    after a backoff (the response carries ``retry_after_ms`` advice).
+    """
+
+    exit_code = 10
+
+    def __init__(
+        self, message: str, *, retry_after_ms: float = 100.0
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 def exit_code_for(exc: BaseException) -> int:

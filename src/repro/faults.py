@@ -20,6 +20,11 @@ hardened layer upholds opposite the injector):
 ``artifact.write``  inside :func:`repro.io.atomic_write_text` (torn writes)
 ``artifact.read``   inside :meth:`repro.api.artifacts.RunRecord.load`
 ``sim.storm``       start of :meth:`repro.sim.engine.Simulator.run`
+``serve.request``   per request in the ``repro.serve`` daemon (via
+                    :func:`draw`: the asyncio server interprets every kind
+                    itself — exception kinds become taxonomy-coded error
+                    responses, ``hang`` delays one request, ``crash`` aborts
+                    that client's connection, never the daemon)
 ==================  ==========================================================
 
 Rule kinds:
@@ -78,6 +83,7 @@ __all__ = [
     "ENV_VAR",
     "active",
     "clear",
+    "draw",
     "fire",
     "install",
     "load_plan",
@@ -347,6 +353,19 @@ def active() -> Optional[FaultInjector]:
             # ignore it (tests cover the explicit load path).
             return None
     return None
+
+
+def draw(seam: str) -> Optional[FaultRule]:
+    """The passive seam hook: decide and return the matched rule, act on nothing.
+
+    For seams whose host must interpret *every* kind itself — the asyncio
+    serve daemon cannot let :func:`fire` sleep or ``os._exit`` inside the
+    shared event-loop process.  Draw discipline (one uniform per attached
+    rule per hit) is identical to :func:`fire`, so schedules stay
+    deterministic across both hook styles.
+    """
+    injector = active()
+    return injector.draw(seam) if injector is not None else None
 
 
 def fire(seam: str) -> Optional[FaultRule]:

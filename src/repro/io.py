@@ -901,3 +901,29 @@ def _register_builtin_codecs() -> None:
             sweeps=result_from_dict(d["sweeps"]),
         ),
     )
+    import dataclasses
+
+    from repro.serve.bench import ServeBenchResult
+    from repro.serve.protocol import ServeRequest, ServeResponse
+
+    register_codec(
+        "serve_request",
+        ServeRequest,
+        lambda r: r.to_dict(),
+        ServeRequest.from_dict,
+    )
+    register_codec(
+        "serve_response",
+        ServeResponse,
+        lambda r: r.to_dict(),
+        ServeResponse.from_dict,
+    )
+    register_codec(
+        "serve_bench_result",
+        ServeBenchResult,
+        dataclasses.asdict,
+        lambda d: ServeBenchResult(**{
+            k: v for k, v in d.items()
+            if k not in ("kind", "format_version")
+        }),
+    )

@@ -1,0 +1,48 @@
+"""repro.serve — allocation-as-a-service.
+
+The QuHE allocation the paper frames as something a network operator runs
+continuously becomes exactly that: a long-lived asyncio daemon
+(:class:`~repro.serve.server.AllocationServer`) speaking newline-delimited
+JSON over TCP or a unix socket, with
+
+* **micro-batching** — concurrent requests are admitted into the vectorized
+  :class:`~repro.core.batched.BatchedQuHE` backend in batches bounded by a
+  latency/throughput knob (``max_batch`` / ``max_wait_ms``);
+* **in-flight coalescing** — requests whose config fingerprints match a
+  solve already in flight attach to its future instead of solving again
+  (N identical requests → 1 backend solve);
+* **load shedding** — a bounded admission queue; overflow is rejected with
+  a structured 503-style :class:`~repro.errors.ServerOverloaded` response
+  instead of queueing unboundedly;
+* **a cross-process result cache** —
+  :class:`~repro.serve.cache.SqliteResultCache` (WAL mode,
+  fingerprint-keyed, ``quhe_result``-codec payloads) plugs into
+  :class:`~repro.api.service.SolverService` in place of the in-memory LRU,
+  so results are shared between daemon restarts and worker processes.
+
+See ``docs/serving.md`` for the wire protocol and operational semantics.
+"""
+
+from repro.serve.cache import SqliteResultCache
+from repro.serve.client import ServeClient, request_once
+from repro.serve.protocol import (
+    ConfigSpec,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+)
+from repro.serve.server import AllocationServer, ServeSettings
+
+__all__ = [
+    "AllocationServer",
+    "ConfigSpec",
+    "ServeClient",
+    "ServeRequest",
+    "ServeResponse",
+    "ServeSettings",
+    "SqliteResultCache",
+    "decode_line",
+    "encode_line",
+    "request_once",
+]

@@ -1,0 +1,283 @@
+"""Closed-loop load generation against an embedded allocation daemon.
+
+:func:`run_serve_bench` starts an :class:`~repro.serve.server.AllocationServer`
+on a private unix socket, drives it with N *logical* closed-loop clients
+(each keeps exactly one request outstanding; many logical clients multiplex
+over a handful of connections, the way real load generators do), and
+returns a :class:`ServeBenchResult`: sustained request rate, p50/p99
+latency, and the server's own counters (coalesced, backend solves, shed).
+
+The ``serve-bench`` scenario wraps this for ``repro run serve-bench`` /
+``repro serve-bench``; ``scripts/bench_serve.py`` composes several runs
+(coalescing on vs off, 1k-client sustained) into ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.protocol import ConfigSpec
+from repro.serve.server import AllocationServer, ServeSettings
+
+__all__ = ["ServeBenchResult", "run_serve_bench", "sweep_specs"]
+
+
+def sweep_specs(distinct: int, *, seed: int = 2) -> List[ConfigSpec]:
+    """``distinct`` configurations: the seed plus bandwidth sweep points.
+
+    Mirrors the Fig.-6 bandwidth sweep so the daemon's working set matches
+    the batched-solver benchmarks (distinct fingerprints, one shape group).
+    """
+    bandwidths = np.linspace(1e6, 3e6, max(1, distinct))
+    return [
+        ConfigSpec(seed=seed, total_bandwidth_hz=float(b)) for b in bandwidths
+    ]
+
+
+@dataclass(frozen=True)
+class ServeBenchResult:
+    """One closed-loop load run (the ``serve_bench_result`` codec payload)."""
+
+    clients: int
+    connections: int
+    duration_s: float
+    distinct_specs: int
+    use_cache: bool
+    coalesce_enabled: bool
+    requests: int
+    rate_rps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    coalesced: int
+    backend_batches: int
+    backend_solves: int
+    cache_hits: int
+    shed: int
+    errors: int
+    #: daemon payloads match a direct SolverService solve of the same spec
+    #: (strict byte equality through the shared cache when one exists,
+    #: modulo wall-clock ``runtime_s`` fields otherwise)
+    byte_identical: bool
+
+    def render(self) -> str:
+        lines = [
+            f"serve-bench: {self.clients} closed-loop clients over "
+            f"{self.connections} connections, {self.distinct_specs} distinct "
+            f"specs, {self.duration_s:.2f}s window "
+            f"(use_cache={self.use_cache}, coalesce={self.coalesce_enabled})",
+            f"  throughput : {self.rate_rps:10.1f} req/s "
+            f"({self.requests} requests)",
+            f"  latency    : p50 {self.p50_ms:.2f} ms | "
+            f"p99 {self.p99_ms:.2f} ms | mean {self.mean_ms:.2f} ms",
+            f"  server     : {self.backend_solves} backend solves in "
+            f"{self.backend_batches} batches, {self.coalesced} coalesced, "
+            f"{self.cache_hits} cache hits, {self.shed} shed, "
+            f"{self.errors} errors",
+            f"  results match direct solve: {self.byte_identical}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def _strip_runtimes(payload: Any) -> Any:
+    """A payload copy with wall-clock fields removed (recursively).
+
+    Two independent solves of one config are deterministic in every output
+    except elapsed wall time; comparisons of independently produced payloads
+    ignore exactly those fields.
+    """
+    if isinstance(payload, dict):
+        return {
+            k: _strip_runtimes(v)
+            for k, v in payload.items()
+            if k not in ("runtime_s", "total_runtime_s", "wall_time_s")
+        }
+    if isinstance(payload, list):
+        return [_strip_runtimes(v) for v in payload]
+    return payload
+
+
+def payloads_equivalent(
+    a: Dict[str, Any], b: Dict[str, Any], *, strict: bool = False
+) -> bool:
+    """Byte-level payload comparison (modulo wall-clock unless ``strict``)."""
+    if not strict:
+        a, b = _strip_runtimes(a), _strip_runtimes(b)
+    return json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+async def _drive(
+    server: AllocationServer,
+    socket_path: str,
+    specs: List[ConfigSpec],
+    *,
+    clients: int,
+    connections: int,
+    duration_s: float,
+    use_cache: bool,
+) -> Tuple[int, List[float], Dict[int, Dict[str, Any]], int, int]:
+    from repro.serve.client import ServeClient
+
+    links = [
+        await ServeClient.connect(socket_path=socket_path)
+        for _ in range(connections)
+    ]
+    loop = asyncio.get_running_loop()
+    latencies: List[float] = []
+    sample_payloads: Dict[int, Dict[str, Any]] = {}
+    counters = {"done": 0, "shed": 0, "errors": 0}
+    t_end = loop.time() + duration_s
+
+    async def one_client(index: int) -> None:
+        client = links[index % len(links)]
+        spec_index = index % len(specs)
+        while loop.time() < t_end:
+            start = loop.time()
+            response = await client.solve(
+                specs[spec_index], use_cache=use_cache
+            )
+            if response.ok:
+                counters["done"] += 1
+                latencies.append((loop.time() - start) * 1000.0)
+                if spec_index not in sample_payloads and response.result:
+                    sample_payloads[spec_index] = response.result
+            elif (response.error or {}).get("type") == "ServerOverloaded":
+                counters["shed"] += 1
+                retry = (response.error or {}).get("retry_after_ms", 10.0)
+                await asyncio.sleep(retry / 1000.0)
+            else:
+                counters["errors"] += 1
+            spec_index = (spec_index + len(links)) % len(specs)
+
+    try:
+        await asyncio.gather(*(one_client(i) for i in range(clients)))
+    finally:
+        for client in links:
+            await client.close()
+    return (
+        counters["done"],
+        latencies,
+        sample_payloads,
+        counters["shed"],
+        counters["errors"],
+    )
+
+
+def run_serve_bench(
+    *,
+    clients: int = 64,
+    duration: float = 2.0,
+    distinct: int = 4,
+    seed: int = 2,
+    max_batch: int = 16,
+    max_wait_ms: float = 2.0,
+    max_queue: int = 1024,
+    coalesce: bool = True,
+    use_cache: bool = True,
+    warm: bool = True,
+    connections: Optional[int] = None,
+    cache_db: str = "",
+) -> ServeBenchResult:
+    """One closed-loop load run against an embedded daemon (see module doc).
+
+    ``warm=True`` pre-solves every distinct spec before the measured window,
+    so a cache-enabled run measures the serving stack rather than the first
+    cold solves; ``use_cache=False`` forces backend work on every request
+    (the configuration that exposes coalescing/batching gains).
+    """
+    if clients < 1 or distinct < 1:
+        raise ValueError("clients and distinct must be >= 1")
+    n_connections = connections or min(64, clients)
+    specs = sweep_specs(distinct, seed=seed)
+
+    async def _main() -> ServeBenchResult:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+            socket_path = str(Path(tmp) / "serve.sock")
+            server = AllocationServer(
+                ServeSettings(
+                    socket_path=socket_path,
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_ms,
+                    max_queue=max_queue,
+                    coalesce=coalesce,
+                    cache_db=cache_db,
+                )
+            )
+            await server.start()
+            try:
+                from repro.serve.client import ServeClient
+
+                if warm:
+                    warm_client = await ServeClient.connect(
+                        socket_path=socket_path
+                    )
+                    for spec in specs:
+                        (await warm_client.solve(spec)).raise_for_error()
+                    await warm_client.close()
+                before = dict(server.stats)
+                done, latencies, samples, shed, errors = await _drive(
+                    server,
+                    socket_path,
+                    specs,
+                    clients=clients,
+                    connections=n_connections,
+                    duration_s=duration,
+                    use_cache=use_cache,
+                )
+                after = server.stats_snapshot()
+                byte_identical = _verify_samples(server, specs, samples)
+            finally:
+                await server.stop()
+        lat = np.asarray(latencies, dtype=float)
+        return ServeBenchResult(
+            clients=clients,
+            connections=n_connections,
+            duration_s=duration,
+            distinct_specs=distinct,
+            use_cache=use_cache,
+            coalesce_enabled=coalesce,
+            requests=done,
+            rate_rps=done / duration if duration > 0 else float("nan"),
+            p50_ms=float(np.percentile(lat, 50)) if lat.size else float("nan"),
+            p99_ms=float(np.percentile(lat, 99)) if lat.size else float("nan"),
+            mean_ms=float(lat.mean()) if lat.size else float("nan"),
+            coalesced=after["coalesced"] - before["coalesced"],
+            backend_batches=after["backend_batches"] - before["backend_batches"],
+            backend_solves=after["backend_solves"] - before["backend_solves"],
+            cache_hits=after["cache_hits"] - before["cache_hits"],
+            shed=shed,
+            errors=errors,
+            byte_identical=byte_identical,
+        )
+
+    return asyncio.run(_main())
+
+
+def _verify_samples(
+    server: AllocationServer,
+    specs: List[ConfigSpec],
+    samples: Dict[int, Dict[str, Any]],
+) -> bool:
+    """Daemon payloads vs direct ``SolverService.solve`` of the same specs.
+
+    Uses the daemon's own service (shared cache): a cached spec compares
+    strictly byte-for-byte; an uncached one (no-cache load runs) compares
+    modulo wall-clock fields.
+    """
+    from repro import io as repro_io
+
+    if not samples:
+        return False
+    for spec_index, payload in samples.items():
+        config = specs[spec_index].build()
+        direct = repro_io.result_to_dict(server.service.solve(config))
+        if not payloads_equivalent(payload, direct):
+            return False
+    return True

@@ -1,0 +1,234 @@
+"""Sqlite-backed result cache: fingerprint-keyed, shared across processes.
+
+The in-memory :class:`~repro.api.service.LRUResultCache` dies with its
+process; the serving stack wants solves performed by one worker (or a
+previous daemon incarnation) visible to every other.
+:class:`SqliteResultCache` keeps the same backend protocol —
+``get``/``put``/``clear``/``len``/``capacity`` — but persists entries in a
+single sqlite database:
+
+* **WAL mode** — readers never block the writer and vice versa, which is
+  what makes concurrent worker processes on one database practical;
+* **fingerprint-keyed** — rows are keyed by
+  :func:`~repro.api.service.config_fingerprint` digests, exactly like the
+  in-memory cache;
+* **codec payloads** — values are the versioned ``quhe_result`` JSON of
+  :func:`repro.io.result_to_dict`, so a cache row is a portable artifact:
+  any process that can read the schema can decode the result, and the
+  daemon can forward stored payloads byte-for-byte;
+* **LRU eviction** — every access bumps a monotonic ``seq``; ``put`` prunes
+  rows beyond ``capacity`` in ``seq`` order (oldest-used first).
+
+Corruption is a named failure, not a crash: a database sqlite cannot open
+or read raises :class:`~repro.errors.ArtifactError` carrying the path.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ArtifactError
+
+__all__ = ["SqliteResultCache"]
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    seq     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_seq ON results (seq);
+"""
+
+#: How long a writer waits on a cross-process lock before giving up (s).
+_BUSY_TIMEOUT_S = 10.0
+
+
+class SqliteResultCache:
+    """A :class:`~repro.api.service.SolverService` cache backend on sqlite.
+
+    One instance per process; any number of processes may share the
+    database file.  Connections are created lazily per instance and
+    guarded by an internal lock, so one instance may also be shared
+    between an event loop and executor threads.
+
+    >>> import tempfile, os
+    >>> tmp = tempfile.mkdtemp()
+    >>> cache = SqliteResultCache(os.path.join(tmp, "results.db"), capacity=2)
+    >>> cache.get("missing") is None
+    True
+    >>> len(cache)
+    0
+    """
+
+    def __init__(self, path: PathLike, *, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.path = Path(path)
+        self.capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
+        # Fail fast on an unreadable/corrupt database instead of at first use.
+        with self._lock:
+            self._connection()
+
+    # -- connection management ----------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                conn = sqlite3.connect(
+                    str(self.path),
+                    timeout=_BUSY_TIMEOUT_S,
+                    check_same_thread=False,
+                    isolation_level=None,  # autocommit; we issue BEGINs
+                )
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.executescript(_SCHEMA)
+            except sqlite3.DatabaseError as exc:
+                raise ArtifactError(
+                    f"{self.path}: unusable result-cache database: {exc}",
+                    path=str(self.path),
+                ) from exc
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        """Close the connection (the database remains valid on disk)."""
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "SqliteResultCache":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- backend protocol ----------------------------------------------------
+
+    def get(self, key: str):
+        """The cached :class:`~repro.core.quhe.QuHEResult`, or None."""
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        from repro import io as repro_io
+
+        try:
+            return repro_io.result_from_dict(payload)
+        except ValueError as exc:
+            raise ArtifactError(
+                f"{self.path}: undecodable cache row for {key[:12]}…: {exc}",
+                path=str(self.path),
+            ) from exc
+
+    def put(self, key: str, result: Any) -> None:
+        """Store a result object (serialized through the quhe_result codec)."""
+        from repro import io as repro_io
+
+        self.put_payload(key, repro_io.result_to_dict(result))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._execute("DELETE FROM results")
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+    # -- payload-level access (used by the daemon for byte-stable replies) ---
+
+    def get_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw codec payload for ``key`` (bumps its LRU sequence)."""
+        with self._lock:
+            conn = self._connection()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                row = conn.execute(
+                    "SELECT payload FROM results WHERE key = ?", (str(key),)
+                ).fetchone()
+                if row is not None:
+                    conn.execute(
+                        "UPDATE results SET seq ="
+                        " (SELECT COALESCE(MAX(seq), 0) + 1 FROM results)"
+                        " WHERE key = ?",
+                        (str(key),),
+                    )
+                conn.execute("COMMIT")
+            except sqlite3.DatabaseError as exc:
+                self._rollback(conn)
+                raise ArtifactError(
+                    f"{self.path}: unreadable result-cache database: {exc}",
+                    path=str(self.path),
+                ) from exc
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"{self.path}: corrupt cache payload for {key[:12]}…: {exc}",
+                path=str(self.path),
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ArtifactError(
+                f"{self.path}: cache payload for {key[:12]}… is not an object",
+                path=str(self.path),
+            )
+        return payload
+
+    def put_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store a raw codec payload under ``key`` (evicting LRU overflow)."""
+        if self.capacity == 0:
+            return
+        text = json.dumps(payload, sort_keys=True)
+        with self._lock:
+            conn = self._connection()
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                conn.execute(
+                    "INSERT OR REPLACE INTO results (key, payload, seq) VALUES"
+                    " (?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM results))",
+                    (str(key), text),
+                )
+                conn.execute(
+                    "DELETE FROM results WHERE key NOT IN"
+                    " (SELECT key FROM results ORDER BY seq DESC LIMIT ?)",
+                    (self.capacity,),
+                )
+                conn.execute("COMMIT")
+            except sqlite3.DatabaseError as exc:
+                self._rollback(conn)
+                raise ArtifactError(
+                    f"{self.path}: unwritable result-cache database: {exc}",
+                    path=str(self.path),
+                ) from exc
+
+    # -- internals -----------------------------------------------------------
+
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        conn = self._connection()
+        try:
+            return conn.execute(sql, params)
+        except sqlite3.DatabaseError as exc:
+            raise ArtifactError(
+                f"{self.path}: unusable result-cache database: {exc}",
+                path=str(self.path),
+            ) from exc
+
+    @staticmethod
+    def _rollback(conn: sqlite3.Connection) -> None:
+        try:
+            conn.execute("ROLLBACK")
+        except sqlite3.DatabaseError:
+            pass

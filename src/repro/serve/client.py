@@ -1,0 +1,176 @@
+"""Asyncio client for the allocation daemon (plus a one-shot sync helper).
+
+:class:`ServeClient` multiplexes any number of logical requests over one
+connection: each request gets a locally unique ``id``, responses are matched
+back by ``id`` (the server may answer out of order), so a single connection
+supports many concurrent closed-loop callers — this is what lets the load
+generator drive 1000+ logical clients without 1000 sockets.
+
+Example::
+
+    client = await ServeClient.connect(socket_path=path)
+    response = await client.solve(ConfigSpec(seed=2))
+    response.raise_for_error()
+    payload = response.result          # a versioned quhe_result payload
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.serve.protocol import (
+    ConfigSpec,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+)
+
+__all__ = ["ServeClient", "request_once"]
+
+#: readline buffer bound: quhe_result payloads are tens of KB, give slack.
+_READ_LIMIT = 16 * 1024 * 1024
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.server.AllocationServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, "asyncio.Future[ServeResponse]"] = {}
+        self._ids = itertools.count()
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        *,
+        socket_path: str = "",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> "ServeClient":
+        """Open a connection (unix socket when ``socket_path`` is set)."""
+        if socket_path:
+            reader, writer = await asyncio.open_unix_connection(
+                socket_path, limit=_READ_LIMIT
+            )
+        else:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=_READ_LIMIT
+            )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = ServeResponse.from_dict(decode_line(line))
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            # Connection gone: every outstanding request fails loudly rather
+            # than hanging its caller forever.
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
+            self._pending.clear()
+
+    async def request(self, request: ServeRequest) -> ServeResponse:
+        """Send one request and await its id-matched response."""
+        future: "asyncio.Future[ServeResponse]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request.id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_line(request.to_dict()))
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._pending.pop(request.id, None)
+            raise ConnectionError("server connection lost while sending")
+        return await future
+
+    def next_id(self) -> str:
+        return f"c{next(self._ids)}"
+
+    async def solve(
+        self, spec: ConfigSpec, *, use_cache: bool = True
+    ) -> ServeResponse:
+        return await self.request(
+            ServeRequest(
+                id=self.next_id(), op="solve", spec=spec, use_cache=use_cache
+            )
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        response = await self.request(
+            ServeRequest(id=self.next_id(), op="stats")
+        )
+        response.raise_for_error()
+        return response.stats or {}
+
+    async def ping(self) -> bool:
+        response = await self.request(
+            ServeRequest(id=self.next_id(), op="ping")
+        )
+        return bool(response.ok and response.meta.get("pong"))
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+
+def request_once(
+    request: ServeRequest,
+    *,
+    socket_path: str = "",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout_s: float = 30.0,
+) -> ServeResponse:
+    """Synchronous one-shot: connect, send, await the reply, disconnect.
+
+    The CLI's ``repro serve --status`` path; also handy in scripts that do
+    not want to manage an event loop.
+    """
+
+    async def _go() -> ServeResponse:
+        client = await ServeClient.connect(
+            socket_path=socket_path, host=host, port=port
+        )
+        try:
+            return await asyncio.wait_for(
+                client.request(request), timeout=timeout_s
+            )
+        finally:
+            await client.close()
+
+    return asyncio.run(_go())

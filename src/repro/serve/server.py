@@ -1,0 +1,483 @@
+"""The allocation daemon: an asyncio server over the batched QuHE solver.
+
+Request lifecycle (op ``solve``)::
+
+    line in ──► fault seam ──► spec → (config, fingerprint)   [memoized]
+                  │
+                  ├─ in-flight fingerprint match? ──► await that solve (coalesced)
+                  ├─ result-cache hit?            ──► immediate response (hit)
+                  └─ admission queue
+                        │  bounded: overflow → structured 503 (ServerOverloaded)
+                        ▼
+                  micro-batcher: first entry + up to ``max_batch-1`` more
+                  within ``max_wait_ms``  ──►  SolverService.solve_many
+                  (backend="batched", in an executor thread)  ──► fan results
+                  back out to every waiter
+
+Every stage updates counters surfaced by the ``stats`` op and the
+``repro serve --status`` CLI.  The ``serve.request`` fault seam draws from
+the active :mod:`repro.faults` plan per request; exception kinds become
+taxonomy-coded error *responses* (the daemon never dies with a request),
+``hang`` delays only the affected request, and ``crash`` aborts that
+client's connection — the asyncio analogue of a killed worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import faults as _faults
+from repro.api.service import SolverService, config_fingerprint
+from repro.core.config import SystemConfig
+from repro.errors import (
+    ConfigurationError,
+    FaultInjected,
+    ServerOverloaded,
+    SolverError,
+    TransientIOError,
+)
+from repro.serve.protocol import (
+    ConfigSpec,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+    error_payload,
+)
+
+__all__ = ["AllocationServer", "ServeSettings"]
+
+#: Sentinel telling the batcher loop to exit.
+_STOP = object()
+
+#: Bound on the spec → (config, fingerprint) memo (specs are tiny; configs
+#: hold numpy arrays, so the memo must not grow with client churn).
+_SPEC_MEMO_CAPACITY = 4096
+
+
+class _ConnectionAbort(Exception):
+    """Internal: a ``crash`` fault rule asked us to drop this connection."""
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """Operational knobs of one :class:`AllocationServer`.
+
+    ``socket_path`` non-empty selects a unix socket; otherwise TCP on
+    ``host:port`` (port 0 = ephemeral).  ``max_batch``/``max_wait_ms`` trade
+    latency for throughput: the batcher dispatches as soon as it holds
+    ``max_batch`` configs *or* ``max_wait_ms`` has passed since the first.
+    ``max_queue`` bounds admitted-but-unsolved requests; overflow is shed.
+    ``cache_db`` non-empty replaces the in-memory LRU with the sqlite
+    cross-process cache at that path.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    socket_path: str = ""
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_queue: int = 256
+    coalesce: bool = True
+    cache_db: str = ""
+    cache_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ConfigurationError("max_wait_ms must be non-negative")
+        if self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+
+
+@dataclass
+class _Pending:
+    """One admitted solve waiting for the micro-batcher."""
+
+    key: str
+    config: SystemConfig
+    use_cache: bool
+    future: "asyncio.Future[Tuple[Dict[str, Any], Dict[str, Any]]]"
+    enqueued_at: float = 0.0
+
+
+class AllocationServer:
+    """The long-lived allocation daemon (see module docstring).
+
+    Typical embedded use (tests, benchmarks)::
+
+        server = AllocationServer(ServeSettings(socket_path=path))
+        await server.start()
+        try:
+            ...  # clients connect and solve
+        finally:
+            await server.stop()
+    """
+
+    def __init__(
+        self,
+        settings: ServeSettings = ServeSettings(),
+        *,
+        service: Optional[SolverService] = None,
+    ) -> None:
+        self.settings = settings
+        if service is not None:
+            self.service = service
+        elif settings.cache_db:
+            from repro.serve.cache import SqliteResultCache
+
+            self.service = SolverService(
+                cache=SqliteResultCache(
+                    settings.cache_db, capacity=settings.cache_capacity
+                )
+            )
+        else:
+            self.service = SolverService(cache_size=settings.cache_capacity)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional["asyncio.Queue[Any]"] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._spec_memo: "OrderedDict[str, Tuple[str, SystemConfig]]" = (
+            OrderedDict()
+        )
+        self._started_at = 0.0
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "responses": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "backend_batches": 0,
+            "backend_solves": 0,
+            "shed": 0,
+            "errors": 0,
+            "faults_injected": 0,
+            "connections": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (TCP mode, after :meth:`start`)."""
+        if self._server is None or self.settings.socket_path:
+            raise RuntimeError("server not started in TCP mode")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        """Bind the socket and start the micro-batcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._queue = asyncio.Queue(maxsize=self.settings.max_queue)
+        self._batcher = asyncio.create_task(self._batch_loop())
+        if self.settings.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.settings.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.settings.host, self.settings.port
+            )
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop accepting, wind down the batcher, fail any stranded waiters."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._queue is not None and self._batcher is not None:
+            await self._queue.put(_STOP)
+            await self._batcher
+            self._batcher = None
+            # Entries admitted after the sentinel never reach the solver.
+            while not self._queue.empty():
+                entry = self._queue.get_nowait()
+                if entry is _STOP:
+                    continue
+                if not entry.future.done():
+                    entry.future.set_exception(
+                        ServerOverloaded("server shutting down")
+                    )
+            self._queue = None
+        self._inflight.clear()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` CLI wraps this)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- connection / request handling ---------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.stats["requests"] += 1
+        request_id = ""
+        try:
+            payload = decode_line(line)
+            request_id = str(payload.get("id", ""))
+            request = ServeRequest.from_dict(payload)
+            response = await self._dispatch(request)
+        except _ConnectionAbort:
+            # The `crash` fault kind: this client's connection dies abruptly,
+            # the daemon (and every other connection) lives on.
+            writer.transport.abort()
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - becomes a typed error reply
+            self.stats["errors"] += 1
+            response = ServeResponse(
+                id=request_id, ok=False, error=error_payload(exc)
+            )
+        self.stats["responses"] += 1
+        try:
+            async with write_lock:
+                writer.write(encode_line(response.to_dict()))
+                await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            # Client went away before its answer; nothing left to tell it.
+            pass
+
+    async def _dispatch(self, request: ServeRequest) -> ServeResponse:
+        await self._fire_request_seam()
+        if request.op == "ping":
+            return ServeResponse(id=request.id, ok=True, meta={"pong": True})
+        if request.op == "stats":
+            return ServeResponse(
+                id=request.id, ok=True, stats=self.stats_snapshot()
+            )
+        return await self._dispatch_solve(request)
+
+    async def _fire_request_seam(self) -> None:
+        """The ``serve.request`` fault seam, interpreted asyncio-safely.
+
+        :func:`repro.faults.fire` would sleep or ``os._exit`` in the shared
+        event-loop process, so the daemon draws the rule passively and maps
+        each kind itself: exception kinds surface as error responses,
+        ``hang`` delays only this request, ``crash`` aborts this connection.
+        """
+        rule = _faults.draw("serve.request")
+        if rule is None:
+            return
+        self.stats["faults_injected"] += 1
+        if rule.kind == "raise":
+            raise FaultInjected(
+                "injected fault at seam 'serve.request'", seam="serve.request"
+            )
+        if rule.kind == "io_error":
+            raise TransientIOError(
+                "injected transient IO error at 'serve.request'"
+            )
+        if rule.kind == "solver_fail":
+            raise SolverError("injected solver failure at 'serve.request'")
+        if rule.kind == "hang":
+            await asyncio.sleep(rule.delay_s)
+            return
+        if rule.kind == "crash":
+            raise _ConnectionAbort()
+        # Data kinds (torn_write/nan/storm) have no meaning at this seam.
+
+    # -- the solve path ------------------------------------------------------
+
+    def _resolve_spec(self, spec: ConfigSpec) -> Tuple[str, SystemConfig]:
+        """Spec → (fingerprint, config), memoized.
+
+        Building the paper config and hashing it dominates protocol cost at
+        high request rates; specs are deterministic, so the memo is safe and
+        turns repeat traffic into a dict probe.
+        """
+        memo_key = repr(sorted(spec.to_dict().items()))
+        hit = self._spec_memo.get(memo_key)
+        if hit is not None:
+            self._spec_memo.move_to_end(memo_key)
+            return hit
+        config = spec.build()
+        entry = (config_fingerprint(config), config)
+        self._spec_memo[memo_key] = entry
+        while len(self._spec_memo) > _SPEC_MEMO_CAPACITY:
+            self._spec_memo.popitem(last=False)
+        return entry
+
+    async def _dispatch_solve(self, request: ServeRequest) -> ServeResponse:
+        assert request.spec is not None  # enforced by ServeRequest validation
+        key, config = self._resolve_spec(request.spec)
+        loop = asyncio.get_running_loop()
+
+        if self.settings.coalesce:
+            pending = self._inflight.get(key)
+            if pending is not None:
+                self.stats["coalesced"] += 1
+                self.service.note_coalesced()
+                payload, meta = await pending
+                return ServeResponse(
+                    id=request.id, ok=True, result=payload,
+                    meta={**meta, "cache": "coalesced"},
+                )
+
+        if request.use_cache:
+            cached = self.service.cache_lookup(key)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                from repro import io as repro_io
+
+                return ServeResponse(
+                    id=request.id, ok=True,
+                    result=repro_io.result_to_dict(cached),
+                    meta={"cache": "hit"},
+                )
+
+        if self._queue is None:
+            raise ServerOverloaded("server not accepting work (stopped)")
+        future: "asyncio.Future[Any]" = loop.create_future()
+        entry = _Pending(
+            key=key, config=config, use_cache=request.use_cache,
+            future=future, enqueued_at=loop.time(),
+        )
+        try:
+            self._queue.put_nowait(entry)
+        except asyncio.QueueFull:
+            self.stats["shed"] += 1
+            raise ServerOverloaded(
+                f"admission queue full ({self.settings.max_queue} pending); "
+                "retry after backoff",
+                retry_after_ms=2.0 * self.settings.max_queue,
+            ) from None
+        if self.settings.coalesce:
+            self._inflight[key] = future
+        payload, meta = await future
+        return ServeResponse(
+            id=request.id, ok=True, result=payload,
+            meta={**meta, "cache": "solved"},
+        )
+
+    async def _batch_loop(self) -> None:
+        """Drain the admission queue in micro-batches; fan results out."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            if entry is _STOP:
+                return
+            batch: List[_Pending] = [entry]
+            deadline = loop.time() + self.settings.max_wait_ms / 1000.0
+            stop_after = False
+            while len(batch) < self.settings.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _STOP:
+                    stop_after = True
+                    break
+                batch.append(nxt)
+            await self._solve_batch(batch)
+            if stop_after:
+                return
+
+    async def _solve_batch(self, batch: List[_Pending]) -> None:
+        from repro import io as repro_io
+
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        # Mixed cache policies split into sub-batches: solve_many takes one
+        # use_cache flag for the whole call (batches are almost always
+        # homogeneous; the split only costs a second vectorized pass).
+        groups: Dict[bool, List[_Pending]] = {}
+        for entry in batch:
+            groups.setdefault(entry.use_cache, []).append(entry)
+        for use_cache, group in groups.items():
+            configs = [e.config for e in group]
+            try:
+                results = await asyncio.to_thread(
+                    self.service.solve_many,
+                    configs,
+                    backend="batched",
+                    use_cache=use_cache,
+                )
+            except Exception as exc:  # noqa: BLE001 - fanned out per waiter
+                for e in group:
+                    self._inflight.pop(e.key, None)
+                    if not e.future.done():
+                        e.future.set_exception(exc)
+                continue
+            self.stats["backend_batches"] += 1
+            self.stats["backend_solves"] += len({e.key for e in group})
+            solve_ms = (loop.time() - start) * 1000.0
+            payload_by_key: Dict[str, Dict[str, Any]] = {}
+            for e, result in zip(group, results):
+                payload = payload_by_key.get(e.key)
+                if payload is None:
+                    payload = repro_io.result_to_dict(result)
+                    payload_by_key[e.key] = payload
+                meta = {
+                    "batch_size": len(group),
+                    "queue_ms": round((start - e.enqueued_at) * 1000.0, 3),
+                    "solve_ms": round(solve_ms, 3),
+                }
+                self._inflight.pop(e.key, None)
+                if not e.future.done():
+                    e.future.set_result((payload, meta))
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Counters + cache info + queue state (the ``stats`` op body)."""
+        snapshot: Dict[str, Any] = dict(self.stats)
+        snapshot["cache"] = self.service.cache_info()
+        snapshot["queue_depth"] = self._queue.qsize() if self._queue else 0
+        snapshot["inflight"] = len(self._inflight)
+        snapshot["max_batch"] = self.settings.max_batch
+        snapshot["max_wait_ms"] = self.settings.max_wait_ms
+        snapshot["max_queue"] = self.settings.max_queue
+        snapshot["coalesce_enabled"] = self.settings.coalesce
+        snapshot["uptime_s"] = (
+            round(time.monotonic() - self._started_at, 3)
+            if self._started_at
+            else 0.0
+        )
+        return snapshot

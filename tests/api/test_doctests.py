@@ -15,6 +15,8 @@ import repro.api.catalog
 import repro.api.registry
 import repro.api.service
 import repro.io
+import repro.serve.cache
+import repro.serve.protocol
 import repro.utils.stats
 
 MODULES = [
@@ -23,6 +25,8 @@ MODULES = [
     repro.api.artifacts,
     repro.api.catalog,
     repro.io,
+    repro.serve.protocol,
+    repro.serve.cache,
     repro.utils.stats,
 ]
 

@@ -102,6 +102,118 @@ class TestCache:
         assert service.cache_info()["misses"] == before + 1
 
 
+class TestLRUResultCache:
+    def test_eviction_order_is_least_recently_used(self):
+        from repro.api.service import LRUResultCache
+
+        cache = LRUResultCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # bump a: b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_capacity_zero_stores_nothing(self):
+        from repro.api.service import LRUResultCache
+
+        cache = LRUResultCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+
+class TestPluggableCacheBackend:
+    def test_custom_backend_receives_puts_and_serves_gets(self, typical_cfg):
+        class DictBackend:
+            capacity = 99
+
+            def __init__(self):
+                self.store = {}
+
+            def get(self, key):
+                return self.store.get(key)
+
+            def put(self, key, result):
+                self.store[key] = result
+
+            def clear(self):
+                self.store.clear()
+
+            def __len__(self):
+                return len(self.store)
+
+        backend = DictBackend()
+        service = SolverService(cache=backend)
+        assert service.cache_size == 99  # capacity read off the backend
+        assert service.cache_backend is backend
+        first = service.solve(typical_cfg)
+        assert len(backend.store) == 1
+        assert service.solve(typical_cfg) is first
+        assert service.cache_info()["hits"] == 1
+
+    def test_cache_lookup_counts_hit_and_miss(self, typical_cfg):
+        service = SolverService()
+        key = config_fingerprint(typical_cfg)
+        assert service.cache_lookup(key) is None
+        result = service.solve(typical_cfg)
+        assert service.cache_lookup(key) is result
+        info = service.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 2
+
+
+class TestConcurrencySafety:
+    def test_threaded_prime_and_lookup_stay_consistent(self):
+        """Hammer the cache from several threads: no exceptions, size
+        bounded by capacity, counters sum to the number of operations."""
+        import threading
+
+        service = SolverService(cache_size=8)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    key = f"{tag}-{i % 16}"
+                    service._cache_put(key, object())
+                    service._cache_get(key)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        info = service.cache_info()
+        assert info["size"] <= 8
+        assert info["hits"] + info["misses"] == 4 * 200
+
+    def test_note_coalesced_is_atomic_across_threads(self):
+        import threading
+
+        service = SolverService()
+        threads = [
+            threading.Thread(
+                target=lambda: [service.note_coalesced() for _ in range(500)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert service.cache_info()["coalesced"] == 2000
+
+    def test_solve_many_duplicates_count_as_coalesced(self):
+        service = SolverService()
+        cfg = paper_config(seed=2)
+        service.solve_many([cfg, cfg, cfg, paper_config(seed=3)])
+        assert service.cache_info()["coalesced"] == 2
+
+
 class TestSolveMany:
     @pytest.fixture(scope="class")
     def configs(self):
@@ -236,6 +348,18 @@ class TestRunRecords:
     def test_out_dir_plumbing(self, tmp_path):
         record = run_scenario("fig3", {"samples": 2}, out_dir=str(tmp_path))
         assert (tmp_path / record.run_id / "record.json").exists()
+
+    def test_record_carries_cache_stats_delta(self, tmp_path):
+        """Scenario runs record the solver-cache activity they caused."""
+        from repro.api.scenarios import SERVICE
+
+        SERVICE.clear_cache()
+        first = run_scenario("solve", {"seed": 6})
+        assert first.cache_stats == {"hits": 0, "misses": 1, "coalesced": 0}
+        second = run_scenario("solve", {"seed": 6})
+        assert second.cache_stats == {"hits": 1, "misses": 0, "coalesced": 0}
+        target = second.save(tmp_path)
+        assert RunRecord.load(target).cache_stats == second.cache_stats
 
     def test_identical_runs_get_distinct_run_ids(self, tmp_path):
         """Same scenario + params within one second must not overwrite."""

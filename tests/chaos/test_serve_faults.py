@@ -1,0 +1,148 @@
+"""Chaos coverage for the ``serve.request`` fault seam.
+
+Claims, per docs/serving.md: injected faults at the request seam become
+taxonomy-coded error *responses* — the daemon never dies and is never
+wedged; a ``hang`` delays only the affected request; a ``crash`` kills only
+the affected client's connection; and once a rule's budget is spent, clean
+requests on the *same socket* succeed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.serve import (
+    AllocationServer,
+    ConfigSpec,
+    ServeClient,
+    ServeSettings,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _plan(kind: str, *, max_fires: int = 1, delay_s: float = 0.0) -> FaultPlan:
+    return FaultPlan(seed=11, rules=(
+        FaultRule(seam="serve.request", kind=kind, probability=1.0,
+                  max_fires=max_fires, delay_s=delay_s),
+    ))
+
+
+async def _run_under_plan(tmp_path, body):
+    server = AllocationServer(
+        ServeSettings(socket_path=str(tmp_path / "chaos.sock"))
+    )
+    await server.start()
+    try:
+        client = await ServeClient.connect(
+            socket_path=server.settings.socket_path
+        )
+        try:
+            return await body(server, client)
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+
+
+@pytest.mark.parametrize("kind,expected_type,expected_code", [
+    ("raise", "FaultInjected", 9),
+    ("io_error", "TransientIOError", 7),
+    ("solver_fail", "SolverError", 3),
+])
+def test_exception_kinds_become_taxonomy_error_responses(
+    tmp_path, kind, expected_type, expected_code
+):
+    faults.install(_plan(kind))
+
+    async def body(server, client):
+        faulted = await client.solve(ConfigSpec(seed=2))
+        assert not faulted.ok
+        assert faulted.error["type"] == expected_type
+        assert faulted.error["exit_code"] == expected_code
+        assert server.stats["faults_injected"] == 1
+        # Budget spent: a clean request on the same socket succeeds.
+        clean = await client.solve(ConfigSpec(seed=2))
+        clean.raise_for_error()
+        assert clean.result["kind"] == "quhe_result"
+
+    asyncio.run(_run_under_plan(tmp_path, body))
+
+
+def test_hang_delays_only_the_affected_request(tmp_path):
+    faults.install(_plan("hang", delay_s=0.3))
+
+    async def body(server, client):
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        # The hung request and a clean ping race; the ping must not wait
+        # for the injected delay (requests are handled concurrently).
+        hung_task = asyncio.ensure_future(client.solve(ConfigSpec(seed=2)))
+        await asyncio.sleep(0.02)
+        assert await client.ping()
+        ping_elapsed = loop.time() - start
+        assert ping_elapsed < 0.25, "a hang must not wedge other requests"
+        hung = await hung_task
+        hung.raise_for_error()
+        assert loop.time() - start >= 0.3
+
+    asyncio.run(_run_under_plan(tmp_path, body))
+
+
+def test_crash_kills_the_connection_not_the_daemon(tmp_path):
+    faults.install(_plan("crash"))
+
+    async def body(server, client):
+        with pytest.raises(ConnectionError):
+            (await client.solve(ConfigSpec(seed=2))).raise_for_error()
+        # The daemon survives: a fresh connection on the same socket works.
+        fresh = await ServeClient.connect(
+            socket_path=server.settings.socket_path
+        )
+        try:
+            assert await fresh.ping()
+            clean = await fresh.solve(ConfigSpec(seed=2))
+            clean.raise_for_error()
+        finally:
+            await fresh.close()
+
+    asyncio.run(_run_under_plan(tmp_path, body))
+
+
+def test_fault_storm_never_wedges_the_server(tmp_path):
+    """A probabilistic mixed-kind storm: every request gets *an* answer
+    (or a dead connection), and after the storm the daemon still serves."""
+    faults.install(FaultPlan(seed=7, rules=(
+        FaultRule(seam="serve.request", kind="raise", probability=0.4,
+                  max_fires=6),
+        FaultRule(seam="serve.request", kind="io_error", probability=0.4,
+                  max_fires=6),
+        FaultRule(seam="serve.request", kind="hang", delay_s=0.01,
+                  probability=0.4, max_fires=6),
+    )))
+
+    async def body(server, client):
+        spec = ConfigSpec(seed=2)
+        answered = 0
+        for _ in range(24):
+            response = await asyncio.wait_for(client.solve(spec), timeout=30)
+            answered += 1
+            if not response.ok:
+                assert response.error["type"] in (
+                    "FaultInjected", "TransientIOError",
+                )
+        assert answered == 24
+        faults.clear()
+        clean = await client.solve(spec)
+        clean.raise_for_error()
+
+    asyncio.run(_run_under_plan(tmp_path, body))

@@ -1,0 +1,165 @@
+"""SqliteResultCache: round-trips, eviction, corruption, concurrency.
+
+The cross-process test spawns two real writer processes hammering one
+database file — the property the serving stack depends on (WAL + busy
+timeout + IMMEDIATE transactions means no writer ever sees a corrupt or
+half-written row).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import io as repro_io
+from repro.errors import ArtifactError
+from repro.serve.cache import SqliteResultCache
+
+
+@pytest.fixture()
+def db(tmp_path):
+    return str(tmp_path / "results.db")
+
+
+class TestRoundTrip:
+    def test_quhe_result_codec_round_trip(self, db, quhe_result):
+        cache = SqliteResultCache(db)
+        cache.put("k1", quhe_result)
+        restored = cache.get("k1")
+        assert restored.objective == quhe_result.objective
+        assert repro_io.result_to_dict(restored) == repro_io.result_to_dict(
+            quhe_result
+        )
+
+    def test_payload_bytes_stable(self, db, quhe_result):
+        """What goes in comes out byte-for-byte (the daemon forwards rows)."""
+        cache = SqliteResultCache(db)
+        payload = repro_io.result_to_dict(quhe_result)
+        cache.put_payload("k1", payload)
+        assert json.dumps(cache.get_payload("k1"), sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_missing_key_is_none(self, db):
+        assert SqliteResultCache(db).get("nope") is None
+
+    def test_visible_across_instances(self, db):
+        SqliteResultCache(db).put_payload("k", {"kind": "x", "v": 1})
+        assert SqliteResultCache(db).get_payload("k") == {"kind": "x", "v": 1}
+
+    def test_clear_and_len(self, db):
+        cache = SqliteResultCache(db)
+        cache.put_payload("a", {"v": 1})
+        cache.put_payload("b", {"v": 2})
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_eviction_at_capacity(self, db):
+        cache = SqliteResultCache(db, capacity=2)
+        cache.put_payload("a", {"v": 1})
+        cache.put_payload("b", {"v": 2})
+        cache.get_payload("a")  # bump a: b is now least recently used
+        cache.put_payload("c", {"v": 3})
+        assert len(cache) == 2
+        assert cache.get_payload("b") is None
+        assert cache.get_payload("a") == {"v": 1}
+        assert cache.get_payload("c") == {"v": 3}
+
+    def test_capacity_zero_stores_nothing(self, db):
+        cache = SqliteResultCache(db, capacity=0)
+        cache.put_payload("a", {"v": 1})
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self, db):
+        with pytest.raises(ValueError, match="non-negative"):
+            SqliteResultCache(db, capacity=-1)
+
+
+class TestCorruption:
+    def test_corrupt_database_raises_artifact_error_naming_path(self, tmp_path):
+        bad = tmp_path / "corrupt.db"
+        bad.write_bytes(b"this is not a sqlite database, not even close")
+        with pytest.raises(ArtifactError, match="corrupt.db") as excinfo:
+            cache = SqliteResultCache(bad)
+            cache.put_payload("k", {"v": 1})  # header check may be lazy
+        assert excinfo.value.path == str(bad)
+
+    def test_corrupt_payload_row_raises_artifact_error(self, db):
+        cache = SqliteResultCache(db)
+        conn = cache._connection()
+        conn.execute(
+            "INSERT INTO results (key, payload, seq) VALUES ('bad', '{', 1)"
+        )
+        with pytest.raises(ArtifactError, match="corrupt cache payload"):
+            cache.get_payload("bad")
+
+    def test_undecodable_result_row_raises_artifact_error(self, db):
+        cache = SqliteResultCache(db)
+        cache.put_payload("k", {"kind": "no_such_kind"})
+        with pytest.raises(ArtifactError, match="undecodable cache row"):
+            cache.get("k")
+
+
+_WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.serve.cache import SqliteResultCache
+cache = SqliteResultCache({db!r}, capacity=10_000)
+tag = sys.argv[1]
+for i in range(60):
+    cache.put_payload(f"{{tag}}-{{i}}", {{"writer": tag, "i": i}})
+    assert cache.get_payload(f"{{tag}}-{{i}}") == {{"writer": tag, "i": i}}
+print("ok")
+"""
+
+
+class TestConcurrency:
+    def test_two_processes_write_one_database(self, db):
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = _WRITER.format(src=src, db=db)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, tag],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for tag in ("p1", "p2")
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "ok"
+        cache = SqliteResultCache(db)
+        assert len(cache) == 120
+        for tag in ("p1", "p2"):
+            for i in (0, 30, 59):
+                assert cache.get_payload(f"{tag}-{i}") == {
+                    "writer": tag, "i": i,
+                }
+
+    def test_threaded_writers_one_instance(self, db):
+        import threading
+
+        cache = SqliteResultCache(db, capacity=10_000)
+        errors = []
+
+        def write(tag):
+            try:
+                for i in range(40):
+                    cache.put_payload(f"{tag}-{i}", {"t": tag, "i": i})
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) == 160

@@ -1,0 +1,144 @@
+"""Wire-protocol tests: specs, requests, responses, framing, codecs."""
+
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.api.service import config_fingerprint
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ServerOverloaded,
+    SolverError,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ConfigSpec,
+    ServeRequest,
+    ServeResponse,
+    decode_line,
+    encode_line,
+    error_payload,
+)
+
+
+class TestConfigSpec:
+    def test_round_trip(self):
+        spec = ConfigSpec(seed=7, total_bandwidth_hz=2e6, max_power_w=0.5)
+        assert ConfigSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_omits_unset_overrides(self):
+        assert ConfigSpec(seed=3).to_dict() == {"seed": 3}
+
+    def test_build_is_deterministic_across_instances(self):
+        a = ConfigSpec(seed=2, total_bandwidth_hz=1.5e6).build()
+        b = ConfigSpec(seed=2, total_bandwidth_hz=1.5e6).build()
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_overrides_change_the_fingerprint(self):
+        base = ConfigSpec(seed=2).build()
+        swept = ConfigSpec(seed=2, client_max_frequency_hz=2e9).build()
+        assert config_fingerprint(base) != config_fingerprint(swept)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown config spec"):
+            ConfigSpec.from_dict({"seed": 2, "bandwidth": 1e6})
+
+
+class TestServeRequest:
+    def test_round_trip(self):
+        request = ServeRequest(id="r9", op="solve", spec=ConfigSpec(seed=4),
+                               use_cache=False)
+        assert ServeRequest.from_dict(request.to_dict()) == request
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown request op"):
+            ServeRequest(id="r1", op="explode")
+
+    def test_solve_without_spec_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs a config spec"):
+            ServeRequest(id="r1", op="solve")
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            ServeRequest.from_dict({"op": "ping"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown request field"):
+            ServeRequest.from_dict({"id": "r1", "op": "ping", "mode": "x"})
+
+
+class TestServeResponse:
+    def test_round_trip_with_meta(self):
+        response = ServeResponse(id="r1", ok=True, result={"kind": "x"},
+                                 meta={"cache": "hit"})
+        restored = ServeResponse.from_dict(response.to_dict())
+        assert restored == response
+        assert response.to_dict()["protocol"] == PROTOCOL_VERSION
+
+    def test_raise_for_error_maps_taxonomy_types(self):
+        response = ServeResponse(
+            id="r1", ok=False,
+            error=error_payload(ServerOverloaded("full", retry_after_ms=50.0)),
+        )
+        assert response.error["exit_code"] == 10
+        assert response.error["retry_after_ms"] == 50.0
+        with pytest.raises(ServerOverloaded):
+            response.raise_for_error()
+
+    def test_raise_for_error_maps_solver_error(self):
+        response = ServeResponse(
+            id="r1", ok=False, error=error_payload(SolverError("singular"))
+        )
+        with pytest.raises(SolverError, match="singular"):
+            response.raise_for_error()
+
+    def test_raise_for_error_unknown_type_degrades_to_repro_error(self):
+        response = ServeResponse(
+            id="r1", ok=False, error={"type": "Martian", "message": "???"}
+        )
+        with pytest.raises(ReproError, match=r"\?\?\?"):
+            response.raise_for_error()
+
+    def test_raise_for_error_on_ok_is_identity(self):
+        response = ServeResponse(id="r1", ok=True)
+        assert response.raise_for_error() is response
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payload = {"id": "r1", "op": "ping"}
+        line = encode_line(payload)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == payload
+
+    def test_malformed_json_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="malformed protocol"):
+            decode_line(b"{not json}\n")
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            decode_line(b"[1, 2, 3]\n")
+
+
+class TestCodecs:
+    def test_serve_request_codec_round_trip(self):
+        request = ServeRequest(id="r2", op="solve",
+                               spec=ConfigSpec(seed=5), use_cache=False)
+        payload = repro_io.result_to_dict(request)
+        assert payload["kind"] == "serve_request"
+        assert repro_io.result_from_dict(payload) == request
+
+    def test_serve_response_codec_round_trip(self):
+        response = ServeResponse(id="r2", ok=False,
+                                 error={"type": "SolverError",
+                                        "exit_code": 3, "message": "x"})
+        payload = repro_io.result_to_dict(response)
+        assert payload["kind"] == "serve_response"
+        assert repro_io.result_from_dict(payload) == response
+
+    def test_payloads_survive_json_text(self):
+        request = ServeRequest(id="r3", op="stats")
+        text = json.dumps(repro_io.result_to_dict(request))
+        assert repro_io.result_from_dict(json.loads(text)) == request

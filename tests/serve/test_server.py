@@ -1,0 +1,293 @@
+"""AllocationServer tier-1 tests: smoke, coalescing, batching, shedding.
+
+Each test runs an embedded daemon on a private unix socket inside one
+``asyncio.run``.  The headline smoke test is the acceptance criterion:
+a solve through the daemon must be *identical* to a direct
+``SolverService.solve`` of the same configuration.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import io as repro_io
+from repro.api.service import SolverService
+from repro.serve import (
+    AllocationServer,
+    ConfigSpec,
+    ServeClient,
+    ServeRequest,
+    ServeSettings,
+    SqliteResultCache,
+)
+from repro.serve.protocol import encode_line
+
+
+def _sock(tmp_path) -> str:
+    return str(tmp_path / "serve.sock")
+
+
+async def _with_server(settings, body):
+    """Start a server, run ``body(server, client)``, always stop cleanly."""
+    server = AllocationServer(settings)
+    await server.start()
+    try:
+        client = await ServeClient.connect(
+            socket_path=settings.socket_path or "",
+            host=settings.host,
+            port=0 if settings.socket_path else server.address[1],
+        )
+        try:
+            return await body(server, client)
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+
+
+class TestSmoke:
+    def test_daemon_solve_identical_to_direct_service_solve(self, tmp_path):
+        """Unix-socket daemon result == direct SolverService.solve (bytes)."""
+        db = str(tmp_path / "cache.db")
+        spec = ConfigSpec(seed=2)
+
+        async def body(server, client):
+            response = await client.solve(spec)
+            response.raise_for_error()
+            return response
+
+        response = asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path), cache_db=db), body
+        ))
+        assert response.meta["cache"] == "solved"
+        # A direct service sharing the daemon's sqlite cache returns the
+        # stored payload — byte-identical, the acceptance criterion.
+        direct = SolverService(cache=SqliteResultCache(db))
+        direct_payload = repro_io.result_to_dict(direct.solve(spec.build()))
+        assert json.dumps(response.result, sort_keys=True) == json.dumps(
+            direct_payload, sort_keys=True
+        )
+
+    def test_ping_and_stats_ops(self, tmp_path):
+        async def body(server, client):
+            assert await client.ping()
+            stats = await client.stats()
+            assert stats["requests"] >= 1
+            assert set(stats["cache"]) == {
+                "hits", "misses", "coalesced", "size",
+            }
+            assert stats["coalesce_enabled"] is True
+            return stats
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+    def test_tcp_mode(self, tmp_path):
+        async def body(server, client):
+            response = await client.solve(ConfigSpec(seed=2))
+            response.raise_for_error()
+            assert response.result["kind"] == "quhe_result"
+
+        asyncio.run(_with_server(ServeSettings(host="127.0.0.1", port=0), body))
+
+    def test_second_solve_hits_cache_with_identical_payload(self, tmp_path):
+        spec = ConfigSpec(seed=2)
+
+        async def body(server, client):
+            first = await client.solve(spec)
+            second = await client.solve(spec)
+            assert second.meta["cache"] == "hit"
+            assert json.dumps(first.result, sort_keys=True) == json.dumps(
+                second.result, sort_keys=True
+            )
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_reach_backend_once(self, tmp_path):
+        spec = ConfigSpec(seed=2)
+
+        async def body(server, client):
+            responses = await asyncio.gather(*(
+                client.solve(spec, use_cache=False) for _ in range(12)
+            ))
+            for response in responses:
+                response.raise_for_error()
+            payloads = {
+                json.dumps(r.result, sort_keys=True) for r in responses
+            }
+            assert len(payloads) == 1  # every waiter got the same result
+            assert server.stats["backend_solves"] == 1
+            assert server.stats["coalesced"] == 11
+            dispositions = sorted(r.meta["cache"] for r in responses)
+            assert dispositions.count("coalesced") == 11
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+    def test_coalesce_off_still_dedups_within_a_batch(self, tmp_path):
+        spec = ConfigSpec(seed=2)
+
+        async def body(server, client):
+            responses = await asyncio.gather(*(
+                client.solve(spec, use_cache=False) for _ in range(6)
+            ))
+            for response in responses:
+                response.raise_for_error()
+            assert server.stats["coalesced"] == 0
+            # solve_many dedups identical fingerprints inside each batch:
+            # every batch of this single-spec burst costs exactly one solve.
+            assert server.stats["backend_solves"] == server.stats[
+                "backend_batches"
+            ]
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path), coalesce=False,
+                          max_batch=8, max_wait_ms=50.0),
+            body,
+        ))
+
+
+class TestMicroBatching:
+    def test_distinct_specs_share_a_backend_batch(self, tmp_path):
+        specs = [
+            ConfigSpec(seed=2, total_bandwidth_hz=1e6 + i * 2.5e5)
+            for i in range(4)
+        ]
+
+        async def body(server, client):
+            responses = await asyncio.gather(*(
+                client.solve(spec, use_cache=False) for spec in specs
+            ))
+            for response in responses:
+                response.raise_for_error()
+            assert server.stats["backend_solves"] == len(specs)
+            # The linger window is generous enough that the concurrent burst
+            # lands in fewer dispatches than requests.
+            assert server.stats["backend_batches"] < len(specs)
+            assert any(r.meta["batch_size"] > 1 for r in responses)
+            for r in responses:
+                assert r.meta["queue_ms"] >= 0.0
+                assert r.meta["solve_ms"] > 0.0
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path), max_batch=8,
+                          max_wait_ms=200.0),
+            body,
+        ))
+
+
+class TestLoadShedding:
+    def test_overflow_is_shed_with_structured_503(self, tmp_path):
+        specs = [
+            ConfigSpec(seed=2, total_bandwidth_hz=1e6 + i * 1e5)
+            for i in range(8)
+        ]
+
+        async def body(server, client):
+            responses = await asyncio.gather(*(
+                client.solve(spec, use_cache=False) for spec in specs
+            ))
+            ok = [r for r in responses if r.ok]
+            shed = [r for r in responses if not r.ok]
+            assert ok, "some requests must be admitted"
+            assert shed, "a 1-deep queue must shed part of a burst of 8"
+            for r in shed:
+                assert r.error["type"] == "ServerOverloaded"
+                assert r.error["exit_code"] == 10
+                assert r.error["retry_after_ms"] > 0
+            assert server.stats["shed"] == len(shed)
+            # The daemon is not wedged: a clean request still succeeds.
+            retry = await client.solve(specs[0])
+            retry.raise_for_error()
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path), coalesce=False,
+                          max_batch=1, max_queue=1, max_wait_ms=0.0),
+            body,
+        ))
+
+
+class TestProtocolErrors:
+    def test_malformed_line_yields_error_response_and_connection_survives(
+        self, tmp_path
+    ):
+        async def body(server, client):
+            # Inject a malformed line under the client's write lock, then
+            # prove the same connection still serves clean requests.
+            async with client._write_lock:
+                client._writer.write(b"{not json}\n")
+                await client._writer.drain()
+            assert await client.ping()
+            assert server.stats["errors"] >= 1
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+    def test_unknown_op_yields_configuration_error(self, tmp_path):
+        async def body(server, client):
+            response = await client.request(ServeRequest(id="x1", op="ping"))
+            assert response.ok
+            # Hand-craft an unknown-op line (ServeRequest refuses locally).
+            future = asyncio.get_running_loop().create_future()
+            client._pending["x2"] = future
+            async with client._write_lock:
+                client._writer.write(
+                    encode_line({"id": "x2", "op": "explode"})
+                )
+                await client._writer.drain()
+            bad = await future
+            assert not bad.ok
+            assert bad.error["type"] == "ConfigurationError"
+            assert bad.error["exit_code"] == 2
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+
+class TestLifecycle:
+    def test_stop_fails_stranded_requests_not_hangs(self, tmp_path):
+        async def main():
+            server = AllocationServer(
+                ServeSettings(socket_path=_sock(tmp_path))
+            )
+            await server.start()
+            await server.stop()
+            with pytest.raises(Exception):
+                await server._dispatch_solve(
+                    ServeRequest(id="r", op="solve", spec=ConfigSpec(seed=2))
+                )
+
+        asyncio.run(main())
+
+    def test_double_start_rejected(self, tmp_path):
+        async def main():
+            server = AllocationServer(
+                ServeSettings(socket_path=_sock(tmp_path))
+            )
+            await server.start()
+            try:
+                with pytest.raises(RuntimeError, match="already started"):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_settings_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ServeSettings(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServeSettings(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            ServeSettings(max_wait_ms=-1.0)
