@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Topology-scaling snapshot of the routing layer → ``BENCH_routing.json``.
+
+Sweeps generated Waxman topologies at 16/64/128 nodes and records, per
+size:
+
+* ``routing_n{N}`` — end-to-end routed-simulation throughput (one op =
+  one event) with reroute-on-outage active: outages strike any link,
+  every link-state change consults the :class:`RouteController`, and the
+  adaptive loop re-solves on its cadence;
+* ``reopt_n{N}`` — re-optimization latency (one op = one cold solve of
+  the topology's allocation problem — the price of one mid-run reopt);
+* ``paths_n{N}`` — candidate-route construction throughput (one op = one
+  full Yen ``k=3`` candidate sweep over all clients), the cost the
+  proactive controller pays once at setup.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_routing.py           # full sweep
+    PYTHONPATH=src python scripts/bench_routing.py --quick   # 16/64 only
+    PYTHONPATH=src python scripts/bench_routing.py --check   # enforce floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.service import SolverService  # noqa: E402
+from repro.sim.qnetwork import QuantumNetworkSimulation, SimParams  # noqa: E402
+from repro.sim.routing import RouteController, candidate_routes  # noqa: E402
+from repro.sim.topology import config_for_topology, make_topology  # noqa: E402
+from repro.utils.bench import BenchResult, Floor, run_check, write_results  # noqa: E402
+
+SIZES = (16, 64, 128)
+
+#: --check floors, deliberately conservative (CI runners are slow and
+#: noisy): the routed simulator must clear 2k events/s on the smallest
+#: topology and a 16-node reopt must finish within 5 s (expressed as the
+#: reciprocal — Floor guards ops/second).
+FLOORS = (
+    Floor(op="routing_n16", min_ops_per_second=2_000.0),
+    Floor(op="reopt_n16", min_ops_per_second=1.0 / 5.0),
+)
+
+
+def topology_case(num_nodes: int, seed: int):
+    topo = make_topology(
+        "waxman", num_nodes=num_nodes, num_clients=4, seed=seed
+    )
+    controller = RouteController(topo, k=3, policy="proactive")
+    config = config_for_topology(topo, controller.initial_routes(), seed=seed)
+    return topo, controller, config
+
+
+def bench_reopt(topo, config, seed: int, reps: int = 3) -> BenchResult:
+    """Cold-solve latency: what one mid-run re-optimization costs."""
+    best = float("inf")
+    for _ in range(reps):
+        service = SolverService()  # fresh cache: measure the solve, not a hit
+        start = time.perf_counter()
+        service.solve(config)
+        best = min(best, time.perf_counter() - start)
+    return BenchResult(
+        op=f"reopt_n{topo.num_nodes}",
+        backend="alternation",
+        params={
+            "nodes": topo.num_nodes,
+            "links": topo.num_links,
+            "routes": config.network.num_routes,
+            "seed": seed,
+        },
+        reps=1,
+        seconds_per_op=best,
+    )
+
+
+def bench_paths(topo, seed: int, reps: int = 20) -> BenchResult:
+    start = time.perf_counter()
+    for _ in range(reps):
+        candidate_routes(topo, k=3)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        op=f"paths_n{topo.num_nodes}",
+        backend="yen",
+        params={"nodes": topo.num_nodes, "links": topo.num_links,
+                "clients": len(topo.clients), "k": 3, "seed": seed},
+        reps=reps,
+        seconds_per_op=elapsed / reps,
+    )
+
+
+def bench_routed_sim(topo, controller, config, duration: float,
+                     seed: int) -> BenchResult:
+    service = SolverService()
+    service.solve(config)  # warm the baseline outside the timing
+    params = SimParams(
+        duration_s=duration,
+        demand_factor=0.8,
+        outage_rate=0.2,
+        outage_duration_s=8.0,
+        reopt_interval_s=10.0,
+        strike="any",
+        record_trace=False,
+    )
+    result = QuantumNetworkSimulation(
+        config, params, seed=seed, service=service, router=controller
+    ).run()
+    return BenchResult(
+        op=f"routing_n{topo.num_nodes}",
+        backend="event-heap+router",
+        params={
+            "nodes": topo.num_nodes,
+            "links": topo.num_links,
+            "duration_s": duration,
+            "seed": seed,
+            "events": result.events_processed,
+            "outages": result.outage_count,
+            "reroutes": result.reroute_count,
+            "reopts": len(result.reopt_times),
+        },
+        reps=result.events_processed,
+        seconds_per_op=result.wall_time_s / max(1, result.events_processed),
+    )
+
+
+def run_benchmarks(sizes, duration: float, seed: int):
+    for num_nodes in sizes:
+        topo, controller, config = topology_case(num_nodes, seed)
+        yield bench_paths(topo, seed)
+        yield bench_reopt(topo, config, seed)
+        yield bench_routed_sim(topo, controller, config, duration, seed)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated horizon per routed run (s)")
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="drop the 128-node case (CI smoke)")
+    parser.add_argument("--output", type=str, default="BENCH_routing.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a performance floor fails")
+    args = parser.parse_args()
+
+    sizes = SIZES[:-1] if args.quick else SIZES
+    results = []
+    for result in run_benchmarks(sizes, args.duration, args.seed):
+        print(result)
+        results.append(result)
+    out = write_results(args.output, results)
+    print(f"wrote {out} (cpu_count={os.cpu_count()})")
+    if args.check:
+        return run_check(results, FLOORS)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

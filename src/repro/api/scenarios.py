@@ -450,6 +450,114 @@ register_scenario(Scenario(
 ))
 
 
+#: Generated-topology knobs shared by the routing scenarios
+#: (see docs/topology.md for the families).
+_SIM_TOPOLOGY = (
+    ParamSpec("topology", str, "grid",
+              choices=("grid", "ring", "waxman", "scale-free"),
+              help="generated topology family"),
+    ParamSpec("nodes", int, 12, help="approximate node count"),
+)
+
+
+def _run_sim_multipath(seed, topology, nodes, clients, k_paths, duration,
+                       outage_rate, outage_duration, demand_factor,
+                       reopt_interval, sample_dt):
+    from repro.experiments.simulation import run_multipath_sim
+
+    return run_multipath_sim(
+        seed=seed,
+        topology=topology,
+        num_nodes=nodes,
+        num_clients=clients,
+        k_paths=k_paths,
+        duration_s=duration,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration,
+        demand_factor=demand_factor,
+        reopt_interval_s=reopt_interval,
+        sample_dt=sample_dt,
+        service=SERVICE,
+    )
+
+
+register_scenario(Scenario(
+    name="sim-multipath",
+    help="multipath allocation on a generated topology: k candidate routes "
+         "per client, rate split across path diversity",
+    params=(
+        _SEED,
+        *_SIM_TOPOLOGY,
+        ParamSpec("clients", int, 3, help="client nodes (farthest-first)"),
+        ParamSpec("k_paths", int, 2,
+                  help="Yen candidate paths per client, all active"),
+        ParamSpec("duration", float, 40.0, help="simulated horizon (s)"),
+        ParamSpec("outage_rate", float, 0.1,
+                  help="network-wide link outage rate (outages/s)"),
+        ParamSpec("outage_duration", float, 10.0,
+                  help="mean outage length (s)"),
+        ParamSpec("demand_factor", float, 0.8,
+                  help="offered key demand as a fraction of the allocated "
+                       "key rate"),
+        ParamSpec("reopt_interval", float, 10.0,
+                  help="re-optimization cadence (s); outages also trigger"),
+        _SIM_SAMPLE_DT,
+    ),
+    run=_run_sim_multipath,
+    render=lambda result: result.render(),
+    smoke_overrides={"duration": 15.0},
+))
+
+
+def _run_routing_compare(seed, topology, nodes, clients, k_paths, duration,
+                         outage_rate, outage_duration, demand_factor,
+                         reopt_interval, sample_dt):
+    from repro.experiments.simulation import run_routing_compare
+
+    return run_routing_compare(
+        seed=seed,
+        topology=topology,
+        num_nodes=nodes,
+        num_clients=clients,
+        k_paths=k_paths,
+        duration_s=duration,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration,
+        demand_factor=demand_factor,
+        reopt_interval_s=reopt_interval,
+        sample_dt=sample_dt,
+        service=SERVICE,
+    )
+
+
+register_scenario(Scenario(
+    name="sim-routing-compare",
+    help="proactive vs reactive reroute-on-outage vs rate-only "
+         "re-optimization, three runs on one outage schedule",
+    params=(
+        _SEED,
+        *_SIM_TOPOLOGY,
+        ParamSpec("clients", int, 4, help="client nodes (farthest-first)"),
+        ParamSpec("k_paths", int, 3,
+                  help="precomputed candidate paths per client (proactive)"),
+        ParamSpec("duration", float, 40.0, help="simulated horizon (s)"),
+        ParamSpec("outage_rate", float, 0.25,
+                  help="network-wide link outage rate (outages/s)"),
+        ParamSpec("outage_duration", float, 12.0,
+                  help="mean outage length (s)"),
+        ParamSpec("demand_factor", float, 0.8,
+                  help="offered key demand as a fraction of the allocated "
+                       "key rate"),
+        ParamSpec("reopt_interval", float, 10.0,
+                  help="re-optimization cadence (s); outages also trigger"),
+        _SIM_SAMPLE_DT,
+    ),
+    run=_run_routing_compare,
+    render=lambda study: study.render(),
+    smoke_overrides={"duration": 15.0, "outage_rate": 0.15},
+))
+
+
 # -- pipeline ----------------------------------------------------------------
 
 

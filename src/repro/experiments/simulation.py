@@ -15,9 +15,21 @@ static paper artefacts:
   (expected and empirical) of re-solving versus freezing the t=0
   allocation.
 
-All three accept the scenario ``seed`` twice over: it selects the channel
-realization of :func:`~repro.core.config.paper_config` *and* seeds the
-simulator's named RNG streams, so a run is one reproducible world.
+Two more run on *generated* topologies (:mod:`repro.sim.topology`) with
+multi-hop routing (:mod:`repro.sim.routing`) instead of the paper's fixed
+SURFnet route table:
+
+* :func:`run_multipath_sim` (``sim-multipath``) — Yen k-shortest
+  candidate paths per client, all active simultaneously (path-as-client:
+  the solver splits each client's rate across its candidate paths);
+* :func:`run_routing_compare` (``sim-routing-compare``) — proactive vs
+  reactive reroute-on-outage vs rate-only re-optimization, three runs on
+  the identical outage schedule.
+
+All scenarios accept the ``seed`` twice over: it selects the channel
+realization (and, for generated families, the random topology) *and*
+seeds the simulator's named RNG streams, so a run is one reproducible
+world.
 """
 
 from __future__ import annotations
@@ -30,9 +42,21 @@ from repro.sim.qnetwork import (
     SimParams,
     run_adaptive_study,
 )
-from repro.sim.result import AdaptiveSimStudy, SimulationResult
+from repro.sim.result import (
+    AdaptiveSimStudy,
+    RoutingCompareStudy,
+    SimulationResult,
+)
+from repro.sim.routing import RouteController, multipath_routes
+from repro.sim.topology import config_for_topology, make_topology
 
-__all__ = ["run_adaptive_sim", "run_keyrate_sim", "run_outage_sim"]
+__all__ = [
+    "run_adaptive_sim",
+    "run_keyrate_sim",
+    "run_multipath_sim",
+    "run_outage_sim",
+    "run_routing_compare",
+]
 
 
 def _config(seed: int, config: Optional[SystemConfig]) -> SystemConfig:
@@ -108,4 +132,110 @@ def run_adaptive_sim(
     )
     return run_adaptive_study(
         _config(seed, config), params, seed=seed, service=service
+    )
+
+
+def run_multipath_sim(
+    *,
+    seed: int = 2,
+    topology: str = "grid",
+    num_nodes: int = 12,
+    num_clients: int = 3,
+    k_paths: int = 2,
+    duration_s: float = 40.0,
+    outage_rate: float = 0.1,
+    outage_duration_s: float = 10.0,
+    demand_factor: float = 0.8,
+    sample_dt: float = 1.0,
+    swap_policy: str = "atomic",
+    swap_success: float = 1.0,
+    reopt_interval_s: float = 10.0,
+    service=None,
+) -> SimulationResult:
+    """Multipath allocation on a generated topology.
+
+    Each client gets its ``k_paths`` Yen candidate paths as simultaneous
+    routes (one solver client per path), so the optimizer splits the
+    client's rate across path diversity instead of being pinned to one
+    route — link outages then degrade a client gracefully rather than
+    totally.  Outages strike any link (``strike="any"``).
+    """
+    topo = make_topology(
+        topology, num_nodes=num_nodes, num_clients=num_clients, seed=seed
+    )
+    routes, _ = multipath_routes(topo, k=k_paths)
+    config = config_for_topology(topo, routes, seed=seed)
+    params = SimParams(
+        duration_s=duration_s,
+        sample_dt=sample_dt,
+        demand_factor=demand_factor,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration_s,
+        reopt_interval_s=reopt_interval_s,
+        swap_policy=swap_policy,
+        swap_success=swap_success,
+        strike="any",
+    )
+    return QuantumNetworkSimulation(
+        config, params, seed=seed, service=service
+    ).run()
+
+
+def run_routing_compare(
+    *,
+    seed: int = 2,
+    topology: str = "grid",
+    num_nodes: int = 12,
+    num_clients: int = 4,
+    k_paths: int = 3,
+    duration_s: float = 40.0,
+    outage_rate: float = 0.25,
+    outage_duration_s: float = 12.0,
+    demand_factor: float = 0.8,
+    sample_dt: float = 1.0,
+    swap_policy: str = "atomic",
+    swap_success: float = 1.0,
+    reopt_interval_s: float = 10.0,
+    service=None,
+) -> RoutingCompareStudy:
+    """Proactive vs reactive rerouting vs rate-only re-optimization.
+
+    Three same-seed runs on one generated topology.  ``strike="any"``
+    makes the outage schedule identical across the three (the disruption
+    pool never depends on where the routes are), so the
+    ``expected_key_bits`` deltas isolate the routing policy exactly; all
+    three also share the re-optimization cadence — the static run is the
+    pre-routing behaviour (re-solve rates, never move routes).
+    """
+    from repro.api.service import SolverService
+
+    topo = make_topology(
+        topology, num_nodes=num_nodes, num_clients=num_clients, seed=seed
+    )
+    service = service if service is not None else SolverService()
+    params = SimParams(
+        duration_s=duration_s,
+        sample_dt=sample_dt,
+        demand_factor=demand_factor,
+        outage_rate=outage_rate,
+        outage_duration_s=outage_duration_s,
+        reopt_interval_s=reopt_interval_s,
+        swap_policy=swap_policy,
+        swap_success=swap_success,
+        strike="any",
+    )
+    runs = {}
+    for policy in ("proactive", "reactive"):
+        router = RouteController(topo, k=k_paths, policy=policy)
+        config = config_for_topology(topo, router.initial_routes(), seed=seed)
+        runs[policy] = QuantumNetworkSimulation(
+            config, params, seed=seed, service=service, router=router
+        ).run()
+    primary = RouteController(topo, k=k_paths, policy="proactive")
+    config = config_for_topology(topo, primary.initial_routes(), seed=seed)
+    static = QuantumNetworkSimulation(
+        config, params, seed=seed, service=service
+    ).run()
+    return RoutingCompareStudy(
+        proactive=runs["proactive"], reactive=runs["reactive"], static=static
     )

@@ -397,7 +397,11 @@ def _register_builtin_codecs() -> None:
     from repro.experiments.report import ReportBundle
     from repro.experiments.tables import Stage1MethodComparison
     from repro.pipeline import PipelineReport
-    from repro.sim.result import AdaptiveSimStudy, SimulationResult
+    from repro.sim.result import (
+        AdaptiveSimStudy,
+        RoutingCompareStudy,
+        SimulationResult,
+    )
 
     register_codec(
         "allocation",
@@ -778,6 +782,11 @@ def _register_builtin_codecs() -> None:
             "events_processed": int(r.events_processed),
             "wall_time_s": float(r.wall_time_s),
             "trace_digest": str(r.trace_digest),
+            "reroutes": [_floats(entry) for entry in r.reroutes],
+            "pairs_flushed": [int(v) for v in r.pairs_flushed],
+            "final_route_links": [
+                [int(l) for l in row] for row in r.final_route_links
+            ],
         },
         lambda d: SimulationResult(
             duration_s=d["duration_s"],
@@ -807,6 +816,12 @@ def _register_builtin_codecs() -> None:
             events_processed=d["events_processed"],
             wall_time_s=d["wall_time_s"],
             trace_digest=d["trace_digest"],
+            # pre-routing artifacts lack the routing fields
+            reroutes=[list(entry) for entry in d.get("reroutes", [])],
+            pairs_flushed=list(d.get("pairs_flushed", [])),
+            final_route_links=[
+                list(row) for row in d.get("final_route_links", [])
+            ],
         ),
     )
     register_codec(
@@ -818,6 +833,20 @@ def _register_builtin_codecs() -> None:
         },
         lambda d: AdaptiveSimStudy(
             adaptive=result_from_dict(d["adaptive"]),
+            static=result_from_dict(d["static"]),
+        ),
+    )
+    register_codec(
+        "routing_compare_study",
+        RoutingCompareStudy,
+        lambda s: {
+            "proactive": result_to_dict(s.proactive),
+            "reactive": result_to_dict(s.reactive),
+            "static": result_to_dict(s.static),
+        },
+        lambda d: RoutingCompareStudy(
+            proactive=result_from_dict(d["proactive"]),
+            reactive=result_from_dict(d["reactive"]),
             static=result_from_dict(d["static"]),
         ),
     )

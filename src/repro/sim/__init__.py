@@ -17,8 +17,15 @@ Layers (see ``docs/simulation.md``):
 * :mod:`repro.sim.qnetwork` — the orchestrator binding a
   :class:`~repro.core.config.SystemConfig` + solver allocation to the
   process layer, including mid-simulation ``SolverService`` re-invocation;
+* :mod:`repro.sim.topology` — generated network graphs (grid, ring,
+  Waxman, scale-free, declarative custom dicts) carrying the same link
+  physics as the paper topology (see ``docs/topology.md``);
+* :mod:`repro.sim.routing` — Dijkstra / Yen k-shortest candidate paths
+  and the :class:`~repro.sim.routing.RouteController` reroute-on-outage
+  policies;
 * :mod:`repro.sim.result` — :class:`~repro.sim.result.SimulationResult` /
-  :class:`~repro.sim.result.AdaptiveSimStudy`, registered with the
+  :class:`~repro.sim.result.AdaptiveSimStudy` /
+  :class:`~repro.sim.result.RoutingCompareStudy`, registered with the
   :mod:`repro.io` codec registry.
 
 Quick start::
@@ -41,7 +48,13 @@ from repro.sim.qnetwork import (
     SimParams,
     run_adaptive_study,
 )
-from repro.sim.result import AdaptiveSimStudy, SimulationResult
+from repro.sim.result import (
+    AdaptiveSimStudy,
+    RoutingCompareStudy,
+    SimulationResult,
+)
+from repro.sim.routing import RouteController
+from repro.sim.topology import Topology, config_for_topology, make_topology
 
 __all__ = [
     "AdaptiveSimStudy",
@@ -50,8 +63,13 @@ __all__ = [
     "Process",
     "QuantumNetworkSimulation",
     "RngStreams",
+    "RouteController",
+    "RoutingCompareStudy",
     "SimParams",
     "SimulationResult",
     "Simulator",
+    "Topology",
+    "config_for_topology",
+    "make_topology",
     "run_adaptive_study",
 ]

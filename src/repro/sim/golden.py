@@ -3,7 +3,7 @@
 The simulator's determinism contract (``docs/simulation.md``) says a
 ``(scenario, params, seed)`` triple fully determines the event trace.  The
 golden corpus pins that contract *across refactors*: SHA-256 trace digests
-for the three ``sim-*`` scenarios at three seeds are checked in under
+for every ``sim-*`` scenario at three seeds are checked in under
 ``tests/sim/golden/`` and recomputed by a tier-1 test, so an RNG-stream
 reordering (like PR 4's bulk-draw change) that silently alters
 trajectories fails CI instead of shipping.
@@ -51,6 +51,33 @@ GOLDEN_CASES: Dict[str, Dict[str, float]] = {
         "demand_factor": 0.9,
         "sample_dt": 1.0,
     },
+    # Generated-topology routing scenarios (string-valued params are the
+    # topology family; see repro.sim.topology).  Short horizons and a
+    # small grid keep the corpus fast while still exercising reroutes.
+    "sim-multipath": {
+        "topology": "grid",
+        "nodes": 12.0,
+        "clients": 3.0,
+        "k_paths": 2.0,
+        "duration": 30.0,
+        "outage_rate": 0.1,
+        "outage_duration": 10.0,
+        "demand_factor": 0.8,
+        "reopt_interval": 10.0,
+        "sample_dt": 1.0,
+    },
+    "sim-routing-compare": {
+        "topology": "grid",
+        "nodes": 12.0,
+        "clients": 4.0,
+        "k_paths": 3.0,
+        "duration": 30.0,
+        "outage_rate": 0.25,
+        "outage_duration": 12.0,
+        "demand_factor": 0.8,
+        "reopt_interval": 10.0,
+        "sample_dt": 1.0,
+    },
 }
 
 
@@ -68,7 +95,9 @@ def compute_digests(
     from repro.experiments.simulation import (
         run_adaptive_sim,
         run_keyrate_sim,
+        run_multipath_sim,
         run_outage_sim,
+        run_routing_compare,
     )
 
     if service is None:
@@ -108,6 +137,44 @@ def compute_digests(
         )
         return {
             "adaptive": study.adaptive.trace_digest,
+            "static": study.static.trace_digest,
+        }
+    if scenario == "sim-multipath":
+        result = run_multipath_sim(
+            seed=seed,
+            topology=str(params["topology"]),
+            num_nodes=int(params["nodes"]),
+            num_clients=int(params["clients"]),
+            k_paths=int(params["k_paths"]),
+            duration_s=params["duration"],
+            outage_rate=params["outage_rate"],
+            outage_duration_s=params["outage_duration"],
+            demand_factor=params["demand_factor"],
+            reopt_interval_s=params["reopt_interval"],
+            sample_dt=params["sample_dt"],
+            service=service,
+        )
+        return {"trace": result.trace_digest}
+    if scenario == "sim-routing-compare":
+        study = run_routing_compare(
+            seed=seed,
+            topology=str(params["topology"]),
+            num_nodes=int(params["nodes"]),
+            num_clients=int(params["clients"]),
+            k_paths=int(params["k_paths"]),
+            duration_s=params["duration"],
+            outage_rate=params["outage_rate"],
+            outage_duration_s=params["outage_duration"],
+            demand_factor=params["demand_factor"],
+            reopt_interval_s=params["reopt_interval"],
+            sample_dt=params["sample_dt"],
+            service=service,
+        )
+        # all three runs are pinned: the policies share the outage
+        # schedule, so any one diverging is a regression
+        return {
+            "proactive": study.proactive.trace_digest,
+            "reactive": study.reactive.trace_digest,
             "static": study.static.trace_digest,
         }
     raise KeyError(f"no golden case for scenario {scenario!r}")

@@ -50,6 +50,9 @@ __all__ = [
     "FadingProcess",
     "MonitorProcess",
     "RouteBuffers",
+    "STRIKE_MODES",
+    "SWAP_POLICIES",
+    "swap_credit",
 ]
 
 #: Event priorities: within one timestamp, re-optimization applies first,
@@ -58,6 +61,18 @@ PRIORITY_ADAPT = -10
 PRIORITY_PHYSICS = 0
 PRIORITY_DEMAND = 10
 PRIORITY_MONITOR = 20
+
+
+def swap_credit(hop_count: int, swap_success: float) -> float:
+    """Expected delivery yield of an ``hop_count``-hop swap chain.
+
+    ``hop_count - 1`` swap operations each succeed with probability
+    ``swap_success``; at 1.0 this is exactly 1.0, preserving the original
+    bit-for-bit accounting.
+    """
+    if swap_success == 1.0:
+        return 1.0
+    return float(swap_success) ** max(0, hop_count - 1)
 
 
 class AllocationState:
@@ -86,6 +101,36 @@ class AllocationState:
             ([], []) for _ in range(num_links)
         ]
         self.skf: List[float] = [0.0] * network.num_routes
+        self.update(phi, w)
+
+    def retarget(
+        self, network: QKDNetwork, phi: Sequence[float], w: Sequence[float]
+    ) -> None:
+        """Swap in a new route set (same link set, same route count).
+
+        The rerouting layer (:mod:`repro.sim.routing`) changes *routes*,
+        not links or clients: the link-route crossing table is rebuilt for
+        the new network and all derived tables recomputed under the
+        current allocation.  The subsequent re-optimization then re-solves
+        for the new routes properly; this keeps the state consistent in
+        the meantime.
+        """
+        old = self.network
+        if network.num_links != old.num_links:
+            raise ValueError(
+                f"retarget cannot change the link set "
+                f"({old.num_links} -> {network.num_links} links)"
+            )
+        if network.num_routes != old.num_routes:
+            raise ValueError(
+                f"retarget cannot change the route count "
+                f"({old.num_routes} -> {network.num_routes} routes)"
+            )
+        self.network = network
+        self._link_routes = [[] for _ in range(network.num_links)]
+        for n, route in enumerate(network.routes):
+            for slot, link_index in enumerate(route.link_indices):
+                self._link_routes[link_index].append((n, slot))
         self.update(phi, w)
 
     def update(self, phi: Sequence[float], w: Sequence[float]) -> None:
@@ -125,6 +170,10 @@ class AllocationState:
         return [float(p) * s for p, s in zip(self.phi, self.skf)]
 
 
+#: Entanglement-swapping policies :class:`RouteBuffers` implements.
+SWAP_POLICIES = ("atomic", "stepwise")
+
+
 class RouteBuffers(Entity):
     """Swapping bookkeeping and per-route secret-key buffers.
 
@@ -133,25 +182,79 @@ class RouteBuffers(Entity):
     decohere rather than queue forever).  When every counter is positive,
     swapping consumes one pair per link and delivers one end-to-end pair,
     crediting ``F_skf(ϖ_n)`` secret bits to the route's key buffer.
+
+    Swapping policy
+    ---------------
+    ``atomic`` (default) completes every possible end-to-end swap the
+    moment the last constituent pair arrives; ``stepwise`` performs at
+    most one swap chain per arriving pair (one repeater operation per
+    physical event), leaving surplus completions for later arrivals.  An
+    ``h``-hop delivery needs ``h - 1`` swap operations, each succeeding
+    with probability ``swap_success``, modelled in expectation: the bits
+    credited per delivery are scaled by ``swap_success**(h-1)``.  The
+    defaults reproduce the original single-policy behaviour bit for bit.
     """
 
-    def __init__(self, state: AllocationState, *, pending_cap: int = 32) -> None:
+    def __init__(
+        self,
+        state: AllocationState,
+        *,
+        pending_cap: int = 32,
+        swap_policy: str = "atomic",
+        swap_success: float = 1.0,
+    ) -> None:
         super().__init__("buffers")
         if pending_cap < 1:
             raise ValueError("pending_cap must be >= 1")
+        if swap_policy not in SWAP_POLICIES:
+            raise ValueError(
+                f"unknown swap policy {swap_policy!r}; choose from {SWAP_POLICIES}"
+            )
+        if not 0 < swap_success <= 1:
+            raise ValueError("swap_success must be in (0, 1]")
         self.state = state
         self.pending_cap = int(pending_cap)
+        self.swap_policy = swap_policy
+        self.swap_success = float(swap_success)
         net = state.network
         self.pending: List[List[int]] = [
             [0] * route.hop_count for route in net.routes
+        ]
+        self._credit = [
+            swap_credit(route.hop_count, self.swap_success)
+            for route in net.routes
         ]
         self.key_bits = [0.0] * net.num_routes
         self.pairs_delivered = [0] * net.num_routes
         self.delivered_bits = [0.0] * net.num_routes
         self.pairs_dropped = [0] * net.num_routes
+        #: pairs discarded mid-swap because a reroute changed the route's
+        #: constituent links (stored halves decohere, cf. ``pairs_dropped``)
+        self.pairs_flushed = [0] * net.num_routes
         self.demand_bits = [0.0] * net.num_routes
         self.served_bits = [0.0] * net.num_routes
         self.shortfall_bits = [0.0] * net.num_routes
+
+    def retarget(self) -> None:
+        """Re-shape the pending counters after the state's routes changed.
+
+        Pairs pending on the old hops are flushed (counted in
+        ``pairs_flushed``): a link-level pair stored for a route that no
+        longer crosses that link has no partner to swap with and
+        decoheres.  Key buffers and cumulative counters persist — the
+        delivered secret bits live in the endpoints' key stores, which a
+        reroute does not touch.
+        """
+        routes = self.state.network.routes
+        if len(routes) != len(self.pending):
+            raise ValueError(
+                f"retarget cannot change the route count "
+                f"({len(self.pending)} -> {len(routes)})"
+            )
+        for n, route in enumerate(routes):
+            self.pairs_flushed[n] += sum(self.pending[n])
+            self.pending[n] = [0] * route.hop_count
+            self._credit[n] = swap_credit(route.hop_count, self.swap_success)
 
     def on_pair(self, route_index: int, slot: int) -> None:
         """A link pair was assigned to ``route_index`` at position ``slot``."""
@@ -163,10 +266,12 @@ class RouteBuffers(Entity):
         while min(pending) > 0:
             for i in range(len(pending)):
                 pending[i] -= 1
-            bits = self.state.skf[route_index]
+            bits = self.state.skf[route_index] * self._credit[route_index]
             self.pairs_delivered[route_index] += 1
             self.delivered_bits[route_index] += bits
             self.key_bits[route_index] += bits
+            if self.swap_policy == "stepwise":
+                break
 
     def consume(self, route_index: int, bits: float) -> float:
         """Draw up to ``bits`` from a route's key buffer; returns the served
@@ -303,13 +408,23 @@ class DemandProcess(Process):
                 self.buffers.consume(n, need)
 
 
+#: Link-selection modes for :class:`DisruptionProcess`.
+STRIKE_MODES = ("loaded", "any")
+
+
 class DisruptionProcess(Process):
     """Random link outages with exponential inter-outage and holding times.
 
-    Outages strike uniformly among currently-up links that carry at least
-    one route; the struck link's :class:`EntanglementSource` is paused until
-    the recovery event fires.  ``on_change(link_index, is_up)`` notifies the
-    orchestrator (e.g. to trigger re-optimization).
+    ``strike`` selects the candidate pool: ``"loaded"`` (default) strikes
+    uniformly among currently-up links that carried at least one route *at
+    construction*; ``"any"`` strikes uniformly among all currently-up
+    links.  Rerouting studies use ``"any"`` — it keeps the outage
+    schedule identical across routing policies (the pool never depends on
+    where the routes currently are), which is the basis for fair
+    proactive-vs-reactive comparisons.  The struck link's
+    :class:`EntanglementSource` is paused until the recovery event fires.
+    ``on_change(link_index, is_up)`` notifies the orchestrator (e.g. to
+    trigger re-optimization or a reroute).
     """
 
     priority = PRIORITY_PHYSICS
@@ -322,22 +437,33 @@ class DisruptionProcess(Process):
         outage_rate: float,
         mean_outage_s: float,
         on_change: Optional[Callable[[int, bool], None]] = None,
+        strike: str = "loaded",
     ) -> None:
         super().__init__("disruption")
         if outage_rate <= 0:
             raise ValueError("outage_rate must be positive")
         if mean_outage_s <= 0:
             raise ValueError("mean_outage_s must be positive")
+        if strike not in STRIKE_MODES:
+            raise ValueError(
+                f"unknown strike mode {strike!r}; choose from {STRIKE_MODES}"
+            )
         self.sources = list(sources)
         self.state = state
         self.outage_rate = float(outage_rate)
         self.mean_outage_s = float(mean_outage_s)
         self.on_change = on_change
+        self.strike = strike
         self.link_up = [True] * len(self.sources)
         #: completed and in-flight outages as [link_id, t_down, t_up].
         self.outages: List[List[float]] = []
-        incidence = state.network.incidence
-        self._loaded = [bool(incidence[l].sum() > 0) for l in range(len(self.sources))]
+        if strike == "any":
+            self._loaded = [True] * len(self.sources)
+        else:
+            incidence = state.network.incidence
+            self._loaded = [
+                bool(incidence[l].sum() > 0) for l in range(len(self.sources))
+            ]
 
     def start(self) -> None:
         self._rng = self.sim.stream("disruption")

@@ -42,6 +42,7 @@ from repro.sim.processes import (
     FadingProcess,
     MonitorProcess,
     RouteBuffers,
+    swap_credit,
 )
 from repro.sim.result import AdaptiveSimStudy, SimulationResult
 
@@ -87,8 +88,20 @@ class SimParams:
     #: when links are down, also solve the candidate recovered worlds in
     #: the same batch so the next recovery re-optimization is a cache hit
     prefetch_recoveries: bool = True
+    #: entanglement-swapping completion policy along multi-hop routes
+    #: (see :class:`~repro.sim.processes.RouteBuffers`)
+    swap_policy: str = "atomic"
+    #: per-swap success probability, applied in expectation as
+    #: ``swap_success**(hops-1)`` bits-per-delivery yield (1.0 = ideal)
+    swap_success: float = 1.0
+    #: outage target pool: "loaded" (links carrying routes at t=0) or
+    #: "any" (all links — required for fair cross-policy routing studies,
+    #: see :class:`~repro.sim.processes.DisruptionProcess`)
+    strike: str = "loaded"
 
     def __post_init__(self) -> None:
+        from repro.sim.processes import STRIKE_MODES, SWAP_POLICIES
+
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         if self.sample_dt <= 0:
@@ -97,6 +110,17 @@ class SimParams:
             raise ValueError("demand_factor must be non-negative")
         if not 0 < self.outage_beta_factor <= 1:
             raise ValueError("outage_beta_factor must be in (0, 1]")
+        if self.swap_policy not in SWAP_POLICIES:
+            raise ValueError(
+                f"unknown swap policy {self.swap_policy!r}; "
+                f"choose from {SWAP_POLICIES}"
+            )
+        if not 0 < self.swap_success <= 1:
+            raise ValueError("swap_success must be in (0, 1]")
+        if self.strike not in STRIKE_MODES:
+            raise ValueError(
+                f"unknown strike mode {self.strike!r}; choose from {STRIKE_MODES}"
+            )
 
 
 class QuantumNetworkSimulation:
@@ -109,6 +133,7 @@ class QuantumNetworkSimulation:
         *,
         seed: int = 0,
         service: Optional["SolverService"] = None,
+        router: Optional["RouteController"] = None,
     ) -> None:
         from repro.api.service import SolverService
 
@@ -116,6 +141,22 @@ class QuantumNetworkSimulation:
         self.params = params
         self.seed = int(seed)
         self.service = service if service is not None else SolverService()
+        self.router = router
+        if router is not None:
+            if router.topology.num_links != config.network.num_links:
+                raise ValueError(
+                    "router topology and config network disagree on the "
+                    f"link set ({router.topology.num_links} vs "
+                    f"{config.network.num_links} links)"
+                )
+            if len(router.topology.clients) != config.network.num_routes:
+                raise ValueError(
+                    "router topology and config network disagree on the "
+                    f"client count ({len(router.topology.clients)} vs "
+                    f"{config.network.num_routes} routes)"
+                )
+        #: reroute log: [t, routes_changed, clients_on_dead_fallback]
+        self.reroutes: List[List[float]] = []
 
         baseline = self.service.solve(config)
         phi0 = np.asarray(baseline.allocation.phi, dtype=float)
@@ -131,7 +172,12 @@ class QuantumNetworkSimulation:
         self.sim = Simulator(seed=self.seed, record_trace=params.record_trace)
         self.state = AllocationState(config.network, phi0, w0)
         self.buffers = self.sim.add(
-            RouteBuffers(self.state, pending_cap=params.pending_cap)
+            RouteBuffers(
+                self.state,
+                pending_cap=params.pending_cap,
+                swap_policy=params.swap_policy,
+                swap_success=params.swap_success,
+            )
         )
         self.sources: List[EntanglementSource] = [
             self.sim.add(
@@ -170,6 +216,7 @@ class QuantumNetworkSimulation:
                     outage_rate=params.outage_rate,
                     mean_outage_s=params.outage_duration_s,
                     on_change=self._on_link_change,
+                    strike=params.strike,
                 )
             )
 
@@ -194,6 +241,10 @@ class QuantumNetworkSimulation:
         # the Poisson-noise-free view of the same quantity the event loop
         # samples, so adaptive-vs-static deltas are exact, not ±√N noisy.
         self._route_links = [r.link_indices for r in config.network.routes]
+        self._swap_credit = [
+            swap_credit(r.hop_count, params.swap_success)
+            for r in config.network.routes
+        ]
         self._link_up = [True] * config.network.num_links
         self._expected_bits = 0.0
         self._expected_last_t = 0.0
@@ -207,15 +258,56 @@ class QuantumNetworkSimulation:
             rate = 0.0
             for n, link_indices in enumerate(self._route_links):
                 if all(self._link_up[l] for l in link_indices):
-                    rate += float(self.state.phi[n]) * self.state.skf[n]
+                    rate += (
+                        float(self.state.phi[n])
+                        * self.state.skf[n]
+                        * self._swap_credit[n]
+                    )
             self._expected_bits += rate * (now - self._expected_last_t)
         self._expected_last_t = now
 
     def _on_link_change(self, link_index: int, is_up: bool) -> None:
         self._accrue_expected()
         self._link_up[link_index] = is_up
+        if self.router is not None:
+            self._apply_routing()
         if self.adaptation is not None and self.params.reopt_on_events:
             self.adaptation.request()
+
+    def _apply_routing(self) -> None:
+        """Re-route every client against the current link state.
+
+        Asks the :class:`~repro.sim.routing.RouteController` for the route
+        set under ``self._link_up``; if it differs from the routes in
+        force, swaps the new network into the config (so every later
+        re-optimization solves for the new routes), retargets the
+        allocation state and swap buffers, and logs the reroute — both in
+        :attr:`reroutes` and as a ``reroute`` trace event, so routing
+        decisions are digest-visible.
+        """
+        routes, fallback = self.router.routes_for(self._link_up)
+        old_ids = [r.link_ids for r in self.config.network.routes]
+        new_ids = [r.link_ids for r in routes]
+        if new_ids == old_ids:
+            return
+        self._accrue_expected()
+        network = QKDNetwork(
+            self.config.network.links,
+            routes,
+            key_center=self.config.network.key_center,
+        )
+        self.config = dataclasses.replace(self.config, network=network)
+        self.state.retarget(network, self.state.phi, self.state.w)
+        self.buffers.retarget()
+        self._route_links = [r.link_indices for r in routes]
+        self._swap_credit = [
+            swap_credit(r.hop_count, self.params.swap_success) for r in routes
+        ]
+        changed = sum(1 for o, n in zip(old_ids, new_ids) if o != n)
+        self.reroutes.append(
+            [float(self.sim.now), float(changed), float(sum(fallback))]
+        )
+        self.sim.schedule(0.0, lambda: None, tag="reroute")
 
     def _on_fading_change(self) -> None:
         if self.adaptation is not None and self.params.reopt_on_events:
@@ -265,6 +357,9 @@ class QuantumNetworkSimulation:
         candidates = [self.current_config()]
         if (
             self.params.prefetch_recoveries
+            and self.router is None  # a recovery would reroute first, so
+            # the prefetched world's routes would not match; skip the
+            # speculation rather than solve configs that can never apply
             and self.disruption is not None
             and not all(self.disruption.link_up)
         ):
@@ -392,6 +487,11 @@ class QuantumNetworkSimulation:
             events_processed=self.sim.events_processed,
             wall_time_s=wall,
             trace_digest=self.sim.trace_digest(),
+            reroutes=[list(row) for row in self.reroutes],
+            pairs_flushed=list(buffers.pairs_flushed),
+            final_route_links=[
+                list(r.link_ids) for r in self.config.network.routes
+            ],
         )
 
 

@@ -19,12 +19,12 @@ non-deterministic fields; determinism tests compare
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.utils.tables import format_table
 
-__all__ = ["AdaptiveSimStudy", "SimulationResult"]
+__all__ = ["AdaptiveSimStudy", "RoutingCompareStudy", "SimulationResult"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +66,14 @@ class SimulationResult:
     events_processed: int
     wall_time_s: float
     trace_digest: str
+    #: reroute log: [t, routes_changed, clients_on_dead_fallback] — empty
+    #: unless the run had a routing controller (see repro.sim.routing)
+    reroutes: List[List[float]] = field(default_factory=list)
+    #: per-route pairs discarded mid-swap by a reroute (decohered halves)
+    pairs_flushed: List[int] = field(default_factory=list)
+    #: link ids of each route in force at the end of the run ([] = routes
+    #: never changed / pre-routing artifact)
+    final_route_links: List[List[int]] = field(default_factory=list)
 
     # -- scalar summaries -----------------------------------------------------
 
@@ -114,6 +122,16 @@ class SimulationResult:
         return len(self.outages)
 
     @property
+    def reroute_count(self) -> int:
+        """Link-state changes that actually moved at least one route."""
+        return len(self.reroutes)
+
+    @property
+    def reroute_fallbacks(self) -> float:
+        """Total client-reroute decisions stuck on a dead primary path."""
+        return float(sum(row[2] for row in self.reroutes))
+
+    @property
     def outage_seconds(self) -> float:
         """Total link-down time accumulated across all outages."""
         return float(sum(min(t_up, self.duration_s) - t_down
@@ -140,6 +158,9 @@ class SimulationResult:
             "outage_seconds": self.outage_seconds,
             "reopt_count": float(len(self.reopt_times)),
             "reopt_failures": float(self.reopt_failures),
+            "reroute_count": float(self.reroute_count),
+            "reroute_fallbacks": self.reroute_fallbacks,
+            "pairs_flushed": float(sum(self.pairs_flushed)),
             "events_processed": float(self.events_processed),
         }
 
@@ -199,6 +220,13 @@ class SimulationResult:
             lines.append(
                 f"re-optimizations: {len(self.reopt_times)} "
                 f"(failures: {self.reopt_failures})"
+            )
+        if self.reroutes:
+            lines.append(
+                f"reroutes: {self.reroute_count} "
+                f"({int(sum(row[1] for row in self.reroutes))} route moves, "
+                f"{int(self.reroute_fallbacks)} dead-primary fallbacks, "
+                f"{sum(self.pairs_flushed)} pairs flushed)"
             )
         lines.append(
             f"events: {self.events_processed} "
@@ -291,3 +319,92 @@ class AdaptiveSimStudy:
                   f"{self.adaptive.outage_count} outages)",
         )
         return table + "\n" + self.adaptive.render()
+
+
+@dataclass(frozen=True)
+class RoutingCompareStudy:
+    """Proactive vs reactive rerouting vs route-pinned re-optimization.
+
+    Three runs of the same seed on the same topology: ``proactive``
+    switches each client to a precomputed candidate path on outage,
+    ``reactive`` recomputes shortest paths against the surviving graph,
+    and ``static`` keeps the primary routes and only re-optimizes rates
+    (the pre-routing behaviour).  All three see the identical outage
+    schedule (``strike="any"`` keeps the disruption pool route-
+    independent), so ``expected_key_bits`` deltas isolate the routing
+    policy exactly.
+    """
+
+    proactive: SimulationResult
+    reactive: SimulationResult
+    static: SimulationResult
+
+    @property
+    def proactive_gain_bits(self) -> float:
+        """Expected extra key bits from proactive rerouting vs no rerouting."""
+        return self.proactive.expected_key_bits - self.static.expected_key_bits
+
+    @property
+    def reactive_gain_bits(self) -> float:
+        """Expected extra key bits from reactive rerouting vs no rerouting."""
+        return self.reactive.expected_key_bits - self.static.expected_key_bits
+
+    @property
+    def best_policy(self) -> str:
+        """The run with the highest expected key bits (ties favour static —
+        rerouting has to *win* to be worth the churn)."""
+        best = "static"
+        if self.proactive_gain_bits > 0:
+            best = "proactive"
+        if (
+            self.reactive.expected_key_bits
+            > getattr(self, best).expected_key_bits
+        ):
+            best = "reactive"
+        return best
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Campaign-aggregatable scalars of the three-way comparison."""
+        return {
+            "proactive_gain_bits": self.proactive_gain_bits,
+            "reactive_gain_bits": self.reactive_gain_bits,
+            "proactive_expected_key_bits": float(self.proactive.expected_key_bits),
+            "reactive_expected_key_bits": float(self.reactive.expected_key_bits),
+            "static_expected_key_bits": float(self.static.expected_key_bits),
+            "proactive_reroutes": float(self.proactive.reroute_count),
+            "reactive_reroutes": float(self.reactive.reroute_count),
+            "proactive_fallbacks": self.proactive.reroute_fallbacks,
+            "reactive_fallbacks": self.reactive.reroute_fallbacks,
+            "proactive_served_fraction": self.proactive.served_fraction,
+            "reactive_served_fraction": self.reactive.served_fraction,
+            "static_served_fraction": self.static.served_fraction,
+            "outage_count": float(self.static.outage_count),
+        }
+
+    def render(self) -> str:
+        rows = []
+        for name in ("proactive", "reactive", "static"):
+            run = getattr(self, name)
+            rows.append([
+                name,
+                f"{run.expected_key_bits:.1f}",
+                f"{run.total_key_bits:.1f}",
+                f"{run.served_fraction:.4f}",
+                f"{run.reroute_count}",
+                f"{int(run.reroute_fallbacks)}",
+                f"{sum(run.pairs_flushed)}",
+            ])
+        table = format_table(
+            ["policy", "expected bits", "delivered bits", "served frac",
+             "reroutes", "fallbacks", "flushed"],
+            rows,
+            title=f"routing study ({self.static.outage_count} outages, "
+                  f"best: {self.best_policy})",
+        )
+        lines = [
+            table,
+            f"proactive gain: {self.proactive_gain_bits:+.1f} expected bits, "
+            f"reactive gain: {self.reactive_gain_bits:+.1f} expected bits "
+            f"(vs rate-only re-optimization)",
+        ]
+        return "\n".join(lines) + "\n"

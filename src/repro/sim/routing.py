@@ -1,0 +1,366 @@
+"""Multi-hop routing over :class:`~repro.sim.topology.Topology` graphs.
+
+Dijkstra shortest paths, Yen k-shortest candidate paths, and a
+:class:`RouteController` that turns them into the live rerouting policies
+the simulator's outage loop consumes (``proactive`` — precomputed
+candidate lists, ``reactive`` — fresh shortest-path computation against
+the current link state).
+
+Determinism discipline
+----------------------
+Every algorithm here is a pure function of the topology and its explicit
+arguments, and **all tie-breaks are ordered by ``(cost, path)``** — heap
+entries and candidate pools carry the full node path, so two paths of
+equal length resolve lexicographically, never by dict/set iteration
+order.  This is load-bearing: route choices feed the golden-trace
+digests, and a hash-seed-dependent tie-break would break the
+same-seed → same-digest contract.  Reference-oracle property tests
+(brute-force path enumeration, NumPy Floyd–Warshall) pin the semantics in
+``tests/sim/test_routing_properties.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.quantum.routing import Route
+from repro.sim.topology import Topology
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "RouteController",
+    "candidate_routes",
+    "dijkstra",
+    "k_shortest_paths",
+    "multipath_routes",
+    "path_cost",
+    "path_links",
+    "shortest_path",
+]
+
+#: Rerouting policies :class:`RouteController` implements.
+ROUTING_POLICIES: Tuple[str, ...] = ("proactive", "reactive")
+
+#: A computed path: (total length in km, node names source → target).
+PathResult = Tuple[float, Tuple[str, ...]]
+
+
+def dijkstra(
+    topology: Topology,
+    source: str,
+    *,
+    avoid_links: FrozenSet[int] = frozenset(),
+    avoid_nodes: FrozenSet[str] = frozenset(),
+) -> Dict[str, PathResult]:
+    """Single-source shortest paths by link length (km).
+
+    Returns ``{node: (cost, path)}`` for every reachable node;
+    ``avoid_links`` (1-based link ids) and ``avoid_nodes`` are treated as
+    removed from the graph.  The heap orders entries by ``(cost, path)``
+    so equal-cost ties settle on the lexicographically smallest node
+    path — deterministically, independent of insertion order.
+    """
+    if source not in topology.adjacency:
+        raise ValueError(f"{source!r} is not a node of {topology.name!r}")
+    if source in avoid_nodes:
+        return {}
+    settled: Dict[str, PathResult] = {}
+    frontier: List[Tuple[float, Tuple[str, ...]]] = [(0.0, (source,))]
+    while frontier:
+        cost, path = heapq.heappop(frontier)
+        node = path[-1]
+        if node in settled:
+            continue
+        settled[node] = (cost, path)
+        for neighbor, link_id, length in topology.adjacency[node]:
+            if (
+                neighbor in settled
+                or neighbor in avoid_nodes
+                or link_id in avoid_links
+            ):
+                continue
+            heapq.heappush(frontier, (cost + length, path + (neighbor,)))
+    return settled
+
+
+def shortest_path(
+    topology: Topology,
+    source: str,
+    target: str,
+    *,
+    avoid_links: FrozenSet[int] = frozenset(),
+    avoid_nodes: FrozenSet[str] = frozenset(),
+) -> Optional[PathResult]:
+    """The ``(cost, path)`` from ``source`` to ``target``, or ``None`` if
+    disconnected under the avoid sets."""
+    if target not in topology.adjacency:
+        raise ValueError(f"{target!r} is not a node of {topology.name!r}")
+    return dijkstra(
+        topology, source, avoid_links=avoid_links, avoid_nodes=avoid_nodes
+    ).get(target)
+
+
+def path_links(topology: Topology, path: Sequence[str]) -> Tuple[int, ...]:
+    """The 1-based link ids a node path traverses."""
+    edge_map = {
+        frozenset((node, neighbor)): link_id
+        for node, edges in topology.adjacency.items()
+        for neighbor, link_id, _ in edges
+    }
+    links = []
+    for u, v in zip(path, path[1:]):
+        key = frozenset((u, v))
+        if key not in edge_map:
+            raise ValueError(f"path uses unknown edge {u!r}-{v!r}")
+        links.append(edge_map[key])
+    return tuple(links)
+
+
+def path_cost(topology: Topology, path: Sequence[str]) -> float:
+    """Total length (km) of a node path."""
+    lengths = {link.link_id: link.length_km for link in topology.links}
+    return sum(lengths[l] for l in path_links(topology, path))
+
+
+def k_shortest_paths(
+    topology: Topology, source: str, target: str, k: int
+) -> List[PathResult]:
+    """Yen's algorithm: up to ``k`` loop-free shortest paths.
+
+    The returned list is sorted by ``(cost, path)``, every path is simple
+    (Dijkstra never revisits a settled node, and spur searches exclude
+    the root's interior nodes), and duplicates are impossible by
+    construction (the candidate pool is a set of paths).  Fewer than
+    ``k`` entries means the graph has fewer loop-free paths.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    first = shortest_path(topology, source, target)
+    if first is None:
+        return []
+    accepted: List[PathResult] = [first]
+    candidates: Dict[Tuple[str, ...], float] = {}
+    while len(accepted) < k:
+        _, prev_path = accepted[-1]
+        for i in range(len(prev_path) - 1):
+            root = prev_path[: i + 1]
+            spur_node = root[-1]
+            # Remove edges that would re-create an already-accepted path
+            # sharing this root, and the root's interior nodes.
+            avoid_links = set()
+            for _, path in accepted:
+                if path[: i + 1] == root and len(path) > i + 1:
+                    avoid_links.update(
+                        path_links(topology, path[i : i + 2])
+                    )
+            avoid_nodes = frozenset(root[:-1])
+            spur = shortest_path(
+                topology,
+                spur_node,
+                target,
+                avoid_links=frozenset(avoid_links),
+                avoid_nodes=avoid_nodes,
+            )
+            if spur is None:
+                continue
+            _, spur_path = spur
+            total = root[:-1] + spur_path
+            if total not in candidates:
+                # Recompute left-to-right over the whole path (not
+                # root-cost + spur-cost): float addition is order-
+                # sensitive, and the canonical order keeps costs
+                # bit-identical to Dijkstra's and the brute-force
+                # oracle's accumulation.
+                candidates[total] = path_cost(topology, total)
+        if not candidates:
+            break
+        taken = {path for _, path in accepted}
+        pool = sorted(
+            (cost, path)
+            for path, cost in candidates.items()
+            if path not in taken
+        )
+        if not pool:
+            break
+        best = pool[0]
+        del candidates[best[1]]
+        accepted.append(best)
+    return sorted(accepted)
+
+
+def candidate_routes(
+    topology: Topology, *, k: int
+) -> List[List[PathResult]]:
+    """Per-client candidate path lists, ``topology.clients`` order.
+
+    Each inner list holds up to ``k`` Yen paths from the key centre to
+    that client, ``(cost, path)``-sorted; the first entry is the client's
+    primary path.
+    """
+    return [
+        k_shortest_paths(topology, topology.key_center, client, k)
+        for client in topology.clients
+    ]
+
+
+def _routes_from_candidates(
+    topology: Topology, chosen: Sequence[Tuple[str, Tuple[str, ...]]]
+) -> List[Route]:
+    """1-based :class:`Route` objects for (client, path) choices in order."""
+    return [
+        Route(
+            route_id=i,
+            source=topology.key_center,
+            target=client,
+            link_ids=path_links(topology, path),
+        )
+        for i, (client, path) in enumerate(chosen, start=1)
+    ]
+
+
+def multipath_routes(
+    topology: Topology, *, k: int
+) -> Tuple[List[Route], List[int]]:
+    """All candidate paths as simultaneous routes (path-as-client).
+
+    Flattens :func:`candidate_routes` into one route list — client 0's
+    candidates first, then client 1's, … — with sequential 1-based route
+    ids, plus the parallel ``client_of_route`` index list.  This is the
+    ``sim-multipath`` shape: the solver splits each client's rate across
+    its candidate paths instead of being confined to one.
+    """
+    chosen: List[Tuple[str, Tuple[str, ...]]] = []
+    client_of_route: List[int] = []
+    for c, (client, paths) in enumerate(
+        zip(topology.clients, candidate_routes(topology, k=k))
+    ):
+        if not paths:
+            raise ValueError(
+                f"client {client!r} is unreachable from the key centre"
+            )
+        for _, path in paths:
+            chosen.append((client, path))
+            client_of_route.append(c)
+    return _routes_from_candidates(topology, chosen), client_of_route
+
+
+class RouteController:
+    """Reroute-on-outage policy over a fixed topology.
+
+    One route per client.  ``proactive`` precomputes ``k`` candidate
+    paths per client (Yen) and, on every link-state change, switches each
+    client to its first candidate whose links are all up.  ``reactive``
+    runs a fresh shortest-path computation against the surviving graph.
+    Either way, a client with no usable path **falls back to its primary
+    path** (flagged, so the simulation can account the route as dead
+    rather than silently routing through a down link — the chaos suite
+    asserts that a non-fallback route never crosses a down link).
+
+    ``routes_for`` is a pure function of ``link_up`` — the controller
+    holds no mutable state — so rerouting inherits the engine's
+    determinism for free.
+    """
+
+    def __init__(
+        self, topology: Topology, *, k: int = 3, policy: str = "proactive"
+    ) -> None:
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose from {ROUTING_POLICIES}"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.topology = topology
+        self.k = int(k)
+        self.policy = policy
+        self.candidates: List[List[Tuple[Tuple[int, ...], Tuple[str, ...]]]] = []
+        for client, paths in zip(
+            topology.clients, candidate_routes(topology, k=k)
+        ):
+            if not paths:
+                raise ValueError(
+                    f"client {client!r} is unreachable from the key centre"
+                )
+            self.candidates.append(
+                [(path_links(topology, path), path) for _, path in paths]
+            )
+
+    def initial_routes(self) -> List[Route]:
+        """Primary route per client (each client's shortest path)."""
+        return _routes_from_candidates(
+            self.topology,
+            [
+                (client, cands[0][1])
+                for client, cands in zip(self.topology.clients, self.candidates)
+            ],
+        )
+
+    def routes_for(
+        self, link_up: Sequence[bool]
+    ) -> Tuple[List[Route], List[bool]]:
+        """Routes under the given link state, plus per-client fallback flags.
+
+        ``link_up`` is indexed by 0-based link index.  A ``True`` fallback
+        flag means that client had no all-up path and keeps its (dead)
+        primary route.
+        """
+        if len(link_up) != self.topology.num_links:
+            raise ValueError(
+                f"link_up has {len(link_up)} entries for a "
+                f"{self.topology.num_links}-link topology"
+            )
+        down_ids = frozenset(
+            l + 1 for l, up in enumerate(link_up) if not up
+        )
+        chosen: List[Tuple[str, Tuple[str, ...]]] = []
+        fallback: List[bool] = []
+        for client, cands in zip(self.topology.clients, self.candidates):
+            picked: Optional[Tuple[str, ...]] = None
+            if self.policy == "proactive":
+                for links, path in cands:
+                    if not down_ids.intersection(links):
+                        picked = path
+                        break
+            else:
+                found = shortest_path(
+                    self.topology,
+                    self.topology.key_center,
+                    client,
+                    avoid_links=down_ids,
+                )
+                if found is not None:
+                    picked = found[1]
+            if picked is None:
+                chosen.append((client, cands[0][1]))  # dead primary
+                fallback.append(True)
+            else:
+                chosen.append((client, picked))
+                fallback.append(False)
+        return _routes_from_candidates(self.topology, chosen), fallback
+
+
+def brute_force_paths(
+    topology: Topology, source: str, target: str
+) -> List[PathResult]:
+    """Every simple path by exhaustive DFS, ``(cost, path)``-sorted.
+
+    Exponential — the property tests' reference oracle for
+    :func:`k_shortest_paths` on ≤8-node graphs.  Lives here (not in the
+    test tree) so the bench and any future fuzzing share one oracle.
+    """
+    lengths = {link.link_id: link.length_km for link in topology.links}
+    results: List[PathResult] = []
+    stack: List[Tuple[Tuple[str, ...], float]] = [((source,), 0.0)]
+    while stack:
+        path, cost = stack.pop()
+        node = path[-1]
+        if node == target:
+            results.append((cost, path))
+            continue
+        for neighbor, link_id, _ in topology.adjacency[node]:
+            if neighbor not in path:
+                stack.append(
+                    (path + (neighbor,), cost + lengths[link_id])
+                )
+    return sorted(results)

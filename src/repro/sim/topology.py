@@ -1,0 +1,567 @@
+"""Generated and declarative QKD network topologies for :mod:`repro.sim`.
+
+The paper evaluates on one fixed network (SURFnet, 18 links, 6 routes);
+everything downstream — the solver, the simulator, the campaigns — only
+consumes a :class:`~repro.quantum.topology.QKDNetwork`, so any topology
+with links and routes works.  This module generates families of them:
+
+* :func:`grid_topology` — ``rows x cols`` lattice (metro-mesh shape);
+* :func:`ring_topology` — a cycle (backbone-ring shape);
+* :func:`waxman_topology` — the classic Waxman random geometric graph
+  (edge probability decays with distance), patched to connectivity;
+* :func:`scale_free_topology` — Barabási–Albert preferential attachment
+  (hub-and-spoke shape);
+* :func:`custom_topology` — a declarative dict (nodes/links/key_center/
+  clients), the shape used by mqns-style ``CustomTopology`` files.
+
+Every generator is a pure function of its parameters (including ``seed``
+for the random families — all randomness comes from one
+``numpy.random.default_rng`` and node/edge orders are explicit, never
+dict/set iteration order), so a generated topology is as reproducible as
+the simulations run on it.  :func:`config_for_topology` turns a topology
+plus candidate routes into a solver-ready
+:class:`~repro.core.config.SystemConfig`.
+
+See ``docs/topology.md`` for the graph families and the custom-dict
+schema.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.routing import Route
+from repro.quantum.topology import Link, QKDNetwork, beta_from_length
+
+__all__ = [
+    "TOPOLOGY_FAMILIES",
+    "Topology",
+    "config_for_topology",
+    "custom_topology",
+    "grid_topology",
+    "make_topology",
+    "ring_topology",
+    "scale_free_topology",
+    "waxman_topology",
+]
+
+#: Families :func:`make_topology` can generate by name.
+TOPOLOGY_FAMILIES: Tuple[str, ...] = ("grid", "ring", "waxman", "scale-free")
+
+#: Shortest usable fibre span (km) — random placements are clamped here so
+#: ``beta_from_length`` stays in a physical range.
+_MIN_LENGTH_KM = 5.0
+
+
+class Topology:
+    """A node/link graph with a key centre and client nodes, pre-routing.
+
+    This is the object the routing layer (:mod:`repro.sim.routing`)
+    computes candidate paths over; :meth:`network` binds a concrete route
+    set into the :class:`~repro.quantum.topology.QKDNetwork` the solver and
+    simulator consume.  Links are 1-based-id ordered, exactly as
+    ``QKDNetwork`` requires.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        links: Sequence[Link],
+        *,
+        key_center: str,
+        clients: Sequence[str],
+    ) -> None:
+        if not links:
+            raise ValueError("a topology needs at least one link")
+        self.name = name
+        self.links: Tuple[Link, ...] = tuple(
+            sorted(links, key=lambda l: l.link_id)
+        )
+        ids = [link.link_id for link in self.links]
+        if ids != list(range(1, len(self.links) + 1)):
+            raise ValueError(f"link ids must be exactly 1..L, got {ids}")
+        nodes: List[str] = []
+        for link in self.links:
+            for node in link.endpoints:
+                if node not in nodes:
+                    nodes.append(node)
+        self.nodes: Tuple[str, ...] = tuple(sorted(nodes))
+        if key_center not in self.nodes:
+            raise ValueError(f"key centre {key_center!r} is not a node")
+        self.key_center = key_center
+        clients = list(clients)
+        if not clients:
+            raise ValueError("a topology needs at least one client node")
+        if len(set(clients)) != len(clients):
+            raise ValueError(f"duplicate client nodes: {clients}")
+        for client in clients:
+            if client not in self.nodes:
+                raise ValueError(f"client {client!r} is not a node")
+            if client == key_center:
+                raise ValueError("the key centre cannot be its own client")
+        self.clients: Tuple[str, ...] = tuple(clients)
+        #: node -> ((neighbor, 1-based link id, length_km), ...) sorted by
+        #: (neighbor, link_id) — the deterministic adjacency the routing
+        #: algorithms iterate.
+        adjacency: Dict[str, List[Tuple[str, int, float]]] = {
+            node: [] for node in self.nodes
+        }
+        seen_edges: Dict[frozenset, int] = {}
+        for link in self.links:
+            u, v = link.endpoints
+            edge = frozenset((u, v))
+            if edge in seen_edges:
+                raise ValueError(
+                    f"links {seen_edges[edge]} and {link.link_id} are "
+                    f"parallel edges between {u!r} and {v!r}"
+                )
+            seen_edges[edge] = link.link_id
+            adjacency[u].append((v, link.link_id, link.length_km))
+            adjacency[v].append((u, link.link_id, link.length_km))
+        self.adjacency: Dict[str, Tuple[Tuple[str, int, float], ...]] = {
+            node: tuple(sorted(edges)) for node, edges in adjacency.items()
+        }
+        self._check_clients_reachable()
+
+    def _check_clients_reachable(self) -> None:
+        distances = self.hop_distances(self.key_center)
+        unreachable = [c for c in self.clients if c not in distances]
+        if unreachable:
+            raise ValueError(
+                f"client nodes {unreachable} are not connected to the key "
+                f"centre {self.key_center!r}"
+            )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def hop_distances(self, source: str) -> Dict[str, int]:
+        """BFS hop counts from ``source`` (unreachable nodes are absent)."""
+        if source not in self.adjacency:
+            raise ValueError(f"{source!r} is not a node")
+        distances = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbor, _, _ in self.adjacency[node]:
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[node] + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    def network(self, routes: Sequence[Route]) -> QKDNetwork:
+        """Bind a route set into the solver/simulator-facing network."""
+        return QKDNetwork(self.links, routes, key_center=self.key_center)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links}, clients={len(self.clients)})"
+        )
+
+
+def _pick_clients(
+    links: Sequence[Link], key_center: str, num_clients: int
+) -> List[str]:
+    """The ``num_clients`` nodes farthest (in hops) from the key centre.
+
+    Farthest-first makes generated scenarios exercise genuinely multi-hop
+    routes; ties break on node name so the choice is deterministic.  The
+    returned list is name-sorted — client order (and hence route order) is
+    stable across runs.
+    """
+    probe = Topology("probe", links, key_center=key_center,
+                     clients=[n for n in _link_nodes(links) if n != key_center][:1])
+    distances = probe.hop_distances(key_center)
+    candidates = sorted(
+        (node for node in distances if node != key_center),
+        key=lambda node: (-distances[node], node),
+    )
+    if len(candidates) < num_clients:
+        raise ValueError(
+            f"topology has only {len(candidates)} reachable non-centre "
+            f"nodes, cannot place {num_clients} clients"
+        )
+    return sorted(candidates[:num_clients])
+
+
+def _link_nodes(links: Sequence[Link]) -> List[str]:
+    nodes: List[str] = []
+    for link in links:
+        for node in link.endpoints:
+            if node not in nodes:
+                nodes.append(node)
+    return sorted(nodes)
+
+
+def _make_links(edges: Sequence[Tuple[str, str, float]]) -> List[Link]:
+    """Number ``(u, v, length_km)`` edges 1..L in the given order."""
+    return [
+        Link(i, (u, v), float(length), beta_from_length(float(length)))
+        for i, (u, v, length) in enumerate(edges, start=1)
+    ]
+
+
+# -- generated families -------------------------------------------------------
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    *,
+    spacing_km: float = 25.0,
+    num_clients: int = 4,
+) -> Topology:
+    """A ``rows x cols`` lattice; key centre at the middle node.
+
+    Node names encode coordinates (``g<r>x<c>``); edges connect horizontal
+    and vertical neighbours at ``spacing_km``.  Clients are the
+    ``num_clients`` nodes farthest from the centre (corners first).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows >= 1 and cols >= 1")
+    if rows * cols < 2:
+        raise ValueError("grid needs at least two nodes")
+
+    def name(r: int, c: int) -> str:
+        return f"g{r:02d}x{c:02d}"
+
+    edges: List[Tuple[str, str, float]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((name(r, c), name(r, c + 1), spacing_km))
+            if r + 1 < rows:
+                edges.append((name(r, c), name(r + 1, c), spacing_km))
+    links = _make_links(edges)
+    key_center = name(rows // 2, cols // 2)
+    clients = _pick_clients(links, key_center, num_clients)
+    return Topology(
+        f"grid-{rows}x{cols}", links, key_center=key_center, clients=clients
+    )
+
+
+def ring_topology(
+    num_nodes: int,
+    *,
+    spacing_km: float = 25.0,
+    num_clients: int = 4,
+) -> Topology:
+    """A cycle of ``num_nodes`` nodes; key centre at node 0."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+
+    def name(i: int) -> str:
+        return f"r{i:03d}"
+
+    edges = [
+        (name(i), name((i + 1) % num_nodes), spacing_km)
+        for i in range(num_nodes)
+    ]
+    links = _make_links(edges)
+    key_center = name(0)
+    clients = _pick_clients(links, key_center, num_clients)
+    return Topology(
+        f"ring-{num_nodes}", links, key_center=key_center, clients=clients
+    )
+
+
+def waxman_topology(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    alpha: float = 0.9,
+    beta: float = 0.3,
+    side_km: float = 150.0,
+    num_clients: int = 4,
+) -> Topology:
+    """Waxman random geometric graph, patched to connectivity.
+
+    Nodes are placed uniformly in a ``side_km``-sided square; each node
+    pair ``(i, j)`` is linked with probability
+    ``alpha * exp(-d_ij / (beta * d_max))``.  Components left disconnected
+    by the draw are stitched together through their closest node pair
+    (shortest extra fibre), so every generated network is usable.  Purely
+    a function of the parameters and ``seed``.
+    """
+    if num_nodes < 2:
+        raise ValueError("waxman needs at least 2 nodes")
+    if not 0 < alpha <= 1 or beta <= 0:
+        raise ValueError("waxman needs alpha in (0, 1] and beta > 0")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed), spawn_key=(0x7790,))
+    )
+    positions = rng.random((num_nodes, 2)) * side_km
+    names = [f"w{i:03d}" for i in range(num_nodes)]
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist = np.sqrt((diff ** 2).sum(axis=2))
+    d_max = float(dist.max())
+    edges: List[Tuple[str, str, float]] = []
+    linked = np.zeros((num_nodes, num_nodes), dtype=bool)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            p = alpha * math.exp(-float(dist[i, j]) / (beta * d_max))
+            if rng.random() < p:
+                edges.append(
+                    (names[i], names[j],
+                     max(_MIN_LENGTH_KM, float(dist[i, j])))
+                )
+                linked[i, j] = linked[j, i] = True
+    # Stitch disconnected components through their closest node pair.
+    component = list(range(num_nodes))
+
+    def find(i: int) -> int:
+        while component[i] != i:
+            component[i] = component[component[i]]
+            i = component[i]
+        return i
+
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if linked[i, j]:
+                component[find(i)] = find(j)
+    while True:
+        roots = sorted({find(i) for i in range(num_nodes)})
+        if len(roots) == 1:
+            break
+        best: Optional[Tuple[float, int, int]] = None
+        for i in range(num_nodes):
+            if find(i) != roots[0]:
+                continue
+            for j in range(num_nodes):
+                if find(j) == roots[0]:
+                    continue
+                candidate = (float(dist[i, j]), i, j)
+                if best is None or candidate < best:
+                    best = candidate
+        _, i, j = best  # type: ignore[misc]
+        edges.append(
+            (names[i], names[j], max(_MIN_LENGTH_KM, float(dist[i, j])))
+        )
+        component[find(i)] = find(j)
+    links = _make_links(edges)
+    # Key centre: the most central node (minimum total distance to others).
+    key_center = names[int(np.argmin(dist.sum(axis=1)))]
+    clients = _pick_clients(links, key_center, num_clients)
+    return Topology(
+        f"waxman-{num_nodes}", links, key_center=key_center, clients=clients
+    )
+
+
+def scale_free_topology(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    attach: int = 2,
+    min_length_km: float = 10.0,
+    max_length_km: float = 60.0,
+    num_clients: int = 4,
+) -> Topology:
+    """Barabási–Albert preferential attachment (hub-and-spoke shape).
+
+    Starts from a ``attach + 1``-node path; every new node attaches to
+    ``attach`` distinct existing nodes with probability proportional to
+    their current degree.  Link lengths are uniform in
+    ``[min_length_km, max_length_km]``.  Purely a function of the
+    parameters and ``seed``.
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if num_nodes < attach + 2:
+        raise ValueError(f"scale-free needs at least {attach + 2} nodes")
+    if not 0 < min_length_km <= max_length_km:
+        raise ValueError("need 0 < min_length_km <= max_length_km")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed), spawn_key=(0x5CA1,))
+    )
+    names = [f"s{i:03d}" for i in range(num_nodes)]
+
+    def length() -> float:
+        return float(min_length_km
+                     + rng.random() * (max_length_km - min_length_km))
+
+    edges: List[Tuple[str, str, float]] = []
+    degree = [0] * num_nodes
+    for i in range(attach):  # seed path
+        edges.append((names[i], names[i + 1], length()))
+        degree[i] += 1
+        degree[i + 1] += 1
+    for i in range(attach + 1, num_nodes):
+        existing = i
+        targets: List[int] = []
+        while len(targets) < attach:
+            weights = np.array(
+                [0.0 if j in targets else degree[j] + 1.0
+                 for j in range(existing)]
+            )
+            j = int(rng.choice(existing, p=weights / weights.sum()))
+            targets.append(j)
+        for j in sorted(targets):
+            edges.append((names[j], names[i], length()))
+            degree[i] += 1
+            degree[j] += 1
+    links = _make_links(edges)
+    # Key centre: the highest-degree node (first by name among ties).
+    key_center = names[int(np.argmax(degree))]
+    clients = _pick_clients(links, key_center, num_clients)
+    return Topology(
+        f"scale-free-{num_nodes}", links,
+        key_center=key_center, clients=clients,
+    )
+
+
+# -- declarative custom topologies --------------------------------------------
+
+
+def custom_topology(spec: Mapping) -> Topology:
+    """Build a topology from a declarative dict (mqns-style).
+
+    Schema (see ``docs/topology.md``)::
+
+        {
+          "name": "lab-testbed",                      # optional
+          "links": [
+            {"u": "A", "v": "B", "length_km": 30.0},  # beta derived, or:
+            {"u": "B", "v": "C", "length_km": 25.0, "beta": 88.0},
+            ...
+          ],
+          "key_center": "A",
+          "clients": ["C", "D"],
+        }
+
+    Links are numbered 1..L in list order; ``beta`` defaults to the
+    physics model :func:`~repro.quantum.topology.beta_from_length`.
+    """
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"custom topology spec must be a mapping, got {type(spec).__name__}")
+    missing = [key for key in ("links", "key_center", "clients") if key not in spec]
+    if missing:
+        raise ValueError(f"custom topology spec missing keys: {missing}")
+    links: List[Link] = []
+    for i, entry in enumerate(spec["links"], start=1):
+        unknown = set(entry) - {"u", "v", "length_km", "beta"}
+        if unknown:
+            raise ValueError(
+                f"link {i}: unknown keys {sorted(unknown)} "
+                "(expected u, v, length_km, beta)"
+            )
+        try:
+            u, v = entry["u"], entry["v"]
+            length_km = float(entry["length_km"])
+        except KeyError as exc:
+            raise ValueError(f"link {i}: missing required key {exc}") from None
+        beta = float(entry["beta"]) if "beta" in entry else beta_from_length(length_km)
+        links.append(Link(i, (str(u), str(v)), length_km, beta))
+    return Topology(
+        str(spec.get("name", "custom")),
+        links,
+        key_center=str(spec["key_center"]),
+        clients=[str(c) for c in spec["clients"]],
+    )
+
+
+# -- family dispatch ----------------------------------------------------------
+
+
+def make_topology(
+    family: str,
+    *,
+    num_nodes: int,
+    num_clients: int = 4,
+    seed: int = 0,
+    spec: Optional[Mapping] = None,
+) -> Topology:
+    """Generate a topology by family name (the scenario-facing entry).
+
+    ``num_nodes`` is honoured exactly for ``ring``/``waxman``/
+    ``scale-free``; ``grid`` rounds to the nearest ``rows x cols``
+    factorization (``rows = floor(sqrt(num_nodes))``).  ``custom``
+    requires ``spec`` (the :func:`custom_topology` dict) and ignores the
+    size parameters.
+    """
+    if family == "custom":
+        if spec is None:
+            raise ValueError("custom topology needs a spec dict")
+        return custom_topology(spec)
+    if family not in TOPOLOGY_FAMILIES:
+        raise ValueError(
+            f"unknown topology family {family!r}; choose from "
+            f"{TOPOLOGY_FAMILIES + ('custom',)}"
+        )
+    if family == "grid":
+        rows = max(1, int(math.sqrt(num_nodes)))
+        cols = max(2, (num_nodes + rows - 1) // rows)
+        return grid_topology(rows, cols, num_clients=num_clients)
+    if family == "ring":
+        return ring_topology(num_nodes, num_clients=num_clients)
+    if family == "waxman":
+        return waxman_topology(num_nodes, seed=seed, num_clients=num_clients)
+    return scale_free_topology(num_nodes, seed=seed, num_clients=num_clients)
+
+
+# -- solver-ready configurations ---------------------------------------------
+
+
+def config_for_topology(
+    topology: Topology,
+    routes: Sequence[Route],
+    *,
+    seed: int = 0,
+    min_entanglement_rate: float = 0.1,
+    use_rayleigh: bool = True,
+) -> "SystemConfig":
+    """A solver-ready :class:`~repro.core.config.SystemConfig` for generated
+    topologies.
+
+    Mirrors :func:`~repro.core.config.paper_config` — Table-II client
+    constants, the paper's edge server and cost model, a seeded channel
+    realization — but over ``routes`` instead of the SURFnet Table-III
+    set.  Each route gets its own client entry (for multipath candidate
+    routes this is the path-as-client relaxation: the solver splits rate
+    across a client's candidate paths, each with the per-path minimum
+    ``min_entanglement_rate``).  Privacy weights are uniform ``1/N``.
+
+    The default per-path minimum rate is deliberately lower than the
+    paper's 0.5: generated multi-hop routes cross more links, and the
+    fidelity constraint (19b) tightens geometrically with hop count.
+    """
+    from repro.compute.cost_models import paper_cost_model
+    from repro.compute.devices import ClientNode, EdgeServer
+    from repro.core.config import SystemConfig
+    from repro.utils.rng import as_generator
+    from repro.wireless.channel import ChannelModel
+
+    routes = list(routes)
+    if not routes:
+        raise ValueError("config_for_topology needs at least one route")
+    n = len(routes)
+    clients = tuple(
+        ClientNode(
+            index=i,
+            privacy_weight=1.0 / n,
+            min_entanglement_rate=min_entanglement_rate,
+        )
+        for i in range(n)
+    )
+    realization = ChannelModel(use_rayleigh=use_rayleigh).sample(
+        n, as_generator(seed)
+    )
+    return SystemConfig(
+        network=topology.network(routes),
+        clients=clients,
+        server=EdgeServer(),
+        cost_model=paper_cost_model(),
+        channel_gains=realization.gains,
+    )

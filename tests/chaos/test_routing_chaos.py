@@ -1,0 +1,111 @@
+"""Chaos suite: the routing layer under injected event storms.
+
+The ``sim.storm`` seam floods the event heap with inert events; on a
+multi-hop topology with reroute-on-outage active, the claims are:
+
+* storms are deterministic — the same plan on the same routed scenario
+  reproduces the same trace digest, and differs from the clean digest
+  equally deterministically;
+* a storm never corrupts a routing decision: non-fallback routes still
+  avoid every down link even while the heap is being flooded;
+* once the plan is cleared, a rerun is byte-identical to a never-faulted
+  run (no fault state leaks into the RNG streams or the route tables).
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+from repro.sim.qnetwork import QuantumNetworkSimulation, SimParams
+from repro.sim.routing import RouteController
+from repro.sim.topology import config_for_topology, grid_topology
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    from repro.api.scenarios import SERVICE
+
+    SERVICE.clear_cache()
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def storm_plan(count=25):
+    return FaultPlan(
+        seed=3, rules=(FaultRule(seam="sim.storm", kind="storm", count=count),)
+    )
+
+
+class RecordingController(RouteController):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = []
+
+    def routes_for(self, link_up):
+        routes, fallback = super().routes_for(link_up)
+        self.calls.append(
+            (tuple(link_up), [r.link_ids for r in routes], list(fallback))
+        )
+        return routes, fallback
+
+
+def routed_run(*, plan=None, controller_cls=RouteController):
+    """One reroute-on-outage run on a 3x4 grid, optionally under a plan."""
+    topo = grid_topology(3, 4, num_clients=3)
+    ctrl = controller_cls(topo, k=3, policy="proactive")
+    config = config_for_topology(topo, ctrl.initial_routes(), seed=3)
+    params = SimParams(
+        duration_s=25.0,
+        demand_factor=0.8,
+        outage_rate=0.3,
+        outage_duration_s=8.0,
+        reopt_interval_s=10.0,
+        strike="any",
+    )
+    sim = QuantumNetworkSimulation(config, params, seed=3, router=ctrl)
+    if plan is None:
+        result = sim.run()
+    else:
+        with plan.activate():
+            result = sim.run()
+    return result, ctrl
+
+
+class TestRoutedStorms:
+    def test_same_plan_same_digest(self):
+        first, _ = routed_run(plan=storm_plan())
+        second, _ = routed_run(plan=storm_plan())
+        assert first.trace_digest == second.trace_digest
+        assert first.reroutes == second.reroutes
+
+    def test_storm_differs_from_clean_deterministically(self):
+        clean, _ = routed_run()
+        stormy, _ = routed_run(plan=storm_plan())
+        assert clean.trace_digest != stormy.trace_digest
+        again, _ = routed_run(plan=storm_plan())
+        assert stormy.trace_digest == again.trace_digest
+
+    def test_reroutes_never_cross_down_links_under_storm(self):
+        """The flood must not perturb routing: every decision made while
+        the storm rages still avoids every down link."""
+        _, ctrl = routed_run(
+            plan=storm_plan(count=50), controller_cls=RecordingController
+        )
+        assert ctrl.calls, "storm run produced no routing decisions"
+        for link_up, route_ids, fallback in ctrl.calls:
+            down = {l + 1 for l, up in enumerate(link_up) if not up}
+            for ids, dead in zip(route_ids, fallback):
+                if not dead:
+                    assert not down.intersection(ids)
+
+    def test_clean_rerun_after_faults_clear_is_byte_identical(self):
+        baseline, _ = routed_run()
+        stormy, _ = routed_run(plan=storm_plan())
+        assert stormy.trace_digest != baseline.trace_digest
+        faults.clear()
+        rerun, _ = routed_run()
+        assert rerun.trace_digest == baseline.trace_digest
+        assert rerun.deterministic_payload() == baseline.deterministic_payload()

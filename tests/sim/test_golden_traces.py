@@ -29,7 +29,13 @@ def load_corpus(scenario: str) -> dict:
 
 class TestCorpusShape:
     def test_every_sim_scenario_pinned(self):
-        assert set(GOLDEN_CASES) == {"sim-keyrate", "sim-outage", "sim-adaptive"}
+        assert set(GOLDEN_CASES) == {
+            "sim-keyrate",
+            "sim-outage",
+            "sim-adaptive",
+            "sim-multipath",
+            "sim-routing-compare",
+        }
 
     @pytest.mark.parametrize("scenario", sorted(GOLDEN_CASES))
     def test_corpus_file_matches_module_definition(self, scenario):

@@ -1,0 +1,230 @@
+"""Property tests for the routing algorithms against reference oracles.
+
+Routing code is exactly where plausible-looking implementations go subtly
+wrong, so the shortest-path layer is pinned against independent
+references: Dijkstra against a NumPy Floyd–Warshall over the same graph,
+and Yen's k-shortest paths against brute-force enumeration of *all*
+simple paths on small random graphs (~200 seeded draws, ≤8 nodes — small
+enough that exhaustive enumeration is the ground truth, big enough to hit
+every structural corner: ties, bridges, parallel candidate spurs).
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.sim.routing import (
+    brute_force_paths,
+    candidate_routes,
+    dijkstra,
+    k_shortest_paths,
+    multipath_routes,
+    path_cost,
+    path_links,
+    shortest_path,
+)
+from repro.sim.topology import Topology, custom_topology
+
+# -- seeded random graph corpus -----------------------------------------------
+
+
+def random_topology(rng: np.random.Generator, max_nodes: int = 8) -> Topology:
+    """A small random connected topology: spanning tree + random extra edges.
+
+    Lengths are drawn from a small integer set so equal-cost ties are
+    common — the regime where a sloppy tie-break shows up.
+    """
+    n = int(rng.integers(3, max_nodes + 1))
+    names = [f"n{i}" for i in range(n)]
+    edges = set()
+    for i in range(1, n):
+        edges.add(frozenset((i, int(rng.integers(0, i)))))
+    extra = int(rng.integers(0, n))
+    for _ in range(extra):
+        i, j = rng.integers(0, n, size=2)
+        if i != j:
+            edges.add(frozenset((int(i), int(j))))
+    lengths = rng.choice([10.0, 10.0, 20.0, 30.0], size=len(edges))
+    spec = {
+        "name": "random",
+        "links": [
+            {"u": names[min(e)], "v": names[max(e)], "length_km": float(l)}
+            for e, l in zip(sorted(edges, key=sorted), lengths)
+        ],
+        "key_center": names[0],
+        "clients": [names[n - 1]],
+    }
+    return custom_topology(spec)
+
+
+def graph_corpus(count: int, *, entropy: int = 20250808):
+    rng = np.random.default_rng(entropy)
+    return [random_topology(rng) for _ in range(count)]
+
+
+# -- Dijkstra vs Floyd–Warshall -----------------------------------------------
+
+
+def floyd_warshall(topology: Topology) -> np.ndarray:
+    """All-pairs shortest distances via the NumPy reference recursion."""
+    nodes = topology.nodes
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    dist = np.full((n, n), np.inf)
+    np.fill_diagonal(dist, 0.0)
+    for link in topology.links:
+        u, v = (index[e] for e in link.endpoints)
+        dist[u, v] = dist[v, u] = min(dist[u, v], link.length_km)
+    for k in range(n):
+        dist = np.minimum(dist, dist[:, [k]] + dist[[k], :])
+    return dist
+
+
+class TestDijkstraAgainstFloydWarshall:
+    @pytest.mark.parametrize("case", range(60))
+    def test_all_pairs_costs_match(self, case):
+        rng = np.random.default_rng(7_000 + case)
+        topo = random_topology(rng)
+        reference = floyd_warshall(topo)
+        index = {node: i for i, node in enumerate(topo.nodes)}
+        for source in topo.nodes:
+            settled = dijkstra(topo, source)
+            assert set(settled) == set(topo.nodes)  # connected by construction
+            for node, (cost, path) in settled.items():
+                # FW sums in a different association order; tolerate ulps.
+                assert cost == pytest.approx(
+                    reference[index[source], index[node]], rel=1e-12
+                )
+                assert path[0] == source and path[-1] == node
+                assert len(set(path)) == len(path)  # simple
+                if len(path) > 1:
+                    assert path_cost(topo, path) == cost
+
+    def test_paths_walk_real_edges(self):
+        for topo in graph_corpus(20):
+            for _, path in dijkstra(topo, topo.key_center).values():
+                path_links(topo, path)  # raises on a non-edge hop
+
+    def test_avoid_links_and_nodes_respected(self):
+        for topo in graph_corpus(20, entropy=99):
+            full = dijkstra(topo, topo.key_center)
+            target = topo.clients[0]
+            _, path = full[target]
+            if len(path) < 2:
+                continue
+            cut = frozenset({path_links(topo, path)[0]})
+            for _, detour in dijkstra(
+                topo, topo.key_center, avoid_links=cut
+            ).values():
+                assert not cut.intersection(path_links(topo, detour))
+            mid = path[len(path) // 2]
+            if mid not in (topo.key_center,):
+                for node, (_, detour) in dijkstra(
+                    topo, topo.key_center, avoid_nodes=frozenset({mid})
+                ).items():
+                    assert mid not in detour
+
+    def test_deterministic_lexicographic_tie_break(self):
+        """Among equal-cost paths, Dijkstra returns the (cost, path)-min —
+        the brute-force minimum, not an iteration-order accident."""
+        ties = 0
+        for topo in graph_corpus(60, entropy=1234):
+            for node in topo.nodes:
+                if node == topo.key_center:
+                    continue
+                best = dijkstra(topo, topo.key_center)[node]
+                all_paths = brute_force_paths(topo, topo.key_center, node)
+                assert best == min(all_paths)
+                if (
+                    len(all_paths) > 1
+                    and all_paths[0][0] == all_paths[1][0]
+                ):
+                    ties += 1
+        assert ties >= 10  # the corpus actually exercises tie-breaking
+
+
+# -- Yen vs brute force -------------------------------------------------------
+
+
+class TestYenAgainstBruteForce:
+    @pytest.mark.parametrize("case", range(200))
+    def test_k_shortest_match_exhaustive_enumeration(self, case):
+        rng = np.random.default_rng(31_337 + case)
+        topo = random_topology(rng)
+        source, target = topo.key_center, topo.clients[0]
+        k = int(rng.integers(1, 6))
+        yen = k_shortest_paths(topo, source, target, k)
+        reference = brute_force_paths(topo, source, target)
+        assert yen == reference[:k], (
+            f"case {case}: Yen k={k} diverged from exhaustive enumeration "
+            f"on {len(topo.nodes)} nodes / {topo.num_links} links"
+        )
+
+    def test_route_lists_sorted_simple_deduplicated(self):
+        for case, topo in enumerate(graph_corpus(40, entropy=777)):
+            yen = k_shortest_paths(
+                topo, topo.key_center, topo.clients[0], 6
+            )
+            assert yen == sorted(yen), f"case {case}: not (cost, path)-sorted"
+            seen = set()
+            for cost, path in yen:
+                assert len(set(path)) == len(path), f"case {case}: loop"
+                assert path not in seen, f"case {case}: duplicate path"
+                seen.add(path)
+                assert cost == pytest.approx(path_cost(topo, path))
+
+    def test_k_beyond_path_count_returns_all_simple_paths(self):
+        topo = custom_topology({
+            "links": [
+                {"u": "A", "v": "B", "length_km": 10},
+                {"u": "B", "v": "C", "length_km": 10},
+                {"u": "A", "v": "C", "length_km": 15},
+            ],
+            "key_center": "A",
+            "clients": ["C"],
+        })
+        yen = k_shortest_paths(topo, "A", "C", 50)
+        assert yen == brute_force_paths(topo, "A", "C")
+        assert len(yen) == 2
+
+    def test_disconnected_target_yields_empty(self):
+        topo = custom_topology({
+            "links": [
+                {"u": "A", "v": "B", "length_km": 10},
+                {"u": "C", "v": "D", "length_km": 10},
+            ],
+            "key_center": "A",
+            "clients": ["B"],
+        })
+        assert k_shortest_paths(topo, "A", "C", 3) == []
+        assert shortest_path(topo, "A", "D") is None
+
+    def test_rejects_bad_k(self):
+        topo = graph_corpus(1)[0]
+        with pytest.raises(ValueError, match="k must be"):
+            k_shortest_paths(topo, topo.key_center, topo.clients[0], 0)
+
+
+# -- route construction -------------------------------------------------------
+
+
+class TestCandidateRoutes:
+    def test_candidates_cover_every_client_in_order(self):
+        for topo in graph_corpus(10, entropy=55):
+            cands = candidate_routes(topo, k=3)
+            assert len(cands) == len(topo.clients)
+            for client, paths in zip(topo.clients, cands):
+                assert paths, f"{client} unreachable"
+                for _, path in paths:
+                    assert path[0] == topo.key_center
+                    assert path[-1] == client
+
+    def test_multipath_routes_flatten_with_client_map(self):
+        topo = graph_corpus(1, entropy=3)[0]
+        routes, client_of_route = multipath_routes(topo, k=3)
+        assert len(routes) == len(client_of_route)
+        assert [r.route_id for r in routes] == list(range(1, len(routes) + 1))
+        for route, c in zip(routes, client_of_route):
+            assert route.target == topo.clients[c]
+            assert route.source == topo.key_center

@@ -1,0 +1,210 @@
+"""Topology generators and the declarative custom-topology dict."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.topology import beta_from_length
+from repro.sim.routing import dijkstra
+from repro.sim.topology import (
+    TOPOLOGY_FAMILIES,
+    Topology,
+    config_for_topology,
+    custom_topology,
+    grid_topology,
+    make_topology,
+    ring_topology,
+    scale_free_topology,
+    waxman_topology,
+)
+
+
+class TestTopologyInvariants:
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    @pytest.mark.parametrize("num_nodes", [9, 16, 25])
+    def test_generated_families_are_connected_and_well_formed(
+        self, family, num_nodes
+    ):
+        topo = make_topology(family, num_nodes=num_nodes, num_clients=3, seed=4)
+        assert [l.link_id for l in topo.links] == list(
+            range(1, topo.num_links + 1)
+        )
+        assert topo.key_center in topo.nodes
+        assert len(topo.clients) == 3
+        assert topo.key_center not in topo.clients
+        # every node reachable from the key centre
+        assert len(topo.hop_distances(topo.key_center)) == topo.num_nodes
+        # adjacency is symmetric and (neighbor, link)-sorted
+        for node, edges in topo.adjacency.items():
+            assert list(edges) == sorted(edges)
+            for neighbor, link_id, length in edges:
+                assert (node, link_id, length) in topo.adjacency[neighbor]
+
+    @pytest.mark.parametrize("family", TOPOLOGY_FAMILIES)
+    def test_same_seed_same_topology(self, family):
+        a = make_topology(family, num_nodes=20, num_clients=4, seed=9)
+        b = make_topology(family, num_nodes=20, num_clients=4, seed=9)
+        assert a.links == b.links
+        assert a.key_center == b.key_center
+        assert a.clients == b.clients
+
+    @pytest.mark.parametrize("family", ["waxman", "scale-free"])
+    def test_random_families_vary_with_seed(self, family):
+        a = make_topology(family, num_nodes=20, num_clients=4, seed=1)
+        b = make_topology(family, num_nodes=20, num_clients=4, seed=2)
+        assert a.links != b.links
+
+    def test_exact_node_counts(self):
+        assert ring_topology(10).num_nodes == 10
+        assert waxman_topology(15, seed=0).num_nodes == 15
+        assert scale_free_topology(15, seed=0).num_nodes == 15
+        assert grid_topology(3, 5).num_nodes == 15
+
+    def test_clients_are_hop_farthest_from_key_center(self):
+        topo = grid_topology(3, 4, num_clients=2)
+        distances = topo.hop_distances(topo.key_center)
+        worst = max(distances.values())
+        assert all(distances[c] == worst for c in topo.clients)
+
+    def test_grid_hop_distances_are_manhattan(self):
+        topo = grid_topology(3, 3)
+        assert topo.hop_distances("g01x01")["g00x00"] == 2
+        assert topo.hop_distances("g00x00")["g02x02"] == 4
+
+    def test_scaling_to_100_plus_nodes(self):
+        """The topology-scaling contract the bench sweep relies on."""
+        topo = make_topology("waxman", num_nodes=128, num_clients=6, seed=3)
+        assert topo.num_nodes == 128
+        assert len(dijkstra(topo, topo.key_center)) == 128
+
+    def test_validation_errors(self):
+        from repro.quantum.topology import Link
+
+        links = [Link(1, ("A", "B"), 10.0, 50.0)]
+        with pytest.raises(ValueError, match="not a node"):
+            Topology("t", links, key_center="Z", clients=["B"])
+        with pytest.raises(ValueError, match="cannot be its own client"):
+            Topology("t", links, key_center="A", clients=["A"])
+        with pytest.raises(ValueError, match="duplicate client"):
+            Topology("t", links, key_center="A", clients=["B", "B"])
+        with pytest.raises(ValueError, match="link ids must be exactly"):
+            Topology(
+                "t", [Link(2, ("A", "B"), 10.0, 50.0)],
+                key_center="A", clients=["B"],
+            )
+        with pytest.raises(ValueError, match="parallel edges"):
+            Topology(
+                "t",
+                [Link(1, ("A", "B"), 10.0, 50.0),
+                 Link(2, ("B", "A"), 12.0, 50.0)],
+                key_center="A", clients=["B"],
+            )
+
+    def test_generator_argument_errors(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            ring_topology(2)
+        with pytest.raises(ValueError, match="rows >= 1"):
+            grid_topology(0, 4)
+        with pytest.raises(ValueError, match="alpha"):
+            waxman_topology(8, alpha=0.0)
+        with pytest.raises(ValueError, match="attach"):
+            scale_free_topology(8, attach=0)
+        with pytest.raises(ValueError, match="cannot place"):
+            ring_topology(4, num_clients=5)
+
+
+class TestCustomTopology:
+    SPEC = {
+        "name": "lab",
+        "links": [
+            {"u": "A", "v": "B", "length_km": 30.0},
+            {"u": "B", "v": "C", "length_km": 25.0, "beta": 88.0},
+            {"u": "A", "v": "C", "length_km": 60.0},
+        ],
+        "key_center": "A",
+        "clients": ["C"],
+    }
+
+    def test_happy_path(self):
+        topo = custom_topology(self.SPEC)
+        assert topo.name == "lab"
+        assert topo.num_links == 3
+        assert topo.links[0].beta == pytest.approx(beta_from_length(30.0))
+        assert topo.links[1].beta == 88.0  # explicit override wins
+        assert topo.clients == ("C",)
+
+    def test_links_numbered_in_list_order(self):
+        topo = custom_topology(self.SPEC)
+        assert [tuple(l.endpoints) for l in topo.links] == [
+            ("A", "B"), ("B", "C"), ("A", "C")
+        ]
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing keys"):
+            custom_topology({"links": []})
+        with pytest.raises(ValueError, match="missing required key"):
+            custom_topology({
+                "links": [{"u": "A", "length_km": 3}],
+                "key_center": "A", "clients": ["B"],
+            })
+
+    def test_unknown_link_keys_rejected(self):
+        spec = {
+            "links": [{"u": "A", "v": "B", "length_km": 3, "capacity": 7}],
+            "key_center": "A", "clients": ["B"],
+        }
+        with pytest.raises(ValueError, match="unknown keys"):
+            custom_topology(spec)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="must be a mapping"):
+            custom_topology([1, 2, 3])
+
+    def test_disconnected_client_rejected(self):
+        spec = {
+            "links": [
+                {"u": "A", "v": "B", "length_km": 3},
+                {"u": "C", "v": "D", "length_km": 3},
+            ],
+            "key_center": "A",
+            "clients": ["C"],
+        }
+        with pytest.raises(ValueError, match="not connected"):
+            custom_topology(spec)
+
+    def test_make_topology_dispatch(self):
+        topo = make_topology("custom", num_nodes=0, spec=self.SPEC)
+        assert topo.name == "lab"
+        with pytest.raises(ValueError, match="needs a spec"):
+            make_topology("custom", num_nodes=5)
+        with pytest.raises(ValueError, match="unknown topology family"):
+            make_topology("torus", num_nodes=5)
+
+
+class TestConfigForTopology:
+    def test_solver_ready_shapes(self):
+        from repro.sim.routing import RouteController
+
+        topo = grid_topology(3, 4, num_clients=3)
+        routes = RouteController(topo, k=2).initial_routes()
+        config = config_for_topology(topo, routes, seed=7)
+        assert config.network.num_routes == 3
+        assert config.network.num_links == topo.num_links
+        assert len(config.clients) == 3
+        assert config.channel_gains.shape == (3,)
+        assert sum(c.privacy_weight for c in config.clients) == pytest.approx(1.0)
+
+    def test_seed_changes_channel_realization_only(self):
+        from repro.sim.routing import RouteController
+
+        topo = ring_topology(6, num_clients=2)
+        routes = RouteController(topo, k=1).initial_routes()
+        a = config_for_topology(topo, routes, seed=1)
+        b = config_for_topology(topo, routes, seed=2)
+        assert a.network.routes == b.network.routes
+        # gains are ~1e-13, far below allclose's default atol — compare exactly
+        assert not np.array_equal(a.channel_gains, b.channel_gains)
+
+    def test_empty_routes_rejected(self):
+        topo = ring_topology(6)
+        with pytest.raises(ValueError, match="at least one route"):
+            config_for_topology(topo, [], seed=0)
