@@ -12,7 +12,12 @@ closed-loop generator from :mod:`repro.serve.bench` and records:
 * ``serve_coalesce_proof`` — N simultaneous identical requests must reach
   the backend as exactly **one** solve,
 * ``serve_identity`` — a daemon response must be byte-identical to a direct
-  ``SolverService.solve`` sharing the same sqlite cache.
+  ``SolverService.solve`` sharing the same sqlite cache,
+* ``serve_availability`` — a supervised-worker run under a seeded
+  ``serve.worker`` crash storm with the retrying client: non-overload
+  success must stay >= 99% *and* the storm must actually kill workers
+  (``worker_restarts > 0``), proving the respawn/re-dispatch path carried
+  the load rather than the faults never firing.
 
 ``--check`` enforces the floors (CI runs ``--quick --check``).
 
@@ -148,6 +153,49 @@ def coalesce_proof(requests: int, seed: int) -> BenchResult:
     )
 
 
+#: serve_availability: non-overload success floor under the crash storm.
+AVAILABILITY_FLOOR = 0.99
+
+
+def bench_availability(
+    clients: int, duration: float, seed: int
+) -> BenchResult:
+    """Supervised workers under a crash storm, driven by retrying clients.
+
+    ``distinct=1, coalesce=False, use_cache=False`` keeps every batch's
+    composition fixed (one config) while forcing every request through the
+    worker pool — the configuration that maximises ``serve.worker`` seam
+    hits per second.  ``after=1`` makes each respawned worker's first batch
+    safe, so recovery is always possible and the availability floor
+    measures the supervisor, not fault-plan luck.
+    """
+    result = run_serve_bench(
+        clients=clients, duration=duration, distinct=1, seed=seed,
+        use_cache=False, coalesce=False, max_queue=4096,
+        workers=2, crash_rate=0.4, retry=True, max_restarts=10_000,
+    )
+    print(result.render())
+    return BenchResult(
+        op="serve_availability",
+        backend="supervised",
+        params={
+            "clients": result.clients,
+            "workers": result.workers,
+            "crash_rate": result.crash_rate,
+            "availability": round(result.availability, 5),
+            "worker_restarts": result.worker_restarts,
+            "shed": result.shed,
+            "errors": result.errors,
+            "byte_identical": result.byte_identical,
+            "floor": AVAILABILITY_FLOOR,
+        },
+        reps=result.requests,
+        seconds_per_op=(
+            1.0 / result.rate_rps if result.rate_rps else float("nan")
+        ),
+    )
+
+
 def identity_check(seed: int) -> BenchResult:
     """Daemon result vs direct SolverService.solve through a shared cache."""
     from repro import io as repro_io
@@ -214,10 +262,12 @@ def main(argv=None) -> int:
         sustained_clients, sustained_duration = 200, 1.0
         coalesce_clients, coalesce_duration = 64, 1.0
         proof_requests = 32
+        storm_clients, storm_duration = 16, 2.0
     else:
         sustained_clients, sustained_duration = 1000, 3.0
         coalesce_clients, coalesce_duration = 256, 2.0
         proof_requests = 128
+        storm_clients, storm_duration = 32, 4.0
     if args.clients:
         sustained_clients = args.clients
 
@@ -227,6 +277,8 @@ def main(argv=None) -> int:
                                   args.seed))
     results.append(coalesce_proof(proof_requests, args.seed))
     results.append(identity_check(args.seed))
+    results.append(bench_availability(storm_clients, storm_duration,
+                                      args.seed))
 
     out = write_results(args.output, results)
     print(f"wrote {out}")
@@ -244,6 +296,14 @@ def main(argv=None) -> int:
             "sustained byte identity": all(
                 r.params["byte_identical"] for r in results
                 if r.op == "serve_sustained"
+            ),
+            "availability under crash storm": all(
+                r.params["availability"] >= r.params["floor"]
+                for r in results if r.op == "serve_availability"
+            ),
+            "crash storm actually fired": all(
+                r.params["worker_restarts"] > 0
+                for r in results if r.op == "serve_availability"
             ),
         }
         for name, ok in hard_checks.items():

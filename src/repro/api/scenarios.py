@@ -638,7 +638,9 @@ register_scenario(Scenario(
 
 
 def _run_serve_bench(seed, clients, duration, distinct, max_batch,
-                     max_wait_ms, max_queue, coalesce, use_cache, connections):
+                     max_wait_ms, max_queue, coalesce, use_cache, connections,
+                     workers, batch_deadline_s, max_restarts, crash_rate,
+                     hang_rate, fault_seed, retry):
     from repro.serve.bench import run_serve_bench
 
     return run_serve_bench(
@@ -652,6 +654,13 @@ def _run_serve_bench(seed, clients, duration, distinct, max_batch,
         coalesce=coalesce,
         use_cache=use_cache,
         connections=connections or None,
+        workers=workers,
+        batch_deadline_s=batch_deadline_s,
+        max_restarts=max_restarts,
+        crash_rate=crash_rate,
+        hang_rate=hang_rate,
+        fault_seed=fault_seed,
+        retry=retry,
     )
 
 
@@ -674,6 +683,25 @@ register_scenario(Scenario(
                   help="let requests hit the daemon's result cache"),
         ParamSpec("connections", int, 0,
                   help="client connections to multiplex over (0 = auto)"),
+        ParamSpec("workers", int, 0,
+                  help="supervised solver workers (0 = solve in-process)"),
+        ParamSpec("batch_deadline_s", float, 30.0,
+                  help="per-batch worker deadline before the batch is "
+                       "declared hung"),
+        ParamSpec("max_restarts", int, 5,
+                  help="worker restarts tolerated per window before the "
+                       "circuit breaker opens"),
+        ParamSpec("crash_rate", float, 0.0,
+                  help="seeded serve.worker crash probability per batch "
+                       "(needs workers > 0)"),
+        ParamSpec("hang_rate", float, 0.0,
+                  help="seeded serve.worker hang probability per batch "
+                       "(needs workers > 0)"),
+        ParamSpec("fault_seed", int, 7,
+                  help="RNG seed for the injected crash/hang storm"),
+        ParamSpec("retry", bool, False,
+                  help="drive clients through solve_with_retry instead of "
+                       "one-shot solves"),
     ),
     run=_run_serve_bench,
     render=lambda result: result.render(),

@@ -363,6 +363,27 @@ class SolverService:
         """
         return self._cache_get(key)
 
+    def cache_store_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        """Install a raw ``quhe_result`` codec payload under ``key``.
+
+        The write-side counterpart of :meth:`cache_lookup` for serving
+        layers whose results arrive as payload dicts (the supervised worker
+        pool ships solves back over a pipe as codec payloads).  A
+        payload-capable backend (:class:`~repro.serve.cache.SqliteResultCache`)
+        stores the payload verbatim — preserving byte-identity between what
+        the daemon answered and what the cache replays; other backends
+        decode through the codec first.  Counts as neither hit nor miss.
+        """
+        backend = self._cache
+        put_payload = getattr(backend, "put_payload", None)
+        with self._lock:
+            if put_payload is not None:
+                put_payload(key, payload)
+            else:
+                from repro import io as repro_io
+
+                backend.put(key, repro_io.result_from_dict(payload))
+
     def _cache_get(self, key: str) -> Optional[QuHEResult]:
         with self._lock:
             result = self._cache.get(key)

@@ -43,6 +43,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -203,23 +204,40 @@ def _add_serve_command(sub) -> None:
                             "processes (empty = per-process in-memory LRU)")
     serve.add_argument("--cache-size", type=int, default=256,
                        help="result-cache capacity (entries)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="supervised solver subprocesses (0 = solve "
+                            "inline; >0 isolates crashes/hangs per batch)")
+    serve.add_argument("--batch-deadline-s", type=float, default=30.0,
+                       help="per-batch deadline; a worker that misses it "
+                            "is killed and respawned")
     serve.add_argument("--status", action="store_true",
                        help="query a running daemon's stats (JSON) and exit")
+    serve.add_argument("--health", action="store_true",
+                       help="query a running daemon's health detail "
+                            "(queue, workers, breaker) and exit")
+    serve.add_argument("--stop", action="store_true",
+                       help="ask a running daemon to drain gracefully "
+                            "(flush in-flight work, then exit 0)")
 
 
 def _serve_main(args) -> int:
     import asyncio
+    import signal
 
     from repro.serve import AllocationServer, ServeRequest, ServeSettings
 
-    if args.status:
+    if args.status or args.health or args.stop:
         from repro.serve import request_once
 
+        op = "stats" if args.status else ("health" if args.health else "drain")
         response = request_once(
-            ServeRequest(id="cli-status", op="stats"),
+            ServeRequest(id=f"cli-{op}", op=op),
             socket_path=args.socket, host=args.host, port=args.port,
         ).raise_for_error()
-        print(json.dumps(response.stats, indent=2, sort_keys=True))
+        if op == "drain":
+            print("repro serve: drain acknowledged", file=sys.stderr)
+        else:
+            print(json.dumps(response.stats, indent=2, sort_keys=True))
         return 0
 
     settings = ServeSettings(
@@ -232,6 +250,8 @@ def _serve_main(args) -> int:
         coalesce=not args.no_coalesce,
         cache_db=args.cache_db,
         cache_capacity=args.cache_size,
+        workers=args.workers,
+        batch_deadline_s=args.batch_deadline_s,
     )
     server = AllocationServer(settings)
 
@@ -243,10 +263,30 @@ def _serve_main(args) -> int:
             else "%s:%d" % server.address
         )
         print(f"repro serve: listening on {where}", file=sys.stderr)
+        loop = asyncio.get_running_loop()
+        drain_tasks = []
+
+        def _on_sigterm() -> None:
+            # Graceful drain: stop accepting, flush in-flight requests into
+            # the cache and their responses, then exit 0.
+            drain_tasks.append(asyncio.ensure_future(server.drain()))
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-unix event loop: SIGTERM stays the default (kill)
         try:
             await server.serve_forever()
+            # A drain (SIGTERM or the `drain` wire op) closed the listener;
+            # wait for it to finish flushing before returning cleanly.
+            await server.wait_terminated()
+            print("repro serve: drained, shut down", file=sys.stderr)
         finally:
+            with contextlib.suppress(ValueError, RuntimeError):
+                loop.remove_signal_handler(signal.SIGTERM)
             await server.stop()
+            if drain_tasks:
+                await asyncio.gather(*drain_tasks, return_exceptions=True)
 
     try:
         asyncio.run(_run())

@@ -19,12 +19,18 @@ Exit-code map (0 = success, 1 = unclassified, 2 = usage/configuration):
 :class:`SolverError`           3
 :class:`ArtifactError`         4
 :class:`WorkerError`           5
+:class:`WorkerCrashed`         5
 :class:`DeadlineExceeded`      6
 :class:`TransientIOError`      7
 :class:`RetryExhausted`        8
 :class:`FaultInjected`         9
 :class:`ServerOverloaded`     10
 ==========================  ====
+
+(:class:`WorkerCrashed` deliberately shares code 5: it *is* a worker
+failure, distinguished only by being transient — the process died and a
+supervisor will respawn it, so retrying is correct, whereas a plain
+:class:`WorkerError` means the work itself raised and must fail fast.)
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ __all__ = [
     "SolverError",
     "ArtifactError",
     "WorkerError",
+    "WorkerCrashed",
     "DeadlineExceeded",
     "TransientIOError",
     "RetryExhausted",
@@ -106,6 +113,28 @@ class WorkerError(ReproError):
         super().__init__(message)
         self.index = index
         self.item = item
+
+
+class WorkerCrashed(TransientError, WorkerError):
+    """A worker *process* died mid-item (OOM kill, segfault, injected crash).
+
+    Unlike its parent :class:`WorkerError` — an exception raised *by* the
+    work, a genuine defect that must fail fast — a crashed worker says
+    nothing about the work item itself: the supervisor respawns the process
+    and the item is safe to re-dispatch, so this branch is transient and
+    retry policies pick it up by default.  Carries the worker's exit status
+    when known (``173`` marks an injected ``kind="crash"`` fault).
+    """
+
+    # Explicit: the MRO would otherwise resolve TransientError's code 1.
+    exit_code = 5
+
+    def __init__(
+        self, message: str, *, index: Optional[int] = None,
+        item: Optional[str] = None, exit_status: Optional[int] = None,
+    ) -> None:
+        super().__init__(message, index=index, item=item)
+        self.exit_status = exit_status
 
 
 class DeadlineExceeded(TransientError, TimeoutError):

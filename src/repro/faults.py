@@ -25,6 +25,16 @@ hardened layer upholds opposite the injector):
                     itself — exception kinds become taxonomy-coded error
                     responses, ``hang`` delays one request, ``crash`` aborts
                     that client's connection, never the daemon)
+``serve.worker``    inside a supervised solver worker subprocess, once per
+                    dispatched batch (``crash`` kills the worker process,
+                    ``hang`` trips the per-batch deadline — both exercised
+                    by the supervisor's respawn/re-dispatch machinery)
+``serve.drain``     at the start of the daemon's graceful drain (via
+                    :func:`draw`: ``hang`` delays the flush, exception kinds
+                    are counted but must never abort the drain)
+``cache.put``       inside :meth:`repro.serve.cache.SqliteResultCache.put_payload`,
+                    between the row insert and the commit (``crash`` models a
+                    writer process dying mid-transaction)
 ==================  ==========================================================
 
 Rule kinds:

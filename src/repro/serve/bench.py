@@ -66,13 +66,26 @@ class ServeBenchResult:
     #: (strict byte equality through the shared cache when one exists,
     #: modulo wall-clock ``runtime_s`` fields otherwise)
     byte_identical: bool
+    #: supervised worker subprocesses (0 = inline solve path)
+    workers: int = 0
+    #: injected ``serve.worker`` crash/hang probabilities for this run
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    #: requests driven through the retrying client (vs raw ``solve``)
+    retry_enabled: bool = False
+    #: non-overload success fraction: ok / (ok + errors); shed excluded
+    #: (an honest 503 with retry advice is load management, not failure)
+    availability: float = 1.0
+    #: worker respawns the supervisor performed during the run
+    worker_restarts: int = 0
 
     def render(self) -> str:
         lines = [
             f"serve-bench: {self.clients} closed-loop clients over "
             f"{self.connections} connections, {self.distinct_specs} distinct "
             f"specs, {self.duration_s:.2f}s window "
-            f"(use_cache={self.use_cache}, coalesce={self.coalesce_enabled})",
+            f"(use_cache={self.use_cache}, coalesce={self.coalesce_enabled}, "
+            f"workers={self.workers})",
             f"  throughput : {self.rate_rps:10.1f} req/s "
             f"({self.requests} requests)",
             f"  latency    : p50 {self.p50_ms:.2f} ms | "
@@ -83,6 +96,13 @@ class ServeBenchResult:
             f"{self.errors} errors",
             f"  results match direct solve: {self.byte_identical}",
         ]
+        if self.crash_rate or self.hang_rate or self.workers:
+            lines.append(
+                f"  faults     : crash={self.crash_rate:g} "
+                f"hang={self.hang_rate:g} -> availability "
+                f"{self.availability:.4f}, {self.worker_restarts} worker "
+                f"restarts (retry={'on' if self.retry_enabled else 'off'})"
+            )
         return "\n".join(lines) + "\n"
 
 
@@ -122,8 +142,11 @@ async def _drive(
     connections: int,
     duration_s: float,
     use_cache: bool,
+    retry: bool = False,
 ) -> Tuple[int, List[float], Dict[int, Dict[str, Any]], int, int]:
+    from repro.errors import RetryExhausted, ServerOverloaded
     from repro.serve.client import ServeClient
+    from repro.utils.retry import RetryPolicy
 
     links = [
         await ServeClient.connect(socket_path=socket_path)
@@ -137,12 +160,30 @@ async def _drive(
 
     async def one_client(index: int) -> None:
         client = links[index % len(links)]
+        policy = RetryPolicy(max_attempts=4, base_s=0.005, cap_s=0.25)
         spec_index = index % len(specs)
         while loop.time() < t_end:
             start = loop.time()
-            response = await client.solve(
-                specs[spec_index], use_cache=use_cache
-            )
+            if retry:
+                try:
+                    response = await client.solve_with_retry(
+                        specs[spec_index], use_cache=use_cache, policy=policy
+                    )
+                except RetryExhausted as exc:
+                    if isinstance(exc.__cause__, ServerOverloaded):
+                        counters["shed"] += 1
+                    else:
+                        counters["errors"] += 1
+                    spec_index = (spec_index + len(links)) % len(specs)
+                    continue
+                except Exception:  # noqa: BLE001 - availability denominator
+                    counters["errors"] += 1
+                    spec_index = (spec_index + len(links)) % len(specs)
+                    continue
+            else:
+                response = await client.solve(
+                    specs[spec_index], use_cache=use_cache
+                )
             if response.ok:
                 counters["done"] += 1
                 latencies.append((loop.time() - start) * 1000.0)
@@ -150,8 +191,8 @@ async def _drive(
                     sample_payloads[spec_index] = response.result
             elif (response.error or {}).get("type") == "ServerOverloaded":
                 counters["shed"] += 1
-                retry = (response.error or {}).get("retry_after_ms", 10.0)
-                await asyncio.sleep(retry / 1000.0)
+                retry_after = (response.error or {}).get("retry_after_ms", 10.0)
+                await asyncio.sleep(retry_after / 1000.0)
             else:
                 counters["errors"] += 1
             spec_index = (spec_index + len(links)) % len(specs)
@@ -184,6 +225,13 @@ def run_serve_bench(
     warm: bool = True,
     connections: Optional[int] = None,
     cache_db: str = "",
+    workers: int = 0,
+    batch_deadline_s: float = 30.0,
+    max_restarts: int = 5,
+    crash_rate: float = 0.0,
+    hang_rate: float = 0.0,
+    fault_seed: int = 7,
+    retry: bool = False,
 ) -> ServeBenchResult:
     """One closed-loop load run against an embedded daemon (see module doc).
 
@@ -191,13 +239,56 @@ def run_serve_bench(
     so a cache-enabled run measures the serving stack rather than the first
     cold solves; ``use_cache=False`` forces backend work on every request
     (the configuration that exposes coalescing/batching gains).
+
+    ``workers > 0`` serves through the supervised subprocess pool, and
+    ``crash_rate``/``hang_rate`` install a deterministic
+    :mod:`repro.faults` plan on the ``serve.worker`` seam (``after=1``, so
+    every fresh worker's first batch is safe and recovery is always
+    possible).  ``retry=True`` drives requests through
+    :meth:`~repro.serve.client.ServeClient.solve_with_retry`; the resulting
+    ``availability`` field is the non-overload success fraction the chaos
+    floor in ``scripts/bench_serve.py`` asserts on.
     """
     if clients < 1 or distinct < 1:
         raise ValueError("clients and distinct must be >= 1")
+    if not 0.0 <= crash_rate <= 1.0 or not 0.0 <= hang_rate <= 1.0:
+        raise ValueError("crash_rate and hang_rate must be in [0, 1]")
+    if (crash_rate or hang_rate) and workers < 1:
+        raise ValueError(
+            "worker fault injection needs workers >= 1 (the inline path "
+            "has no serve.worker seam)"
+        )
     n_connections = connections or min(64, clients)
     specs = sweep_specs(distinct, seed=seed)
 
     async def _main() -> ServeBenchResult:
+        from repro import faults as _faults
+
+        plan_installed = False
+        if crash_rate or hang_rate:
+            rules = []
+            if crash_rate:
+                rules.append(_faults.FaultRule(
+                    seam="serve.worker", kind="crash",
+                    probability=crash_rate, after=1,
+                ))
+            if hang_rate:
+                rules.append(_faults.FaultRule(
+                    seam="serve.worker", kind="hang",
+                    probability=hang_rate, after=1,
+                    delay_s=2.0 * batch_deadline_s,
+                ))
+            _faults.install(_faults.FaultPlan(
+                seed=fault_seed, rules=tuple(rules),
+            ))
+            plan_installed = True
+        try:
+            return await _run_embedded()
+        finally:
+            if plan_installed:
+                _faults.clear()
+
+    async def _run_embedded() -> ServeBenchResult:
         with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
             socket_path = str(Path(tmp) / "serve.sock")
             server = AllocationServer(
@@ -208,6 +299,9 @@ def run_serve_bench(
                     max_queue=max_queue,
                     coalesce=coalesce,
                     cache_db=cache_db,
+                    workers=workers,
+                    batch_deadline_s=batch_deadline_s,
+                    max_restarts=max_restarts,
                 )
             )
             await server.start()
@@ -230,9 +324,13 @@ def run_serve_bench(
                     connections=n_connections,
                     duration_s=duration,
                     use_cache=use_cache,
+                    retry=retry,
                 )
                 after = server.stats_snapshot()
                 byte_identical = _verify_samples(server, specs, samples)
+                restarts = int(
+                    after.get("supervisor", {}).get("worker_restarts", 0)
+                )
             finally:
                 await server.stop()
         lat = np.asarray(latencies, dtype=float)
@@ -255,6 +353,14 @@ def run_serve_bench(
             shed=shed,
             errors=errors,
             byte_identical=byte_identical,
+            workers=workers,
+            crash_rate=crash_rate,
+            hang_rate=hang_rate,
+            retry_enabled=retry,
+            availability=(
+                done / (done + errors) if (done + errors) else 1.0
+            ),
+            worker_restarts=restarts,
         )
 
     return asyncio.run(_main())

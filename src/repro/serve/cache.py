@@ -31,6 +31,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro import faults as _faults
 from repro.errors import ArtifactError
 
 __all__ = ["SqliteResultCache"]
@@ -206,6 +207,10 @@ class SqliteResultCache:
                     " (SELECT key FROM results ORDER BY seq DESC LIMIT ?)",
                     (self.capacity,),
                 )
+                # Crash-consistency seam: fires with the row inserted but the
+                # transaction open — ``kind="crash"`` models a writer process
+                # dying mid-put, which sqlite must roll back on next open.
+                _faults.fire("cache.put")
                 conn.execute("COMMIT")
             except sqlite3.DatabaseError as exc:
                 self._rollback(conn)
@@ -213,6 +218,11 @@ class SqliteResultCache:
                     f"{self.path}: unwritable result-cache database: {exc}",
                     path=str(self.path),
                 ) from exc
+            except BaseException:
+                # An injected (non-sqlite) failure mid-transaction: release
+                # the write lock so other processes are not stuck behind it.
+                self._rollback(conn)
+                raise
 
     # -- internals -----------------------------------------------------------
 

@@ -13,14 +13,33 @@ Example::
     response.raise_for_error()
     payload = response.result          # a versioned quhe_result payload
     await client.close()
+
+:meth:`ServeClient.solve_with_retry` is the resilient variant, built on
+:class:`repro.utils.retry.RetryPolicy`:
+
+* retries only *taxonomy-typed transient* errors (plus raw connection
+  loss), with decorrelated-jitter backoff;
+* honors the server's ``retry_after_ms`` advice as a backoff *floor* — a
+  shed request never retries sooner than the server asked;
+* spends at most a :class:`~repro.utils.retry.Deadline` budget across all
+  attempts (sleeps are clipped to the remaining budget);
+* reconnects between attempts when the daemon dropped the connection
+  (clients created via :meth:`ServeClient.connect` remember their address);
+* optional :class:`HedgePolicy` tail-latency hedging — a second identical
+  request is fired once the first has been in flight longer than the
+  observed p99 latency, the first response wins, the loser is cancelled.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, Optional
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Optional
 
+from repro.errors import ReproError, RetryExhausted
 from repro.serve.protocol import (
     ConfigSpec,
     ServeRequest,
@@ -28,11 +47,61 @@ from repro.serve.protocol import (
     decode_line,
     encode_line,
 )
+from repro.utils.retry import Deadline, RetryPolicy
 
-__all__ = ["ServeClient", "request_once"]
+__all__ = ["HedgePolicy", "ServeClient", "request_once"]
 
 #: readline buffer bound: quhe_result payloads are tens of KB, give slack.
 _READ_LIMIT = 16 * 1024 * 1024
+
+
+@dataclass
+class HedgePolicy:
+    """When (and whether) to fire a tail-latency hedge request.
+
+    The hedge delay is the ``quantile`` (default p99) of the last
+    ``window`` observed solve latencies: a request still unanswered after
+    that long is probably stuck behind a hung worker or a deep queue, so an
+    identical second request is sent and whichever answer arrives first
+    wins.  Until enough history exists (or always, if set), ``delay_ms``
+    is used verbatim.
+
+    Hedging trades duplicate work for tail latency; the daemon's
+    coalescing absorbs most of that cost (the hedge usually piggy-backs on
+    the original's in-flight solve).
+    """
+
+    #: Fixed hedge delay; when None, derived from observed latencies.
+    delay_ms: Optional[float] = None
+    quantile: float = 0.99
+    window: int = 64
+    #: Derived delays never drop below this (protects against hedging every
+    #: request when the cache makes most answers near-instant).
+    min_delay_ms: float = 10.0
+    #: Minimum samples before the quantile estimate is trusted.
+    min_samples: int = 8
+    #: Observed request latencies (ms), newest last.
+    latencies_ms: Deque[float] = field(default_factory=deque, repr=False)
+    #: How many hedge requests this policy has fired (observability).
+    hedges_fired: int = 0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one successful request's latency."""
+        self.latencies_ms.append(float(latency_ms))
+        while len(self.latencies_ms) > self.window:
+            self.latencies_ms.popleft()
+
+    def hedge_delay_s(self) -> Optional[float]:
+        """Seconds to wait before hedging, or None to not hedge yet."""
+        if self.delay_ms is not None:
+            return max(0.0, self.delay_ms) / 1000.0
+        if len(self.latencies_ms) < max(1, self.min_samples):
+            return None
+        ordered = sorted(self.latencies_ms)
+        index = min(
+            len(ordered) - 1, int(self.quantile * (len(ordered) - 1) + 0.5)
+        )
+        return max(self.min_delay_ms, ordered[index]) / 1000.0
 
 
 class ServeClient:
@@ -47,6 +116,10 @@ class ServeClient:
         self._ids = itertools.count()
         self._write_lock = asyncio.Lock()
         self._reader_task = asyncio.create_task(self._read_loop())
+        #: connect() arguments, remembered so retries can reconnect.
+        self._connect_args: Optional[Dict[str, Any]] = None
+        #: injectable async sleep (tests record requested backoffs).
+        self._sleep: Callable[[float], Any] = asyncio.sleep
 
     @classmethod
     async def connect(
@@ -57,15 +130,37 @@ class ServeClient:
         port: int = 0,
     ) -> "ServeClient":
         """Open a connection (unix socket when ``socket_path`` is set)."""
+        reader, writer = await cls._open(
+            socket_path=socket_path, host=host, port=port
+        )
+        client = cls(reader, writer)
+        client._connect_args = {
+            "socket_path": socket_path, "host": host, "port": port,
+        }
+        return client
+
+    @staticmethod
+    async def _open(*, socket_path: str, host: str, port: int):
         if socket_path:
-            reader, writer = await asyncio.open_unix_connection(
+            return await asyncio.open_unix_connection(
                 socket_path, limit=_READ_LIMIT
             )
-        else:
-            reader, writer = await asyncio.open_connection(
-                host, port, limit=_READ_LIMIT
+        return await asyncio.open_connection(host, port, limit=_READ_LIMIT)
+
+    async def reconnect(self) -> None:
+        """Drop the current connection and dial the remembered address.
+
+        Only clients created via :meth:`connect` know their address;
+        wrapping raw streams leaves nothing to redial.
+        """
+        if self._connect_args is None:
+            raise ConnectionError(
+                "client holds raw streams (not created via connect());"
+                " cannot reconnect"
             )
-        return cls(reader, writer)
+        await self.close()
+        self._reader, self._writer = await self._open(**self._connect_args)
+        self._reader_task = asyncio.create_task(self._read_loop())
 
     async def _read_loop(self) -> None:
         try:
@@ -115,6 +210,143 @@ class ServeClient:
                 id=self.next_id(), op="solve", spec=spec, use_cache=use_cache
             )
         )
+
+    async def solve_with_retry(
+        self,
+        spec: ConfigSpec,
+        *,
+        use_cache: bool = True,
+        policy: Optional[RetryPolicy] = None,
+        deadline: Optional[Deadline] = None,
+        deadline_s: Optional[float] = None,
+        hedge: Optional[HedgePolicy] = None,
+    ) -> ServeResponse:
+        """Solve with bounded retries, backoff floors, and optional hedging.
+
+        Error responses are raised as their taxonomy exceptions and only
+        the transient branch (per ``policy.retry_on``) is retried; a
+        :class:`~repro.errors.ConfigurationError` reply fails immediately.
+        Between attempts the client sleeps the policy's decorrelated-jitter
+        backoff, floored by the server's ``retry_after_ms`` advice and
+        clipped to the remaining ``deadline`` budget; a dropped connection
+        is redialed.  Exhausting the policy raises
+        :class:`~repro.errors.RetryExhausted` chaining the final error.
+
+        Returns the successful response (``raise_for_error`` already
+        applied), so ``.result`` is always a payload dict.
+        """
+        policy = policy or RetryPolicy()
+        if deadline is None and deadline_s is not None:
+            deadline = Deadline(deadline_s)
+        if deadline is not None:
+            deadline.start()
+        previous_sleep = policy.base_s
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if deadline is not None:
+                deadline.check("serve solve")
+            started = time.monotonic()
+            try:
+                response = await self._solve_attempt(
+                    spec, use_cache=use_cache, hedge=hedge
+                )
+                response.raise_for_error()
+                if hedge is not None:
+                    hedge.observe((time.monotonic() - started) * 1000.0)
+                return response
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not policy.is_retryable(exc):
+                    raise
+                last_exc = exc
+            if attempt < policy.max_attempts:
+                retry_after = getattr(last_exc, "retry_after_ms", None)
+                floor_s = (
+                    float(retry_after) / 1000.0 if retry_after else 0.0
+                )
+                previous_sleep = policy.backoff_s(
+                    previous_sleep, floor_s=floor_s
+                )
+                pause = previous_sleep
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline.remaining()))
+                if pause > 0:
+                    await self._sleep(pause)
+                if isinstance(last_exc, OSError) and not isinstance(
+                    last_exc, ReproError
+                ):
+                    # Raw connection loss (daemon restarted?): redial so the
+                    # next attempt has a live socket.  A still-dead server
+                    # simply fails that attempt the same way.
+                    try:
+                        await self.reconnect()
+                    except (ConnectionError, OSError):
+                        pass
+        raise RetryExhausted(
+            f"serve solve failed after {policy.max_attempts} attempt(s):"
+            f" {last_exc}",
+            attempts=policy.max_attempts,
+        ) from last_exc
+
+    async def _solve_attempt(
+        self,
+        spec: ConfigSpec,
+        *,
+        use_cache: bool,
+        hedge: Optional[HedgePolicy],
+    ) -> ServeResponse:
+        """One logical attempt: a single request, or a hedged pair."""
+        delay_s = hedge.hedge_delay_s() if hedge is not None else None
+        if delay_s is None:
+            return await self.solve(spec, use_cache=use_cache)
+        first = asyncio.ensure_future(self.solve(spec, use_cache=use_cache))
+        try:
+            return await asyncio.wait_for(asyncio.shield(first), delay_s)
+        except asyncio.TimeoutError:
+            pass
+        except BaseException:
+            first.cancel()
+            raise
+        hedge.hedges_fired += 1
+        second = asyncio.ensure_future(self.solve(spec, use_cache=use_cache))
+        racers = {first, second}
+        try:
+            while racers:
+                done, racers_left = await asyncio.wait(
+                    racers, return_when=asyncio.FIRST_COMPLETED
+                )
+                racers = set(racers_left)
+                winner = next(
+                    (t for t in done if not t.cancelled() and t.exception() is None),
+                    None,
+                )
+                if winner is not None:
+                    return winner.result()
+                if not racers:
+                    # Both failed: surface the first failure observed.
+                    return next(iter(done)).result()
+        finally:
+            for task in (first, second):
+                if not task.done():
+                    task.cancel()
+        raise ConnectionError("hedged request yielded no response")
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's readiness detail (queue, workers, breaker, cache)."""
+        response = await self.request(
+            ServeRequest(id=self.next_id(), op="health")
+        )
+        response.raise_for_error()
+        return response.stats or {}
+
+    async def drain(self) -> bool:
+        """Ask the server to drain gracefully; True once acknowledged."""
+        response = await self.request(
+            ServeRequest(id=self.next_id(), op="drain")
+        )
+        response.raise_for_error()
+        return bool(response.meta.get("draining"))
 
     async def stats(self) -> Dict[str, Any]:
         response = await self.request(

@@ -15,11 +15,13 @@ to a direct :meth:`~repro.api.service.SolverService.solve` of the same spec.
 
 Request ops:
 
-=========  ================================================================
-``solve``  solve the spec's configuration (the daemon may coalesce/batch it)
-``stats``  server counters: requests, solves, coalesced, shed, cache info
-``ping``   liveness probe (returns ``{"pong": true}`` in the meta)
-=========  ================================================================
+==========  ===============================================================
+``solve``   solve the spec's configuration (the daemon may coalesce/batch it)
+``stats``   server counters: requests, solves, coalesced, shed, cache info
+``ping``    liveness probe (returns ``{"pong": true}`` in the meta)
+``health``  readiness detail: queue depth, worker states, breaker, cache
+``drain``   begin graceful shutdown: stop accepting, flush in-flight, exit
+==========  ===============================================================
 
 Error responses carry the :mod:`repro.errors` taxonomy: the exception class
 name, its CLI exit code, and a message — a client can branch on *why* a
@@ -43,6 +45,7 @@ __all__ = [
     "decode_line",
     "encode_line",
     "error_payload",
+    "exception_from_payload",
 ]
 
 #: Protocol revision, stamped on every response (bump on breaking change).
@@ -125,7 +128,7 @@ class ConfigSpec:
 
 
 #: Ops the server understands.
-REQUEST_OPS = ("solve", "stats", "ping")
+REQUEST_OPS = ("solve", "stats", "ping", "health", "drain")
 
 
 @dataclass(frozen=True)
@@ -247,12 +250,26 @@ class ServeResponse:
         """
         if self.ok:
             return self
-        info = self.error or {}
-        message = info.get("message", "server error")
-        exc_type = _TYPE_BY_NAME.get(info.get("type", ""))
-        if exc_type is not None:
-            raise exc_type(message)
-        raise ReproError(message)
+        raise exception_from_payload(self.error or {})
+
+
+def exception_from_payload(info: Mapping[str, Any]) -> ReproError:
+    """Rebuild the taxonomy exception a structured error body describes.
+
+    The inverse of :func:`error_payload`, shared by
+    :meth:`ServeResponse.raise_for_error` (client side) and the worker
+    supervisor (which receives error bodies over a subprocess pipe).  An
+    unknown type name degrades to the :class:`~repro.errors.ReproError`
+    base; a ``retry_after_ms`` hint is restored onto the exception so
+    retry policies can honor it.
+    """
+    message = info.get("message", "server error")
+    exc_type = _TYPE_BY_NAME.get(info.get("type", ""))
+    exc = exc_type(message) if exc_type is not None else ReproError(message)
+    retry_after = info.get("retry_after_ms")
+    if retry_after is not None:
+        exc.retry_after_ms = float(retry_after)
+    return exc
 
 
 def error_payload(exc: BaseException) -> Dict[str, Any]:

@@ -74,6 +74,15 @@ class ServeSettings:
     ``max_queue`` bounds admitted-but-unsolved requests; overflow is shed.
     ``cache_db`` non-empty replaces the in-memory LRU with the sqlite
     cross-process cache at that path.
+
+    ``workers > 0`` moves batch solves out of the daemon process into that
+    many *supervised subprocesses* (see
+    :class:`~repro.serve.supervisor.WorkerSupervisor`): a crash or hang
+    then costs one batch attempt instead of the daemon, at the price of a
+    pipe round-trip per batch.  ``workers = 0`` keeps the original inline
+    executor-thread path.  The remaining knobs tune the supervisor's
+    deadline, restart budget, and circuit breaker, and ``drain_timeout_s``
+    bounds how long a graceful drain waits for in-flight work.
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +94,12 @@ class ServeSettings:
     coalesce: bool = True
     cache_db: str = ""
     cache_capacity: int = 256
+    workers: int = 0
+    batch_deadline_s: float = 30.0
+    max_restarts: int = 5
+    restart_window_s: float = 30.0
+    breaker_cooldown_s: float = 1.0
+    drain_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -93,6 +108,10 @@ class ServeSettings:
             raise ConfigurationError("max_wait_ms must be non-negative")
         if self.max_queue < 1:
             raise ConfigurationError("max_queue must be >= 1")
+        if self.workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError("drain_timeout_s must be positive")
 
 
 @dataclass
@@ -104,6 +123,9 @@ class _Pending:
     use_cache: bool
     future: "asyncio.Future[Tuple[Dict[str, Any], Dict[str, Any]]]"
     enqueued_at: float = 0.0
+    #: The originating spec (supervised mode ships it to the worker; the
+    #: inline path never reads it).
+    spec: Optional[ConfigSpec] = None
 
 
 class AllocationServer:
@@ -138,6 +160,22 @@ class AllocationServer:
             )
         else:
             self.service = SolverService(cache_size=settings.cache_capacity)
+        self._supervisor: Optional["WorkerSupervisor"] = None
+        if settings.workers > 0:
+            from repro.serve.supervisor import (
+                SupervisorSettings,
+                WorkerSupervisor,
+            )
+
+            self._supervisor = WorkerSupervisor(
+                SupervisorSettings(
+                    workers=settings.workers,
+                    batch_deadline_s=settings.batch_deadline_s,
+                    max_restarts=settings.max_restarts,
+                    restart_window_s=settings.restart_window_s,
+                    breaker_cooldown_s=settings.breaker_cooldown_s,
+                )
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional["asyncio.Queue[Any]"] = None
         self._batcher: Optional["asyncio.Task[None]"] = None
@@ -146,6 +184,11 @@ class AllocationServer:
             OrderedDict()
         )
         self._started_at = 0.0
+        self._draining = False
+        self._drain_task: Optional["asyncio.Task[None]"] = None
+        self._terminated = asyncio.Event()
+        self._active_requests = 0
+        self._batch_tasks: set = set()
         self.stats: Dict[str, int] = {
             "requests": 0,
             "responses": 0,
@@ -157,6 +200,7 @@ class AllocationServer:
             "errors": 0,
             "faults_injected": 0,
             "connections": 0,
+            "orphaned_results": 0,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -169,9 +213,13 @@ class AllocationServer:
         return self._server.sockets[0].getsockname()[:2]
 
     async def start(self) -> None:
-        """Bind the socket and start the micro-batcher."""
+        """Bind the socket and start the micro-batcher (and worker pool)."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        self._draining = False
+        self._terminated.clear()
+        if self._supervisor is not None:
+            await self._supervisor.start()
         self._queue = asyncio.Queue(maxsize=self.settings.max_queue)
         self._batcher = asyncio.create_task(self._batch_loop())
         if self.settings.socket_path:
@@ -194,6 +242,10 @@ class AllocationServer:
             await self._queue.put(_STOP)
             await self._batcher
             self._batcher = None
+            if self._batch_tasks:
+                await asyncio.gather(
+                    *tuple(self._batch_tasks), return_exceptions=True
+                )
             # Entries admitted after the sentinel never reach the solver.
             while not self._queue.empty():
                 entry = self._queue.get_nowait()
@@ -204,14 +256,71 @@ class AllocationServer:
                         ServerOverloaded("server shutting down")
                     )
             self._queue = None
+        if self._supervisor is not None:
+            await self._supervisor.stop()
         self._inflight.clear()
+        self._terminated.set()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush in-flight, then stop.
+
+        The sequence behind ``SIGTERM`` and the ``drain`` wire op:
+
+        1. flip the draining flag — new solves are shed with a structured
+           :class:`ServerOverloaded` ("draining") response;
+        2. close the listener (no new connections);
+        3. wait (bounded by ``drain_timeout_s``) until every admitted
+           request has been answered — in-flight batches complete and their
+           results land in the result cache as usual, so nothing acked or
+           solvable is lost;
+        4. run :meth:`stop` to wind down the batcher and worker pool.
+
+        Idempotent: concurrent calls await the same completion.  The
+        ``serve.drain`` fault seam is drawn (not fired) at step 1: ``hang``
+        delays the flush by the rule's ``delay_s`` (bounded by the drain
+        timeout), exception kinds are *counted but never abort the drain* —
+        shutdown must make progress even under an adversarial plan.
+        """
+        if self._draining:
+            await self._terminated.wait()
+            return
+        self._draining = True
+        rule = _faults.draw("serve.drain")
+        if rule is not None:
+            self.stats["faults_injected"] += 1
+            if rule.kind == "hang":
+                await asyncio.sleep(
+                    min(rule.delay_s, self.settings.drain_timeout_s)
+                )
+            # Exception kinds: counted above, deliberately not raised.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.settings.drain_timeout_s
+        while loop.time() < deadline:
+            queue_empty = self._queue is None or self._queue.empty()
+            if queue_empty and self._active_requests == 0:
+                break
+            await asyncio.sleep(0.02)
+        await self.stop()
+
+    async def wait_terminated(self) -> None:
+        """Block until a drain (or stop) has fully completed."""
+        await self._terminated.wait()
 
     async def serve_forever(self) -> None:
-        """Run until cancelled (the ``repro serve`` CLI wraps this)."""
+        """Run until drained or cancelled (the ``repro serve`` CLI wraps this)."""
         if self._server is None:
             await self.start()
         assert self._server is not None
-        await self._server.serve_forever()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            # A drain closed the listener under us; that is a clean exit.
+            if not self._terminated.is_set() and not self._draining:
+                raise
 
     # -- connection / request handling ---------------------------------------
 
@@ -251,32 +360,42 @@ class AllocationServer:
         write_lock: asyncio.Lock,
     ) -> None:
         self.stats["requests"] += 1
+        # Counted across dispatch *and* response write so a graceful drain
+        # only completes once every admitted request has been answered (or
+        # its client provably went away).
+        self._active_requests += 1
         request_id = ""
         try:
-            payload = decode_line(line)
-            request_id = str(payload.get("id", ""))
-            request = ServeRequest.from_dict(payload)
-            response = await self._dispatch(request)
-        except _ConnectionAbort:
-            # The `crash` fault kind: this client's connection dies abruptly,
-            # the daemon (and every other connection) lives on.
-            writer.transport.abort()
-            return
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - becomes a typed error reply
-            self.stats["errors"] += 1
-            response = ServeResponse(
-                id=request_id, ok=False, error=error_payload(exc)
-            )
-        self.stats["responses"] += 1
-        try:
-            async with write_lock:
-                writer.write(encode_line(response.to_dict()))
-                await writer.drain()
-        except (ConnectionError, RuntimeError, OSError):
-            # Client went away before its answer; nothing left to tell it.
-            pass
+            try:
+                payload = decode_line(line)
+                request_id = str(payload.get("id", ""))
+                request = ServeRequest.from_dict(payload)
+                response = await self._dispatch(request)
+            except _ConnectionAbort:
+                # The `crash` fault kind: this client's connection dies
+                # abruptly, the daemon (and every other connection) lives on.
+                writer.transport.abort()
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - becomes a typed reply
+                self.stats["errors"] += 1
+                response = ServeResponse(
+                    id=request_id, ok=False, error=error_payload(exc)
+                )
+            self.stats["responses"] += 1
+            try:
+                async with write_lock:
+                    writer.write(encode_line(response.to_dict()))
+                    await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # Client went away before its answer.  Its *result* is not
+                # lost: solved payloads are already persisted to the result
+                # cache before fan-out, so the client's retry on a fresh
+                # connection is a cache hit (see ``_solve_batch``).
+                self.stats["orphaned_results"] += 1
+        finally:
+            self._active_requests -= 1
 
     async def _dispatch(self, request: ServeRequest) -> ServeResponse:
         await self._fire_request_seam()
@@ -285,6 +404,18 @@ class AllocationServer:
         if request.op == "stats":
             return ServeResponse(
                 id=request.id, ok=True, stats=self.stats_snapshot()
+            )
+        if request.op == "health":
+            return ServeResponse(
+                id=request.id, ok=True, stats=self.health_snapshot()
+            )
+        if request.op == "drain":
+            # Reply immediately (the drain must not wait on its own
+            # response); the actual wind-down runs as a background task.
+            if self._drain_task is None:
+                self._drain_task = asyncio.create_task(self.drain())
+            return ServeResponse(
+                id=request.id, ok=True, meta={"draining": True}
             )
         return await self._dispatch_solve(request)
 
@@ -340,6 +471,15 @@ class AllocationServer:
 
     async def _dispatch_solve(self, request: ServeRequest) -> ServeResponse:
         assert request.spec is not None  # enforced by ServeRequest validation
+        if self._draining:
+            raise ServerOverloaded(
+                "server is draining; connect to another instance",
+                retry_after_ms=500.0,
+            )
+        if self._supervisor is not None:
+            # Breaker-open sheds at admission: fail fast with the breaker's
+            # retry_after hint instead of occupying a queue slot.
+            self._supervisor.check_breaker()
         key, config = self._resolve_spec(request.spec)
         loop = asyncio.get_running_loop()
 
@@ -371,7 +511,7 @@ class AllocationServer:
         future: "asyncio.Future[Any]" = loop.create_future()
         entry = _Pending(
             key=key, config=config, use_cache=request.use_cache,
-            future=future, enqueued_at=loop.time(),
+            future=future, enqueued_at=loop.time(), spec=request.spec,
         )
         try:
             self._queue.put_nowait(entry)
@@ -415,9 +555,83 @@ class AllocationServer:
                     stop_after = True
                     break
                 batch.append(nxt)
-            await self._solve_batch(batch)
+            if self._supervisor is None:
+                await self._solve_batch(batch)
+            else:
+                # Supervised mode: reserve a worker slot, then solve in a
+                # background task so the batcher keeps forming batches for
+                # the other workers while this one is busy.
+                await self._supervisor.reserve()
+                task = asyncio.create_task(self._solve_batch_supervised(batch))
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
             if stop_after:
                 return
+
+    async def _solve_batch_supervised(self, batch: List[_Pending]) -> None:
+        """Ship one micro-batch to the worker pool and fan outcomes out.
+
+        Unique specs only cross the pipe once; outcomes come back per spec
+        as payload dicts or taxonomy exceptions (the supervisor has already
+        respawned crashed/hung workers and retried items individually).
+        Successful cacheable payloads are persisted to the result cache
+        *before* waiter fan-out and regardless of whether any waiter is
+        still connected — the no-lost-acked-results half of the
+        at-most-once contract: a client that died waiting gets a cache hit
+        when it retries.
+        """
+        assert self._supervisor is not None
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        try:
+            by_key: "OrderedDict[str, List[_Pending]]" = OrderedDict()
+            for entry in batch:
+                by_key.setdefault(entry.key, []).append(entry)
+            spec_dicts = [
+                group[0].spec.to_dict() if group[0].spec is not None else None
+                for group in by_key.values()
+            ]
+            if any(d is None for d in spec_dicts):
+                # Cannot happen via the wire path; guard for embedded users.
+                raise ConfigurationError(
+                    "supervised serving requires spec-born requests"
+                )
+            try:
+                outcomes = await self._supervisor.solve_specs(spec_dicts)
+            except Exception as exc:  # noqa: BLE001 - e.g. breaker opened
+                outcomes = [exc] * len(by_key)
+            solve_ms = (loop.time() - start) * 1000.0
+            solved_keys = 0
+            for (key, group), outcome in zip(by_key.items(), outcomes):
+                self._inflight.pop(key, None)
+                if isinstance(outcome, BaseException) or outcome is None:
+                    exc = outcome or ServerOverloaded("request dropped")
+                    for e in group:
+                        if not e.future.done():
+                            e.future.set_exception(exc)
+                    continue
+                solved_keys += 1
+                if any(e.use_cache for e in group):
+                    try:
+                        self.service.cache_store_payload(key, outcome)
+                    except Exception:  # noqa: BLE001 - cache loss ≠ reply loss
+                        pass
+                for e in group:
+                    meta = {
+                        "batch_size": len(batch),
+                        "queue_ms": round(
+                            (start - e.enqueued_at) * 1000.0, 3
+                        ),
+                        "solve_ms": round(solve_ms, 3),
+                        "workers": True,
+                    }
+                    if not e.future.done():
+                        e.future.set_result((outcome, meta))
+            if solved_keys:
+                self.stats["backend_batches"] += 1
+                self.stats["backend_solves"] += solved_keys
+        finally:
+            self._supervisor.release()
 
     async def _solve_batch(self, batch: List[_Pending]) -> None:
         from repro import io as repro_io
@@ -475,9 +689,42 @@ class AllocationServer:
         snapshot["max_wait_ms"] = self.settings.max_wait_ms
         snapshot["max_queue"] = self.settings.max_queue
         snapshot["coalesce_enabled"] = self.settings.coalesce
+        snapshot["draining"] = self._draining
+        snapshot["workers"] = self.settings.workers
+        if self._supervisor is not None:
+            snapshot["supervisor"] = self._supervisor.health_snapshot()
         snapshot["uptime_s"] = (
             round(time.monotonic() - self._started_at, 3)
             if self._started_at
             else 0.0
         )
         return snapshot
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Readiness detail (the ``health`` op body).
+
+        Queue and request pressure, drain state, cache counters, and — in
+        supervised mode — per-worker states plus the circuit breaker, so an
+        operator (or orchestrator probe) can tell "slow" from "sick"
+        without parsing logs.
+        """
+        body: Dict[str, Any] = {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "max_queue": self.settings.max_queue,
+            "active_requests": self._active_requests,
+            "inflight_keys": len(self._inflight),
+            "cache": self.service.cache_info(),
+            "workers": self.settings.workers,
+            "uptime_s": (
+                round(time.monotonic() - self._started_at, 3)
+                if self._started_at
+                else 0.0
+            ),
+        }
+        if self._supervisor is not None:
+            supervisor = self._supervisor.health_snapshot()
+            body["supervisor"] = supervisor
+            if supervisor["breaker"] != "closed":
+                body["status"] = "degraded" if not self._draining else "draining"
+        return body

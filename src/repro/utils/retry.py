@@ -91,10 +91,16 @@ class RetryPolicy:
         if self.base_s < 0 or self.cap_s < self.base_s:
             raise ValueError("need 0 <= base_s <= cap_s")
 
-    def backoff_s(self, previous_s: float) -> float:
-        """Next sleep: ``min(cap, uniform(base, 3 * previous))``."""
+    def backoff_s(self, previous_s: float, *, floor_s: float = 0.0) -> float:
+        """Next sleep: ``min(cap, uniform(base, 3 * previous))``.
+
+        ``floor_s`` lower-bounds the result *after* the cap — a server's
+        explicit ``retry_after_ms`` advice must win over both the jitter
+        draw and the client-side cap, otherwise a polite client hammers an
+        overloaded server faster than it asked to be retried.
+        """
         upper = max(self.base_s, 3.0 * previous_s)
-        return min(self.cap_s, self.rng.uniform(self.base_s, upper))
+        return max(floor_s, min(self.cap_s, self.rng.uniform(self.base_s, upper)))
 
     def is_retryable(self, exc: BaseException) -> bool:
         return isinstance(exc, self.retry_on)

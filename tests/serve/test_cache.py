@@ -115,6 +115,15 @@ for i in range(60):
 print("ok")
 """
 
+_DOOMED_WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.serve.cache import SqliteResultCache
+cache = SqliteResultCache({db!r})
+cache.put_payload("doomed", {{"v": 2}})
+print("survived the crash seam")  # unreachable under the plan
+"""
+
 
 class TestConcurrency:
     def test_two_processes_write_one_database(self, db):
@@ -140,6 +149,44 @@ class TestConcurrency:
                 assert cache.get_payload(f"{tag}-{i}") == {
                     "writer": tag, "i": i,
                 }
+
+    def test_writer_killed_mid_put_leaves_a_readable_database(self, db):
+        """Crash consistency: a writer dying inside ``put_payload`` costs
+        only its own entry.
+
+        A ``cache.put`` crash plan (delivered via ``REPRO_FAULTS``, exactly
+        how worker subprocesses inherit plans) kills the writer with the
+        row inserted but the transaction open.  sqlite must roll back on
+        the next open: the database stays readable, the pre-existing entry
+        survives byte-for-byte, and the doomed entry is absent — never
+        half-written.
+        """
+        import os
+        from pathlib import Path
+
+        from repro import faults
+        from repro.faults import FaultPlan, FaultRule
+
+        SqliteResultCache(db).put_payload("kept", {"v": 1})
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule(seam="cache.put", kind="crash", probability=1.0),
+        ))
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ, **{faults.ENV_VAR: plan.to_json()})
+        proc = subprocess.run(
+            [sys.executable, "-c", _DOOMED_WRITER.format(src=src, db=db)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == faults.CRASH_EXIT_STATUS, proc.stderr
+        assert "survived" not in proc.stdout
+
+        cache = SqliteResultCache(db)
+        assert cache.get_payload("kept") == {"v": 1}
+        assert cache.get_payload("doomed") is None
+        assert len(cache) == 1
+        # The database is not just readable but still writable.
+        cache.put_payload("after", {"v": 3})
+        assert cache.get_payload("after") == {"v": 3}
 
     def test_threaded_writers_one_instance(self, db):
         import threading

@@ -1,0 +1,324 @@
+"""ServeClient resilience: retries, backoff floors, deadlines, hedging.
+
+Every test runs against a *scripted stub server* (a bare asyncio unix
+server speaking the NDJSON protocol from canned behaviors), so the
+client's failure handling is pinned without solver latency or timing
+luck: backoff sleeps are recorded through the injectable ``_sleep``,
+clocks are fakes, and the stub decides exactly which attempt fails how.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    RetryExhausted,
+    ServerOverloaded,
+)
+from repro.serve import ConfigSpec, ServeClient
+from repro.serve.protocol import ServeResponse, decode_line, encode_line
+from repro.utils.retry import Deadline, RetryPolicy
+
+SPEC = ConfigSpec(seed=2)
+
+#: A minimal successful solve payload (the client never decodes results).
+_PAYLOAD = {"kind": "quhe_result", "objective": 1.0}
+
+
+def _ok(request):
+    return ServeResponse(
+        id=request["id"], ok=True, result=dict(_PAYLOAD),
+        meta={"cache": "hit"},
+    )
+
+
+def _overloaded(request, retry_after_ms=500.0):
+    return ServeResponse(
+        id=request["id"], ok=False,
+        error={"type": "ServerOverloaded", "exit_code": 10,
+               "message": "shed", "retry_after_ms": retry_after_ms},
+    )
+
+
+def _config_error(request):
+    return ServeResponse(
+        id=request["id"], ok=False,
+        error={"type": "ConfigurationError", "exit_code": 2,
+               "message": "bad spec"},
+    )
+
+
+#: Behavior sentinels beyond "reply with this response".
+SILENT = "silent"          # swallow the request, never answer
+DISCONNECT = "disconnect"  # drop the connection without answering
+
+
+class StubServer:
+    """Unix-socket NDJSON server answering from a scripted behavior list.
+
+    Each incoming request consumes the next behavior: a callable
+    ``request_dict -> ServeResponse``, ``SILENT``, or ``DISCONNECT``.
+    An exhausted script answers ``_ok`` (keeps shutdown boring).
+    """
+
+    def __init__(self, path: str, behaviors):
+        self.path = path
+        self.behaviors = list(behaviors)
+        self.requests = []
+        self.connections = 0
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=self.path
+        )
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                request = decode_line(line)
+                self.requests.append(request)
+                behavior = (
+                    self.behaviors.pop(0) if self.behaviors else _ok
+                )
+                if behavior is SILENT:
+                    continue
+                if behavior is DISCONNECT:
+                    writer.transport.abort()
+                    return
+                writer.write(encode_line(behavior(request).to_dict()))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _run(tmp_path, behaviors, body):
+    path = str(tmp_path / "stub.sock")
+    async with StubServer(path, behaviors) as stub:
+        client = await ServeClient.connect(socket_path=path)
+        try:
+            return await body(stub, client)
+        finally:
+            await client.close()
+
+
+def _recording_policy(**overrides):
+    """A deterministic policy whose jitter cap is tiny (floors must win)."""
+    base = dict(max_attempts=3, base_s=0.001, cap_s=0.002,
+                rng=random.Random(0))
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+class TestRetryAfterFloor:
+    def test_server_advice_floors_the_backoff(self, tmp_path):
+        """retry_after_ms=500 beats a 2ms client-side cap, every attempt."""
+        sleeps = []
+
+        async def body(stub, client):
+            async def fake_sleep(seconds):
+                sleeps.append(seconds)
+
+            client._sleep = fake_sleep
+            response = await client.solve_with_retry(
+                SPEC, policy=_recording_policy()
+            )
+            assert response.ok
+            assert len(stub.requests) == 3
+
+        asyncio.run(_run(
+            tmp_path, [_overloaded, _overloaded, _ok], body
+        ))
+        assert len(sleeps) == 2
+        assert all(pause >= 0.5 for pause in sleeps)
+
+    def test_no_advice_keeps_jittered_backoff_under_cap(self, tmp_path):
+        sleeps = []
+
+        def transient(request):
+            return ServeResponse(
+                id=request["id"], ok=False,
+                error={"type": "TransientIOError", "exit_code": 7,
+                       "message": "blip"},
+            )
+
+        async def body(stub, client):
+            async def fake_sleep(seconds):
+                sleeps.append(seconds)
+
+            client._sleep = fake_sleep
+            response = await client.solve_with_retry(
+                SPEC, policy=_recording_policy()
+            )
+            assert response.ok
+
+        asyncio.run(_run(tmp_path, [transient, _ok], body))
+        assert sleeps and all(pause <= 0.002 for pause in sleeps)
+
+
+class TestRetryClassification:
+    def test_non_transient_error_is_not_retried(self, tmp_path):
+        async def body(stub, client):
+            with pytest.raises(ConfigurationError):
+                await client.solve_with_retry(
+                    SPEC, policy=_recording_policy()
+                )
+            assert len(stub.requests) == 1  # no second attempt
+
+        asyncio.run(_run(tmp_path, [_config_error], body))
+
+    def test_exhaustion_raises_retry_exhausted_chaining_cause(self, tmp_path):
+        async def body(stub, client):
+            client._sleep = _no_sleep
+            with pytest.raises(RetryExhausted) as excinfo:
+                await client.solve_with_retry(
+                    SPEC, policy=_recording_policy(max_attempts=2)
+                )
+            assert excinfo.value.attempts == 2
+            assert isinstance(excinfo.value.__cause__, ServerOverloaded)
+            assert len(stub.requests) == 2
+
+        asyncio.run(_run(tmp_path, [_overloaded, _overloaded], body))
+
+
+async def _no_sleep(seconds):
+    return None
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestDeadline:
+    def test_budget_spent_sleeping_stops_the_next_attempt(self, tmp_path):
+        clock = _FakeClock()
+
+        async def body(stub, client):
+            async def slow_world_sleep(seconds):
+                clock.now += 2.0  # the backoff outlives the budget
+
+            client._sleep = slow_world_sleep
+            with pytest.raises(DeadlineExceeded):
+                await client.solve_with_retry(
+                    SPEC,
+                    policy=_recording_policy(),
+                    deadline=Deadline(budget_s=1.0, clock=clock),
+                )
+            assert len(stub.requests) == 1  # attempt 2 never went out
+
+        asyncio.run(_run(tmp_path, [_overloaded, _ok], body))
+
+    def test_sleep_is_clipped_to_remaining_budget(self, tmp_path):
+        clock = _FakeClock()
+        sleeps = []
+
+        async def body(stub, client):
+            async def fake_sleep(seconds):
+                sleeps.append(seconds)  # frozen clock: budget not consumed
+
+            client._sleep = fake_sleep
+            response = await client.solve_with_retry(
+                SPEC,
+                policy=_recording_policy(),
+                deadline=Deadline(budget_s=0.2, clock=clock),
+            )
+            assert response.ok
+
+        # The server asks for a 500ms floor but only a 200ms budget exists:
+        # the pause is clipped to the remaining budget, not the floor.
+        asyncio.run(_run(tmp_path, [_overloaded, _ok], body))
+        assert sleeps == [pytest.approx(0.2)]
+
+
+class TestReconnect:
+    def test_dropped_connection_is_redialed_between_attempts(self, tmp_path):
+        async def body(stub, client):
+            client._sleep = _no_sleep
+            response = await client.solve_with_retry(
+                SPEC, policy=_recording_policy()
+            )
+            assert response.ok
+            assert stub.connections == 2  # the retry arrived on a redial
+
+        asyncio.run(_run(tmp_path, [DISCONNECT, _ok], body))
+
+    def test_raw_stream_client_cannot_reconnect(self, tmp_path):
+        async def body(stub, client):
+            reader, writer = await asyncio.open_unix_connection(stub.path)
+            raw = ServeClient(reader, writer)
+            try:
+                with pytest.raises(ConnectionError, match="cannot reconnect"):
+                    await raw.reconnect()
+            finally:
+                await raw.close()
+
+        asyncio.run(_run(tmp_path, [], body))
+
+
+class TestHedging:
+    def test_hedge_rescues_a_stuck_request(self, tmp_path):
+        """First request swallowed; the hedge answers after delay_ms."""
+        from repro.serve.client import HedgePolicy
+
+        hedge = HedgePolicy(delay_ms=20.0)
+
+        async def body(stub, client):
+            response = await client.solve_with_retry(SPEC, hedge=hedge)
+            assert response.ok
+            assert len(stub.requests) == 2
+
+        asyncio.run(_run(tmp_path, [SILENT, _ok], body))
+        assert hedge.hedges_fired == 1
+
+    def test_fast_response_fires_no_hedge(self, tmp_path):
+        from repro.serve.client import HedgePolicy
+
+        hedge = HedgePolicy(delay_ms=5_000.0)
+
+        async def body(stub, client):
+            response = await client.solve_with_retry(SPEC, hedge=hedge)
+            assert response.ok
+            assert len(stub.requests) == 1
+
+        asyncio.run(_run(tmp_path, [_ok], body))
+        assert hedge.hedges_fired == 0
+
+    def test_derived_delay_needs_history_then_tracks_quantile(self):
+        from repro.serve.client import HedgePolicy
+
+        hedge = HedgePolicy(min_samples=4, min_delay_ms=10.0)
+        assert hedge.hedge_delay_s() is None
+        for latency in (20.0, 30.0, 40.0, 1000.0):
+            hedge.observe(latency)
+        # p99 of the window is the slowest sample.
+        assert hedge.hedge_delay_s() == pytest.approx(1.0)
+
+    def test_derived_delay_floor_protects_cache_fast_paths(self):
+        from repro.serve.client import HedgePolicy
+
+        hedge = HedgePolicy(min_samples=2, min_delay_ms=10.0)
+        hedge.observe(0.1)
+        hedge.observe(0.2)
+        assert hedge.hedge_delay_s() == pytest.approx(0.010)

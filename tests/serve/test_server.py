@@ -253,6 +253,158 @@ class TestProtocolErrors:
         ))
 
 
+class TestHealthAndDrain:
+    def test_health_op_reports_ok_and_queue_state(self, tmp_path):
+        async def body(server, client):
+            health = await client.health()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+            assert health["active_requests"] >= 1  # the health call itself
+            assert health["workers"] == 0
+            assert "supervisor" not in health  # inline mode
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path)), body
+        ))
+
+    def test_drain_op_flushes_inflight_then_terminates(self, tmp_path):
+        specs = [
+            ConfigSpec(seed=2, total_bandwidth_hz=1e6 + i * 2.5e5)
+            for i in range(3)
+        ]
+
+        async def main():
+            server = AllocationServer(ServeSettings(
+                socket_path=_sock(tmp_path), max_wait_ms=100.0, max_batch=8,
+            ))
+            await server.start()
+            client = await ServeClient.connect(
+                socket_path=server.settings.socket_path
+            )
+            try:
+                solves = [
+                    asyncio.ensure_future(
+                        client.solve(spec, use_cache=False)
+                    )
+                    for spec in specs
+                ]
+                await asyncio.sleep(0)  # let the requests hit the wire
+                assert await client.drain()
+                # Every admitted request is answered before shutdown.
+                responses = await asyncio.gather(*solves)
+                for response in responses:
+                    response.raise_for_error()
+                await asyncio.wait_for(server.wait_terminated(), timeout=15)
+            finally:
+                await client.close()
+                await server.stop()  # idempotent
+            # The listener is gone: fresh connections are refused.
+            with pytest.raises((ConnectionError, FileNotFoundError)):
+                await ServeClient.connect(
+                    socket_path=server.settings.socket_path
+                )
+
+        asyncio.run(main())
+
+    def test_draining_server_sheds_new_solves(self, tmp_path):
+        from repro.errors import ServerOverloaded
+
+        async def main():
+            server = AllocationServer(
+                ServeSettings(socket_path=_sock(tmp_path))
+            )
+            await server.start()
+            try:
+                server._draining = True
+                with pytest.raises(ServerOverloaded) as excinfo:
+                    await server._dispatch_solve(ServeRequest(
+                        id="r", op="solve", spec=ConfigSpec(seed=2)
+                    ))
+                assert excinfo.value.retry_after_ms == 500.0
+            finally:
+                server._draining = False
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestSupervised:
+    """The workers>0 path: same contract, solves in subprocesses."""
+
+    def test_supervised_solve_then_cache_hit_is_byte_identical(self, tmp_path):
+        spec = ConfigSpec(seed=2)
+
+        async def body(server, client):
+            first = await client.solve(spec)
+            first.raise_for_error()
+            assert first.meta["cache"] == "solved"
+            assert first.meta["workers"] is True
+            second = await client.solve(spec)
+            assert second.meta["cache"] == "hit"
+            assert json.dumps(first.result, sort_keys=True) == json.dumps(
+                second.result, sort_keys=True
+            )
+            health = await client.health()
+            assert health["supervisor"]["breaker"] == "closed"
+            assert health["supervisor"]["worker_restarts"] == 0
+
+        asyncio.run(_with_server(
+            ServeSettings(socket_path=_sock(tmp_path), workers=1), body
+        ))
+
+    def test_result_cached_even_when_client_disconnects(self, tmp_path):
+        """Drop-on-disconnect regression: a dead waiter loses nothing.
+
+        The first client vanishes after its request is admitted but before
+        the batch completes; the solved payload must still land in the
+        result cache, so the client's retry (here: a second client) is a
+        cache hit instead of a second backend solve.
+        """
+        spec = ConfigSpec(seed=2)
+
+        async def main():
+            server = AllocationServer(ServeSettings(
+                socket_path=_sock(tmp_path), workers=1, max_wait_ms=150.0,
+            ))
+            await server.start()
+            try:
+                first = await ServeClient.connect(
+                    socket_path=server.settings.socket_path
+                )
+                doomed = asyncio.ensure_future(first.solve(spec))
+                # Wait for admission (the batcher is lingering), then yank
+                # the connection out from under the in-flight solve.
+                for _ in range(200):
+                    if server.stats["requests"] >= 1:
+                        break
+                    await asyncio.sleep(0.005)
+                assert server.stats["requests"] >= 1
+                await first.close()
+                with pytest.raises((ConnectionError, asyncio.CancelledError)):
+                    await doomed
+                # The batch still runs to completion and caches its result.
+                for _ in range(600):
+                    if server.stats["backend_solves"] >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.stats["backend_solves"] == 1
+
+                second = await ServeClient.connect(
+                    socket_path=server.settings.socket_path
+                )
+                try:
+                    retry = await second.solve(spec)
+                    retry.raise_for_error()
+                    assert retry.meta["cache"] == "hit"
+                finally:
+                    await second.close()
+                assert server.stats["backend_solves"] == 1  # no re-solve
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
 class TestLifecycle:
     def test_stop_fails_stranded_requests_not_hangs(self, tmp_path):
         async def main():
