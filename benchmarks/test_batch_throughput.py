@@ -72,6 +72,40 @@ def test_stage1_dedup_amortizes(typical_cfg):
 
 
 @pytest.mark.smoke
+def test_stack_tax_stays_amortized(sweep_configs, capsys):
+    """ISSUE 10: stacking a ConfigBatch must remain a rounding error next
+    to the solve it feeds.  The script floor is ≤ 10% of a K=64 solve;
+    here a CI-safe ≤ 25% on the smoke-sized sweep (construction is O(K·n)
+    python loops, the solve is the expensive part by orders of magnitude)."""
+    from repro.core.batch import ConfigBatch
+
+    reps = 5
+    start = time.perf_counter()
+    for _ in range(reps):
+        ConfigBatch.from_configs(sweep_configs)
+    construct_s = (time.perf_counter() - start) / reps
+
+    solver = BatchedQuHE()
+    solver.solve_config_batch(ConfigBatch.from_configs(sweep_configs[:1]))
+    batch = ConfigBatch.from_configs(sweep_configs)
+    start = time.perf_counter()
+    solver.solve_config_batch(batch)
+    solve_s = time.perf_counter() - start
+
+    stack_tax = construct_s / solve_s
+    with capsys.disabled():
+        print(
+            f"\nstack tax: construct {construct_s * 1e3:.2f}ms vs solve "
+            f"{solve_s * 1e3:.1f}ms ({stack_tax * 100:.1f}%) at "
+            f"K={len(sweep_configs)}"
+        )
+    assert stack_tax <= 0.25, (
+        f"ConfigBatch construction costs {stack_tax * 100:.1f}% of the "
+        f"solve it feeds (smoke floor 25%)"
+    )
+
+
+@pytest.mark.smoke
 def test_floor_helper_flags_regressions():
     """The shared --check plumbing actually catches a broken floor."""
     fast = time_op(lambda: None, op="noop", backend="x", min_duration=0.01)

@@ -30,6 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np  # noqa: E402
 
 from repro.api.service import SolverService  # noqa: E402
+from repro.core.batch import ConfigBatch  # noqa: E402
 from repro.core.batched import BatchedQuHE  # noqa: E402
 from repro.core.config import paper_config  # noqa: E402
 from repro.core.quhe import QuHE  # noqa: E402
@@ -43,6 +44,19 @@ from repro.utils.bench import (  # noqa: E402
 #: ISSUE-4 acceptance: batched ≥ 5× the serial scalar path on the full
 #: 16-point sweep.  The --quick 8-point batch amortizes less and runs on
 #: noisier CI machines, so it gets a softer floor.
+#: ISSUE-10 floors: ConfigBatch construction must stay amortized — at most
+#: 10% of the K=64 columnar solve it feeds (i.e. the solve is ≥ 10× the
+#: stacking cost) — and the K=64 solve itself must hold a per-config
+#: throughput floor (≤ 20 ms/config; ~2× headroom over the recorded
+#: 9.8 ms/config so CI noise cannot trip it).
+_STACK_TAX_FLOORS = (
+    Floor(
+        op="config_batch_construct",
+        min_ratio=10.0,
+        min_ratio_vs="config_batch_solve",
+    ),
+    Floor(op="config_batch_solve", min_ops_per_second=50.0),
+)
 FLOORS = (
     Floor(
         op="fig6_bandwidth_sweep",
@@ -50,7 +64,7 @@ FLOORS = (
         min_ratio=5.0,
         min_ratio_vs="fig6_bandwidth_sweep_serial",
     ),
-)
+) + _STACK_TAX_FLOORS
 QUICK_FLOORS = (
     Floor(
         op="fig6_bandwidth_sweep",
@@ -58,7 +72,7 @@ QUICK_FLOORS = (
         min_ratio=2.5,
         min_ratio_vs="fig6_bandwidth_sweep_serial",
     ),
-)
+) + _STACK_TAX_FLOORS
 
 
 def sweep_configs(points: int, seed: int = 2):
@@ -134,6 +148,51 @@ def bench_scaling(seed: int, sizes=(1, 4, 16, 64)):
         )
 
 
+def bench_stack_tax(seed: int, k: int = 64):
+    """Stacking cost vs solve cost at K=64 — the columnar-core headline.
+
+    ``config_batch_construct`` is one ConfigBatch.from_configs over the
+    whole batch; ``config_batch_solve`` is the native columnar solve fed by
+    it.  Both are recorded per config so the ratio floor compares totals;
+    ``stack_tax`` in the params is the construction share of one solve.
+    """
+    base = paper_config(seed=seed)
+    configs = [
+        base.with_total_bandwidth(float(v))
+        for v in np.linspace(0.5e7, 1.5e7, k)
+    ]
+    construct_reps = 10
+    start = time.perf_counter()
+    for _ in range(construct_reps):
+        ConfigBatch.from_configs(configs)
+    construct_s = (time.perf_counter() - start) / construct_reps
+
+    # Warm numpy and the scipy path before timing the solve.
+    BatchedQuHE().solve_config_batch(ConfigBatch.from_configs(configs[:1]))
+    batch = ConfigBatch.from_configs(configs)
+    start = time.perf_counter()
+    BatchedQuHE().solve_config_batch(batch)
+    solve_s = time.perf_counter() - start
+
+    stack_tax = construct_s / solve_s
+    params = {"batch": k, "seed": seed}
+    yield BenchResult(
+        op="config_batch_construct",
+        backend="columnar",
+        params={**params, "stack_tax": stack_tax,
+                "construct_ms_total": construct_s * 1000.0},
+        reps=k * construct_reps,
+        seconds_per_op=construct_s / k,
+    )
+    yield BenchResult(
+        op="config_batch_solve",
+        backend="columnar",
+        params={**params, "ms_per_config": solve_s / k * 1000.0},
+        reps=k,
+        seconds_per_op=solve_s / k,
+    )
+
+
 def bench_service_cache(seed: int):
     configs = sweep_configs(8, seed)
     service = SolverService(cache_size=128)
@@ -172,6 +231,11 @@ def main(argv=None) -> int:
     for res in bench_service_cache(args.seed):
         results.append(res)
         print(res)
+    # Stack-tax runs in BOTH modes: the CI bench-smoke job uses
+    # ``--quick --check`` and a missing op counts as a floor violation.
+    for res in bench_stack_tax(args.seed):
+        results.append(res)
+        print(res)
 
     by_backend = {
         r.backend: r for r in results if r.op == "fig6_bandwidth_sweep"
@@ -182,6 +246,9 @@ def main(argv=None) -> int:
     )
     print(f"\nbatched vs serial scalar: {speedup:.2f}x "
           f"({os.cpu_count()} cpu)")
+    stack = next(r for r in results if r.op == "config_batch_construct")
+    print(f"stack tax at K=64: {stack.params['stack_tax'] * 100:.1f}% "
+          f"of one columnar solve")
 
     out = write_results(args.output, results)
     print(f"wrote {out}")

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro import faults as _faults
+from repro.core.batch import ConfigBatch, SolutionBatch
 from repro.core.batched import BatchedQuHE
 from repro.core.config import SystemConfig
 from repro.core.quhe import QuHE, QuHEResult
@@ -393,6 +394,18 @@ class SolverService:
                 self._misses += 1
             return result
 
+    def _cache_peek(self, key: str) -> Optional[QuHEResult]:
+        """Probe the cache without touching the hit/miss counters.
+
+        Serving layers that already accounted a request via
+        :meth:`cache_lookup` retry the probe inside the batch solve; a
+        second counted probe would double-book the same logical request
+        (``count_cache_stats=False`` in :meth:`solve_many` /
+        :meth:`solve_batch` routes here instead).
+        """
+        with self._lock:
+            return self._cache.get(key)
+
     def _cache_put(self, key: str, result: QuHEResult) -> None:
         with self._lock:
             self._cache.put(key, result)
@@ -452,8 +465,14 @@ class SolverService:
         progress: Optional[ProgressCallback] = None,
         use_cache: bool = True,
         initials: Optional[Sequence[Optional[Allocation]]] = None,
+        count_cache_stats: bool = True,
     ) -> List[QuHEResult]:
         """Solve a batch of configurations through the chosen backend.
+
+        ``count_cache_stats=False`` makes cache probes and in-batch dedup
+        invisible to :meth:`cache_info` — for callers (the serve daemon)
+        that already counted each logical request at their own boundary and
+        would otherwise book the same request twice.
 
         ``backend`` is one of ``"batched"`` (stack all pending configs into
         one vectorized :class:`~repro.core.batched.BatchedQuHE` pass),
@@ -524,7 +543,7 @@ class SolverService:
         # them as coalesced requests (the serve daemon adds its own in-flight
         # merges on top via note_coalesced).
         duplicates = total - len(counts)
-        if duplicates:
+        if duplicates and count_cache_stats:
             self.note_coalesced(duplicates)
         results: Dict[str, QuHEResult] = {}
         pending: List[int] = []  # first input index of each unsolved unique key
@@ -532,7 +551,8 @@ class SolverService:
         for i, key in enumerate(keys):
             if key in results or key in queued:
                 continue
-            cached = self._cache_get(key) if use_cache and cacheable[i] else None
+            probe = self._cache_get if count_cache_stats else self._cache_peek
+            cached = probe(key) if use_cache and cacheable[i] else None
             if cached is not None:
                 results[key] = cached
             else:
@@ -602,3 +622,73 @@ class SolverService:
                 if use_cache and cacheable[i]:
                     self._cache_put(keys[i], result)
         return [results[key] for key in keys]
+
+    def solve_batch(
+        self,
+        batch: ConfigBatch,
+        *,
+        use_cache: bool = True,
+        count_cache_stats: bool = True,
+    ) -> SolutionBatch:
+        """Solve a columnar :class:`~repro.core.batch.ConfigBatch` natively.
+
+        The zero-copy sibling of :meth:`solve_many`: the batch's columns
+        feed :meth:`BatchedQuHE.solve_config_batch` directly — no per-call
+        object→array stacking, no shape regrouping — and the result is a
+        :class:`~repro.core.batch.SolutionBatch` whose ``[i]`` views equal
+        the scalar results.  Fingerprint caching, dedup and the degraded
+        per-config fallback behave exactly as in :meth:`solve_many`.
+        """
+        self.last_backend = "batched"
+        k = len(batch)
+        keys: List[str] = []
+        cacheable: List[bool] = []
+        for i in range(k):
+            try:
+                keys.append(config_fingerprint(batch[i]))
+                cacheable.append(True)
+            except FingerprintError:
+                keys.append(f"__uncacheable_{i}__")
+                cacheable.append(False)
+        counts = Counter(keys)
+        duplicates = k - len(counts)
+        if duplicates and count_cache_stats:
+            self.note_coalesced(duplicates)
+        probe = self._cache_get if count_cache_stats else self._cache_peek
+        results: Dict[str, QuHEResult] = {}
+        pending: List[int] = []
+        queued = set()
+        for i, key in enumerate(keys):
+            if key in results or key in queued:
+                continue
+            cached = probe(key) if use_cache and cacheable[i] else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                queued.add(key)
+                pending.append(i)
+        if len(pending) == k:
+            # Full miss, no duplicates: the solver's SolutionBatch IS the
+            # answer — hand its columns back without any re-assembly.
+            try:
+                solution = self._batched.solve_config_batch(batch)
+            except SolverError:
+                solved = [_solve_config(batch[i]) for i in range(k)]
+                solution = SolutionBatch.from_results(solved)
+            if use_cache:
+                for i in range(k):
+                    if cacheable[i]:
+                        self._cache_put(keys[i], solution[i])
+            return solution
+        if pending:
+            sub = batch.select(pending)
+            try:
+                solved_batch = self._batched.solve_config_batch(sub)
+                solved = [solved_batch[j] for j in range(len(pending))]
+            except SolverError:
+                solved = [_solve_config(batch[i]) for i in pending]
+            for i, result in zip(pending, solved):
+                results[keys[i]] = result
+                if use_cache and cacheable[i]:
+                    self._cache_put(keys[i], result)
+        return SolutionBatch.from_results([results[key] for key in keys])

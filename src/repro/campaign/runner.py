@@ -69,6 +69,8 @@ __all__ = [
 MANIFEST_FILENAME = "campaign.json"
 AGGREGATE_FILENAME = "aggregate.json"
 CELLS_DIRNAME = "cells"
+#: Columnar canonical-batch artifacts (one solution_batch npz per chunk).
+CANONICAL_DIRNAME = "canonical"
 FAILED_DIRNAME = "cells_failed"
 ERROR_FILENAME = "error.json"
 
@@ -256,13 +258,63 @@ class CampaignRunner:
             if not batch:
                 continue
             configs = [self._configs[fp] for fp in batch]
-            results = self.service.solve_many(
-                configs, backend=self.spec.backend, use_cache=False
-            )
+            results = self._solve_canonical_batch(index, configs)
             for fp, result in zip(batch, results):
                 self._canonical_results[fp] = result
         for fp in sorted(chunk_fingerprints):
             self.service.prime(self._configs[fp], self._canonical_results[fp])
+
+    def _solve_canonical_batch(
+        self, index: int, configs: List[Any]
+    ) -> List[Any]:
+        """Solve one canonical chunk batch, streamed through npz artifacts.
+
+        With the batched backend and a uniform-shape batch, the chunk's
+        canonical results persist as one columnar ``solution_batch`` npz
+        under ``out_dir/canonical/``: a resumed run memory-maps the
+        artifact back instead of re-solving, and the loaded views carry
+        the exact floats of the original solve (byte-identical records).
+        A corrupt or missing artifact silently falls back to solving.
+        """
+        from repro.api.service import resolve_backend
+        from repro.core.batch import ConfigBatch
+        from repro.errors import ArtifactError
+
+        chosen = resolve_backend(self.spec.backend, None)
+        shapes = {
+            (c.num_clients, len(c.cost_model.lambda_set)) for c in configs
+        }
+        if chosen != "batched" or len(shapes) != 1:
+            return self.service.solve_many(
+                configs, backend=self.spec.backend, use_cache=False
+            )
+        from repro import io as repro_io
+
+        path: Optional[Path] = None
+        if self.out_dir is not None:
+            path = (
+                self.out_dir / CANONICAL_DIRNAME / f"chunk_{index:05d}.npz"
+            )
+            if path.exists():
+                try:
+                    solution = repro_io.load_batch_npz(path)
+                except (ArtifactError, OSError, ValueError):
+                    solution = None
+                if solution is not None and len(solution) == len(configs):
+                    # Mirror what the solve would have recorded, so resumed
+                    # cells see the same backend probe in their records.
+                    self.service.last_backend = "batched"
+                    return [solution[i] for i in range(len(configs))]
+        solution = self.service.solve_batch(
+            ConfigBatch.from_configs(configs), use_cache=False
+        )
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                repro_io.save_batch_npz(solution, path)
+            except (OSError, ValueError, TypeError):
+                pass  # the stream cache is best-effort; the solve succeeded
+        return [solution[i] for i in range(len(configs))]
 
     # -- persistence ----------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.core.stage1 import Stage1Result, Stage1Solver
 from repro.core.stage2 import BranchAndBoundSolver, ExhaustiveSolver, Stage2Result
 from repro.core.stage3 import Stage3Result, Stage3Solver
 from repro.core.quhe import QuHE, QuHEResult
+from repro.core.batch import ConfigBatch, SolutionBatch
 from repro.core.batched import BatchedQuHE, solve_batch
 from repro.core.baselines import (
     average_allocation,
@@ -38,6 +39,8 @@ from repro.core.stage1_baselines import (
 
 __all__ = [
     "BatchedQuHE",
+    "ConfigBatch",
+    "SolutionBatch",
     "solve_batch",
     "Allocation",
     "BranchAndBoundSolver",

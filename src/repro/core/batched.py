@@ -32,10 +32,11 @@ solved as one batch; results always come back in input order.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch import ConfigBatch, SolutionBatch, _ragged
 from repro.core.config import SystemConfig
 from repro.core.problem import QuHEProblem
 from repro.core.quhe import QuHE, QuHEResult
@@ -43,11 +44,7 @@ from repro.core.solution import Allocation
 from repro.core.stage1 import Stage1Result, Stage1Solver
 from repro.core.stage2 import BranchAndBoundSolver, Stage2Result
 from repro.core.stage3 import Stage3Result
-from repro.core.stage3_ipm import (
-    Stage3Constants,
-    solve_stage3_batch,
-    stack_stage3_constants,
-)
+from repro.core.stage3_ipm import Stage3Constants, solve_stage3_batch
 from repro.wireless.rate import uplink_rate
 
 __all__ = ["BatchedQuHE", "solve_batch"]
@@ -81,6 +78,8 @@ class BatchedQuHE:
 
     def __init__(self, *, max_outer_iterations: int = 20) -> None:
         self.max_outer_iterations = int(max_outer_iterations)
+        if self.max_outer_iterations < 1:
+            raise ValueError("max_outer_iterations must be at least 1")
         self._stage1_cache: Dict[bytes, Stage1Result] = {}
 
     # -- public API -------------------------------------------------------------
@@ -104,21 +103,60 @@ class BatchedQuHE:
             initials = [None] * len(configs)
         if len(initials) != len(configs):
             raise ValueError("initials must align with configs")
-        groups: Dict[Tuple[int, int], Tuple[List[int], List[SystemConfig]]] = {}
-        for i, cfg in enumerate(configs):
-            key = (cfg.num_clients, len(cfg.cost_model.lambda_set))
-            groups.setdefault(key, ([], []))[0].append(i)
-            groups[key][1].append(cfg)
-        results: List[Optional[QuHEResult]] = [None] * len(configs)
-        for indices, cfgs in groups.values():
-            group_results = self._solve_group(
-                cfgs, [initials[i] for i in indices]
+        if isinstance(configs, ConfigBatch):
+            solution = self.solve_config_batch(
+                configs, initials, on_config=on_config
             )
-            for i, result in zip(indices, group_results):
-                results[i] = result
+            return solution.to_results()
+        # Shape-group batching on index masks: one (num_clients, m) key row
+        # per config, np.unique for the group ids, groups visited in
+        # first-appearance order (the documented completion order).
+        shape_keys = np.array(
+            [
+                [cfg.num_clients, len(cfg.cost_model.lambda_set)]
+                for cfg in configs
+            ],
+            dtype=np.int64,
+        )
+        _, first, inverse = np.unique(
+            shape_keys, axis=0, return_index=True, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        results: List[Optional[QuHEResult]] = [None] * len(configs)
+        for g in np.argsort(first, kind="stable"):
+            indices = np.nonzero(inverse == g)[0]
+            batch = ConfigBatch.from_configs([configs[int(i)] for i in indices])
+            solution = self._solve_group(
+                batch, [initials[int(i)] for i in indices]
+            )
+            for j, i in enumerate(indices):
+                results[int(i)] = solution[j]
                 if on_config is not None:
-                    on_config(i)
+                    on_config(int(i))
         return results  # type: ignore[return-value]
+
+    def solve_config_batch(
+        self,
+        batch: ConfigBatch,
+        initials: Optional[Sequence[Optional[Allocation]]] = None,
+        *,
+        on_config: Optional[Callable[[int], None]] = None,
+    ) -> SolutionBatch:
+        """Solve a columnar batch natively — no per-call stacking at all.
+
+        The batch is uniform by construction, so no regrouping happens:
+        the solver reads the precomputed columns directly and returns a
+        :class:`SolutionBatch` whose ``[i]`` views are the scalar results.
+        """
+        if initials is None:
+            initials = [None] * len(batch)
+        if len(initials) != len(batch):
+            raise ValueError("initials must align with configs")
+        solution = self._solve_group(batch, list(initials))
+        if on_config is not None:
+            for i in range(len(batch)):
+                on_config(i)
+        return solution
 
     # -- group solve ------------------------------------------------------------
 
@@ -134,11 +172,12 @@ class BatchedQuHE:
 
     def _solve_group(
         self,
-        configs: List[SystemConfig],
+        batch: ConfigBatch,
         initials: List[Optional[Allocation]],
-    ) -> List[QuHEResult]:
+    ) -> SolutionBatch:
         start = time.perf_counter()
-        k = len(configs)
+        k = len(batch)
+        configs = [batch[i] for i in range(k)]
         problems = [QuHEProblem(cfg) for cfg in configs]
         solvers = [QuHE(cfg, max_outer_iterations=self.max_outer_iterations)
                    for cfg in configs]
@@ -161,35 +200,19 @@ class BatchedQuHE:
             alloc.with_updates(phi=s1.phi, w=s1.w)
             for alloc, s1 in zip(allocs, stage1)
         ]
-        constants = stack_stage3_constants(configs)
-        lambda_sets = [
-            np.asarray(cfg.cost_model.lambda_set, dtype=float) for cfg in configs
-        ]
-        per_sample = np.stack(
-            [
-                np.asarray(
-                    cfg.cost_model.server_cycles_per_sample(lam_set), dtype=float
-                )
-                for cfg, lam_set in zip(configs, lambda_sets)
-            ]
-        )  # (K, m)
-        msl_bits = np.stack(
-            [
-                np.asarray(
-                    [cfg.cost_model.msl_bits(v) for v in lam_set], dtype=float
-                )
-                for cfg, lam_set in zip(configs, lambda_sets)
-            ]
-        )  # (K, m)
+        # The columnar payoff: every table below is a view of ConfigBatch
+        # columns stacked once at construction, not rebuilt per call.
+        constants = batch.stage3_constants()
+        lambda_col = batch.lambda_set    # (K, m)
+        per_sample = batch.server_cycles  # (K, m)
+        msl_bits = batch.msl_bits        # (K, m)
         u_qkd = np.array(
             [problems[i].metrics(allocs[i]).u_qkd for i in range(k)]
         )
-        tokens_ratio = np.stack(
-            [cfg.num_tokens / cfg.tokens_per_sample for cfg in configs]
-        )  # (K, n)
-        privacy = np.stack([cfg.privacy_weights for cfg in configs])
+        tokens_ratio = batch.tokens_ratio  # (K, n)
+        privacy = batch.privacy_weights
         alpha = {
-            name: np.array([getattr(cfg, name) for cfg in configs])
+            name: getattr(batch, name)
             for name in ("alpha_qkd", "alpha_msl", "alpha_t", "alpha_e")
         }
 
@@ -207,6 +230,7 @@ class BatchedQuHE:
                 [allocs[i] for i in active],
                 constants,
                 active,
+                lambda_col[active],
                 per_sample[active],
                 msl_bits[active],
                 u_qkd[active],
@@ -232,12 +256,34 @@ class BatchedQuHE:
             sub_constants = (
                 constants.subset(active) if len(active) != k else constants
             )
-            cycles = np.stack(
-                [
-                    configs[i].server_cycle_demand(allocs[i].lam)
-                    for i in active
-                ]
-            )
+            # Vectorized server_cycle_demand: the per-sample cycle curve was
+            # tabulated over the λ-set at batch construction, so gather the
+            # table rows by matching each chosen λ back to its set index.
+            # The arithmetic mirrors SystemConfig.server_cycle_demand
+            # operation-for-operation (same floats, same op order), keeping
+            # results bitwise identical to the scalar path.
+            lam_rows = np.stack([allocs[i].lam for i in active])
+            lam_sets = lambda_col[active]
+            match = lam_rows[:, :, None] == lam_sets[:, None, :]
+            if match.any(axis=-1).all():
+                lam_idx = match.argmax(axis=-1)
+                per_sel = np.take_along_axis(
+                    per_sample[active], lam_idx, axis=1
+                )
+                cycles = (
+                    per_sel
+                    * batch.num_tokens[active]
+                    / batch.tokens_per_sample[active]
+                )
+            else:
+                # λ outside the tabulated set (custom warm start): fall back
+                # to the per-config evaluation.
+                cycles = np.stack(
+                    [
+                        configs[i].server_cycle_demand(allocs[i].lam)
+                        for i in active
+                    ]
+                )
             batch3 = solve_stage3_batch(
                 sub_constants,
                 cycles,
@@ -285,26 +331,65 @@ class BatchedQuHE:
                 break
 
         runtime = time.perf_counter() - start
-        results = []
-        for i in range(k):
-            metrics = problems[i].metrics(allocs[i])
-            results.append(
-                QuHEResult(
-                    allocation=allocs[i],
-                    metrics=metrics,
-                    objective_history=histories[i],
-                    stage1=stage1[i],
-                    stage2=s2_results[i],
-                    stage3=s3_results[i],
-                    stage1_calls=1,
-                    stage2_calls=int(outer_counts[i]),
-                    stage3_calls=int(outer_counts[i]),
-                    outer_iterations=int(outer_counts[i]),
-                    runtime_s=runtime,
-                    converged=bool(converged[i]),
-                )
-            )
-        return results
+        metrics = [problems[i].metrics(allocs[i]) for i in range(k)]
+        w_flat, w_off = _ragged([allocs[i].w for i in range(k)])
+        h_flat, h_off = _ragged(histories)
+        s2h_flat, s2h_off = _ragged([s2.history for s2 in s2_results])
+        s3h_flat, s3h_off = _ragged([s3.history for s3 in s3_results])
+        s3g_flat, s3g_off = _ragged([s3.transform_gap for s3 in s3_results])
+        return SolutionBatch(
+            phi=np.stack([a.phi for a in allocs]),
+            lam=np.stack([a.lam for a in allocs]),
+            p=np.stack([a.p for a in allocs]),
+            b=np.stack([a.b for a in allocs]),
+            f_c=np.stack([a.f_c for a in allocs]),
+            f_s=np.stack([a.f_s for a in allocs]),
+            enc_delay=np.stack([m.enc_delay for m in metrics]),
+            tr_delay=np.stack([m.tr_delay for m in metrics]),
+            cmp_delay=np.stack([m.cmp_delay for m in metrics]),
+            enc_energy=np.stack([m.enc_energy for m in metrics]),
+            tr_energy=np.stack([m.tr_energy for m in metrics]),
+            cmp_energy=np.stack([m.cmp_energy for m in metrics]),
+            s2_lam=np.stack([s2.lam for s2 in s2_results]),
+            s3_p=np.stack([s3.p for s3 in s3_results]),
+            s3_b=np.stack([s3.b for s3 in s3_results]),
+            s3_f_c=np.stack([s3.f_c for s3 in s3_results]),
+            s3_f_s=np.stack([s3.f_s for s3 in s3_results]),
+            T=np.array([float(a.T) for a in allocs]),
+            u_qkd=np.array([m.u_qkd for m in metrics]),
+            u_msl=np.array([m.u_msl for m in metrics]),
+            total_delay=np.array([m.total_delay for m in metrics]),
+            total_energy=np.array([m.total_energy for m in metrics]),
+            objective=np.array([m.objective for m in metrics]),
+            s2_T=np.array([s2.T for s2 in s2_results]),
+            s2_value=np.array([s2.value for s2 in s2_results]),
+            s2_runtime=np.array([s2.runtime_s for s2 in s2_results]),
+            s3_T=np.array([s3.T for s3 in s3_results]),
+            s3_value=np.array([s3.value for s3 in s3_results]),
+            s3_runtime=np.array([s3.runtime_s for s3 in s3_results]),
+            runtime_s=np.full(k, runtime),
+            s2_nodes=np.array(
+                [s2.nodes_explored for s2 in s2_results], dtype=np.int64
+            ),
+            s3_outer=np.array(
+                [s3.outer_iterations for s3 in s3_results], dtype=np.int64
+            ),
+            stage1_calls=np.ones(k, dtype=np.int64),
+            stage2_calls=outer_counts.astype(np.int64),
+            stage3_calls=outer_counts.astype(np.int64),
+            outer_iterations=outer_counts.astype(np.int64),
+            s3_converged=np.array(
+                [s3.converged for s3 in s3_results], dtype=bool
+            ),
+            converged=converged,
+            degraded=np.zeros(k, dtype=bool),
+            w_flat=w_flat, w_offsets=w_off,
+            history_flat=h_flat, history_offsets=h_off,
+            s2_history_flat=s2h_flat, s2_history_offsets=s2h_off,
+            s3_history_flat=s3h_flat, s3_history_offsets=s3h_off,
+            s3_gap_flat=s3g_flat, s3_gap_offsets=s3g_off,
+            stage1=tuple(stage1),
+        )
 
     # -- Stage 2 ----------------------------------------------------------------
 
@@ -314,6 +399,7 @@ class BatchedQuHE:
         allocs: List[Allocation],
         constants: Stage3Constants,
         active: np.ndarray,
+        lam_set: np.ndarray,
         per_sample: np.ndarray,
         msl_bits: np.ndarray,
         u_qkd: np.ndarray,
@@ -381,12 +467,7 @@ class BatchedQuHE:
             for client in range(n - 1, -1, -1):
                 digits[:, client] = rest % m
                 rest //= m
-            lam = np.stack(
-                [
-                    np.asarray(cfg.cost_model.lambda_set, dtype=float)[digits[j]]
-                    for j, cfg in enumerate(configs)
-                ]
-            )
+            lam = np.take_along_axis(lam_set, digits, axis=1)
             rows = np.arange(k)
             t_induced = delay_max[rows, flat]
             best = value[rows, flat]

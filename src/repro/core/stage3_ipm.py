@@ -113,7 +113,14 @@ class Stage3Constants:
 
 
 def stack_stage3_constants(configs: Sequence) -> Stage3Constants:
-    """Stack the Stage-3 constants of ``configs`` (equal ``num_clients``)."""
+    """Stack the Stage-3 constants of ``configs`` (equal ``num_clients``).
+
+    A columnar :class:`~repro.core.batch.ConfigBatch` already holds these
+    columns contiguously, so it short-circuits to zero-copy views instead of
+    re-stacking per-config objects.
+    """
+    if hasattr(configs, "stage3_constants"):
+        return configs.stage3_constants()
     n = {cfg.num_clients for cfg in configs}
     if len(n) != 1:
         raise ValueError(f"configs must share num_clients, got {sorted(n)}")

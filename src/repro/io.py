@@ -27,7 +27,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass
+from io import BytesIO
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Type, Union
 
@@ -69,6 +71,46 @@ def atomic_write_text(path: PathLike, text: str) -> Path:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def atomic_write_bytes(
+    path: PathLike, data: bytes, *, fault_seam: str | None = "artifact.write"
+) -> Path:
+    """Binary sibling of :func:`atomic_write_text` (same ``artifact.write``
+    fault seam, same tmp + fsync + ``os.replace`` dance).
+
+    ``fault_seam=None`` opts the write out of fault injection *and* of the
+    seam's deterministic RNG stream.  Rebuildable caches (the campaign's
+    canonical npz chunks) need this: whether such a file is written or
+    loaded may differ between a resumed and an uninterrupted run, and an
+    optional write that consumed a draw would phase-shift every later
+    ``artifact.write`` decision — breaking the resume byte-identity
+    contract for runs under an active fault plan.
+    """
+    target = Path(path)
+    rule = _faults.fire(fault_seam) if fault_seam is not None else None
+    if rule is not None and rule.kind in ("torn_write", "truncate"):
+        torn = b"" if rule.kind == "truncate" else data[: max(1, len(data) // 2)]
+        target.write_bytes(torn)
+        raise TransientIOError(
+            f"injected {rule.kind} while writing {target}"
+        )
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, target)
@@ -340,6 +382,169 @@ def load_result(path: PathLike) -> Any:
         ) from exc
 
 
+# -- columnar npz artifacts ---------------------------------------------------
+#
+# ConfigBatch / SolutionBatch additionally serialize to uncompressed npz:
+# each numeric column is one ZIP_STORED .npy member, so a reader can
+# memory-map the raw float data straight out of the archive — no JSON
+# parse, no copy.  A `__meta__` member carries the codec kind, format
+# version and the non-numeric identity payload as a JSON string.
+
+
+def save_batch_npz(obj: Any, path: PathLike) -> Path:
+    """Write a columnar batch as an uncompressed npz artifact (atomically).
+
+    Works for any registered codec type exposing ``to_arrays()`` (today:
+    :class:`~repro.core.batch.ConfigBatch` and
+    :class:`~repro.core.batch.SolutionBatch`).  The file is a standard npz —
+    ``np.load`` reads it — but :func:`load_batch_npz` additionally
+    memory-maps the columns zero-copy.
+    """
+    _ensure_builtin_codecs()
+    codec = _CODECS_BY_TYPE.get(type(obj))
+    if codec is None or not hasattr(obj, "to_arrays"):
+        raise TypeError(
+            f"no columnar codec for {type(obj).__name__}; "
+            "expected ConfigBatch or SolutionBatch"
+        )
+    arrays, meta = obj.to_arrays()
+    header = {"kind": codec.kind, "format_version": codec.version, "meta": meta}
+    members = dict(arrays)
+    members["__meta__"] = np.asarray(json.dumps(header, sort_keys=True))
+    buffer = BytesIO()
+    np.savez(buffer, **members)
+    # Batch artifacts are rebuildable caches; see atomic_write_bytes for
+    # why they must stay outside the artifact.write fault stream.
+    return atomic_write_bytes(path, buffer.getvalue(), fault_seam=None)
+
+
+def _read_member(archive: zipfile.ZipFile, name: str) -> np.ndarray:
+    return np.lib.format.read_array(
+        BytesIO(archive.read(name)), allow_pickle=False
+    )
+
+
+def _memmap_member(
+    path: Path, archive: zipfile.ZipFile, name: str
+) -> Optional[np.ndarray]:
+    """Map one ZIP_STORED .npy member directly from the file, or ``None``.
+
+    The zip local file header gives the member's data offset; the npy
+    header after it gives dtype/shape — everything np.memmap needs.  Any
+    surprise (compressed member, object dtype, empty array, exotic npy
+    version) returns ``None`` and the caller falls back to an eager read.
+    """
+    try:
+        info = archive.getinfo(name)
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        with open(path, "rb") as handle:
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if len(local) < 30 or local[:4] != b"PK\x03\x04":
+                return None
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            handle.seek(info.header_offset + 30 + name_len + extra_len)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(
+                    handle
+                )
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(
+                    handle
+                )
+            else:
+                return None
+            if dtype.hasobject or shape == () or 0 in shape:
+                return None
+            offset = handle.tell()
+        return np.memmap(
+            path,
+            dtype=dtype,
+            mode="r",
+            offset=offset,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+    except Exception:
+        return None
+
+
+def load_batch_npz(path: PathLike, *, memmap: bool = True) -> Any:
+    """Read back a batch written by :func:`save_batch_npz`.
+
+    With ``memmap=True`` (the default) the numeric columns are
+    ``np.memmap`` views into the file — the artifact streams without a
+    parse or copy; pass ``memmap=False`` to materialize them in memory.
+    Corrupt archives (truncated, zero-byte, missing meta) raise
+    :class:`~repro.errors.ArtifactError` naming the offending path; version
+    mismatches surface the same way as the JSON codecs.
+    """
+    _ensure_builtin_codecs()
+    source = Path(path)
+    try:
+        archive = zipfile.ZipFile(source)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise ArtifactError(
+            f"{source}: corrupt batch artifact: {exc}", path=str(source)
+        ) from exc
+    with archive:
+        names = archive.namelist()
+        if "__meta__.npy" not in names:
+            raise ArtifactError(
+                f"{source}: corrupt batch artifact: missing __meta__ member",
+                path=str(source),
+            )
+        try:
+            header_arr = _read_member(archive, "__meta__.npy")
+            header = json.loads(str(header_arr[()]))
+        except (ValueError, KeyError, zipfile.BadZipFile) as exc:
+            raise ArtifactError(
+                f"{source}: corrupt batch artifact: bad __meta__ member "
+                f"({exc})",
+                path=str(source),
+            ) from exc
+        kind = header.get("kind")
+        codec = _CODECS_BY_KIND.get(kind)
+        if codec is None or not hasattr(codec.cls, "from_arrays"):
+            raise ArtifactError(
+                f"{source}: unknown batch kind {kind!r}; "
+                f"known kinds: {registered_kinds()}",
+                path=str(source),
+            )
+        version = header.get("format_version")
+        if version != codec.version:
+            raise ArtifactError(
+                f"{source}: {kind}: unsupported format version {version!r} "
+                f"(supported: {codec.version})",
+                path=str(source),
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for name in names:
+                if name == "__meta__.npy":
+                    continue
+                key = name[:-4] if name.endswith(".npy") else name
+                arr = _memmap_member(source, archive, name) if memmap else None
+                if arr is None:
+                    arr = _read_member(archive, name)
+                arrays[key] = arr
+        except (ValueError, zipfile.BadZipFile) as exc:
+            raise ArtifactError(
+                f"{source}: corrupt batch artifact: {exc}", path=str(source)
+            ) from exc
+    try:
+        return codec.cls.from_arrays(arrays, header.get("meta", {}))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ArtifactError(
+            f"{source}: corrupt batch artifact: {exc}", path=str(source)
+        ) from exc
+
+
 # -- helpers -----------------------------------------------------------------
 
 
@@ -373,6 +578,7 @@ def _ensure_builtin_codecs() -> None:
 
 
 def _register_builtin_codecs() -> None:
+    from repro.core.batch import ConfigBatch, SolutionBatch
     from repro.core.quhe import QuHEResult
     from repro.core.stage1 import Stage1Result
     from repro.core.stage2 import Stage2Result
@@ -418,6 +624,18 @@ def _register_builtin_codecs() -> None:
         metrics_from_dict,
     )
 
+    register_codec(
+        "config_batch",
+        ConfigBatch,
+        lambda b: b.to_jsonable(),
+        lambda d: ConfigBatch.from_jsonable(d),
+    )
+    register_codec(
+        "solution_batch",
+        SolutionBatch,
+        lambda b: b.to_jsonable(),
+        lambda d: SolutionBatch.from_jsonable(d),
+    )
     register_codec(
         "stage1_result",
         Stage1Result,

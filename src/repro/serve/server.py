@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import faults as _faults
 from repro.api.service import SolverService, config_fingerprint
+from repro.core.batch import ConfigBatch
 from repro.core.config import SystemConfig
 from repro.errors import (
     ConfigurationError,
@@ -646,13 +647,33 @@ class AllocationServer:
             groups.setdefault(entry.use_cache, []).append(entry)
         for use_cache, group in groups.items():
             configs = [e.config for e in group]
+            # Every logical request was already booked (hit/miss/coalesced)
+            # at dispatch time by _dispatch_solve; the probes the service
+            # retries inside the batch solve must stay invisible or each
+            # request would be counted twice (count_cache_stats=False).
             try:
-                results = await asyncio.to_thread(
-                    self.service.solve_many,
-                    configs,
-                    backend="batched",
-                    use_cache=use_cache,
-                )
+                shapes = {
+                    (c.num_clients, len(c.cost_model.lambda_set))
+                    for c in configs
+                }
+                if len(shapes) == 1:
+                    # Uniform micro-batch (the common case): stack once into
+                    # a columnar ConfigBatch and solve it natively.
+                    solution = await asyncio.to_thread(
+                        self.service.solve_batch,
+                        ConfigBatch.from_configs(configs),
+                        use_cache=use_cache,
+                        count_cache_stats=False,
+                    )
+                    results = [solution[i] for i in range(len(group))]
+                else:
+                    results = await asyncio.to_thread(
+                        self.service.solve_many,
+                        configs,
+                        backend="batched",
+                        use_cache=use_cache,
+                        count_cache_stats=False,
+                    )
             except Exception as exc:  # noqa: BLE001 - fanned out per waiter
                 for e in group:
                     self._inflight.pop(e.key, None)

@@ -22,6 +22,7 @@ seconds without configuration.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass, field
@@ -96,11 +97,30 @@ def time_op(
     )
 
 
+def _bench_timestamp() -> str:
+    """The report timestamp — honouring ``SOURCE_DATE_EPOCH`` when set.
+
+    Reproducible-build convention: with ``SOURCE_DATE_EPOCH`` in the
+    environment the timestamp derives from that epoch (UTC), so a
+    ``--check`` rerun produces a byte-identical ``BENCH_*.json`` instead
+    of a noisy wall-clock diff.
+    """
+    epoch = os.environ.get("SOURCE_DATE_EPOCH")
+    if epoch is not None:
+        try:
+            return time.strftime(
+                "%Y-%m-%dT%H:%M:%S+0000", time.gmtime(int(epoch))
+            )
+        except (ValueError, OverflowError, OSError):
+            pass  # malformed epoch: fall through to wall clock
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+
 def write_results(path: str | Path, results: Iterable[BenchResult]) -> Path:
     """Write a JSON benchmark report; returns the path written."""
     payload = {
         "meta": {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "timestamp": _bench_timestamp(),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),

@@ -1,0 +1,177 @@
+"""Columnar ``ConfigBatch``/``SolutionBatch`` core (ISSUE 10).
+
+The contract: the structure-of-arrays batches are a lossless interchange
+format.  ``batch[i]`` views must fingerprint/serialize identically to the
+original scalar objects, every round trip (jsonable, npz, memmapped npz)
+must restore them byte-for-byte, and Stage-1 sharing — the dedup identity
+``results[i].stage1 is results[j].stage1`` — must survive both the solve
+and the artifact round trip.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.api.service import config_fingerprint
+from repro.core.batch import ConfigBatch, SolutionBatch
+from repro.core.batched import BatchedQuHE
+from repro.core.config import paper_config
+from repro.compute.cost_models import f_eval_paper
+from repro.io import ArtifactError, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def sweep_cfgs():
+    base = paper_config(seed=2)
+    return [
+        base.with_total_bandwidth(float(v))
+        for v in np.linspace(0.5e7, 1.5e7, 5)
+    ]
+
+
+@pytest.fixture(scope="module")
+def solved(sweep_cfgs):
+    return BatchedQuHE().solve_config_batch(ConfigBatch.from_configs(sweep_cfgs))
+
+
+def strip_runtimes(payload):
+    """Drop wall-clock fields so two separate solves compare equal."""
+    if isinstance(payload, dict):
+        return {
+            k: strip_runtimes(v)
+            for k, v in payload.items()
+            if k != "runtime_s"
+        }
+    if isinstance(payload, list):
+        return [strip_runtimes(v) for v in payload]
+    return payload
+
+
+class TestConfigBatch:
+    def test_columns_are_contiguous_float_arrays(self, sweep_cfgs):
+        batch = ConfigBatch.from_configs(sweep_cfgs)
+        assert len(batch) == 5
+        assert batch.num_clients == sweep_cfgs[0].num_clients
+        assert batch.min_rates.shape == (5, batch.num_clients)
+        assert batch.min_rates.flags["C_CONTIGUOUS"]
+        assert batch.b_total.shape == (5,)
+        assert batch.b_total[2] == sweep_cfgs[2].server.total_bandwidth_hz
+
+    def test_views_fingerprint_identically(self, sweep_cfgs):
+        batch = ConfigBatch.from_configs(sweep_cfgs)
+        for i, cfg in enumerate(sweep_cfgs):
+            assert config_fingerprint(batch[i]) == config_fingerprint(cfg)
+
+    def test_rebuilt_views_fingerprint_identically(self, sweep_cfgs):
+        """Views rebuilt purely from columns + meta (no original objects)
+        must carry the same fingerprint as the sources."""
+        batch = ConfigBatch.from_jsonable(
+            ConfigBatch.from_configs(sweep_cfgs).to_jsonable()
+        )
+        for i, cfg in enumerate(sweep_cfgs):
+            view = batch[i]
+            assert view is not cfg
+            assert config_fingerprint(view) == config_fingerprint(cfg)
+
+    def test_select_preserves_order_and_identity(self, sweep_cfgs):
+        batch = ConfigBatch.from_configs(sweep_cfgs)
+        sub = batch.select([3, 0, 4])
+        assert len(sub) == 3
+        assert [config_fingerprint(c) for c in sub] == [
+            config_fingerprint(sweep_cfgs[i]) for i in (3, 0, 4)
+        ]
+
+    def test_closure_cost_model_is_solvable_but_not_serializable(self):
+        """Stacking must not reject configs that only fail at serialization
+        time — mirroring the FingerprintError contract for the cache."""
+        base = paper_config(seed=2)
+
+        def eval_cycles(lam):
+            return f_eval_paper(lam)
+
+        cfg = dataclasses.replace(
+            base,
+            cost_model=dataclasses.replace(
+                base.cost_model, eval_cycles=eval_cycles
+            ),
+        )
+        batch = ConfigBatch.from_configs([cfg, base])
+        result = BatchedQuHE().solve_config_batch(batch)[0]
+        assert result.converged
+        with pytest.raises(ValueError, match="locals|module-level"):
+            batch.to_jsonable()
+
+
+class TestSolutionBatch:
+    def test_views_serialize_identically_to_list_path(
+        self, sweep_cfgs, solved
+    ):
+        """The columnar solve and the legacy list-of-results path are the
+        same computation — payloads match exactly (modulo wall clock)."""
+        legacy = BatchedQuHE().solve_batch(sweep_cfgs)
+        for i in range(len(sweep_cfgs)):
+            a = strip_runtimes(result_to_dict(legacy[i]))
+            b = strip_runtimes(result_to_dict(solved[i]))
+            assert a == b
+
+    def test_from_results_round_trip_is_exact(self, solved):
+        rebuilt = SolutionBatch.from_results(solved.to_results())
+        for i in range(len(solved)):
+            assert result_to_dict(rebuilt[i]) == result_to_dict(solved[i])
+
+    def test_jsonable_round_trip_is_exact(self, solved):
+        rebuilt = SolutionBatch.from_jsonable(solved.to_jsonable())
+        for i in range(len(solved)):
+            assert result_to_dict(rebuilt[i]) == result_to_dict(solved[i])
+
+    def test_stage1_sharing_survives_solve_and_round_trip(self, solved):
+        """A bandwidth sweep shares one Stage-1 block; the shared identity
+        must survive serialization, not just the in-memory solve."""
+        results = solved.to_results()
+        assert results[0].stage1 is results[-1].stage1
+        rebuilt = SolutionBatch.from_jsonable(solved.to_jsonable())
+        restored = rebuilt.to_results()
+        assert restored[0].stage1 is restored[-1].stage1
+
+
+class TestNpzArtifacts:
+    @pytest.mark.parametrize("memmap", [True, False])
+    def test_config_batch_npz_round_trip(self, sweep_cfgs, tmp_path, memmap):
+        path = tmp_path / "configs.npz"
+        repro_io.save_batch_npz(ConfigBatch.from_configs(sweep_cfgs), path)
+        loaded = repro_io.load_batch_npz(path, memmap=memmap)
+        assert isinstance(loaded, ConfigBatch)
+        for i, cfg in enumerate(sweep_cfgs):
+            assert config_fingerprint(loaded[i]) == config_fingerprint(cfg)
+
+    @pytest.mark.parametrize("memmap", [True, False])
+    def test_solution_batch_npz_round_trip(self, solved, tmp_path, memmap):
+        path = tmp_path / "solutions.npz"
+        repro_io.save_batch_npz(solved, path)
+        loaded = repro_io.load_batch_npz(path, memmap=memmap)
+        assert isinstance(loaded, SolutionBatch)
+        for i in range(len(solved)):
+            assert result_to_dict(loaded[i]) == result_to_dict(solved[i])
+        restored = loaded.to_results()
+        assert restored[0].stage1 is restored[-1].stage1
+
+    def test_memmap_load_is_zero_copy(self, sweep_cfgs, tmp_path):
+        path = tmp_path / "configs.npz"
+        repro_io.save_batch_npz(ConfigBatch.from_configs(sweep_cfgs), path)
+        loaded = repro_io.load_batch_npz(path, memmap=True)
+        arr = loaded.min_rates
+        assert isinstance(arr, np.memmap) or isinstance(arr.base, np.memmap)
+
+    def test_truncated_npz_names_the_path(self, sweep_cfgs, tmp_path):
+        path = tmp_path / "torn.npz"
+        repro_io.save_batch_npz(ConfigBatch.from_configs(sweep_cfgs), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactError, match="torn.npz"):
+            repro_io.load_batch_npz(path)
+
+    def test_unsupported_object_raises_type_error(self, tmp_path):
+        with pytest.raises(TypeError):
+            repro_io.save_batch_npz(object(), tmp_path / "x.npz")

@@ -125,6 +125,36 @@ class TestMixedTopologies:
         for cfg, b in zip(cfgs, batched):
             assert_equivalent(QuHE(cfg).solve(), b)
 
+    @pytest.mark.parametrize("perm_seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_ragged_results_follow_submission_order(self, perm_seed):
+        """Regression (ISSUE 10): shape-group batching internally reorders a
+        mixed-topology batch into per-shape groups; results must come back
+        in the caller's submission order, not the grouped order.  Shuffle a
+        [6, 3, 6, 1, 3]-client batch many ways and pin each slot to the
+        result its config produced in the canonical order."""
+        base = [
+            paper_config(seed=2),
+            paper_config(seed=2, network=small_network(3)),
+            paper_config(seed=3),
+            paper_config(seed=4, network=small_network(1)),
+            paper_config(
+                seed=2, network=small_network(3)
+            ).with_total_bandwidth(0.8e7),
+        ]
+        canonical = solve_batch(base)
+        order = list(range(len(base)))
+        np.random.default_rng(perm_seed).shuffle(order)
+        shuffled = solve_batch([base[i] for i in order])
+        for slot, src in enumerate(order):
+            want, got = canonical[src], shuffled[slot]
+            assert got.allocation.num_clients == base[src].num_clients
+            assert got.objective == pytest.approx(
+                want.objective, abs=OBJECTIVE_TOL
+            )
+            assert np.array_equal(
+                got.allocation.lam, want.allocation.lam
+            )
+
     def test_stage1_shared_across_identical_qkd_blocks(self, typical_cfg):
         """Sweep configs share one Stage-1 solve (the block is decoupled)."""
         cfgs = [
@@ -132,6 +162,35 @@ class TestMixedTopologies:
         ]
         results = solve_batch(cfgs)
         assert results[0].stage1 is results[1].stage1 is results[2].stage1
+
+
+class TestColumnarEntryPoints:
+    def test_solve_batch_accepts_config_batch(self, typical_cfg):
+        from repro.core.batch import ConfigBatch
+
+        cfgs = [
+            typical_cfg.with_total_bandwidth(v) for v in (0.6e7, 1.2e7)
+        ]
+        from_list = BatchedQuHE().solve_batch(cfgs)
+        from_batch = BatchedQuHE().solve_batch(ConfigBatch.from_configs(cfgs))
+        for a, b in zip(from_list, from_batch):
+            assert a.objective == b.objective
+            assert np.array_equal(a.allocation.lam, b.allocation.lam)
+
+    def test_solve_config_batch_returns_solution_batch(self, typical_cfg):
+        from repro.core.batch import ConfigBatch, SolutionBatch
+
+        cfgs = [
+            typical_cfg.with_total_bandwidth(v) for v in (0.6e7, 1.2e7)
+        ]
+        solution = BatchedQuHE().solve_config_batch(
+            ConfigBatch.from_configs(cfgs)
+        )
+        assert isinstance(solution, SolutionBatch)
+        assert len(solution) == 2
+        assert solution.objective.shape == (2,)
+        for view, legacy in zip(solution, BatchedQuHE().solve_batch(cfgs)):
+            assert view.objective == legacy.objective
 
 
 class TestWarmStarts:

@@ -1,0 +1,40 @@
+"""Benchmark-report plumbing: reproducible timestamps (ISSUE 10).
+
+``BENCH_*.json`` files are committed snapshots; a wall-clock
+``meta.timestamp`` made every ``--check`` rerun a noisy diff.  With
+``SOURCE_DATE_EPOCH`` set (the reproducible-build convention) the stamp
+derives from the epoch, so identical results serialize byte-identically.
+"""
+
+import json
+
+from repro.utils.bench import BenchResult, _bench_timestamp, write_results
+
+
+class TestBenchTimestamp:
+    def test_source_date_epoch_pins_the_stamp(self, monkeypatch):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "1700000000")
+        assert _bench_timestamp() == "2023-11-14T22:13:20+0000"
+
+    def test_malformed_epoch_falls_back_to_wall_clock(self, monkeypatch):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "not-an-epoch")
+        stamp = _bench_timestamp()
+        assert stamp != "not-an-epoch" and "T" in stamp
+
+    def test_unset_epoch_uses_wall_clock(self, monkeypatch):
+        monkeypatch.delenv("SOURCE_DATE_EPOCH", raising=False)
+        assert "T" in _bench_timestamp()
+
+    def test_reruns_are_byte_stable_under_epoch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("SOURCE_DATE_EPOCH", "1700000000")
+        results = [
+            BenchResult(
+                op="noop", backend="x", params={"k": 1}, reps=3,
+                seconds_per_op=0.25,
+            )
+        ]
+        first = write_results(tmp_path / "a.json", results).read_bytes()
+        second = write_results(tmp_path / "b.json", results).read_bytes()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["meta"]["timestamp"] == "2023-11-14T22:13:20+0000"
